@@ -1,0 +1,106 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section and prints them in the paper's layout:
+//
+//	Table 2      — full-scan overhead of partitioning lineitem
+//	Table 3      — workload classification of partition elimination
+//	Figure 16    — scanned partitions per fact table, Planner vs Orca
+//	Figure 17    — runtime improvement with partition selection enabled
+//	Figure 18a-c — plan-size scaling: static, dynamic, and DML plans
+//
+// Usage:
+//
+//	experiments [-segments N] [-rows N] [-sales N] [-iters N] [-only table2|table3|fig16|fig17|fig18]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"partopt/internal/bench"
+	"partopt/internal/workload"
+)
+
+func main() {
+	segments := flag.Int("segments", 4, "number of cluster segments")
+	rows := flag.Int("rows", 60000, "lineitem rows for Table 2")
+	sales := flag.Int("sales", 40, "star-schema sales rows per day")
+	iters := flag.Int("iters", 5, "timing iterations (fastest run wins)")
+	only := flag.String("only", "", "run a single experiment (table2|table3|fig16|fig17|fig18)")
+	flag.Parse()
+
+	want := func(name string) bool { return *only == "" || *only == name }
+	starCfg := workload.DefaultStarConfig()
+	starCfg.SalesPerDay = *sales
+
+	if want("table2") {
+		fmt.Println("== Table 2 ==============================================================")
+		t2, err := bench.RunTable2(bench.Table2Config{Rows: *rows, Segments: *segments, Iters: *iters})
+		fatalIf(err)
+		fmt.Println(bench.FormatTable2(t2))
+	}
+
+	var stats []bench.QueryStat
+	if want("table3") || want("fig16") {
+		var err error
+		stats, err = bench.RunWorkload(starCfg, *segments)
+		fatalIf(err)
+	}
+	if want("table3") {
+		fmt.Println("== Table 3 ==============================================================")
+		fmt.Println(bench.FormatTable3(stats))
+		fmt.Println("Per-query detail:")
+		fmt.Printf("%-24s %-16s %6s %6s %6s\n", "query", "fact", "total", "orca", "plnr")
+		for _, s := range stats {
+			fmt.Printf("%-24s %-16s %6d %6d %6d\n", s.Name, s.Fact, s.TotalParts, s.OrcaParts, s.LegacyParts)
+		}
+		fmt.Println()
+	}
+	if want("fig16") {
+		fmt.Println("== Figure 16 ============================================================")
+		fmt.Println(bench.FormatFigure16(bench.Figure16(stats)))
+	}
+
+	if want("fig17") {
+		fmt.Println("== Figure 17 ============================================================")
+		f17, err := bench.RunFigure17(starCfg, *segments, *iters)
+		fatalIf(err)
+		fmt.Println(bench.FormatFigure17(f17))
+	}
+
+	if want("fig18") {
+		fmt.Println("== Figure 18 ============================================================")
+		a, err := bench.RunFigure18a(*segments)
+		fatalIf(err)
+		fmt.Println(bench.FormatFigure18(
+			"Figure 18(a): static partition elimination — plan size",
+			"% of partitions scanned", a))
+		b, err := bench.RunFigure18b(*segments)
+		fatalIf(err)
+		fmt.Println(bench.FormatFigure18(
+			"Figure 18(b): dynamic partition elimination — plan size",
+			"partitions per table", b))
+		c, err := bench.RunFigure18c(*segments)
+		fatalIf(err)
+		fmt.Println(bench.FormatFigure18(
+			"Figure 18(c): DML update join — plan size",
+			"partitions per table", c))
+	}
+
+	if *only != "" && !isKnown(*only) {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want table2|table3|fig16|fig17|fig18)\n", *only)
+		os.Exit(2)
+	}
+}
+
+func isKnown(name string) bool {
+	return strings.Contains("table2 table3 fig16 fig17 fig18", name)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

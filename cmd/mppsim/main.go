@@ -1,0 +1,153 @@
+// Command mppsim is an interactive shell over the simulated MPP engine: it
+// loads a demo dataset (the paper's star schema) and accepts SQL, EXPLAIN,
+// and a few meta commands. It is the quickest way to poke at partition
+// elimination by hand:
+//
+//	$ go run ./cmd/mppsim
+//	mppsim> \optimizer planner
+//	mppsim> EXPLAIN SELECT count(*) FROM store_sales WHERE date_id < 30
+//	mppsim> SELECT avg(amount) FROM store_sales WHERE date_id IN
+//	        (SELECT date_id FROM date_dim WHERE month BETWEEN 22 AND 24)
+//
+// Meta commands:
+//
+//	\optimizer orca|planner   switch optimizer
+//	\selection on|off         toggle partition selection
+//	\index <table> <column>   create a secondary index
+//	\tables                   list tables with partition counts
+//	\q                        quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"partopt"
+	"partopt/internal/workload"
+)
+
+func main() {
+	segments := flag.Int("segments", 4, "number of cluster segments")
+	sales := flag.Int("sales", 20, "star-schema sales rows per day")
+	flag.Parse()
+
+	eng, err := partopt.New(*segments)
+	fatalIf(err)
+	cfg := workload.DefaultStarConfig()
+	cfg.SalesPerDay = *sales
+	fmt.Printf("loading star schema (%d segments, %d months per fact)...\n", *segments, cfg.Months)
+	fatalIf(workload.BuildStar(eng, cfg))
+	fmt.Println("ready. \\q quits, \\tables lists tables, \\optimizer orca|planner switches.")
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Printf("mppsim(%s)> ", eng.Optimizer())
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\q` || line == "quit" || line == "exit":
+			return
+		case line == `\tables`:
+			for _, name := range eng.TableNames() {
+				n, _ := eng.NumPartitions(name)
+				fmt.Printf("  %-20s %3d partition(s)\n", name, n)
+			}
+		case strings.HasPrefix(line, `\optimizer`):
+			arg := strings.TrimSpace(strings.TrimPrefix(line, `\optimizer`))
+			switch arg {
+			case "orca":
+				eng.SetOptimizer(partopt.Orca)
+			case "planner":
+				eng.SetOptimizer(partopt.LegacyPlanner)
+			default:
+				fmt.Println("usage: \\optimizer orca|planner")
+			}
+		case strings.HasPrefix(line, `\index`):
+			parts := strings.Fields(strings.TrimPrefix(line, `\index`))
+			if len(parts) != 2 {
+				fmt.Println("usage: \\index <table> <column>")
+				continue
+			}
+			name := parts[0] + "_" + parts[1] + "_idx"
+			if err := eng.CreateIndex(name, parts[0], parts[1]); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("created index %s on %s(%s)\n", name, parts[0], parts[1])
+		case strings.HasPrefix(line, `\selection`):
+			arg := strings.TrimSpace(strings.TrimPrefix(line, `\selection`))
+			switch arg {
+			case "on":
+				eng.SetPartitionSelection(true)
+			case "off":
+				eng.SetPartitionSelection(false)
+			default:
+				fmt.Println("usage: \\selection on|off")
+			}
+		case strings.HasPrefix(strings.ToUpper(line), "EXPLAIN "):
+			out, err := eng.Explain(line[len("EXPLAIN "):])
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Print(out)
+		case strings.HasPrefix(strings.ToUpper(line), "UPDATE"):
+			start := time.Now()
+			n, err := eng.Exec(line)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("UPDATE %d  (%v)\n", n, time.Since(start).Round(time.Microsecond))
+		default:
+			runSelect(eng, line)
+		}
+	}
+}
+
+func runSelect(eng *partopt.Engine, query string) {
+	start := time.Now()
+	rows, err := eng.Query(query)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	elapsed := time.Since(start)
+	fmt.Println(strings.Join(rows.Columns, " | "))
+	fmt.Println(strings.Repeat("-", 8*len(rows.Columns)+8))
+	const maxShow = 20
+	for i, r := range rows.Data {
+		if i >= maxShow {
+			fmt.Printf("... (%d more rows)\n", len(rows.Data)-maxShow)
+			break
+		}
+		cells := make([]string, len(r))
+		for c, v := range r {
+			cells[c] = v.String()
+		}
+		fmt.Println(strings.Join(cells, " | "))
+	}
+	fmt.Printf("(%d rows, %v, plan %dB", len(rows.Data), elapsed.Round(time.Microsecond), rows.PlanSize)
+	for table, parts := range rows.PartsScanned {
+		total, _ := eng.NumPartitions(table)
+		fmt.Printf(", %s: %d/%d parts", table, parts, total)
+	}
+	fmt.Println(")")
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mppsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,217 @@
+package partopt
+
+import (
+	"fmt"
+
+	"partopt/internal/catalog"
+	"partopt/internal/part"
+	"partopt/internal/types"
+)
+
+// ColumnDef declares one table column.
+type ColumnDef struct {
+	Name string
+	Type ColType
+}
+
+// Columns builds a column list from alternating name/type pairs:
+// Columns("id", TypeInt, "amount", TypeFloat).
+func Columns(pairs ...interface{}) []ColumnDef {
+	if len(pairs)%2 != 0 {
+		panic("partopt: Columns needs name/type pairs")
+	}
+	out := make([]ColumnDef, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		name, ok := pairs[i].(string)
+		if !ok {
+			panic(fmt.Sprintf("partopt: Columns argument %d must be a string", i))
+		}
+		typ, ok := pairs[i+1].(ColType)
+		if !ok {
+			panic(fmt.Sprintf("partopt: Columns argument %d must be a ColType", i+1))
+		}
+		out = append(out, ColumnDef{Name: name, Type: typ})
+	}
+	return out
+}
+
+// TableOption configures distribution or partitioning at CreateTable time.
+type TableOption interface {
+	apply(*tableConfig) error
+}
+
+type tableConfig struct {
+	cols   []ColumnDef
+	dist   *catalog.DistPolicy
+	levels []part.LevelSpec
+}
+
+func (c *tableConfig) colOrd(name string) (int, error) {
+	for i, col := range c.cols {
+		if col.Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("partopt: unknown column %q", name)
+}
+
+type optionFunc func(*tableConfig) error
+
+func (f optionFunc) apply(c *tableConfig) error { return f(c) }
+
+// DistributedBy hash-distributes the table's rows by the named columns.
+func DistributedBy(cols ...string) TableOption {
+	return optionFunc(func(c *tableConfig) error {
+		if len(cols) == 0 {
+			return fmt.Errorf("partopt: DistributedBy needs at least one column")
+		}
+		ords := make([]int, len(cols))
+		for i, name := range cols {
+			ord, err := c.colOrd(name)
+			if err != nil {
+				return err
+			}
+			ords[i] = ord
+		}
+		d := catalog.Hashed(ords...)
+		c.dist = &d
+		return nil
+	})
+}
+
+// Replicated stores a full copy of the table on every segment — the usual
+// choice for small dimension tables.
+func Replicated() TableOption {
+	return optionFunc(func(c *tableConfig) error {
+		d := catalog.Replicated()
+		c.dist = &d
+		return nil
+	})
+}
+
+// PartitionByRange adds a range-partitioning level with consecutive
+// [boundᵢ, boundᵢ₊₁) partitions. Options compose: a second PartitionBy*
+// creates a sub-partitioning level (paper §2.4).
+func PartitionByRange(col string, bounds ...Value) TableOption {
+	return optionFunc(func(c *tableConfig) error {
+		ord, err := c.colOrd(col)
+		if err != nil {
+			return err
+		}
+		if len(bounds) < 2 {
+			return fmt.Errorf("partopt: PartitionByRange needs at least two bounds")
+		}
+		raw := make([]types.Datum, len(bounds))
+		for i, b := range bounds {
+			raw[i] = toRow([]Value{b})[0]
+		}
+		c.levels = append(c.levels, part.RangeLevel(ord, raw...))
+		return nil
+	})
+}
+
+// PartitionByRangeMonthly range-partitions a date column into `months`
+// consecutive partitions of monthsPer months each, starting at the given
+// month (the paper's Fig. 1 "orders partitioned by date" scheme).
+func PartitionByRangeMonthly(col string, startYear, startMonth, months int) TableOption {
+	return PartitionByRangeMonthlyEvery(col, startYear, startMonth, months, 1)
+}
+
+// PartitionByRangeMonthlyEvery is PartitionByRangeMonthly with a partition
+// width of monthsPer months (Table 2's "each part represents 2 months").
+func PartitionByRangeMonthlyEvery(col string, startYear, startMonth, months, monthsPer int) TableOption {
+	return optionFunc(func(c *tableConfig) error {
+		ord, err := c.colOrd(col)
+		if err != nil {
+			return err
+		}
+		c.levels = append(c.levels, part.RangeLevel(ord, part.MonthlyBounds(startYear, startMonth, months, monthsPer)...))
+		return nil
+	})
+}
+
+// PartitionByRangeDays range-partitions a date column into partitions of
+// daysPer days (Table 2's bi-weekly and weekly schemes).
+func PartitionByRangeDays(col string, startYear, startMonth, startDay, totalDays, daysPer int) TableOption {
+	return optionFunc(func(c *tableConfig) error {
+		ord, err := c.colOrd(col)
+		if err != nil {
+			return err
+		}
+		c.levels = append(c.levels, part.RangeLevel(ord, part.DayBounds(startYear, startMonth, startDay, totalDays, daysPer)...))
+		return nil
+	})
+}
+
+// PartitionByRangeInt range-partitions an int column into n equal ranges
+// over [lo, hi).
+func PartitionByRangeInt(col string, lo, hi int64, n int) TableOption {
+	return optionFunc(func(c *tableConfig) error {
+		ord, err := c.colOrd(col)
+		if err != nil {
+			return err
+		}
+		c.levels = append(c.levels, part.RangeLevel(ord, part.IntBounds(lo, hi, n)...))
+		return nil
+	})
+}
+
+// ListPartition names one partition of a PartitionByList level.
+type ListPartition struct {
+	Name   string
+	Values []Value
+}
+
+// PartitionByList adds a list (categorical) partitioning level.
+func PartitionByList(col string, parts ...ListPartition) TableOption {
+	return optionFunc(func(c *tableConfig) error {
+		ord, err := c.colOrd(col)
+		if err != nil {
+			return err
+		}
+		if len(parts) == 0 {
+			return fmt.Errorf("partopt: PartitionByList needs at least one partition")
+		}
+		names := make([]string, len(parts))
+		values := make([][]types.Datum, len(parts))
+		for i, p := range parts {
+			names[i] = p.Name
+			values[i] = toRow(p.Values)
+		}
+		c.levels = append(c.levels, part.ListLevel(ord, names, values))
+		return nil
+	})
+}
+
+// CreateTable registers a table and allocates its storage. Without a
+// distribution option the table is hash-distributed on its first column.
+func (e *Engine) CreateTable(name string, cols []ColumnDef, opts ...TableOption) error {
+	cfg := &tableConfig{cols: cols}
+	for _, o := range opts {
+		if err := o.apply(cfg); err != nil {
+			return err
+		}
+	}
+	catCols := make([]catalog.Column, len(cols))
+	for i, c := range cols {
+		catCols[i] = catalog.Column{Name: c.Name, Kind: c.Type.kind()}
+	}
+	dist := catalog.Hashed(0)
+	if cfg.dist != nil {
+		dist = *cfg.dist
+	}
+	t, err := e.cat.CreateTable(name, catCols, dist, cfg.levels...)
+	if err != nil {
+		return err
+	}
+	e.store.CreateTable(t)
+	return nil
+}
+
+// MustCreateTable is CreateTable panicking on error — for examples and
+// fixtures.
+func (e *Engine) MustCreateTable(name string, cols []ColumnDef, opts ...TableOption) {
+	if err := e.CreateTable(name, cols, opts...); err != nil {
+		panic(err)
+	}
+}

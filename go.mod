@@ -1,0 +1,3 @@
+module partopt
+
+go 1.22

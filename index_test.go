@@ -1,0 +1,213 @@
+package partopt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIndexScanUnpartitioned(t *testing.T) {
+	eng, err := New(2)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	eng.MustCreateTable("t", Columns("k", TypeInt, "v", TypeInt), DistributedBy("k"))
+	for i := int64(0); i < 1000; i++ {
+		if err := eng.Insert("t", Int(i), Int(i%10)); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	if err := eng.Analyze(); err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if err := eng.CreateIndex("t_k_idx", "t", "k"); err != nil {
+		t.Fatalf("CreateIndex: %v", err)
+	}
+
+	const q = "SELECT count(*) FROM t WHERE k BETWEEN 100 AND 149"
+	out, err := eng.Explain(q)
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if !strings.Contains(out, "IndexScan t using t_k_idx") {
+		t.Fatalf("index scan not chosen:\n%s", out)
+	}
+	rows, err := eng.Query(q)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if rows.Data[0][0].Int() != 50 {
+		t.Errorf("count = %v, want 50", rows.Data[0][0])
+	}
+	// The index fetched only qualifying rows, not the whole table.
+	if rows.RowsScanned > 60 {
+		t.Errorf("rows scanned = %d, want ≈50 via the index", rows.RowsScanned)
+	}
+
+	// Index stays correct across DML (stale-rebuild path).
+	if _, err := eng.Exec("UPDATE t SET k = k + 2000 WHERE k = 120"); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	rows, err = eng.Query(q)
+	if err != nil {
+		t.Fatalf("requery: %v", err)
+	}
+	if rows.Data[0][0].Int() != 49 {
+		t.Errorf("count after update = %v, want 49", rows.Data[0][0])
+	}
+	if _, err := eng.Exec("DELETE FROM t WHERE k = 121"); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	rows, err = eng.Query(q)
+	if err != nil {
+		t.Fatalf("requery 2: %v", err)
+	}
+	if rows.Data[0][0].Int() != 48 {
+		t.Errorf("count after delete = %v, want 48", rows.Data[0][0])
+	}
+}
+
+func TestDynamicIndexScanComposesWithSelection(t *testing.T) {
+	eng, err := New(2)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Partitioned on date_id, indexed on amount: a query with predicates
+	// on both gets partition elimination AND per-leaf index lookups.
+	eng.MustCreateTable("sales",
+		Columns("date_id", TypeInt, "amount", TypeInt),
+		DistributedBy("date_id"),
+		PartitionByRangeInt("date_id", 0, 240, 24),
+	)
+	for d := int64(0); d < 240; d++ {
+		for i := int64(0); i < 20; i++ {
+			if err := eng.Insert("sales", Int(d), Int(i*50)); err != nil {
+				t.Fatalf("insert: %v", err)
+			}
+		}
+	}
+	if err := eng.Analyze(); err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if err := eng.CreateIndex("sales_amount_idx", "sales", "amount"); err != nil {
+		t.Fatalf("CreateIndex: %v", err)
+	}
+
+	const q = "SELECT count(*) FROM sales WHERE date_id BETWEEN 100 AND 119 AND amount >= 900"
+	out, err := eng.Explain(q)
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if !strings.Contains(out, "DynamicIndexScan") || !strings.Contains(out, "PartitionSelector") {
+		t.Fatalf("expected DynamicIndexScan under a PartitionSelector:\n%s", out)
+	}
+	rows, err := eng.Query(q)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	// 20 day-ids × 2 amounts (900, 950) = 40 rows.
+	if rows.Data[0][0].Int() != 40 {
+		t.Errorf("count = %v, want 40", rows.Data[0][0])
+	}
+	// Partition elimination: 2 of 24 leaves.
+	if rows.PartsScanned["sales"] != 2 {
+		t.Errorf("parts = %d, want 2", rows.PartsScanned["sales"])
+	}
+	// Index narrowing: only the qualifying rows were fetched.
+	if rows.RowsScanned > 60 {
+		t.Errorf("rows scanned = %d, want 40 via the index", rows.RowsScanned)
+	}
+}
+
+func TestIndexWithParams(t *testing.T) {
+	eng, err := New(1)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	eng.MustCreateTable("t", Columns("k", TypeInt), DistributedBy("k"))
+	for i := int64(0); i < 100; i++ {
+		if err := eng.Insert("t", Int(i)); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	if err := eng.Analyze(); err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if err := eng.CreateIndex("tk", "t", "k"); err != nil {
+		t.Fatalf("CreateIndex: %v", err)
+	}
+	rows, err := eng.Query("SELECT count(*) FROM t WHERE k = $1", Int(42))
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if rows.Data[0][0].Int() != 1 {
+		t.Errorf("count = %v", rows.Data[0][0])
+	}
+}
+
+func TestCreateIndexErrors(t *testing.T) {
+	eng, err := New(1)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	eng.MustCreateTable("t", Columns("k", TypeInt), DistributedBy("k"))
+	if err := eng.CreateIndex("i", "ghost", "k"); err == nil {
+		t.Errorf("unknown table accepted")
+	}
+	if err := eng.CreateIndex("i", "t", "ghost"); err == nil {
+		t.Errorf("unknown column accepted")
+	}
+	if err := eng.CreateIndex("i", "t", "k"); err != nil {
+		t.Fatalf("CreateIndex: %v", err)
+	}
+	if err := eng.CreateIndex("i2", "t", "k"); err == nil {
+		t.Errorf("duplicate column index accepted")
+	}
+}
+
+// Results must be identical with and without the index across predicate
+// shapes, including ORs whose derived interval sets overlap.
+func TestIndexEquivalence(t *testing.T) {
+	build := func(withIndex bool) *Engine {
+		eng, err := New(2)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		eng.MustCreateTable("t", Columns("k", TypeInt, "v", TypeInt), DistributedBy("v"))
+		for i := int64(0); i < 500; i++ {
+			if err := eng.Insert("t", Int(i%97), Int(i)); err != nil {
+				t.Fatalf("insert: %v", err)
+			}
+		}
+		if err := eng.Analyze(); err != nil {
+			t.Fatalf("Analyze: %v", err)
+		}
+		if withIndex {
+			if err := eng.CreateIndex("tk", "t", "k"); err != nil {
+				t.Fatalf("CreateIndex: %v", err)
+			}
+		}
+		return eng
+	}
+	plain, indexed := build(false), build(true)
+	queries := []string{
+		"SELECT count(*) FROM t WHERE k = 13",
+		"SELECT count(*) FROM t WHERE k < 10",
+		"SELECT count(*) FROM t WHERE k BETWEEN 20 AND 40",
+		"SELECT count(*) FROM t WHERE k < 30 OR k < 50",
+		"SELECT count(*) FROM t WHERE k IN (1, 2, 3, 90)",
+		"SELECT count(*) FROM t WHERE k > 90 AND v < 250",
+	}
+	for _, q := range queries {
+		a, err := plain.Query(q)
+		if err != nil {
+			t.Fatalf("plain %q: %v", q, err)
+		}
+		b, err := indexed.Query(q)
+		if err != nil {
+			t.Fatalf("indexed %q: %v", q, err)
+		}
+		if a.Data[0][0].Int() != b.Data[0][0].Int() {
+			t.Errorf("%q: plain=%v indexed=%v", q, a.Data[0][0], b.Data[0][0])
+		}
+	}
+}

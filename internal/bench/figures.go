@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"partopt"
+	"partopt/internal/workload"
+)
+
+// ---------------------------------------------------------------- Figure 17
+
+// Figure17Row is one query's runtime with partition selection on vs off.
+type Figure17Row struct {
+	Name           string
+	Off, On        time.Duration
+	ImprovementPct float64 // 100*(1 - on/off); 50% = ran in half the time
+	Block          string  // short-running / medium / long-running
+}
+
+// RunFigure17 measures per-query relative improvement from enabling
+// partition selection in Orca, sorted by the selection-off runtime like the
+// paper's short/medium/long-running blocks.
+func RunFigure17(cfg workload.StarConfig, segments, iters int) ([]Figure17Row, error) {
+	eng, err := partopt.New(segments)
+	if err != nil {
+		return nil, err
+	}
+	if err := workload.BuildStar(eng, cfg); err != nil {
+		return nil, err
+	}
+	eng.SetOptimizer(partopt.Orca)
+
+	var rows []Figure17Row
+	for _, q := range workload.StarQueries() {
+		eng.SetPartitionSelection(false)
+		off, err := timeQuery(eng, q.SQL, iters)
+		if err != nil {
+			return nil, fmt.Errorf("%s (selection off): %w", q.Name, err)
+		}
+		eng.SetPartitionSelection(true)
+		on, err := timeQuery(eng, q.SQL, iters)
+		if err != nil {
+			return nil, fmt.Errorf("%s (selection on): %w", q.Name, err)
+		}
+		rows = append(rows, Figure17Row{
+			Name:           q.Name,
+			Off:            off,
+			On:             on,
+			ImprovementPct: 100 * (1 - float64(on)/float64(off)),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Off < rows[j].Off })
+	for i := range rows {
+		switch {
+		case i < len(rows)/3:
+			rows[i].Block = "short-running"
+		case i < 2*len(rows)/3:
+			rows[i].Block = "medium"
+		default:
+			rows[i].Block = "long-running"
+		}
+	}
+	return rows, nil
+}
+
+// FormatFigure17 renders the improvement chart as text bars.
+func FormatFigure17(rows []Figure17Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 17: Relative improvement in execution time with partition selection enabled\n")
+	b.WriteString("(sorted by selection-off runtime; 50% = query ran in half the time)\n")
+	fmt.Fprintf(&b, "%-22s %-14s %10s %10s %8s  %s\n", "query", "block", "off", "on", "improv", "")
+	for _, r := range rows {
+		bar := strings.Repeat("#", clamp(int(r.ImprovementPct/5), 0, 20))
+		if r.ImprovementPct < 0 {
+			bar = strings.Repeat("-", clamp(int(-r.ImprovementPct/5), 0, 20))
+		}
+		fmt.Fprintf(&b, "%-22s %-14s %10v %10v %7.0f%%  %s\n",
+			r.Name, r.Block, r.Off.Round(time.Microsecond), r.On.Round(time.Microsecond), r.ImprovementPct, bar)
+	}
+	return b.String()
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ---------------------------------------------------------------- Figure 18
+
+// SizeRow is one point of a plan-size comparison.
+type SizeRow struct {
+	X            int // percent of partitions (18a) or partition count (18b/c)
+	PlannerBytes int
+	OrcaBytes    int
+}
+
+// RunFigure18a measures plan size for static elimination: a lineitem
+// selection l_shipdate < X choosing 1%, 25%, 50%, 75% and 100% of the 84
+// monthly partitions.
+func RunFigure18a(segments int) ([]SizeRow, error) {
+	eng, err := partopt.New(segments)
+	if err != nil {
+		return nil, err
+	}
+	// Plan-size measurement needs no data, only the partitioned catalog.
+	if err := workload.BuildLineitem(eng, workload.LineitemMonthly, 0); err != nil {
+		return nil, err
+	}
+	months := 7 * 12
+	var rows []SizeRow
+	for _, pct := range []int{1, 25, 50, 75, 100} {
+		keep := months * pct / 100
+		if keep < 1 {
+			keep = 1
+		}
+		// Cutoff date: first day of month `keep` after 2007-01.
+		year := 2007 + keep/12
+		month := keep%12 + 1
+		q := fmt.Sprintf("SELECT * FROM lineitem WHERE l_shipdate < '%04d-%02d-01'", year, month)
+
+		eng.SetOptimizer(partopt.LegacyPlanner)
+		plannerSize, err := eng.PlanSize(q)
+		if err != nil {
+			return nil, err
+		}
+		eng.SetOptimizer(partopt.Orca)
+		orcaSize, err := eng.PlanSize(q)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SizeRow{X: pct, PlannerBytes: plannerSize, OrcaBytes: orcaSize})
+	}
+	return rows, nil
+}
+
+// RunFigure18b measures plan size for join-driven dynamic elimination over
+// the synthetic R/S pair as the partition count grows.
+func RunFigure18b(segments int) ([]SizeRow, error) {
+	const q = "SELECT * FROM s, r WHERE r.b = s.b AND s.a < 100"
+	return rsPlanSizes(segments, q, false)
+}
+
+// RunFigure18c measures plan size for the DML update join of §4.4.3.
+func RunFigure18c(segments int) ([]SizeRow, error) {
+	const q = "UPDATE r SET b = s.b FROM s WHERE r.a = s.a"
+	return rsPlanSizes(segments, q, true)
+}
+
+func rsPlanSizes(segments int, q string, isUpdate bool) ([]SizeRow, error) {
+	var rows []SizeRow
+	for _, parts := range []int{50, 100, 150, 200, 250, 300} {
+		eng, err := partopt.New(segments)
+		if err != nil {
+			return nil, err
+		}
+		if err := workload.BuildRS(eng, parts, 0); err != nil {
+			return nil, err
+		}
+		eng.SetOptimizer(partopt.LegacyPlanner)
+		plannerSize, err := eng.PlanSize(q)
+		if err != nil {
+			return nil, fmt.Errorf("planner %d parts: %w", parts, err)
+		}
+		eng.SetOptimizer(partopt.Orca)
+		orcaSize, err := eng.PlanSize(q)
+		if err != nil {
+			return nil, fmt.Errorf("orca %d parts: %w", parts, err)
+		}
+		rows = append(rows, SizeRow{X: parts, PlannerBytes: plannerSize, OrcaBytes: orcaSize})
+	}
+	return rows, nil
+}
+
+// FormatFigure18 renders one plan-size series.
+func FormatFigure18(title, xlabel string, rows []SizeRow) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	fmt.Fprintf(&b, "%-28s  %14s  %14s  %8s\n", xlabel, "Planner (B)", "Orca (B)", "ratio")
+	for _, r := range rows {
+		ratio := float64(r.PlannerBytes) / float64(r.OrcaBytes)
+		fmt.Fprintf(&b, "%-28d  %14d  %14d  %7.1fx\n", r.X, r.PlannerBytes, r.OrcaBytes, ratio)
+	}
+	return b.String()
+}

@@ -1,0 +1,425 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"partopt/internal/catalog"
+	"partopt/internal/exec"
+	"partopt/internal/expr"
+	"partopt/internal/part"
+	"partopt/internal/plan"
+	"partopt/internal/storage"
+	"partopt/internal/types"
+)
+
+// starSchema builds the paper's Fig. 6/8 star schema:
+//
+//	sales_fact(date_id, cust_id, amount)  partitioned on date_id (12 parts)
+//	date_dim(id, month, year)             partitioned on month   (12 parts)
+//	customer_dim(id, state)               unpartitioned
+//
+// date_dim.id i (1..365ish) maps months: id m*30+d. We use id = month*100+day
+// so ranges are easy. sales_fact.date_id references date_dim.id.
+func starSchema(t *testing.T) (*catalog.Catalog, *storage.Store) {
+	t.Helper()
+	cat := catalog.New()
+	st := storage.NewStore(1)
+
+	dd, err := cat.CreateTable("date_dim",
+		[]catalog.Column{
+			{Name: "id", Kind: types.KindInt},
+			{Name: "month", Kind: types.KindInt},
+			{Name: "year", Kind: types.KindInt},
+		},
+		catalog.Hashed(0),
+		part.RangeLevel(1, part.IntBounds(1, 13, 12)...), // month 1..12
+	)
+	if err != nil {
+		t.Fatalf("create date_dim: %v", err)
+	}
+	st.CreateTable(dd)
+
+	sf, err := cat.CreateTable("sales_fact",
+		[]catalog.Column{
+			{Name: "date_id", Kind: types.KindInt},
+			{Name: "cust_id", Kind: types.KindInt},
+			{Name: "amount", Kind: types.KindInt},
+		},
+		catalog.Hashed(1),
+		part.RangeLevel(0, part.IntBounds(100, 1400, 13)...), // ids 100..1399
+	)
+	if err != nil {
+		t.Fatalf("create sales_fact: %v", err)
+	}
+	st.CreateTable(sf)
+
+	cd, err := cat.CreateTable("customer_dim",
+		[]catalog.Column{
+			{Name: "id", Kind: types.KindInt},
+			{Name: "state", Kind: types.KindString},
+		},
+		catalog.Replicated(),
+	)
+	if err != nil {
+		t.Fatalf("create customer_dim: %v", err)
+	}
+	st.CreateTable(cd)
+
+	// date_dim: one row per (month, day 1..3), id = month*100 + day.
+	for m := int64(1); m <= 12; m++ {
+		for d := int64(1); d <= 3; d++ {
+			if err := st.Insert(dd, types.Row{types.NewInt(m*100 + d), types.NewInt(m), types.NewInt(2013)}); err != nil {
+				t.Fatalf("insert date_dim: %v", err)
+			}
+		}
+	}
+	// customers 1..4, CA for even ids.
+	for c := int64(1); c <= 4; c++ {
+		state := "NY"
+		if c%2 == 0 {
+			state = "CA"
+		}
+		if err := st.Insert(cd, types.Row{types.NewInt(c), types.NewString(state)}); err != nil {
+			t.Fatalf("insert customer_dim: %v", err)
+		}
+	}
+	// sales: one per (date id, customer).
+	for m := int64(1); m <= 12; m++ {
+		for d := int64(1); d <= 3; d++ {
+			for c := int64(1); c <= 4; c++ {
+				row := types.Row{types.NewInt(m*100 + d), types.NewInt(c), types.NewInt(m * 10)}
+				if err := st.Insert(sf, row); err != nil {
+					t.Fatalf("insert sales_fact: %v", err)
+				}
+			}
+		}
+	}
+	return cat, st
+}
+
+// relation ids: date_dim = 1, sales_fact = 2, customer_dim = 3 (as in the
+// paper's partScanId assignment for Fig. 8).
+func col(rel, ord int, name string) *expr.Col {
+	return expr.NewCol(expr.ColID{Rel: rel, Ord: ord}, name)
+}
+
+func intc(v int64) *expr.Const { return expr.NewConst(types.NewInt(v)) }
+
+// fig8Tree builds the paper's Fig. 8(a) input: the physical tree before
+// selector placement. Child 0 of each join is the first-executed (build)
+// side.
+func fig8Tree(cat *catalog.Catalog) (root plan.Node, monthPred, joinPred1 expr.Expr) {
+	dd := cat.MustTable("date_dim")
+	sf := cat.MustTable("sales_fact")
+	cd := cat.MustTable("customer_dim")
+
+	monthPred = expr.Between(col(1, 1, "d.month"), intc(10), intc(12))
+	dimSide := plan.NewFilter(monthPred, plan.NewDynamicScan(dd, 1, 1))
+
+	joinPred1 = expr.NewCmp(expr.EQ, col(2, 0, "s.date_id"), col(1, 0, "d.id"))
+	join1 := plan.NewHashJoin(plan.InnerJoin,
+		[]expr.Expr{col(1, 0, "d.id")}, []expr.Expr{col(2, 0, "s.date_id")},
+		nil, dimSide, plan.NewDynamicScan(sf, 2, 2), joinPred1)
+
+	custSide := plan.NewFilter(
+		expr.NewCmp(expr.EQ, col(3, 1, "c.state"), expr.NewConst(types.NewString("CA"))),
+		plan.NewScan(cd, 3))
+	joinPred2 := expr.NewCmp(expr.EQ, col(2, 1, "s.cust_id"), col(3, 0, "c.id"))
+	join2 := plan.NewHashJoin(plan.InnerJoin,
+		[]expr.Expr{col(2, 1, "s.cust_id")}, []expr.Expr{col(3, 0, "c.id")},
+		nil, join1, custSide, joinPred2)
+	return join2, monthPred, joinPred1
+}
+
+func TestCollectSpecs(t *testing.T) {
+	cat, _ := starSchema(t)
+	root, _, _ := fig8Tree(cat)
+	specs := CollectSpecs(root)
+	if len(specs) != 2 {
+		t.Fatalf("specs = %d, want 2", len(specs))
+	}
+	if specs[0].PartScanID != 1 || specs[1].PartScanID != 2 {
+		t.Errorf("spec ids = %d, %d", specs[0].PartScanID, specs[1].PartScanID)
+	}
+	if specs[0].PartKeys[0] != (expr.ColID{Rel: 1, Ord: 1}) {
+		t.Errorf("date_dim key = %v", specs[0].PartKeys[0])
+	}
+	if specs[1].PartKeys[0] != (expr.ColID{Rel: 2, Ord: 0}) {
+		t.Errorf("sales_fact key = %v", specs[1].PartKeys[0])
+	}
+}
+
+func TestHasPartScanID(t *testing.T) {
+	cat, _ := starSchema(t)
+	root, _, _ := fig8Tree(cat)
+	if !HasPartScanID(root, 1) || !HasPartScanID(root, 2) {
+		t.Errorf("scan ids not found in full tree")
+	}
+	if HasPartScanID(root, 9) {
+		t.Errorf("phantom scan id found")
+	}
+	join2 := root.(*plan.HashJoin)
+	if HasPartScanID(join2.Probe, 1) {
+		t.Errorf("scan 1 reported on customer side")
+	}
+}
+
+// TestFig8Placement asserts the exact placement the paper derives:
+// PartitionSelector(1) with the month predicate directly above
+// DynamicScan(1); PartitionSelector(2) with date_id=id on top of the Select,
+// i.e. on the join's first-executed side, levels away from DynamicScan(2).
+func TestFig8Placement(t *testing.T) {
+	cat, _ := starSchema(t)
+	root, _, _ := fig8Tree(cat)
+	placed := Place(root)
+	if err := Validate(placed); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	out := plan.Explain(placed)
+
+	// Walk: top join's build child must be the inner join's build side
+	// wrapped in PartitionSelector(2, ...).
+	join2 := placed.(*plan.HashJoin)
+	join1, ok := join2.Build.(*plan.HashJoin)
+	if !ok {
+		t.Fatalf("top join build is %T:\n%s", join2.Build, out)
+	}
+	sel2, ok := join1.Build.(*plan.PartitionSelector)
+	if !ok || sel2.PartScanID != 2 {
+		t.Fatalf("selector 2 not on join1 build side:\n%s", out)
+	}
+	if sel2.Preds[0] == nil || !strings.Contains(sel2.Preds[0].String(), "date_id = d.id") {
+		t.Errorf("selector 2 predicate = %v", sel2.Preds[0])
+	}
+	flt, ok := sel2.Child.(*plan.Filter)
+	if !ok {
+		t.Fatalf("selector 2 child is %T, want the month Filter:\n%s", sel2.Child, out)
+	}
+	sel1, ok := flt.Child.(*plan.PartitionSelector)
+	if !ok || sel1.PartScanID != 1 {
+		t.Fatalf("selector 1 not above DynamicScan(1):\n%s", out)
+	}
+	if sel1.Preds[0] == nil || !strings.Contains(sel1.Preds[0].String(), "month") {
+		t.Errorf("selector 1 predicate = %v", sel1.Preds[0])
+	}
+	if _, ok := sel1.Child.(*plan.DynamicScan); !ok {
+		t.Fatalf("selector 1 child is %T, want DynamicScan:\n%s", sel1.Child, out)
+	}
+	// Probe sides untouched.
+	if _, ok := join1.Probe.(*plan.DynamicScan); !ok {
+		t.Errorf("join1 probe should remain a bare DynamicScan")
+	}
+}
+
+// TestFig8Execution runs the placed Fig. 8 plan end to end and checks both
+// the query result and the partition elimination it achieves.
+func TestFig8Execution(t *testing.T) {
+	cat, st := starSchema(t)
+	root, _, _ := fig8Tree(cat)
+	placed := Place(root)
+	rt := &exec.Runtime{Store: st}
+
+	res, err := exec.RunLocal(rt, placed, 0, nil)
+	if err != nil {
+		t.Fatalf("RunLocal: %v\n%s", err, plan.Explain(placed))
+	}
+	// months 10-12 × 3 days × 2 CA customers = 18 rows.
+	if len(res.Rows) != 18 {
+		t.Errorf("rows = %d, want 18", len(res.Rows))
+	}
+	// date_dim: months 10..12 → 3 of 12 partitions.
+	if got := res.Stats.PartsScanned("date_dim"); got != 3 {
+		t.Errorf("date_dim parts = %d, want 3", got)
+	}
+	// sales_fact: date ids 1001..1203 live in partitions [1000,1100),
+	// [1100,1200), [1200,1300) → 3 of 13.
+	if got := res.Stats.PartsScanned("sales_fact"); got != 3 {
+		t.Errorf("sales_fact parts = %d, want 3", got)
+	}
+}
+
+// Without placement knowledge, pushing the selector to the scan's own side
+// yields no elimination. This is the ablation the paper mentions ("another
+// possible placement is to push PartitionSelector 2 on the inner side of
+// the join. However, no partition elimination will be done").
+func TestNaiveInnerSidePlacementScansEverything(t *testing.T) {
+	cat, st := starSchema(t)
+	sf := cat.MustTable("sales_fact")
+	dd := cat.MustTable("date_dim")
+
+	monthPred := expr.Between(col(1, 1, "d.month"), intc(10), intc(12))
+	sel1 := plan.NewPartitionSelector(dd, 1, []expr.Expr{expr.FindPredOnKey(expr.ColID{Rel: 1, Ord: 1}, monthPred)},
+		plan.NewDynamicScan(dd, 1, 1))
+	dimSide := plan.NewFilter(monthPred, sel1)
+
+	// Selector 2 with no predicate directly above its own scan (inner side).
+	sel2 := plan.NewPartitionSelector(sf, 2, nil, plan.NewDynamicScan(sf, 2, 2))
+	join := plan.NewHashJoin(plan.InnerJoin,
+		[]expr.Expr{col(1, 0, "d.id")}, []expr.Expr{col(2, 0, "s.date_id")},
+		nil, dimSide, sel2,
+		expr.NewCmp(expr.EQ, col(2, 0, "s.date_id"), col(1, 0, "d.id")))
+
+	rt := &exec.Runtime{Store: st}
+	res, err := exec.RunLocal(rt, join, 0, nil)
+	if err != nil {
+		t.Fatalf("RunLocal: %v", err)
+	}
+	if len(res.Rows) != 36 { // months 10-12 × 3 days × 4 customers
+		t.Errorf("rows = %d, want 36", len(res.Rows))
+	}
+	if got := res.Stats.PartsScanned("sales_fact"); got != 13 {
+		t.Errorf("naive placement should scan all 13 fact partitions, got %d", got)
+	}
+}
+
+func TestPlacementStaticOnlyAtOwnScan(t *testing.T) {
+	// A filter above the scan referencing another relation's column cannot
+	// be used by a selector sitting directly above its own scan: the
+	// dynamic conjunct must be stripped, the static one kept.
+	cat, _ := starSchema(t)
+	sf := cat.MustTable("sales_fact")
+	cd := cat.MustTable("customer_dim")
+
+	mixed := expr.Conj(
+		expr.NewCmp(expr.LT, col(2, 0, "s.date_id"), intc(500)),      // static
+		expr.NewCmp(expr.EQ, col(2, 0, "s.date_id"), col(3, 0, "c")), // dynamic, c not below
+	)
+	flt := plan.NewFilter(mixed, plan.NewDynamicScan(sf, 2, 2))
+	join := plan.NewHashJoin(plan.InnerJoin,
+		[]expr.Expr{col(3, 0, "c.id")}, []expr.Expr{col(2, 1, "s.cust_id")},
+		nil, plan.NewScan(cd, 3), flt,
+		expr.NewCmp(expr.EQ, col(2, 1, "s.cust_id"), col(3, 0, "c.id")))
+
+	placed := Place(join)
+	if err := Validate(placed); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// The filter pushes both conjuncts into the spec; at the scan, only the
+	// static one must survive on the selector.
+	var sel *plan.PartitionSelector
+	plan.Walk(placed, func(n plan.Node) bool {
+		if s, ok := n.(*plan.PartitionSelector); ok && s.PartScanID == 2 {
+			if _, isScan := s.Child.(*plan.DynamicScan); isScan {
+				sel = s
+			}
+		}
+		return true
+	})
+	if sel == nil {
+		t.Fatalf("no selector directly above DynamicScan(2):\n%s", plan.Explain(placed))
+	}
+	if sel.Preds[0] == nil {
+		t.Fatalf("static conjunct dropped entirely")
+	}
+	ps := sel.Preds[0].String()
+	if !strings.Contains(ps, "< 500") || strings.Contains(ps, "c") && strings.Contains(ps, "= c") {
+		t.Errorf("selector predicate = %q, want only the static conjunct", ps)
+	}
+}
+
+func TestPlacementThroughDefaultOperators(t *testing.T) {
+	// GroupBy (HashAgg) and Project are partition-transparent: the spec
+	// passes through them (Algorithm 2).
+	cat, st := starSchema(t)
+	dd := cat.MustTable("date_dim")
+
+	monthPred := expr.NewCmp(expr.EQ, col(1, 1, "d.month"), intc(7))
+	flt := plan.NewFilter(monthPred, plan.NewDynamicScan(dd, 1, 1))
+	agg := plan.NewHashAgg(
+		[]plan.GroupCol{{E: col(1, 1, "d.month"), Name: "m", Out: expr.ColID{Rel: 9, Ord: 0}}},
+		[]plan.AggSpec{{Kind: plan.AggCount, Name: "n", Out: expr.ColID{Rel: 9, Ord: 1}}},
+		flt)
+	placed := Place(agg)
+	if err := Validate(placed); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Selector must be under the aggregate, above the scan.
+	if _, ok := placed.(*plan.HashAgg); !ok {
+		t.Fatalf("selector should not sit above the aggregate:\n%s", plan.Explain(placed))
+	}
+
+	rt := &exec.Runtime{Store: st}
+	res, err := exec.RunLocal(rt, placed, 0, nil)
+	if err != nil {
+		t.Fatalf("RunLocal: %v", err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][1].Int() != 3 {
+		t.Errorf("agg result = %v, want [(7, 3)]", res.Rows)
+	}
+	if got := res.Stats.PartsScanned("date_dim"); got != 1 {
+		t.Errorf("parts = %d, want 1", got)
+	}
+}
+
+func TestPlacementMultiLevel(t *testing.T) {
+	// 2-level orders table (month range × region list), query constrains
+	// both levels via a filter: the selector must carry both predicates.
+	cat := catalog.New()
+	st := storage.NewStore(1)
+	ords, err := cat.CreateTable("orders",
+		[]catalog.Column{
+			{Name: "month", Kind: types.KindInt},
+			{Name: "region", Kind: types.KindString},
+			{Name: "amount", Kind: types.KindInt},
+		},
+		catalog.Hashed(2),
+		part.RangeLevel(0, part.IntBounds(1, 13, 12)...),
+		part.ListLevel(1, []string{"r1", "r2"},
+			[][]types.Datum{{types.NewString("Region 1")}, {types.NewString("Region 2")}}),
+	)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	st.CreateTable(ords)
+	for m := int64(1); m <= 12; m++ {
+		for _, r := range []string{"Region 1", "Region 2"} {
+			if err := st.Insert(ords, types.Row{types.NewInt(m), types.NewString(r), types.NewInt(m)}); err != nil {
+				t.Fatalf("insert: %v", err)
+			}
+		}
+	}
+
+	pred := expr.Conj(
+		expr.NewCmp(expr.EQ, col(1, 0, "o.month"), intc(4)),
+		expr.NewCmp(expr.EQ, col(1, 1, "o.region"), expr.NewConst(types.NewString("Region 2"))),
+	)
+	tree := plan.NewFilter(pred, plan.NewDynamicScan(ords, 1, 1))
+	placed := Place(tree)
+
+	sel := placed.(*plan.Filter).Child.(*plan.PartitionSelector)
+	if sel.Preds[0] == nil || sel.Preds[1] == nil {
+		t.Fatalf("both levels should carry predicates: %v", sel.Preds)
+	}
+	res, err := exec.RunLocal(&exec.Runtime{Store: st}, placed, 0, nil)
+	if err != nil {
+		t.Fatalf("RunLocal: %v", err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	if got := res.Stats.PartsScanned("orders"); got != 1 {
+		t.Errorf("parts = %d, want 1 of 24", got)
+	}
+}
+
+func TestValidateCatchesMissingSelector(t *testing.T) {
+	cat, _ := starSchema(t)
+	dd := cat.MustTable("date_dim")
+	bare := plan.NewDynamicScan(dd, 1, 1)
+	if err := Validate(bare); err == nil {
+		t.Errorf("bare DynamicScan should fail validation")
+	}
+}
+
+func TestPlaceIsIdempotentOnSelectorFreePlainScans(t *testing.T) {
+	cat, _ := starSchema(t)
+	cd := cat.MustTable("customer_dim")
+	tree := plan.NewFilter(
+		expr.NewCmp(expr.EQ, col(3, 1, "state"), expr.NewConst(types.NewString("CA"))),
+		plan.NewScan(cd, 3))
+	placed := Place(tree)
+	if plan.CountNodes(placed) != 2 {
+		t.Errorf("plan without partitioned tables should be unchanged:\n%s", plan.Explain(placed))
+	}
+}

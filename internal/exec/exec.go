@@ -1,0 +1,222 @@
+// Package exec is the MPP execution engine: a Volcano-style interpreter
+// that runs physical plans on a simulated shared-nothing cluster. Plans are
+// cut into slices at Motion boundaries; every (slice × segment) pair runs
+// as its own goroutine — the analogue of GPDB's per-slice segment
+// processes — and Motions move rows between them over channels.
+//
+// PartitionSelector and DynamicScan communicate through a per-process OID
+// mailbox (the paper's shared-memory channel, §2.2/§3). Because mailboxes
+// are scoped to one slice instance, a plan that puts a Motion between a
+// selector and its scan fails at run time — the executor enforces the
+// paper's §3.1 process-colocation constraint rather than papering over it.
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"partopt/internal/part"
+	"partopt/internal/storage"
+	"partopt/internal/types"
+)
+
+// Runtime binds the executor to a cluster's storage.
+type Runtime struct {
+	Store *storage.Store
+}
+
+// Segments returns the cluster width.
+func (rt *Runtime) Segments() int { return rt.Store.Segments() }
+
+// Params carries run-time bindings: prepared-statement parameter values and
+// the OID-set parameters used by the legacy planner's dynamic elimination.
+type Params struct {
+	Vals    []types.Datum
+	OIDSets map[int]map[part.OID]bool
+}
+
+// Stats accumulates execution counters. Partition-scan accounting drives
+// the paper's Table 3 and Figure 16 reproductions.
+type Stats struct {
+	mu           sync.Mutex
+	partsScanned map[string]map[part.OID]bool
+	rowsScanned  int64
+	rowsMoved    int64
+}
+
+// NewStats returns an empty counter set.
+func NewStats() *Stats {
+	return &Stats{partsScanned: map[string]map[part.OID]bool{}}
+}
+
+func (s *Stats) notePartScanned(table string, leaf part.OID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.partsScanned[table]
+	if m == nil {
+		m = map[part.OID]bool{}
+		s.partsScanned[table] = m
+	}
+	m[leaf] = true
+}
+
+func (s *Stats) noteRowsScanned(n int64) {
+	s.mu.Lock()
+	s.rowsScanned += n
+	s.mu.Unlock()
+}
+
+func (s *Stats) noteRowsMoved(n int64) {
+	s.mu.Lock()
+	s.rowsMoved += n
+	s.mu.Unlock()
+}
+
+// PartsScanned returns the number of distinct leaf partitions of the named
+// table that were actually opened (union over all segments).
+func (s *Stats) PartsScanned(table string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.partsScanned[table])
+}
+
+// TablesScanned lists the tables that had any partition scanned.
+func (s *Stats) TablesScanned() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.partsScanned))
+	for t := range s.partsScanned {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RowsScanned returns the total rows read from storage.
+func (s *Stats) RowsScanned() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rowsScanned
+}
+
+// RowsMoved returns the total rows transferred through Motions.
+func (s *Stats) RowsMoved() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rowsMoved
+}
+
+// oidBox is the shared-memory mailbox between PartitionSelectors
+// (producers) and their DynamicScan (consumer) within one process. A scan
+// may have several selectors — e.g. a join-driven one on the build side
+// and a static one directly above the scan — whose selections intersect:
+// a partition is read only if every producer selected it.
+type oidBox struct {
+	sets   []map[part.OID]bool
+	sealed []bool
+}
+
+// Ctx is the per-(slice × segment) execution context — the state of one
+// simulated segment process.
+type Ctx struct {
+	Rt     *Runtime
+	Seg    int // executing segment; CoordinatorSeg on the coordinator
+	Params *Params
+	Stats  *Stats
+	boxes  map[int]*oidBox
+	quit   <-chan struct{}
+}
+
+// CoordinatorSeg is the pseudo-segment id of the coordinator process.
+const CoordinatorSeg = -1
+
+func newCtx(rt *Runtime, seg int, params *Params, stats *Stats, quit <-chan struct{}) *Ctx {
+	if params == nil {
+		params = &Params{}
+	}
+	return &Ctx{Rt: rt, Seg: seg, Params: params, Stats: stats, boxes: map[int]*oidBox{}, quit: quit}
+}
+
+// box returns (creating on demand) the mailbox for a partScanId.
+func (c *Ctx) box(partScanID int) *oidBox {
+	b, ok := c.boxes[partScanID]
+	if !ok {
+		b = &oidBox{}
+		c.boxes[partScanID] = b
+	}
+	return b
+}
+
+// registerSelector adds a producer to the mailbox and returns its handle.
+// Every selector registers at Open, before its DynamicScan can open (the
+// executor's operator ordering guarantees it within one process).
+func (c *Ctx) registerSelector(partScanID int) int {
+	b := c.box(partScanID)
+	b.sets = append(b.sets, map[part.OID]bool{})
+	b.sealed = append(b.sealed, false)
+	return len(b.sets) - 1
+}
+
+// pushOIDs implements the builtin partition_propagation (paper Table 1):
+// the selector pushes OIDs to the DynamicScan with the given id.
+func (c *Ctx) pushOIDs(partScanID, handle int, oids []part.OID) {
+	b := c.box(partScanID)
+	if b.sealed[handle] {
+		panic(fmt.Sprintf("exec: partition_propagation after completion for partScanId %d", partScanID))
+	}
+	for _, o := range oids {
+		b.sets[handle][o] = true
+	}
+}
+
+// sealOIDs marks one producer complete; the DynamicScan may start once
+// every producer sealed.
+func (c *Ctx) sealOIDs(partScanID, handle int) { c.box(partScanID).sealed[handle] = true }
+
+// selectedOIDs returns the intersection of all producers' selections in a
+// stable order, or an error when no selector completed in this process.
+func (c *Ctx) selectedOIDs(partScanID int) ([]part.OID, error) {
+	b, ok := c.boxes[partScanID]
+	if !ok || len(b.sets) == 0 {
+		return nil, fmt.Errorf("exec: DynamicScan(%d) has no completed PartitionSelector in its process — a Motion separates the pair (paper §3.1 constraint violated)", partScanID)
+	}
+	for _, sealed := range b.sealed {
+		if !sealed {
+			return nil, fmt.Errorf("exec: DynamicScan(%d) opened before its PartitionSelector completed", partScanID)
+		}
+	}
+	var out []part.OID
+	for o := range b.sets[0] {
+		inAll := true
+		for _, set := range b.sets[1:] {
+			if !set[o] {
+				inAll = false
+				break
+			}
+		}
+		if inAll {
+			out = append(out, o)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// EncodeRowID packs a storage RowID into an int64 datum (the ctid
+// pseudo-column value). Segments, leaves and heap indexes each get a
+// bounded field; the simulation never approaches the limits.
+func EncodeRowID(id storage.RowID) types.Datum {
+	v := int64(id.Seg)<<48 | int64(id.Leaf)<<24 | int64(id.Idx)
+	return types.NewInt(v)
+}
+
+// DecodeRowID unpacks an EncodeRowID datum.
+func DecodeRowID(d types.Datum) storage.RowID {
+	v := d.Int()
+	return storage.RowID{
+		Seg:  int(v >> 48),
+		Leaf: part.OID((v >> 24) & 0xFFFFFF),
+		Idx:  int(v & 0xFFFFFF),
+	}
+}

@@ -1,0 +1,159 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"partopt/internal/catalog"
+	"partopt/internal/expr"
+	"partopt/internal/plan"
+	"partopt/internal/storage"
+	"partopt/internal/types"
+)
+
+// Failure injection: errors raised inside segment goroutines must
+// propagate to the caller, terminate every slice, and leak nothing.
+
+// failFixture builds a 4-segment cluster with one plain table.
+func failFixture(t *testing.T) (*Runtime, *catalog.Table) {
+	t.Helper()
+	cat := catalog.New()
+	st := storage.NewStore(4)
+	tab, err := cat.CreateTable("t",
+		[]catalog.Column{{Name: "a", Kind: types.KindInt}, {Name: "b", Kind: types.KindInt}},
+		catalog.Hashed(0))
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	st.CreateTable(tab)
+	for i := int64(0); i < 400; i++ {
+		if err := st.Insert(tab, types.Row{types.NewInt(i), types.NewInt(i % 7)}); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	return &Runtime{Store: st}, tab
+}
+
+func TestSegmentErrorPropagates(t *testing.T) {
+	rt, tab := failFixture(t)
+	// A filter referencing an unknown column errors during evaluation on
+	// every segment; Run must surface it, not hang.
+	badPred := expr.NewCmp(expr.EQ, expr.NewCol(expr.ColID{Rel: 9, Ord: 9}, "ghost"), expr.NewConst(types.NewInt(1)))
+	p := plan.NewMotion(plan.GatherMotion, nil, plan.NewFilter(badPred, plan.NewScan(tab, 1)))
+	_, err := Run(rt, p, nil)
+	if err == nil || !strings.Contains(err.Error(), "not in layout") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestErrorBelowMotionPropagates(t *testing.T) {
+	rt, tab := failFixture(t)
+	// The failing filter is below a broadcast, two slices away from the
+	// coordinator.
+	badPred := expr.NewCmp(expr.EQ, expr.NewCol(expr.ColID{Rel: 9, Ord: 9}, "ghost"), expr.NewConst(types.NewInt(1)))
+	inner := plan.NewMotion(plan.BroadcastMotion, nil, plan.NewFilter(badPred, plan.NewScan(tab, 1)))
+	join := plan.NewHashJoin(plan.InnerJoin,
+		[]expr.Expr{expr.NewCol(expr.ColID{Rel: 1, Ord: 1}, "b")},
+		[]expr.Expr{expr.NewCol(expr.ColID{Rel: 2, Ord: 1}, "b")},
+		nil, inner, plan.NewScan(tab, 2), nil)
+	p := plan.NewMotion(plan.GatherMotion, nil, join)
+	_, err := Run(rt, p, nil)
+	if err == nil {
+		t.Fatalf("nested error swallowed")
+	}
+}
+
+func TestDivisionByZeroMidQuery(t *testing.T) {
+	rt, tab := failFixture(t)
+	div := &expr.Arith{Op: expr.Div,
+		L: expr.NewConst(types.NewInt(1)),
+		R: expr.NewCol(expr.ColID{Rel: 1, Ord: 1}, "b")} // b=0 for some rows
+	proj := plan.NewProject([]plan.ProjCol{{E: div, Out: expr.ColID{Rel: 5, Ord: 0}}}, plan.NewScan(tab, 1))
+	p := plan.NewMotion(plan.GatherMotion, nil, proj)
+	_, err := Run(rt, p, nil)
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRepeatedRunsAfterErrorStayHealthy(t *testing.T) {
+	rt, tab := failFixture(t)
+	bad := plan.NewMotion(plan.GatherMotion, nil,
+		plan.NewFilter(expr.NewCmp(expr.EQ, expr.NewCol(expr.ColID{Rel: 8, Ord: 8}, "x"), expr.NewConst(types.NewInt(1))),
+			plan.NewScan(tab, 1)))
+	good := plan.NewMotion(plan.GatherMotion, nil, plan.NewScan(tab, 1))
+	for i := 0; i < 10; i++ {
+		if _, err := Run(rt, bad, nil); err == nil {
+			t.Fatalf("iteration %d: bad plan succeeded", i)
+		}
+		res, err := Run(rt, good, nil)
+		if err != nil {
+			t.Fatalf("iteration %d: good plan failed: %v", i, err)
+		}
+		if len(res.Rows) != 400 {
+			t.Fatalf("iteration %d: rows = %d", i, len(res.Rows))
+		}
+	}
+}
+
+func TestUpdateErrorRollsUpCleanly(t *testing.T) {
+	rt, tab := failFixture(t)
+	// Update with a SET expression that divides by zero for some row.
+	scan := plan.NewScan(tab, 1)
+	scan.WithRowID = true
+	upd := plan.NewUpdate(tab, 1, []plan.SetClause{{
+		Ord: 1,
+		Value: &expr.Arith{Op: expr.Div,
+			L: expr.NewConst(types.NewInt(10)),
+			R: expr.NewCol(expr.ColID{Rel: 1, Ord: 1}, "b")},
+	}}, scan)
+	p := plan.NewMotion(plan.GatherMotion, nil, upd)
+	if _, err := Run(rt, p, nil); err == nil {
+		t.Fatalf("update with failing SET should error")
+	}
+}
+
+func TestGatherFromSegmentWithUpstreamBroadcast(t *testing.T) {
+	// Regression for the deadlock where the skipped members of a
+	// from-one-segment gather never drained the broadcasts feeding them.
+	rt, tab := failFixture(t)
+	bcast := plan.NewMotion(plan.BroadcastMotion, nil, plan.NewScan(tab, 1))
+	join := plan.NewHashJoin(plan.InnerJoin,
+		[]expr.Expr{expr.NewCol(expr.ColID{Rel: 1, Ord: 1}, "b")},
+		[]expr.Expr{expr.NewCol(expr.ColID{Rel: 2, Ord: 1}, "b")},
+		nil, bcast, plan.NewScan(tab, 2), nil)
+	g := plan.NewMotion(plan.GatherMotion, nil, join)
+	g.FromSegment = 2 // join result is not replicated, but the drain path must still work
+	res, err := Run(rt, g, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Only segment 2's join output arrives — a strict subset.
+	if len(res.Rows) == 0 {
+		t.Fatalf("no rows gathered from segment 2")
+	}
+}
+
+func TestConcurrentIndependentQueries(t *testing.T) {
+	rt, tab := failFixture(t)
+	p := func() plan.Node {
+		return plan.NewMotion(plan.GatherMotion, nil,
+			plan.NewFilter(expr.NewCmp(expr.LT, expr.NewCol(expr.ColID{Rel: 1, Ord: 0}, "a"), expr.NewConst(types.NewInt(100))),
+				plan.NewScan(tab, 1)))
+	}
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			res, err := Run(rt, p(), nil)
+			if err == nil && len(res.Rows) != 100 {
+				err = errEOF
+			}
+			done <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("concurrent run %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package exec
+
+import (
+	"fmt"
+
+	"partopt/internal/expr"
+	"partopt/internal/part"
+	"partopt/internal/plan"
+	"partopt/internal/storage"
+	"partopt/internal/types"
+)
+
+// indexScanOp reads one heap through a secondary index: the predicate's
+// interval set is derived at Open (so prepared-statement parameters bind
+// correctly), then looked up with binary search per selected heap.
+type indexScanOp struct {
+	n    *plan.IndexScan
+	rows []types.Row
+	ids  []storage.RowID
+	pos  int
+}
+
+// deriveIndexSet turns the scan predicate into the indexed column's
+// interval set.
+func deriveIndexSet(ctx *Ctx, rel, colOrd int, pred expr.Expr) types.IntervalSet {
+	key := expr.ColID{Rel: rel, Ord: colOrd}
+	return expr.DeriveIntervals(pred, key, expr.ConstEval(ctx.Params.Vals))
+}
+
+func (s *indexScanOp) Open(ctx *Ctx) error {
+	if ctx.Seg == CoordinatorSeg {
+		return fmt.Errorf("exec: IndexScan of %s cannot run on the coordinator", s.n.Table.Name)
+	}
+	set := deriveIndexSet(ctx, s.n.Rel, s.n.Index.ColOrd, s.n.Pred)
+	rows, ids, err := ctx.Rt.Store.IndexLookup(s.n.Table, s.n.Index.Name, ctx.Seg, s.n.Leaf, set)
+	if err != nil {
+		return err
+	}
+	s.rows, s.ids, s.pos = rows, ids, 0
+	if ctx.Stats != nil {
+		ctx.Stats.notePartScanned(s.n.Table.Name, s.n.Leaf)
+		ctx.Stats.noteRowsScanned(int64(len(rows)))
+	}
+	return nil
+}
+
+func (s *indexScanOp) Next(*Ctx) (types.Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, errEOF
+	}
+	row := s.rows[s.pos]
+	if s.n.WithRowID {
+		withID := make(types.Row, len(row)+1)
+		copy(withID, row)
+		withID[len(row)] = EncodeRowID(s.ids[s.pos])
+		row = withID
+	}
+	s.pos++
+	return row, nil
+}
+
+func (s *indexScanOp) Close(*Ctx) error { s.rows = nil; return nil }
+
+// dynIndexScanOp is the partitioned variant: partition selection chooses
+// the leaves, the index narrows each leaf to the qualifying rows.
+type dynIndexScanOp struct {
+	n      *plan.DynamicIndexScan
+	set    types.IntervalSet
+	leaves []part.OID
+	li     int
+	rows   []types.Row
+	ids    []storage.RowID
+	pos    int
+}
+
+func (s *dynIndexScanOp) Open(ctx *Ctx) error {
+	if ctx.Seg == CoordinatorSeg {
+		return fmt.Errorf("exec: DynamicIndexScan of %s cannot run on the coordinator", s.n.Table.Name)
+	}
+	leaves, err := ctx.selectedOIDs(s.n.PartScanID)
+	if err != nil {
+		return err
+	}
+	s.leaves, s.li = leaves, 0
+	s.rows, s.pos = nil, 0
+	s.set = deriveIndexSet(ctx, s.n.Rel, s.n.Index.ColOrd, s.n.Pred)
+	if ctx.Stats != nil {
+		for _, leaf := range leaves {
+			ctx.Stats.notePartScanned(s.n.Table.Name, leaf)
+		}
+	}
+	return nil
+}
+
+func (s *dynIndexScanOp) Next(ctx *Ctx) (types.Row, error) {
+	for s.pos >= len(s.rows) {
+		if s.li >= len(s.leaves) {
+			return nil, errEOF
+		}
+		leaf := s.leaves[s.li]
+		s.li++
+		rows, ids, err := ctx.Rt.Store.IndexLookup(s.n.Table, s.n.Index.Name, ctx.Seg, leaf, s.set)
+		if err != nil {
+			return nil, err
+		}
+		if ctx.Stats != nil {
+			ctx.Stats.noteRowsScanned(int64(len(rows)))
+		}
+		s.rows, s.ids, s.pos = rows, ids, 0
+	}
+	row := s.rows[s.pos]
+	if s.n.WithRowID {
+		withID := make(types.Row, len(row)+1)
+		copy(withID, row)
+		withID[len(row)] = EncodeRowID(s.ids[s.pos])
+		row = withID
+	}
+	s.pos++
+	return row, nil
+}
+
+func (s *dynIndexScanOp) Close(*Ctx) error { s.rows, s.leaves = nil, nil; return nil }

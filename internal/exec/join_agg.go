@@ -1,0 +1,363 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+
+	"partopt/internal/expr"
+	"partopt/internal/plan"
+	"partopt/internal/types"
+)
+
+// ---------------------------------------------------------------- hash join
+
+// hashJoinOp drains the build child (child 0 — the "outer" in the paper's
+// execution-order sense) into a hash table, then streams the probe child.
+// Inner joins emit buildRow ++ probeRow; semi joins emit each probe row at
+// most once.
+type hashJoinOp struct {
+	n     *plan.HashJoin
+	build Operator
+	probe Operator
+
+	buildLayout expr.Layout
+	probeLayout expr.Layout
+	outLayout   expr.Layout
+
+	table map[uint64][]types.Row // hash(build keys) → build rows
+
+	// Streaming state: pending matches for the current probe row.
+	curProbe types.Row
+	matches  []types.Row
+	mi       int
+}
+
+func (j *hashJoinOp) Open(ctx *Ctx) error {
+	j.buildLayout = j.n.Build.Layout()
+	j.probeLayout = j.n.Probe.Layout()
+	j.outLayout = j.n.Layout()
+	j.table = map[uint64][]types.Row{}
+	j.curProbe, j.matches, j.mi = nil, nil, 0
+
+	if err := j.build.Open(ctx); err != nil {
+		return err
+	}
+	for {
+		row, err := j.build.Next(ctx)
+		if errors.Is(err, errEOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		h, null, err := j.keyHash(j.n.BuildKeys, j.buildLayout, row, ctx)
+		if err != nil {
+			return err
+		}
+		if null {
+			continue // NULL keys never join
+		}
+		j.table[h] = append(j.table[h], row)
+	}
+	if err := j.build.Close(ctx); err != nil {
+		return err
+	}
+	return j.probe.Open(ctx)
+}
+
+func (j *hashJoinOp) keyHash(keys []expr.Expr, layout expr.Layout, row types.Row, ctx *Ctx) (uint64, bool, error) {
+	env := &expr.Env{Layout: layout, Row: row, Params: ctx.Params.Vals}
+	h := types.HashSeed
+	for _, k := range keys {
+		v, err := expr.Eval(k, env)
+		if err != nil {
+			return 0, false, err
+		}
+		if v.IsNull() {
+			return 0, true, nil
+		}
+		h = types.HashDatum(h, v)
+	}
+	return h, false, nil
+}
+
+// keysEqual verifies a hash match against actual key values.
+func (j *hashJoinOp) keysEqual(buildRow, probeRow types.Row, ctx *Ctx) (bool, error) {
+	benv := &expr.Env{Layout: j.buildLayout, Row: buildRow, Params: ctx.Params.Vals}
+	penv := &expr.Env{Layout: j.probeLayout, Row: probeRow, Params: ctx.Params.Vals}
+	for i := range j.n.BuildKeys {
+		bv, err := expr.Eval(j.n.BuildKeys[i], benv)
+		if err != nil {
+			return false, err
+		}
+		pv, err := expr.Eval(j.n.ProbeKeys[i], penv)
+		if err != nil {
+			return false, err
+		}
+		if bv.IsNull() || pv.IsNull() || !types.Equal(bv, pv) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func (j *hashJoinOp) concat(buildRow, probeRow types.Row) types.Row {
+	out := make(types.Row, 0, len(buildRow)+len(probeRow))
+	out = append(out, buildRow...)
+	out = append(out, probeRow...)
+	return out
+}
+
+func (j *hashJoinOp) residualOK(joined types.Row, ctx *Ctx) (bool, error) {
+	if j.n.Residual == nil {
+		return true, nil
+	}
+	return expr.EvalPred(j.n.Residual, &expr.Env{Layout: j.outer(), Row: joined, Params: ctx.Params.Vals})
+}
+
+// outer returns the layout of the concatenated build++probe row, which is
+// what residual predicates see regardless of join type.
+func (j *hashJoinOp) outer() expr.Layout {
+	return expr.Concat(j.buildLayout, j.probeLayout)
+}
+
+func (j *hashJoinOp) Next(ctx *Ctx) (types.Row, error) {
+	for {
+		// Emit pending matches of the current probe row.
+		for j.mi < len(j.matches) {
+			b := j.matches[j.mi]
+			j.mi++
+			joined := j.concat(b, j.curProbe)
+			ok, err := j.residualOK(joined, ctx)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			if j.n.Type == plan.SemiJoin {
+				// One successful witness suffices; skip remaining matches.
+				j.matches, j.mi = nil, 0
+				return j.curProbe, nil
+			}
+			return joined, nil
+		}
+		// Fetch the next probe row.
+		probe, err := j.probe.Next(ctx)
+		if err != nil {
+			return nil, err // includes EOF
+		}
+		h, null, err := j.keyHash(j.n.ProbeKeys, j.probeLayout, probe, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if null {
+			continue
+		}
+		var matches []types.Row
+		for _, b := range j.table[h] {
+			eq, err := j.keysEqual(b, probe, ctx)
+			if err != nil {
+				return nil, err
+			}
+			if eq {
+				matches = append(matches, b)
+			}
+		}
+		j.curProbe, j.matches, j.mi = probe, matches, 0
+	}
+}
+
+func (j *hashJoinOp) Close(ctx *Ctx) error {
+	j.table = nil
+	return j.probe.Close(ctx)
+}
+
+// ---------------------------------------------------------------- hash agg
+
+type aggState struct {
+	groupVals types.Row
+	count     []int64   // per agg: row count (non-null arg count for COUNT(x))
+	sum       []float64 // per agg: running sum (SUM/AVG)
+	sumIsInt  []bool
+	isum      []int64
+	minmax    []types.Datum
+	seen      []bool
+}
+
+// hashAggOp groups its input and computes aggregate functions. With no
+// grouping columns it emits exactly one row.
+type hashAggOp struct {
+	n      *plan.HashAgg
+	child  Operator
+	layout expr.Layout
+
+	groups map[uint64][]*aggState
+	order  []*aggState // emission order (insertion order)
+	pos    int
+	done   bool
+}
+
+func (a *hashAggOp) Open(ctx *Ctx) error {
+	a.layout = a.n.Child.Layout()
+	a.groups = map[uint64][]*aggState{}
+	a.order = nil
+	a.pos = 0
+	a.done = false
+
+	if err := a.child.Open(ctx); err != nil {
+		return err
+	}
+	for {
+		row, err := a.child.Next(ctx)
+		if errors.Is(err, errEOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := a.accumulate(row, ctx); err != nil {
+			return err
+		}
+	}
+	if err := a.child.Close(ctx); err != nil {
+		return err
+	}
+	// Scalar aggregation over empty input still yields one row.
+	if len(a.n.Groups) == 0 && len(a.order) == 0 {
+		a.order = append(a.order, a.newState(nil))
+	}
+	return nil
+}
+
+func (a *hashAggOp) newState(groupVals types.Row) *aggState {
+	n := len(a.n.Aggs)
+	return &aggState{
+		groupVals: groupVals,
+		count:     make([]int64, n),
+		sum:       make([]float64, n),
+		sumIsInt:  make([]bool, n),
+		isum:      make([]int64, n),
+		minmax:    make([]types.Datum, n),
+		seen:      make([]bool, n),
+	}
+}
+
+func (a *hashAggOp) accumulate(row types.Row, ctx *Ctx) error {
+	env := &expr.Env{Layout: a.layout, Row: row, Params: ctx.Params.Vals}
+	groupVals := make(types.Row, len(a.n.Groups))
+	h := types.HashSeed
+	for i, g := range a.n.Groups {
+		v, err := expr.Eval(g.E, env)
+		if err != nil {
+			return err
+		}
+		groupVals[i] = v
+		h = types.HashDatum(h, v)
+	}
+	var st *aggState
+	for _, cand := range a.groups[h] {
+		same := true
+		for i := range groupVals {
+			if types.Compare(cand.groupVals[i], groupVals[i]) != 0 {
+				same = false
+				break
+			}
+		}
+		if same {
+			st = cand
+			break
+		}
+	}
+	if st == nil {
+		st = a.newState(groupVals)
+		a.groups[h] = append(a.groups[h], st)
+		a.order = append(a.order, st)
+	}
+	for i, agg := range a.n.Aggs {
+		if agg.Arg == nil { // COUNT(*)
+			st.count[i]++
+			continue
+		}
+		v, err := expr.Eval(agg.Arg, env)
+		if err != nil {
+			return err
+		}
+		if v.IsNull() {
+			continue
+		}
+		st.count[i]++
+		switch agg.Kind {
+		case plan.AggSum, plan.AggAvg:
+			if v.Kind() == types.KindInt && (!st.seen[i] || st.sumIsInt[i]) {
+				st.sumIsInt[i] = true
+				st.isum[i] += v.Int()
+			} else {
+				if st.sumIsInt[i] {
+					st.sum[i] = float64(st.isum[i])
+					st.sumIsInt[i] = false
+				}
+				st.sum[i] += v.Float()
+			}
+		case plan.AggMin:
+			if !st.seen[i] || types.Compare(v, st.minmax[i]) < 0 {
+				st.minmax[i] = v
+			}
+		case plan.AggMax:
+			if !st.seen[i] || types.Compare(v, st.minmax[i]) > 0 {
+				st.minmax[i] = v
+			}
+		}
+		st.seen[i] = true
+	}
+	return nil
+}
+
+func (a *hashAggOp) Next(ctx *Ctx) (types.Row, error) {
+	if a.pos >= len(a.order) {
+		return nil, errEOF
+	}
+	st := a.order[a.pos]
+	a.pos++
+	out := make(types.Row, len(a.n.Groups)+len(a.n.Aggs))
+	copy(out, st.groupVals)
+	for i, agg := range a.n.Aggs {
+		out[len(a.n.Groups)+i] = a.finalize(agg, st, i)
+	}
+	return out, nil
+}
+
+func (a *hashAggOp) finalize(agg plan.AggSpec, st *aggState, i int) types.Datum {
+	switch agg.Kind {
+	case plan.AggCount:
+		return types.NewInt(st.count[i])
+	case plan.AggSum:
+		if st.count[i] == 0 {
+			return types.Null
+		}
+		if st.sumIsInt[i] {
+			return types.NewInt(st.isum[i])
+		}
+		return types.NewFloat(st.sum[i])
+	case plan.AggAvg:
+		if st.count[i] == 0 {
+			return types.Null
+		}
+		total := st.sum[i]
+		if st.sumIsInt[i] {
+			total = float64(st.isum[i])
+		}
+		return types.NewFloat(total / float64(st.count[i]))
+	case plan.AggMin, plan.AggMax:
+		if !st.seen[i] {
+			return types.Null
+		}
+		return st.minmax[i]
+	}
+	panic(fmt.Sprintf("exec: unknown aggregate kind %d", agg.Kind))
+}
+
+func (a *hashAggOp) Close(*Ctx) error {
+	a.groups, a.order = nil, nil
+	return nil
+}

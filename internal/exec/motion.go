@@ -1,0 +1,132 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"partopt/internal/expr"
+	"partopt/internal/plan"
+	"partopt/internal/types"
+)
+
+// Motions are slice boundaries. Each Motion in a plan gets one exchange: a
+// set of per-receiver channels that all sender instances write into. The
+// sending side is driven by the child slice's goroutines (one per segment);
+// the receiving side appears as a motionRecvOp leaf in the parent slice.
+
+const motionBuffer = 256
+
+// exchange wires the sender instances of one Motion to its receivers.
+type exchange struct {
+	kind     plan.MotionKind
+	hashKeys []expr.Expr
+	layout   expr.Layout // child row layout (for hashing)
+	fromSeg  int         // -1: all segments send; ≥0: only that segment
+
+	recvSegs []int                  // receiver pseudo-segments
+	chans    map[int]chan types.Row // receiver seg → fan-in channel
+	senders  sync.WaitGroup
+	closed   sync.Once
+}
+
+func newExchange(m *plan.Motion, recvSegs []int, senderCount int) *exchange {
+	ex := &exchange{
+		kind:     m.Kind,
+		hashKeys: m.HashKeys,
+		layout:   m.Child.Layout(),
+		fromSeg:  m.FromSegment,
+		recvSegs: recvSegs,
+		chans:    map[int]chan types.Row{},
+	}
+	for _, seg := range recvSegs {
+		ex.chans[seg] = make(chan types.Row, motionBuffer)
+	}
+	ex.senders.Add(senderCount)
+	go func() {
+		ex.senders.Wait()
+		ex.closeAll()
+	}()
+	return ex
+}
+
+func (ex *exchange) closeAll() {
+	ex.closed.Do(func() {
+		for _, ch := range ex.chans {
+			close(ch)
+		}
+	})
+}
+
+// send routes one row from a sender instance. It aborts when quit closes.
+func (ex *exchange) send(ctx *Ctx, row types.Row) error {
+	switch ex.kind {
+	case plan.GatherMotion:
+		return ex.sendTo(ctx, ex.recvSegs[0], row)
+	case plan.BroadcastMotion:
+		for _, seg := range ex.recvSegs {
+			if err := ex.sendTo(ctx, seg, row); err != nil {
+				return err
+			}
+		}
+		return nil
+	case plan.RedistributeMotion:
+		env := &expr.Env{Layout: ex.layout, Row: row, Params: ctx.Params.Vals}
+		h := types.HashSeed
+		for _, k := range ex.hashKeys {
+			v, err := expr.Eval(k, env)
+			if err != nil {
+				return err
+			}
+			h = types.HashDatum(h, v)
+		}
+		seg := ex.recvSegs[int(h%uint64(len(ex.recvSegs)))]
+		return ex.sendTo(ctx, seg, row)
+	}
+	return fmt.Errorf("exec: unknown motion kind %d", ex.kind)
+}
+
+func (ex *exchange) sendTo(ctx *Ctx, seg int, row types.Row) error {
+	select {
+	case ex.chans[seg] <- row:
+		if ctx.Stats != nil {
+			ctx.Stats.noteRowsMoved(1)
+		}
+		return nil
+	case <-ctx.quit:
+		return errQueryAborted
+	}
+}
+
+// senderDone signals this sender instance finished (EOF or error); when all
+// senders are done the receiver channels close.
+func (ex *exchange) senderDone() { ex.senders.Done() }
+
+var errQueryAborted = errors.New("exec: query aborted")
+
+// motionRecvOp is the receiving half of a Motion: a leaf operator in the
+// parent slice that drains this instance's fan-in channel.
+type motionRecvOp struct {
+	ex *exchange
+}
+
+func (r *motionRecvOp) Open(ctx *Ctx) error {
+	if _, ok := r.ex.chans[ctx.Seg]; !ok {
+		return fmt.Errorf("exec: motion has no channel for segment %d", ctx.Seg)
+	}
+	return nil
+}
+
+func (r *motionRecvOp) Next(ctx *Ctx) (types.Row, error) {
+	select {
+	case row, ok := <-r.ex.chans[ctx.Seg]:
+		if !ok {
+			return nil, errEOF
+		}
+		return row, nil
+	case <-ctx.quit:
+		return nil, errQueryAborted
+	}
+}
+
+func (r *motionRecvOp) Close(*Ctx) error { return nil }

@@ -1,0 +1,421 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"partopt/internal/expr"
+	"partopt/internal/part"
+	"partopt/internal/plan"
+	"partopt/internal/storage"
+	"partopt/internal/types"
+)
+
+// Operator is the Volcano iterator interface. Next returns io.EOF after the
+// last row.
+type Operator interface {
+	Open(ctx *Ctx) error
+	Next(ctx *Ctx) (types.Row, error)
+	Close(ctx *Ctx) error
+}
+
+// errEOF is the canonical end-of-stream sentinel.
+var errEOF = io.EOF
+
+// ---------------------------------------------------------------- scan
+
+// scanOp reads one heap (one leaf partition, or an unpartitioned table) on
+// the executing segment.
+type scanOp struct {
+	n    *plan.Scan
+	rows []types.Row
+	pos  int
+}
+
+func (s *scanOp) Open(ctx *Ctx) error {
+	if ctx.Seg == CoordinatorSeg {
+		return fmt.Errorf("exec: Scan of %s cannot run on the coordinator", s.n.Table.Name)
+	}
+	rows, err := ctx.Rt.Store.ScanLeaf(s.n.Table.OID, ctx.Seg, s.n.Leaf)
+	if err != nil {
+		return err
+	}
+	s.rows, s.pos = rows, 0
+	if ctx.Stats != nil {
+		ctx.Stats.notePartScanned(s.n.Table.Name, s.n.Leaf)
+		ctx.Stats.noteRowsScanned(int64(len(rows)))
+	}
+	return nil
+}
+
+func (s *scanOp) Next(ctx *Ctx) (types.Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, errEOF
+	}
+	row := s.rows[s.pos]
+	if s.n.WithRowID {
+		withID := make(types.Row, len(row)+1)
+		copy(withID, row)
+		withID[len(row)] = EncodeRowID(storage.RowID{Seg: ctx.Seg, Leaf: s.n.Leaf, Idx: s.pos})
+		row = withID
+	}
+	s.pos++
+	return row, nil
+}
+
+func (s *scanOp) Close(*Ctx) error { s.rows = nil; return nil }
+
+// ---------------------------------------------------------------- dynamic scan
+
+// dynScanOp scans exactly the partitions its PartitionSelector produced.
+type dynScanOp struct {
+	n       *plan.DynamicScan
+	leaves  []part.OID
+	li      int // next leaf to load
+	curLeaf part.OID
+	rows    []types.Row
+	pos     int
+}
+
+func (s *dynScanOp) Open(ctx *Ctx) error {
+	if ctx.Seg == CoordinatorSeg {
+		return fmt.Errorf("exec: DynamicScan of %s cannot run on the coordinator", s.n.Table.Name)
+	}
+	leaves, err := ctx.selectedOIDs(s.n.PartScanID)
+	if err != nil {
+		return err
+	}
+	s.leaves, s.li = leaves, 0
+	s.rows, s.pos = nil, 0
+	if ctx.Stats != nil {
+		// Every selected partition will be read; account for it here so
+		// partition-scan counts match the selector's decision even when a
+		// parent stops pulling early.
+		for _, leaf := range leaves {
+			ctx.Stats.notePartScanned(s.n.Table.Name, leaf)
+		}
+	}
+	return nil
+}
+
+func (s *dynScanOp) Next(ctx *Ctx) (types.Row, error) {
+	for s.pos >= len(s.rows) {
+		if s.li >= len(s.leaves) {
+			return nil, errEOF
+		}
+		s.curLeaf = s.leaves[s.li]
+		s.li++
+		rows, err := ctx.Rt.Store.ScanLeaf(s.n.Table.OID, ctx.Seg, s.curLeaf)
+		if err != nil {
+			return nil, err
+		}
+		if ctx.Stats != nil {
+			ctx.Stats.noteRowsScanned(int64(len(rows)))
+		}
+		s.rows, s.pos = rows, 0
+	}
+	row := s.rows[s.pos]
+	if s.n.WithRowID {
+		withID := make(types.Row, len(row)+1)
+		copy(withID, row)
+		withID[len(row)] = EncodeRowID(storage.RowID{Seg: ctx.Seg, Leaf: s.curLeaf, Idx: s.pos})
+		row = withID
+	}
+	s.pos++
+	return row, nil
+}
+
+func (s *dynScanOp) Close(*Ctx) error { s.rows, s.leaves = nil, nil; return nil }
+
+// ---------------------------------------------------------------- partition selector
+
+// selectorOp implements PartitionSelector. Static predicate levels (whose
+// operands are constants or parameters) are resolved once at Open; dynamic
+// levels (operands referencing child columns) are resolved per child row,
+// unioning the per-row selections (paper Fig. 5(d)).
+type selectorOp struct {
+	n     *plan.PartitionSelector
+	child Operator
+
+	childLayout expr.Layout
+	keyIDs      []expr.ColID // per-level partitioning key identity
+	staticSets  []types.IntervalSet
+	dynamic     []bool // per level: needs per-row evaluation
+	anyDynamic  bool
+	handle      int
+	sealed      bool
+}
+
+func (s *selectorOp) Open(ctx *Ctx) error {
+	desc := s.n.Table.Part
+	if desc == nil {
+		return fmt.Errorf("exec: PartitionSelector on unpartitioned table %s", s.n.Table.Name)
+	}
+	s.sealed = false
+	s.handle = ctx.registerSelector(s.n.PartScanID)
+	nl := desc.NumLevels()
+	s.keyIDs = make([]expr.ColID, nl)
+	for i, ord := range desc.KeyOrds() {
+		s.keyIDs[i] = expr.ColID{Rel: s.n.PartScanID, Ord: ord}
+	}
+	if s.n.Child != nil {
+		s.childLayout = s.n.Child.Layout()
+	}
+
+	// Classify each level and precompute static interval sets.
+	s.staticSets = make([]types.IntervalSet, nl)
+	s.dynamic = make([]bool, nl)
+	s.anyDynamic = false
+	constEval := expr.ConstEval(ctx.Params.Vals)
+	for lvl := 0; lvl < nl; lvl++ {
+		var pred expr.Expr
+		if s.n.Preds != nil {
+			pred = s.n.Preds[lvl]
+		}
+		if pred == nil {
+			s.staticSets[lvl] = types.WholeDomain()
+			continue
+		}
+		if s.predIsStatic(pred, lvl) {
+			s.staticSets[lvl] = expr.DeriveIntervals(pred, s.keyIDs[lvl], constEval)
+			continue
+		}
+		s.dynamic[lvl] = true
+		s.anyDynamic = true
+		s.staticSets[lvl] = types.WholeDomain()
+	}
+
+	if !s.anyDynamic {
+		// Fully static: select once, seal, then let the child run.
+		ctx.pushOIDs(s.n.PartScanID, s.handle, desc.Select(s.staticSets))
+		ctx.sealOIDs(s.n.PartScanID, s.handle)
+		s.sealed = true
+	}
+	if s.child != nil {
+		if err := s.child.Open(ctx); err != nil {
+			return err
+		}
+	} else if s.anyDynamic {
+		return fmt.Errorf("exec: PartitionSelector(%d) has dynamic predicates but no child to stream from", s.n.PartScanID)
+	}
+	return nil
+}
+
+// predIsStatic reports whether every column the level's predicate uses is
+// the partitioning key itself (operands are constants or parameters).
+func (s *selectorOp) predIsStatic(pred expr.Expr, lvl int) bool {
+	for id := range expr.ColsUsed(pred) {
+		if id != s.keyIDs[lvl] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *selectorOp) Next(ctx *Ctx) (types.Row, error) {
+	if s.child == nil {
+		s.seal(ctx)
+		return nil, errEOF
+	}
+	row, err := s.child.Next(ctx)
+	if errors.Is(err, errEOF) {
+		s.seal(ctx)
+		return nil, errEOF
+	}
+	if err != nil {
+		return nil, err
+	}
+	if s.anyDynamic {
+		env := &expr.Env{Layout: s.childLayout, Row: row, Params: ctx.Params.Vals}
+		sets := make([]types.IntervalSet, len(s.staticSets))
+		copy(sets, s.staticSets)
+		for lvl, dyn := range s.dynamic {
+			if !dyn {
+				continue
+			}
+			sets[lvl] = expr.DeriveIntervals(s.n.Preds[lvl], s.keyIDs[lvl], expr.EnvEval(env))
+		}
+		ctx.pushOIDs(s.n.PartScanID, s.handle, s.n.Table.Part.Select(sets))
+	}
+	return row, nil
+}
+
+func (s *selectorOp) seal(ctx *Ctx) {
+	if !s.sealed {
+		ctx.sealOIDs(s.n.PartScanID, s.handle)
+		s.sealed = true
+	}
+}
+
+func (s *selectorOp) Close(ctx *Ctx) error {
+	s.seal(ctx)
+	if s.child != nil {
+		return s.child.Close(ctx)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------- sequence
+
+// sequenceOp runs children 0..n-2 to completion (discarding rows), then
+// streams the last child.
+type sequenceOp struct {
+	kids []Operator
+	last Operator
+}
+
+func (s *sequenceOp) Open(ctx *Ctx) error {
+	for i := 0; i+1 < len(s.kids); i++ {
+		k := s.kids[i]
+		if err := k.Open(ctx); err != nil {
+			return err
+		}
+		for {
+			_, err := k.Next(ctx)
+			if errors.Is(err, errEOF) {
+				break
+			}
+			if err != nil {
+				return err
+			}
+		}
+		if err := k.Close(ctx); err != nil {
+			return err
+		}
+	}
+	s.last = s.kids[len(s.kids)-1]
+	return s.last.Open(ctx)
+}
+
+func (s *sequenceOp) Next(ctx *Ctx) (types.Row, error) { return s.last.Next(ctx) }
+func (s *sequenceOp) Close(ctx *Ctx) error             { return s.last.Close(ctx) }
+
+// ---------------------------------------------------------------- append
+
+// appendOp concatenates children. With an OID-filter parameter it skips
+// child leaf scans whose partition is not in the bound set — the legacy
+// planner's run-time elimination.
+type appendOp struct {
+	n    *plan.Append
+	kids []Operator
+	idx  int
+	open bool
+}
+
+func (a *appendOp) skip(ctx *Ctx, i int) bool {
+	if a.n.ParamID < 0 {
+		return false
+	}
+	sc, ok := a.n.Kids[i].(*plan.Scan)
+	if !ok {
+		return false
+	}
+	set := ctx.Params.OIDSets[a.n.ParamID]
+	if set == nil {
+		return false // unbound parameter: scan everything
+	}
+	return !set[sc.Leaf]
+}
+
+func (a *appendOp) Open(ctx *Ctx) error {
+	a.idx, a.open = 0, false
+	return nil
+}
+
+func (a *appendOp) Next(ctx *Ctx) (types.Row, error) {
+	for {
+		if !a.open {
+			for a.idx < len(a.kids) && a.skip(ctx, a.idx) {
+				a.idx++
+			}
+			if a.idx >= len(a.kids) {
+				return nil, errEOF
+			}
+			if err := a.kids[a.idx].Open(ctx); err != nil {
+				return nil, err
+			}
+			a.open = true
+		}
+		row, err := a.kids[a.idx].Next(ctx)
+		if errors.Is(err, errEOF) {
+			if err := a.kids[a.idx].Close(ctx); err != nil {
+				return nil, err
+			}
+			a.idx++
+			a.open = false
+			continue
+		}
+		return row, err
+	}
+}
+
+func (a *appendOp) Close(ctx *Ctx) error {
+	if a.open && a.idx < len(a.kids) {
+		return a.kids[a.idx].Close(ctx)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------- filter
+
+type filterOp struct {
+	n      *plan.Filter
+	child  Operator
+	layout expr.Layout
+}
+
+func (f *filterOp) Open(ctx *Ctx) error {
+	f.layout = f.n.Child.Layout()
+	return f.child.Open(ctx)
+}
+
+func (f *filterOp) Next(ctx *Ctx) (types.Row, error) {
+	for {
+		row, err := f.child.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		ok, err := expr.EvalPred(f.n.Pred, &expr.Env{Layout: f.layout, Row: row, Params: ctx.Params.Vals})
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return row, nil
+		}
+	}
+}
+
+func (f *filterOp) Close(ctx *Ctx) error { return f.child.Close(ctx) }
+
+// ---------------------------------------------------------------- project
+
+type projectOp struct {
+	n      *plan.Project
+	child  Operator
+	layout expr.Layout
+}
+
+func (p *projectOp) Open(ctx *Ctx) error {
+	p.layout = p.n.Child.Layout()
+	return p.child.Open(ctx)
+}
+
+func (p *projectOp) Next(ctx *Ctx) (types.Row, error) {
+	row, err := p.child.Next(ctx)
+	if err != nil {
+		return nil, err
+	}
+	env := &expr.Env{Layout: p.layout, Row: row, Params: ctx.Params.Vals}
+	out := make(types.Row, len(p.n.Cols))
+	for i, c := range p.n.Cols {
+		v, err := expr.Eval(c.E, env)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (p *projectOp) Close(ctx *Ctx) error { return p.child.Close(ctx) }

@@ -1,0 +1,343 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"partopt/internal/expr"
+	"partopt/internal/plan"
+	"partopt/internal/types"
+)
+
+// Result is the output of a query execution.
+type Result struct {
+	Rows   []types.Row
+	Layout expr.Layout
+	Stats  *Stats
+}
+
+// buildOp instantiates the operator tree for one slice instance. Motion
+// nodes become receive leaves wired to their exchange; the sending side is
+// driven by the child slice's runner.
+func buildOp(n plan.Node, exch map[*plan.Motion]*exchange) (Operator, error) {
+	switch x := n.(type) {
+	case *plan.Scan:
+		return &scanOp{n: x}, nil
+	case *plan.DynamicScan:
+		return &dynScanOp{n: x}, nil
+	case *plan.PartitionSelector:
+		var child Operator
+		if x.Child != nil {
+			c, err := buildOp(x.Child, exch)
+			if err != nil {
+				return nil, err
+			}
+			child = c
+		}
+		return &selectorOp{n: x, child: child}, nil
+	case *plan.Sequence:
+		kids := make([]Operator, len(x.Kids))
+		for i, k := range x.Kids {
+			op, err := buildOp(k, exch)
+			if err != nil {
+				return nil, err
+			}
+			kids[i] = op
+		}
+		return &sequenceOp{kids: kids}, nil
+	case *plan.Append:
+		kids := make([]Operator, len(x.Kids))
+		for i, k := range x.Kids {
+			op, err := buildOp(k, exch)
+			if err != nil {
+				return nil, err
+			}
+			kids[i] = op
+		}
+		return &appendOp{n: x, kids: kids}, nil
+	case *plan.Filter:
+		child, err := buildOp(x.Child, exch)
+		if err != nil {
+			return nil, err
+		}
+		return &filterOp{n: x, child: child}, nil
+	case *plan.Project:
+		child, err := buildOp(x.Child, exch)
+		if err != nil {
+			return nil, err
+		}
+		return &projectOp{n: x, child: child}, nil
+	case *plan.HashJoin:
+		build, err := buildOp(x.Build, exch)
+		if err != nil {
+			return nil, err
+		}
+		probe, err := buildOp(x.Probe, exch)
+		if err != nil {
+			return nil, err
+		}
+		return &hashJoinOp{n: x, build: build, probe: probe}, nil
+	case *plan.HashAgg:
+		child, err := buildOp(x.Child, exch)
+		if err != nil {
+			return nil, err
+		}
+		return &hashAggOp{n: x, child: child}, nil
+	case *plan.Update:
+		child, err := buildOp(x.Child, exch)
+		if err != nil {
+			return nil, err
+		}
+		return &updateOp{n: x, child: child}, nil
+	case *plan.Delete:
+		child, err := buildOp(x.Child, exch)
+		if err != nil {
+			return nil, err
+		}
+		return &deleteOp{n: x, child: child}, nil
+	case *plan.PartitionWiseJoin:
+		return &pwJoinOp{n: x}, nil
+	case *plan.IndexScan:
+		return &indexScanOp{n: x}, nil
+	case *plan.DynamicIndexScan:
+		return &dynIndexScanOp{n: x}, nil
+	case *plan.Sort:
+		child, err := buildOp(x.Child, exch)
+		if err != nil {
+			return nil, err
+		}
+		return &sortOp{n: x, child: child}, nil
+	case *plan.Limit:
+		child, err := buildOp(x.Child, exch)
+		if err != nil {
+			return nil, err
+		}
+		return &limitOp{n: x, child: child}, nil
+	case *plan.Motion:
+		ex, ok := exch[x]
+		if !ok {
+			return nil, fmt.Errorf("exec: motion %q has no exchange (RunLocal cannot execute motions)", x.Label())
+		}
+		return &motionRecvOp{ex: ex}, nil
+	default:
+		return nil, fmt.Errorf("exec: cannot execute %T", n)
+	}
+}
+
+// sliceSpec is one slice of the plan (a maximal Motion-free subtree) plus
+// the exchange it feeds.
+type sliceSpec struct {
+	root    plan.Node
+	ex      *exchange
+	members []int
+}
+
+// Run executes a plan on the cluster. The root slice (everything above the
+// topmost Gather Motion — final projection, coordinator-side aggregation)
+// runs on the coordinator; the plan must contain a Gather so that a scan
+// never lands in the coordinator slice.
+func Run(rt *Runtime, root plan.Node, params *Params) (*Result, error) {
+	return RunInto(rt, root, params, NewStats())
+}
+
+// RunInto is Run with caller-provided statistics, letting multi-plan
+// executions (the legacy planner's prep steps plus main plan) accumulate
+// into one counter set.
+func RunInto(rt *Runtime, root plan.Node, params *Params, stats *Stats) (*Result, error) {
+	if len(plan.FindAll(root, func(n plan.Node) bool {
+		m, ok := n.(*plan.Motion)
+		return ok && m.Kind == plan.GatherMotion
+	})) == 0 {
+		return nil, fmt.Errorf("exec: plan has no Gather Motion; nothing delivers rows to the coordinator")
+	}
+	quit := make(chan struct{})
+	segs := make([]int, rt.Segments())
+	for i := range segs {
+		segs[i] = i
+	}
+
+	// Pre-pass: cut the plan into slices at Motion boundaries. The slice
+	// containing a Motion determines its receivers; the Motion's child
+	// subtree becomes a new slice running on all segments. Exchanges are
+	// only allocated once the whole plan validated, so no closer goroutine
+	// can leak on a malformed plan.
+	type motionSite struct {
+		m         *plan.Motion
+		receivers []int
+	}
+	var sites []motionSite
+	var cut func(n plan.Node, members []int) error
+	cut = func(n plan.Node, members []int) error {
+		if m, ok := n.(*plan.Motion); ok {
+			if m.Kind == plan.GatherMotion && !(len(members) == 1 && members[0] == CoordinatorSeg) {
+				return fmt.Errorf("exec: Gather Motion below another slice is unsupported")
+			}
+			sites = append(sites, motionSite{m: m, receivers: members})
+			return cut(m.Child, segs)
+		}
+		for _, c := range n.Children() {
+			if err := cut(c, members); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := cut(root, []int{CoordinatorSeg}); err != nil {
+		close(quit)
+		return nil, err
+	}
+	exchanges := map[*plan.Motion]*exchange{}
+	slices := make([]*sliceSpec, 0, len(sites))
+	for _, site := range sites {
+		ex := newExchange(site.m, site.receivers, len(segs))
+		exchanges[site.m] = ex
+		slices = append(slices, &sliceSpec{root: site.m.Child, ex: ex, members: segs})
+	}
+
+	errCh := make(chan error, len(slices)*len(segs)+1)
+	var wg sync.WaitGroup
+	for _, sl := range slices {
+		for _, seg := range sl.members {
+			wg.Add(1)
+			go func(sl *sliceSpec, seg int) {
+				defer wg.Done()
+				defer sl.ex.senderDone()
+				if sl.ex.fromSeg >= 0 && seg != sl.ex.fromSeg {
+					// Single-sender motion (gather from a replicated
+					// input): this member contributes nothing — but any
+					// motions feeding its subtree still broadcast to this
+					// segment, so their channels must be drained or the
+					// senders would block forever.
+					drainSubtreeMotions(sl.root, exchanges, seg, quit)
+					return
+				}
+				ctx := newCtx(rt, seg, params, stats, quit)
+				op, err := buildOp(sl.root, exchanges)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if err := op.Open(ctx); err != nil {
+					errCh <- err
+					return
+				}
+				for {
+					row, err := op.Next(ctx)
+					if errors.Is(err, errEOF) {
+						break
+					}
+					if err != nil {
+						if !errors.Is(err, errQueryAborted) {
+							errCh <- err
+						}
+						break
+					}
+					if err := sl.ex.send(ctx, row); err != nil {
+						break // aborted
+					}
+				}
+				if err := op.Close(ctx); err != nil {
+					errCh <- err
+				}
+			}(sl, seg)
+		}
+	}
+
+	// The coordinator runs the root slice (the receive side of the root
+	// Gather, plus any operators above it — none in practice).
+	var rows []types.Row
+	coordErr := func() error {
+		ctx := newCtx(rt, CoordinatorSeg, params, stats, quit)
+		op, err := buildOp(root, exchanges)
+		if err != nil {
+			return err
+		}
+		if err := op.Open(ctx); err != nil {
+			return err
+		}
+		defer op.Close(ctx)
+		for {
+			row, err := op.Next(ctx)
+			if errors.Is(err, errEOF) {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row)
+		}
+	}()
+
+	close(quit) // unblock any sender still parked on a full channel
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if coordErr != nil && !errors.Is(coordErr, errQueryAborted) {
+		return nil, coordErr
+	}
+	return &Result{Rows: rows, Layout: root.Layout(), Stats: stats}, nil
+}
+
+// drainSubtreeMotions discards everything the given segment would have
+// received from the motions directly feeding a slice subtree (without
+// crossing into deeper slices, whose own members keep consuming normally).
+func drainSubtreeMotions(root plan.Node, exch map[*plan.Motion]*exchange, seg int, quit <-chan struct{}) {
+	var walk func(n plan.Node)
+	walk = func(n plan.Node) {
+		if m, ok := n.(*plan.Motion); ok {
+			if ex := exch[m]; ex != nil {
+				if ch, ok := ex.chans[seg]; ok {
+					for {
+						select {
+						case _, open := <-ch:
+							if !open {
+								return
+							}
+						case <-quit:
+							return
+						}
+					}
+				}
+			}
+			return
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(root)
+}
+
+// RunLocal executes a Motion-free plan synchronously on one segment. It is
+// the harness unit tests use to exercise individual operators.
+func RunLocal(rt *Runtime, root plan.Node, seg int, params *Params) (*Result, error) {
+	stats := NewStats()
+	quit := make(chan struct{})
+	defer close(quit)
+	ctx := newCtx(rt, seg, params, stats, quit)
+	op, err := buildOp(root, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := op.Open(ctx); err != nil {
+		return nil, err
+	}
+	defer op.Close(ctx)
+	var rows []types.Row
+	for {
+		row, err := op.Next(ctx)
+		if errors.Is(err, errEOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return &Result{Rows: rows, Layout: root.Layout(), Stats: stats}, nil
+}

@@ -1,0 +1,90 @@
+package exec
+
+import (
+	"errors"
+	"sort"
+
+	"partopt/internal/plan"
+	"partopt/internal/types"
+)
+
+// sortOp materializes its input and emits it ordered by the sort keys.
+// NULLs sort first (matching types.Compare's total order).
+type sortOp struct {
+	n     *plan.Sort
+	child Operator
+	rows  []types.Row
+	pos   int
+}
+
+func (s *sortOp) Open(ctx *Ctx) error {
+	s.rows, s.pos = nil, 0
+	if err := s.child.Open(ctx); err != nil {
+		return err
+	}
+	for {
+		row, err := s.child.Next(ctx)
+		if errors.Is(err, errEOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		s.rows = append(s.rows, row)
+	}
+	if err := s.child.Close(ctx); err != nil {
+		return err
+	}
+	keys := s.n.Keys
+	sort.SliceStable(s.rows, func(i, j int) bool {
+		for _, k := range keys {
+			c := types.Compare(s.rows[i][k.Pos], s.rows[j][k.Pos])
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return nil
+}
+
+func (s *sortOp) Next(*Ctx) (types.Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, errEOF
+	}
+	row := s.rows[s.pos]
+	s.pos++
+	return row, nil
+}
+
+func (s *sortOp) Close(*Ctx) error { s.rows = nil; return nil }
+
+// limitOp passes through at most N rows.
+type limitOp struct {
+	n     *plan.Limit
+	child Operator
+	seen  int64
+}
+
+func (l *limitOp) Open(ctx *Ctx) error {
+	l.seen = 0
+	return l.child.Open(ctx)
+}
+
+func (l *limitOp) Next(ctx *Ctx) (types.Row, error) {
+	if l.seen >= l.n.N {
+		return nil, errEOF
+	}
+	row, err := l.child.Next(ctx)
+	if err != nil {
+		return nil, err
+	}
+	l.seen++
+	return row, nil
+}
+
+func (l *limitOp) Close(ctx *Ctx) error { return l.child.Close(ctx) }

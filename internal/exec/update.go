@@ -1,0 +1,189 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"partopt/internal/expr"
+	"partopt/internal/plan"
+	"partopt/internal/storage"
+	"partopt/internal/types"
+)
+
+// updateOp applies SET clauses to target rows identified by the RowID
+// pseudo-column in its input. All updates are collected first and applied
+// at end-of-input: cross-partition moves use swap-deletes that invalidate
+// higher heap indexes, so pending updates are applied per heap in
+// descending index order to keep every collected RowID valid.
+type updateOp struct {
+	n     *plan.Update
+	child Operator
+
+	count   int64
+	emitted bool
+}
+
+type pendingUpdate struct {
+	id  storage.RowID
+	row types.Row
+}
+
+func (u *updateOp) Open(ctx *Ctx) error {
+	if ctx.Seg == CoordinatorSeg {
+		return fmt.Errorf("exec: Update of %s cannot run on the coordinator", u.n.Table.Name)
+	}
+	u.count, u.emitted = 0, false
+	layout := u.n.Child.Layout()
+	ridCol := expr.ColID{Rel: u.n.Rel, Ord: plan.RowIDOrd}
+	ridPos, ok := layout[ridCol]
+	if !ok {
+		return fmt.Errorf("exec: Update input lacks the RowID column of relation %d", u.n.Rel)
+	}
+	colPos := make([]int, len(u.n.Table.Cols))
+	for i := range u.n.Table.Cols {
+		pos, ok := layout[expr.ColID{Rel: u.n.Rel, Ord: i}]
+		if !ok {
+			return fmt.Errorf("exec: Update input lacks target column %q", u.n.Table.Cols[i].Name)
+		}
+		colPos[i] = pos
+	}
+
+	if err := u.child.Open(ctx); err != nil {
+		return err
+	}
+	var pending []pendingUpdate
+	seen := map[storage.RowID]bool{}
+	for {
+		row, err := u.child.Next(ctx)
+		if errors.Is(err, errEOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		id := DecodeRowID(row[ridPos])
+		if seen[id] {
+			continue // each target row updated at most once
+		}
+		seen[id] = true
+		newRow := make(types.Row, len(u.n.Table.Cols))
+		for i, pos := range colPos {
+			newRow[i] = row[pos]
+		}
+		env := &expr.Env{Layout: layout, Row: row, Params: ctx.Params.Vals}
+		for _, set := range u.n.Sets {
+			v, err := expr.Eval(set.Value, env)
+			if err != nil {
+				return err
+			}
+			newRow[set.Ord] = v
+		}
+		pending = append(pending, pendingUpdate{id: id, row: newRow})
+	}
+	if err := u.child.Close(ctx); err != nil {
+		return err
+	}
+
+	// Apply in descending heap-index order within each (seg, leaf).
+	sort.Slice(pending, func(i, j int) bool {
+		a, b := pending[i].id, pending[j].id
+		if a.Seg != b.Seg {
+			return a.Seg < b.Seg
+		}
+		if a.Leaf != b.Leaf {
+			return a.Leaf < b.Leaf
+		}
+		return a.Idx > b.Idx
+	})
+	for _, p := range pending {
+		if _, err := ctx.Rt.Store.UpdateRow(u.n.Table, p.id, p.row); err != nil {
+			return err
+		}
+		u.count++
+	}
+	return nil
+}
+
+func (u *updateOp) Next(*Ctx) (types.Row, error) {
+	if u.emitted {
+		return nil, errEOF
+	}
+	u.emitted = true
+	return types.Row{types.NewInt(u.count)}, nil
+}
+
+func (u *updateOp) Close(*Ctx) error { return nil }
+
+// deleteOp removes the rows its child identifies via the RowID column.
+// Like updateOp it collects first and applies per heap in descending index
+// order, because swap-deletes invalidate higher indexes.
+type deleteOp struct {
+	n     *plan.Delete
+	child Operator
+
+	count   int64
+	emitted bool
+}
+
+func (d *deleteOp) Open(ctx *Ctx) error {
+	if ctx.Seg == CoordinatorSeg {
+		return fmt.Errorf("exec: Delete of %s cannot run on the coordinator", d.n.Table.Name)
+	}
+	d.count, d.emitted = 0, false
+	layout := d.n.Child.Layout()
+	ridPos, ok := layout[expr.ColID{Rel: d.n.Rel, Ord: plan.RowIDOrd}]
+	if !ok {
+		return fmt.Errorf("exec: Delete input lacks the RowID column of relation %d", d.n.Rel)
+	}
+	if err := d.child.Open(ctx); err != nil {
+		return err
+	}
+	var ids []storage.RowID
+	seen := map[storage.RowID]bool{}
+	for {
+		row, err := d.child.Next(ctx)
+		if errors.Is(err, errEOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		id := DecodeRowID(row[ridPos])
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		ids = append(ids, id)
+	}
+	if err := d.child.Close(ctx); err != nil {
+		return err
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := ids[i], ids[j]
+		if a.Seg != b.Seg {
+			return a.Seg < b.Seg
+		}
+		if a.Leaf != b.Leaf {
+			return a.Leaf < b.Leaf
+		}
+		return a.Idx > b.Idx
+	})
+	for _, id := range ids {
+		if err := ctx.Rt.Store.DeleteRow(d.n.Table, id); err != nil {
+			return err
+		}
+		d.count++
+	}
+	return nil
+}
+
+func (d *deleteOp) Next(*Ctx) (types.Row, error) {
+	if d.emitted {
+		return nil, errEOF
+	}
+	d.emitted = true
+	return types.Row{types.NewInt(d.count)}, nil
+}
+
+func (d *deleteOp) Close(*Ctx) error { return nil }

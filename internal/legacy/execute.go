@@ -1,0 +1,48 @@
+package legacy
+
+import (
+	"partopt/internal/exec"
+	"partopt/internal/part"
+	"partopt/internal/types"
+)
+
+// Execute runs a legacy-planned query: every prep step executes first, its
+// result values are mapped to qualifying leaf OIDs, and the resulting sets
+// are bound to the main plan's OID parameters (the paper §4.4.2: "the
+// necessary partition OIDs are computed at runtime and stored in a
+// parameter, which is then passed to the actual query plan"). All plans
+// accumulate into one statistics object so partition-scan accounting covers
+// the prep work too.
+func Execute(rt *exec.Runtime, pl *Planned, params *exec.Params) (*exec.Result, error) {
+	if params == nil {
+		params = &exec.Params{}
+	}
+	stats := exec.NewStats()
+	for _, prep := range pl.Preps {
+		res, err := exec.RunInto(rt, prep.Plan, params, stats)
+		if err != nil {
+			return nil, err
+		}
+		desc := prep.Table.Part
+		sets := make([]types.IntervalSet, desc.NumLevels())
+		for i := range sets {
+			sets[i] = types.WholeDomain()
+		}
+		oids := map[part.OID]bool{}
+		for _, row := range res.Rows {
+			v := row[0]
+			if v.IsNull() {
+				continue
+			}
+			sets[prep.Level] = types.SetOf(types.PointInterval(v))
+			for _, oid := range desc.Select(sets) {
+				oids[oid] = true
+			}
+		}
+		if params.OIDSets == nil {
+			params.OIDSets = map[int]map[part.OID]bool{}
+		}
+		params.OIDSets[prep.ParamID] = oids
+	}
+	return exec.RunInto(rt, pl.Main, params, stats)
+}

@@ -1,0 +1,364 @@
+package legacy
+
+import (
+	"testing"
+
+	"partopt/internal/catalog"
+	"partopt/internal/exec"
+	"partopt/internal/expr"
+	"partopt/internal/logical"
+	"partopt/internal/part"
+	"partopt/internal/plan"
+	"partopt/internal/stats"
+	"partopt/internal/storage"
+	"partopt/internal/types"
+)
+
+// fixture: R(a,b) and S(a,b), both partitioned on b into 10 parts of 10,
+// hash-distributed on a (the paper's §4.4.2 synthetic tables).
+func fixture(t *testing.T, segs int) (*catalog.Catalog, *exec.Runtime) {
+	t.Helper()
+	cat := catalog.New()
+	st := storage.NewStore(segs)
+	for _, name := range []string{"R", "S"} {
+		tab, err := cat.CreateTable(name,
+			[]catalog.Column{{Name: "a", Kind: types.KindInt}, {Name: "b", Kind: types.KindInt}},
+			catalog.Hashed(0),
+			part.RangeLevel(1, part.IntBounds(0, 100, 10)...),
+		)
+		if err != nil {
+			t.Fatalf("create %s: %v", name, err)
+		}
+		st.CreateTable(tab)
+		for i := int64(0); i < 100; i++ {
+			if err := st.Insert(tab, types.Row{types.NewInt(i), types.NewInt(i % 100)}); err != nil {
+				t.Fatalf("insert: %v", err)
+			}
+		}
+	}
+	if err := stats.CollectAll(st, cat); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	return cat, &exec.Runtime{Store: st}
+}
+
+func col(rel, ord int, name string) *expr.Col {
+	return expr.NewCol(expr.ColID{Rel: rel, Ord: ord}, name)
+}
+
+func intc(v int64) *expr.Const { return expr.NewConst(types.NewInt(v)) }
+
+func TestStaticEliminationPrunesAppend(t *testing.T) {
+	cat, rt := fixture(t, 1)
+	r := cat.MustTable("R")
+	q := &logical.Select{
+		Pred:  expr.NewCmp(expr.LT, col(1, 1, "R.b"), intc(35)),
+		Child: &logical.Get{Table: r, Rel: 1},
+	}
+	p := &Planner{Segments: 1}
+	pl, err := p.Plan(q)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	// The Append must list exactly the 4 surviving leaves.
+	apps := plan.FindAll(pl.Main, func(n plan.Node) bool { _, ok := n.(*plan.Append); return ok })
+	if len(apps) != 1 {
+		t.Fatalf("appends = %d:\n%s", len(apps), plan.Explain(pl.Main))
+	}
+	if got := len(apps[0].(*plan.Append).Kids); got != 4 {
+		t.Errorf("append children = %d, want 4", got)
+	}
+	res, err := Execute(rt, pl, nil)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if len(res.Rows) != 35 {
+		t.Errorf("rows = %d, want 35", len(res.Rows))
+	}
+	if got := res.Stats.PartsScanned("R"); got != 4 {
+		t.Errorf("parts scanned = %d, want 4", got)
+	}
+}
+
+func TestParamPredicateCannotPruneStatically(t *testing.T) {
+	cat, rt := fixture(t, 1)
+	r := cat.MustTable("R")
+	q := &logical.Select{
+		Pred:  expr.NewCmp(expr.EQ, col(1, 1, "R.b"), &expr.Param{Idx: 0}),
+		Child: &logical.Get{Table: r, Rel: 1},
+	}
+	p := &Planner{Segments: 1}
+	pl, err := p.Plan(q)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	res, err := Execute(rt, pl, &exec.Params{Vals: []types.Datum{types.NewInt(42)}})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("rows = %d, want 1", len(res.Rows))
+	}
+	// Legacy planner scans everything: the parameter was unknown at plan
+	// time (paper §1: prepared statements need *dynamic* elimination).
+	if got := res.Stats.PartsScanned("R"); got != 10 {
+		t.Errorf("parts scanned = %d, want all 10", got)
+	}
+}
+
+// The paper's Fig. 18(b) query: select * from R, S where R.b = S.b and
+// S.a < 100 — the planner's dynamic elimination computes R's OIDs from S at
+// run time through a parameter.
+func TestDynamicEliminationViaParameter(t *testing.T) {
+	cat, rt := fixture(t, 2)
+	r := cat.MustTable("R")
+	s := cat.MustTable("S")
+	q := &logical.Join{
+		Type: plan.InnerJoin,
+		Pred: expr.NewCmp(expr.EQ, col(1, 1, "R.b"), col(2, 1, "S.b")),
+		Left: &logical.Select{
+			Pred:  expr.NewCmp(expr.LT, col(2, 0, "S.a"), intc(20)),
+			Child: &logical.Get{Table: s, Rel: 2},
+		},
+		Right: &logical.Get{Table: r, Rel: 1},
+	}
+	p := &Planner{Segments: 2}
+	pl, err := p.Plan(q)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if len(pl.Preps) != 1 {
+		t.Fatalf("preps = %d, want 1:\n%s", len(pl.Preps), plan.Explain(pl.Main))
+	}
+	// Main plan still lists all 10 R leaves (linear plan size).
+	apps := plan.FindAll(pl.Main, func(n plan.Node) bool {
+		a, ok := n.(*plan.Append)
+		return ok && a.ParamID >= 0
+	})
+	if len(apps) != 1 || len(apps[0].(*plan.Append).Kids) != 10 {
+		t.Fatalf("filtered append missing or wrong arity:\n%s", plan.Explain(pl.Main))
+	}
+	res, err := Execute(rt, pl, nil)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	// S.a < 20 → S.b ∈ 0..19 → 20 matching R rows.
+	if len(res.Rows) != 20 {
+		t.Errorf("rows = %d, want 20", len(res.Rows))
+	}
+	// b values 0..19 live in 2 of R's 10 partitions.
+	if got := res.Stats.PartsScanned("R"); got != 2 {
+		t.Errorf("R parts scanned = %d, want 2", got)
+	}
+}
+
+func TestDynamicEliminationDisabled(t *testing.T) {
+	cat, rt := fixture(t, 2)
+	r := cat.MustTable("R")
+	s := cat.MustTable("S")
+	q := &logical.Join{
+		Type: plan.InnerJoin,
+		Pred: expr.NewCmp(expr.EQ, col(1, 1, "R.b"), col(2, 1, "S.b")),
+		Left: &logical.Select{
+			Pred:  expr.NewCmp(expr.LT, col(2, 0, "S.a"), intc(20)),
+			Child: &logical.Get{Table: s, Rel: 2},
+		},
+		Right: &logical.Get{Table: r, Rel: 1},
+	}
+	p := &Planner{Segments: 2, DisableDynamic: true}
+	pl, err := p.Plan(q)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if len(pl.Preps) != 0 {
+		t.Fatalf("preps = %d, want 0", len(pl.Preps))
+	}
+	res, err := Execute(rt, pl, nil)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if len(res.Rows) != 20 {
+		t.Errorf("rows = %d, want 20", len(res.Rows))
+	}
+	if got := res.Stats.PartsScanned("R"); got != 10 {
+		t.Errorf("R parts scanned = %d, want all 10", got)
+	}
+}
+
+// Complex probe shapes defeat the legacy dynamic elimination — the
+// "rudimentary support that works for simple queries" of the paper's §1.
+func TestDynamicEliminationDoesNotApplyToNestedProbe(t *testing.T) {
+	cat, rt := fixture(t, 1)
+	r := cat.MustTable("R")
+	s := cat.MustTable("S")
+	// Probe side is itself a join → no prep step, all partitions scanned.
+	q := &logical.Join{
+		Type: plan.InnerJoin,
+		Pred: expr.NewCmp(expr.EQ, col(2, 1, "S.b"), col(1, 1, "R.b")),
+		Left: &logical.Select{
+			Pred:  expr.NewCmp(expr.LT, col(2, 0, "S.a"), intc(10)),
+			Child: &logical.Get{Table: s, Rel: 2},
+		},
+		Right: &logical.Join{
+			Type:  plan.InnerJoin,
+			Pred:  expr.NewCmp(expr.EQ, col(1, 0, "R.a"), col(3, 0, "R2.a")),
+			Left:  &logical.Get{Table: r, Rel: 1},
+			Right: &logical.Get{Table: r, Rel: 3},
+		},
+	}
+	p := &Planner{Segments: 1}
+	pl, err := p.Plan(q)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if len(pl.Preps) != 0 {
+		t.Errorf("nested probe should not trigger dynamic elimination")
+	}
+	res, err := Execute(rt, pl, nil)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if got := res.Stats.PartsScanned("R"); got != 10 {
+		t.Errorf("R parts scanned = %d, want all 10", got)
+	}
+	if len(res.Rows) != 10 {
+		t.Errorf("rows = %d, want 10", len(res.Rows))
+	}
+}
+
+func TestUpdateJoinQuadraticPlan(t *testing.T) {
+	cat, rt := fixture(t, 1)
+	r := cat.MustTable("R")
+	s := cat.MustTable("S")
+	// update R set b = S.b from S where R.a = S.a (paper §4.4.3).
+	q := &logical.Update{
+		Table: r,
+		Rel:   1,
+		Sets:  []plan.SetClause{{Ord: 1, Value: col(2, 1, "S.b")}},
+		Child: &logical.Join{
+			Type:  plan.InnerJoin,
+			Pred:  expr.NewCmp(expr.EQ, col(1, 0, "R.a"), col(2, 0, "S.a")),
+			Left:  &logical.Get{Table: s, Rel: 2},
+			Right: &logical.Get{Table: r, Rel: 1},
+		},
+	}
+	p := &Planner{Segments: 1}
+	pl, err := p.Plan(q)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	// One Update branch per R leaf, each with its own Append over S's
+	// leaves → ≥ 10×10 scan nodes.
+	scans := plan.FindAll(pl.Main, func(n plan.Node) bool { _, ok := n.(*plan.Scan); return ok })
+	if len(scans) < 100 {
+		t.Errorf("scan nodes = %d, want ≥ 100 (quadratic expansion)", len(scans))
+	}
+	res, err := Execute(rt, pl, nil)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	var updated int64
+	for _, row := range res.Rows {
+		updated += row[0].Int()
+	}
+	if updated != 100 {
+		t.Errorf("updated = %d, want 100", updated)
+	}
+}
+
+func TestSimpleUpdateStaticElimination(t *testing.T) {
+	cat, rt := fixture(t, 1)
+	r := cat.MustTable("R")
+	q := &logical.Update{
+		Table: r,
+		Rel:   1,
+		Sets:  []plan.SetClause{{Ord: 0, Value: intc(7)}},
+		Child: &logical.Select{
+			Pred:  expr.NewCmp(expr.LT, col(1, 1, "R.b"), intc(10)),
+			Child: &logical.Get{Table: r, Rel: 1},
+		},
+	}
+	p := &Planner{Segments: 1}
+	pl, err := p.Plan(q)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	res, err := Execute(rt, pl, nil)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	var updated int64
+	for _, row := range res.Rows {
+		updated += row[0].Int()
+	}
+	if updated != 10 {
+		t.Errorf("updated = %d, want 10", updated)
+	}
+	if got := res.Stats.PartsScanned("R"); got != 1 {
+		t.Errorf("parts scanned = %d, want 1", got)
+	}
+}
+
+func TestGroupByAndProjectShell(t *testing.T) {
+	cat, rt := fixture(t, 2)
+	r := cat.MustTable("R")
+	q := &logical.Project{
+		Cols: []plan.ProjCol{{E: expr.NewCol(expr.ColID{Rel: 10, Ord: 1}, "n"), Name: "n", Out: expr.ColID{Rel: 11, Ord: 0}}},
+		Child: &logical.GroupBy{
+			Groups: []plan.GroupCol{{E: col(1, 1, "R.b"), Name: "b", Out: expr.ColID{Rel: 10, Ord: 0}}},
+			Aggs:   []plan.AggSpec{{Kind: plan.AggCount, Name: "n", Out: expr.ColID{Rel: 10, Ord: 1}}},
+			Child: &logical.Select{
+				Pred:  expr.NewCmp(expr.LT, col(1, 1, "R.b"), intc(20)),
+				Child: &logical.Get{Table: r, Rel: 1},
+			},
+		},
+	}
+	p := &Planner{Segments: 2}
+	pl, err := p.Plan(q)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	res, err := Execute(rt, pl, nil)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if len(res.Rows) != 20 {
+		t.Errorf("groups = %d, want 20", len(res.Rows))
+	}
+	if got := res.Stats.PartsScanned("R"); got != 2 {
+		t.Errorf("parts scanned = %d, want 2", got)
+	}
+}
+
+// Plan size growth: legacy plans grow linearly with surviving partitions,
+// the dynamic-scan style stays flat (checked against orca in the bench
+// harness; here we check the legacy side in isolation).
+func TestPlanSizeGrowsWithPartitions(t *testing.T) {
+	cat := catalog.New()
+	st := storage.NewStore(1)
+	mk := func(name string, parts int) *catalog.Table {
+		tab, err := cat.CreateTable(name,
+			[]catalog.Column{{Name: "a", Kind: types.KindInt}, {Name: "b", Kind: types.KindInt}},
+			catalog.Hashed(0),
+			part.RangeLevel(1, part.IntBounds(0, 1000, parts)...),
+		)
+		if err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		st.CreateTable(tab)
+		return tab
+	}
+	small := mk("small", 10)
+	big := mk("big", 200)
+	p := &Planner{Segments: 1}
+	size := func(tab *catalog.Table) int {
+		pl, err := p.Plan(&logical.Get{Table: tab, Rel: 1})
+		if err != nil {
+			t.Fatalf("Plan: %v", err)
+		}
+		return plan.SerializedSize(pl.Main)
+	}
+	if s, b := size(small), size(big); b < 10*s {
+		t.Errorf("legacy plan size should grow linearly: %d vs %d", s, b)
+	}
+}

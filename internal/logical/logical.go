@@ -1,0 +1,166 @@
+// Package logical defines the logical relational algebra both optimizers
+// consume: base-table access (Get), Select, inner/semi Join, Project,
+// GroupBy and Update. The SQL binder produces these trees; internal/orca
+// and internal/legacy turn them into physical plans.
+package logical
+
+import (
+	"fmt"
+	"strings"
+
+	"partopt/internal/catalog"
+	"partopt/internal/expr"
+	"partopt/internal/plan"
+)
+
+// Node is a logical operator.
+type Node interface {
+	Children() []Node
+	String() string
+	// Rels returns the relation instance ids available in the subtree's
+	// output.
+	Rels() map[int]bool
+}
+
+func union(ms ...map[int]bool) map[int]bool {
+	out := map[int]bool{}
+	for _, m := range ms {
+		for k := range m {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// Get is a base-table access with a query-scoped relation instance id. For
+// partitioned tables the id doubles as the partScanId.
+type Get struct {
+	Table *catalog.Table
+	Rel   int
+	Alias string
+}
+
+func (g *Get) Children() []Node { return nil }
+func (g *Get) Rels() map[int]bool {
+	return map[int]bool{g.Rel: true}
+}
+func (g *Get) String() string {
+	if g.Alias != "" && g.Alias != g.Table.Name {
+		return fmt.Sprintf("Get(%s as %s)", g.Table.Name, g.Alias)
+	}
+	return fmt.Sprintf("Get(%s)", g.Table.Name)
+}
+
+// Select filters its child by a predicate.
+type Select struct {
+	Pred  expr.Expr
+	Child Node
+}
+
+func (s *Select) Children() []Node   { return []Node{s.Child} }
+func (s *Select) Rels() map[int]bool { return s.Child.Rels() }
+func (s *Select) String() string     { return fmt.Sprintf("Select(%s)", s.Pred) }
+
+// Join combines two children under a predicate. Type distinguishes inner
+// joins from the semi joins that IN-subqueries become. Left is the child
+// the physical plan executes first (the paper's "outer").
+type Join struct {
+	Type        plan.JoinType
+	Pred        expr.Expr
+	Left, Right Node
+}
+
+func (j *Join) Children() []Node   { return []Node{j.Left, j.Right} }
+func (j *Join) Rels() map[int]bool { return union(j.Left.Rels(), j.Right.Rels()) }
+func (j *Join) String() string {
+	return fmt.Sprintf("%sJoin(%s)", titleCase(j.Type.String()), j.Pred)
+}
+
+// Project computes the output column list.
+type Project struct {
+	Cols  []plan.ProjCol
+	Child Node
+}
+
+func (p *Project) Children() []Node   { return []Node{p.Child} }
+func (p *Project) Rels() map[int]bool { return p.Child.Rels() }
+func (p *Project) String() string {
+	names := make([]string, len(p.Cols))
+	for i, c := range p.Cols {
+		if c.Name != "" {
+			names[i] = c.Name
+		} else {
+			names[i] = c.E.String()
+		}
+	}
+	return "Project(" + strings.Join(names, ", ") + ")"
+}
+
+// GroupBy groups and aggregates.
+type GroupBy struct {
+	Groups []plan.GroupCol
+	Aggs   []plan.AggSpec
+	Child  Node
+}
+
+func (g *GroupBy) Children() []Node   { return []Node{g.Child} }
+func (g *GroupBy) Rels() map[int]bool { return g.Child.Rels() }
+func (g *GroupBy) String() string {
+	return fmt.Sprintf("GroupBy(%d groups, %d aggs)", len(g.Groups), len(g.Aggs))
+}
+
+// Update is the DML update over the rows its child produces; the child must
+// include the target table's Get (relation Rel) with row identity.
+type Update struct {
+	Table *catalog.Table
+	Rel   int
+	Sets  []plan.SetClause
+	Child Node
+}
+
+func (u *Update) Children() []Node   { return []Node{u.Child} }
+func (u *Update) Rels() map[int]bool { return u.Child.Rels() }
+func (u *Update) String() string     { return fmt.Sprintf("Update(%s)", u.Table.Name) }
+
+// Delete is the DML delete over the rows its child produces; the child
+// must include the target table's Get (relation Rel) with row identity.
+type Delete struct {
+	Table *catalog.Table
+	Rel   int
+	Child Node
+}
+
+func (d *Delete) Children() []Node   { return []Node{d.Child} }
+func (d *Delete) Rels() map[int]bool { return d.Child.Rels() }
+func (d *Delete) String() string     { return fmt.Sprintf("Delete(%s)", d.Table.Name) }
+
+// Explain renders a logical tree with indentation.
+func Explain(n Node) string {
+	var b strings.Builder
+	var rec func(n Node, depth int)
+	rec = func(n Node, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		if depth > 0 {
+			b.WriteString("-> ")
+		}
+		b.WriteString(n.String())
+		b.WriteByte('\n')
+		for _, c := range n.Children() {
+			rec(c, depth+1)
+		}
+	}
+	rec(n, 0)
+	return b.String()
+}
+
+// titleCase upper-cases the first byte of an ASCII word.
+func titleCase(s string) string {
+	if s == "" {
+		return s
+	}
+	b := []byte(s)
+	if b[0] >= 'a' && b[0] <= 'z' {
+		b[0] -= 'a' - 'A'
+	}
+	return string(b)
+}

@@ -1,0 +1,337 @@
+package orca
+
+import (
+	"partopt/internal/expr"
+	"partopt/internal/logical"
+	"partopt/internal/part"
+	"partopt/internal/plan"
+)
+
+// implementJoin produces the hash-join alternatives of one join group
+// expression. le.children[0] is the build side (executed first — the
+// paper's "outer"); join commutativity has already populated both child
+// orders, so both HashJoin[1,2] and HashJoin[2,1] compete here.
+//
+// Spec routing follows Algorithm 4: a spec whose DynamicScan lives on the
+// build side travels there unchanged; a probe-side spec whose partitioning
+// key is constrained by the join predicate (with build-side source values)
+// moves to the build side with the augmented predicate — dynamic partition
+// elimination; anything else resolves near its scan on the probe side.
+//
+// Distribution alternatives follow the paper's §3.1 example: redistribute
+// both children on the join keys, replicate the build side, or replicate
+// the probe side.
+func (m *memo) implementJoin(le *lexpr, op *logical.Join, req request) []*result {
+	build, probe := le.children[0], le.children[1]
+	buildKeys, probeKeys, residual := splitJoinPred(op.Pred, build.rels, probe.rels)
+
+	// Route partition-propagation specs. Dynamic (join-driven) specs go to
+	// the build side; a second copy MAY also travel down the probe side to
+	// collect static predicates from Selects there (the two selectors'
+	// choices intersect in the scan's mailbox) — both routings are costed.
+	var buildSpecs, probeSpecs []*SpecReq
+	var dynCopies []*SpecReq
+	var dynRels []int // probe-side scans pruned from the build side
+	for _, spec := range req.specs {
+		if build.rels[spec.ScanRel] {
+			buildSpecs = append(buildSpecs, spec)
+			continue
+		}
+		if m.o.DisableSelection {
+			probeSpecs = append(probeSpecs, spec)
+			continue
+		}
+		keyPreds, found := expr.FindPredsOnKeys(spec.Keys, op.Pred)
+		if found && predsSourcedFrom(keyPreds, spec, build.rels) {
+			ns := spec.clone()
+			for lvl, p := range keyPreds {
+				if p != nil {
+					ns.Preds[lvl] = expr.Conj(p, ns.Preds[lvl])
+				}
+			}
+			buildSpecs = append(buildSpecs, ns)
+			dynRels = append(dynRels, spec.ScanRel)
+			dynCopies = append(dynCopies, spec.clone())
+			continue
+		}
+		probeSpecs = append(probeSpecs, spec)
+	}
+	probeRoutings := [][]*SpecReq{probeSpecs}
+	if len(dynCopies) > 0 {
+		withCopies := append(append([]*SpecReq{}, probeSpecs...), dynCopies...)
+		probeRoutings = append(probeRoutings, withCopies)
+	}
+
+	var out []*result
+	add := func(buildReq, probeReq request, delivered func(b, p *result) DistSpec) {
+		b := m.optimize(build, buildReq)
+		if !b.valid {
+			return
+		}
+		p := m.optimize(probe, probeReq)
+		if !p.valid {
+			return
+		}
+		// Dynamic elimination requires the consumer scan to share the
+		// join's process: no Motion on the path to it.
+		for _, rel := range dynRels {
+			if !pathMotionFree(p.node, rel) {
+				return
+			}
+		}
+		d := delivered(b, p)
+		if !d.Satisfies(req.dist) {
+			return
+		}
+		probeCost := p.cost
+		if len(dynRels) > 0 {
+			// Credit the run-time pruning the dynamic selectors achieve.
+			probeCost *= m.o.dynFraction()
+		}
+		outRows := joinOutRows(op.Type, b.rows, p.rows)
+		cost := b.cost + probeCost + b.rows*costBuildRow + p.rows*costProbeRow + outRows*costJoinOutRow
+		node := plan.NewHashJoin(op.Type, buildKeys, probeKeys, residual, b.node, p.node, op.Pred)
+		plan.SetEstimates(node, outRows, cost)
+		out = append(out, &result{valid: true, cost: cost, rows: outRows, delivered: d, node: node})
+	}
+
+	bCols, bOK := keyCols(buildKeys)
+	pCols, pOK := keyCols(probeKeys)
+	for _, ps := range probeRoutings {
+		// Alternative 1: co-locate by redistributing both sides on the keys.
+		if len(buildKeys) > 0 && bOK && pOK {
+			add(request{dist: HashedOn(bCols...), specs: buildSpecs},
+				request{dist: HashedOn(pCols...), specs: ps},
+				func(b, p *result) DistSpec {
+					// Key equality makes both hash layouts equivalent; report
+					// the one the parent asked for when possible.
+					if HashedOn(bCols...).Satisfies(req.dist) {
+						return HashedOn(bCols...)
+					}
+					return HashedOn(pCols...)
+				})
+		}
+
+		// Alternative 2: replicate the build side; probe rows stay put.
+		add(request{dist: Replicated(), specs: buildSpecs},
+			request{dist: AnySpec(), specs: ps},
+			func(b, p *result) DistSpec { return p.delivered })
+
+		// Alternative 3: replicate the probe side (inner joins only — a
+		// replicated probe would emit each semi-join witness once per
+		// segment). Invalid with dynamic elimination: the Motion would sit
+		// above the consumer scan; the pathMotionFree check rejects it.
+		if op.Type == plan.InnerJoin {
+			add(request{dist: AnySpec(), specs: buildSpecs},
+				request{dist: Replicated(), specs: ps},
+				func(b, p *result) DistSpec {
+					if b.delivered.Kind == ReplicatedDist {
+						return Replicated()
+					}
+					return b.delivered
+				})
+		}
+	}
+
+	// Alternative 4: partition-wise join (the §5 related-work extension):
+	// both sides are base tables co-partitioned AND co-distributed on the
+	// join key, so the join decomposes into per-partition-pair joins with
+	// no data movement at all.
+	if pw := m.implementPartitionWise(build, probe, op, buildKeys, probeKeys, residual, req); pw != nil {
+		out = append(out, pw)
+	}
+	return out
+}
+
+// implementPartitionWise builds the partition-wise alternative when the
+// preconditions hold; nil otherwise.
+func (m *memo) implementPartitionWise(build, probe *group, op *logical.Join, buildKeys, probeKeys []expr.Expr, residual expr.Expr, req request) *result {
+	bGet, pGet := soleGet(build), soleGet(probe)
+	if bGet == nil || pGet == nil {
+		return nil
+	}
+	bDesc, pDesc := bGet.Table.Part, pGet.Table.Part
+	if !part.Aligned(bDesc, pDesc) {
+		return nil
+	}
+	// The partition-key equality must be among the join keys.
+	bKeyCol := expr.ColID{Rel: bGet.Rel, Ord: bDesc.KeyOrds()[0]}
+	pKeyCol := expr.ColID{Rel: pGet.Rel, Ord: pDesc.KeyOrds()[0]}
+	keyed := false
+	for i := range buildKeys {
+		bc, bok := buildKeys[i].(*expr.Col)
+		pc, pok := probeKeys[i].(*expr.Col)
+		if bok && pok && bc.ID == bKeyCol && pc.ID == pKeyCol {
+			keyed = true
+			break
+		}
+	}
+	if !keyed {
+		return nil
+	}
+	// Colocation: both tables natively hash-distributed on the join key.
+	if !m.o.nativeDist(bGet).Satisfies(HashedOn(bKeyCol)) || !m.o.nativeDist(pGet).Satisfies(HashedOn(pKeyCol)) {
+		return nil
+	}
+	delivered := HashedOn(pKeyCol)
+	if !delivered.Satisfies(req.dist) {
+		if alt := HashedOn(bKeyCol); alt.Satisfies(req.dist) {
+			delivered = alt
+		} else {
+			return nil
+		}
+	}
+
+	bScan := plan.NewDynamicScan(bGet.Table, bGet.Rel, bGet.Rel)
+	pScan := plan.NewDynamicScan(pGet.Table, pGet.Rel, pGet.Rel)
+	var node plan.Node = plan.NewPartitionWiseJoin(op.Type, buildKeys, probeKeys, residual, bScan, pScan, op.Pred)
+
+	// Resolve every travelling spec with a selector directly above the
+	// join (static conjuncts only: the per-pair scans read the mailboxes
+	// before producing rows).
+	bRows, pRows := m.o.tableRows(bGet.Table), m.o.tableRows(pGet.Table)
+	for _, spec := range req.specs {
+		preds := staticOnlyPreds(spec)
+		fraction := m.o.staticFraction(spec, preds)
+		node = plan.NewPartitionSelector(spec.Table, spec.ScanRel, preds, node)
+		switch spec.ScanRel {
+		case bGet.Rel:
+			bRows *= fraction
+		case pGet.Rel:
+			pRows *= fraction
+		}
+	}
+	// Per-pair hash tables are small and stay cache-resident; the discount
+	// reflects that (ablation: costPWDiscount in cost.go).
+	outRows := joinOutRows(op.Type, bRows, pRows)
+	cost := (bRows*costBuildRow + pRows*costProbeRow) * costPWDiscount
+	cost += outRows * costJoinOutRow
+	plan.SetEstimates(node, outRows, cost)
+	return &result{valid: true, cost: cost, rows: outRows, delivered: delivered, node: node}
+}
+
+// soleGet returns the group's Get operator when the group is a base-table
+// leaf over a single-level partitioned table.
+func soleGet(g *group) *logical.Get {
+	for _, le := range g.lexprs {
+		if get, ok := le.op.(*logical.Get); ok {
+			if get.Table.IsPartitioned() && get.Table.Part.NumLevels() == 1 {
+				return get
+			}
+		}
+	}
+	return nil
+}
+
+// predsSourcedFrom reports whether every non-key column referenced by the
+// extracted per-level predicates is available from the build side — the
+// producer must be able to evaluate them while streaming build rows.
+func predsSourcedFrom(keyPreds []expr.Expr, spec *SpecReq, buildRels map[int]bool) bool {
+	for lvl, p := range keyPreds {
+		if p == nil {
+			continue
+		}
+		for id := range expr.ColsUsed(p) {
+			if id == spec.Keys[lvl] {
+				continue
+			}
+			if !buildRels[id.Rel] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// splitJoinPred separates equi-join conjuncts (one side's columns vs the
+// other's) from the residual predicate.
+func splitJoinPred(pred expr.Expr, leftRels, rightRels map[int]bool) (leftKeys, rightKeys []expr.Expr, residual expr.Expr) {
+	var rest []expr.Expr
+	for _, c := range expr.Conjuncts(pred) {
+		cmp, ok := c.(*expr.Cmp)
+		if !ok || cmp.Op != expr.EQ {
+			rest = append(rest, c)
+			continue
+		}
+		lSide, lOK := sideOf(cmp.L, leftRels, rightRels)
+		rSide, rOK := sideOf(cmp.R, leftRels, rightRels)
+		switch {
+		case lOK && rOK && lSide == 0 && rSide == 1:
+			leftKeys = append(leftKeys, cmp.L)
+			rightKeys = append(rightKeys, cmp.R)
+		case lOK && rOK && lSide == 1 && rSide == 0:
+			leftKeys = append(leftKeys, cmp.R)
+			rightKeys = append(rightKeys, cmp.L)
+		default:
+			rest = append(rest, c)
+		}
+	}
+	return leftKeys, rightKeys, expr.Conj(rest...)
+}
+
+// sideOf classifies an expression: 0 = uses only left columns, 1 = only
+// right columns. ok is false for mixed or column-free expressions.
+func sideOf(e expr.Expr, leftRels, rightRels map[int]bool) (int, bool) {
+	usedLeft, usedRight := false, false
+	for id := range expr.ColsUsed(e) {
+		switch {
+		case leftRels[id.Rel]:
+			usedLeft = true
+		case rightRels[id.Rel]:
+			usedRight = true
+		}
+	}
+	switch {
+	case usedLeft && !usedRight:
+		return 0, true
+	case usedRight && !usedLeft:
+		return 1, true
+	}
+	return 0, false
+}
+
+// keyCols extracts plain column identities from key expressions; ok is
+// false when a key is a computed expression.
+func keyCols(keys []expr.Expr) ([]expr.ColID, bool) {
+	out := make([]expr.ColID, 0, len(keys))
+	for _, k := range keys {
+		c, ok := k.(*expr.Col)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, c.ID)
+	}
+	return out, true
+}
+
+// pathMotionFree reports whether the unique path from n down to the
+// DynamicScan with the given partScanId crosses no Motion.
+func pathMotionFree(n plan.Node, rel int) bool {
+	if ds, ok := n.(*plan.DynamicScan); ok {
+		return ds.PartScanID == rel
+	}
+	if _, isMotion := n.(*plan.Motion); isMotion {
+		return false
+	}
+	for _, c := range n.Children() {
+		if containsScan(c, rel) {
+			return pathMotionFree(c, rel)
+		}
+	}
+	return false
+}
+
+func containsScan(n plan.Node, rel int) bool {
+	found := false
+	plan.Walk(n, func(x plan.Node) bool {
+		if found {
+			return false
+		}
+		if ds, ok := x.(*plan.DynamicScan); ok && ds.PartScanID == rel {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

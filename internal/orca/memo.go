@@ -1,0 +1,163 @@
+package orca
+
+import (
+	"fmt"
+
+	"partopt/internal/catalog"
+	"partopt/internal/expr"
+	"partopt/internal/logical"
+	"partopt/internal/plan"
+)
+
+// The Memo structure (paper Fig. 13): groups of logically equivalent
+// expressions, each expression an operator over child groups.
+
+// lexpr is one logical group expression.
+type lexpr struct {
+	op       logical.Node // operator payload; children ignored (groups below)
+	children []*group
+}
+
+// group is one equivalence class.
+type group struct {
+	id     int
+	lexprs []*lexpr
+	rels   map[int]bool
+	best   map[string]*result // request key → memoized optimization result
+}
+
+// result is the best plan found for one (group, request) pair.
+type result struct {
+	valid     bool
+	cost      float64
+	rows      float64
+	delivered DistSpec
+	node      plan.Node
+}
+
+var invalidResult = &result{}
+
+// memo holds the search state of one optimization run.
+type memo struct {
+	o      *Optimizer
+	groups []*group
+	tables map[int]*catalog.Table // relation instance → base table (for stats)
+}
+
+func (m *memo) noteTable(rel int, t *catalog.Table) {
+	if m.tables == nil {
+		m.tables = map[int]*catalog.Table{}
+	}
+	m.tables[rel] = t
+}
+
+// colStats returns the collected statistics of a column, or nil.
+func (m *memo) colStats(id expr.ColID) *catalog.ColumnStats {
+	t := m.tables[id.Rel]
+	if t == nil || t.Stats == nil || id.Ord < 0 || id.Ord >= len(t.Stats.Cols) {
+		return nil
+	}
+	return &t.Stats.Cols[id.Ord]
+}
+
+func (m *memo) newGroup(rels map[int]bool) *group {
+	g := &group{id: len(m.groups), rels: rels, best: map[string]*result{}}
+	m.groups = append(m.groups, g)
+	return g
+}
+
+// insert copies a logical tree into the memo, creating one group per node,
+// and applies the join-commutativity transformation: every inner-join group
+// also holds the swapped expression (HashJoin[2,1] alongside HashJoin[1,2]
+// in the paper's Fig. 13).
+func (m *memo) insert(n logical.Node) (*group, error) {
+	switch x := n.(type) {
+	case *logical.Get:
+		g := m.newGroup(x.Rels())
+		g.lexprs = append(g.lexprs, &lexpr{op: x})
+		m.noteTable(x.Rel, x.Table)
+		return g, nil
+	case *logical.Select:
+		child, err := m.insert(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		g := m.newGroup(x.Rels())
+		g.lexprs = append(g.lexprs, &lexpr{op: x, children: []*group{child}})
+		return g, nil
+	case *logical.Project:
+		child, err := m.insert(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		g := m.newGroup(x.Rels())
+		g.lexprs = append(g.lexprs, &lexpr{op: x, children: []*group{child}})
+		return g, nil
+	case *logical.GroupBy:
+		child, err := m.insert(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		g := m.newGroup(x.Rels())
+		g.lexprs = append(g.lexprs, &lexpr{op: x, children: []*group{child}})
+		return g, nil
+	case *logical.Join:
+		left, err := m.insert(x.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := m.insert(x.Right)
+		if err != nil {
+			return nil, err
+		}
+		g := m.newGroup(x.Rels())
+		g.lexprs = append(g.lexprs, &lexpr{op: x, children: []*group{left, right}})
+		if x.Type == plan.InnerJoin {
+			// Join commutativity: the swapped child order is a distinct
+			// physical opportunity (build side executes first).
+			g.lexprs = append(g.lexprs, &lexpr{op: x, children: []*group{right, left}})
+		}
+		return g, nil
+	default:
+		return nil, fmt.Errorf("orca: unsupported logical operator %T in memo", n)
+	}
+}
+
+// collectSpecs builds the initial partition-propagation specs of the root
+// request: one per partitioned Get in the tree (the paper's initial request
+// "{Any, <0, R.pk, φ>}").
+func collectSpecs(n logical.Node) []*SpecReq {
+	var out []*SpecReq
+	var walk func(logical.Node)
+	walk = func(n logical.Node) {
+		if g, ok := n.(*logical.Get); ok && g.Table.IsPartitioned() {
+			ords := g.Table.Part.KeyOrds()
+			keys := make([]expr.ColID, len(ords))
+			for i, ord := range ords {
+				keys[i] = expr.ColID{Rel: g.Rel, Ord: ord}
+			}
+			out = append(out, &SpecReq{
+				ScanRel: g.Rel,
+				Table:   g.Table,
+				Keys:    keys,
+				Preds:   make([]expr.Expr, len(ords)),
+			})
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// scanGroupFor reports whether g is the leaf group of the spec's own
+// DynamicScan.
+func scanGroupFor(g *group, spec *SpecReq) bool {
+	for _, le := range g.lexprs {
+		if get, ok := le.op.(*logical.Get); ok && get.Rel == spec.ScanRel {
+			return true
+		}
+	}
+	return false
+}

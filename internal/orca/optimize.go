@@ -1,0 +1,509 @@
+package orca
+
+import (
+	"fmt"
+
+	"partopt/internal/catalog"
+	"partopt/internal/expr"
+	"partopt/internal/logical"
+	"partopt/internal/plan"
+)
+
+// Optimizer is the public entry point.
+type Optimizer struct {
+	Segments int // cluster width, for motion costing
+
+	// DisableSelection turns partition selection off: selectors are still
+	// placed (DynamicScans need producers) but carry no predicates, so
+	// every partition is scanned. This is the "partition selection
+	// disabled" configuration of the paper's Figure 17 experiment.
+	DisableSelection bool
+
+	// DynFraction is the assumed fraction of partitions a join-driven
+	// (dynamic) PartitionSelector retains. The true value is only known at
+	// run time; this constant is the cost model's estimate (see DESIGN.md
+	// ablations).
+	DynFraction float64
+}
+
+func (o *Optimizer) dynFraction() float64 {
+	if o.DynFraction > 0 {
+		return o.DynFraction
+	}
+	return 0.15
+}
+
+// Optimize turns a logical tree into an executable physical plan rooted at
+// a Gather Motion. Project and GroupBy shells and DML Updates are planned
+// above the Memo-optimized core (aggregation and final projection run on
+// the coordinator).
+func (o *Optimizer) Optimize(root logical.Node) (plan.Node, error) {
+	if o.Segments < 1 {
+		return nil, fmt.Errorf("orca: optimizer needs a positive segment count")
+	}
+	if upd, ok := root.(*logical.Update); ok {
+		return o.optimizeDML(upd.Child, upd.Table, upd.Rel, func(child plan.Node) plan.Node {
+			return plan.NewUpdate(upd.Table, upd.Rel, upd.Sets, child)
+		})
+	}
+	if del, ok := root.(*logical.Delete); ok {
+		return o.optimizeDML(del.Child, del.Table, del.Rel, func(child plan.Node) plan.Node {
+			return plan.NewDelete(del.Table, del.Rel, child)
+		})
+	}
+
+	var proj *logical.Project
+	var gb *logical.GroupBy
+	n := root
+	if p, ok := n.(*logical.Project); ok {
+		proj = p
+		n = p.Child
+	}
+	if g, ok := n.(*logical.GroupBy); ok {
+		gb = g
+		n = g.Child
+	}
+
+	var node plan.Node
+	if gb != nil && len(gb.Groups) > 0 {
+		// Prefer distributed aggregation: the Memo requires the child to
+		// be hash-distributed on the grouping columns, so each segment
+		// aggregates its own groups and the coordinator only gathers.
+		if core, err := o.optimizeCore(gb); err == nil {
+			node = o.gather(core)
+			gb = nil
+		}
+	}
+	if node == nil {
+		core, err := o.optimizeCore(n)
+		if err != nil {
+			return nil, err
+		}
+		node = o.gather(core)
+	}
+	// Remaining shell operators run in the coordinator slice (scalar
+	// aggregation, grouped-agg fallback, final projection).
+	if gb != nil {
+		node = plan.NewHashAgg(gb.Groups, gb.Aggs, node)
+	}
+	if proj != nil {
+		node = plan.NewProject(proj.Cols, node)
+	}
+	return node, nil
+}
+
+// gather wraps a core result with the final Gather Motion; replicated
+// deliveries gather from a single segment to avoid duplicate copies.
+func (o *Optimizer) gather(core *result) *plan.Motion {
+	g := plan.NewMotion(plan.GatherMotion, nil, core.node)
+	if core.delivered.Kind == ReplicatedDist {
+		g.FromSegment = 0
+	}
+	return g
+}
+
+// optimizeDML plans an update or delete: the target table's rows must stay
+// on their segments (no Motion above the target scan), so the child is
+// optimized for the target's native distribution first, falling back to
+// Any. wrap builds the DML node over the optimized row source.
+func (o *Optimizer) optimizeDML(child logical.Node, table *catalog.Table, rel int, wrap func(plan.Node) plan.Node) (plan.Node, error) {
+	m := &memo{o: o}
+	g, err := m.insert(child)
+	if err != nil {
+		return nil, err
+	}
+	specs := collectSpecs(child)
+	o.stripPredsIfDisabled(specs)
+
+	reqs := []request{}
+	if table.Dist.Kind == catalog.DistHashed {
+		cols := make([]expr.ColID, len(table.Dist.KeyOrds))
+		for i, ord := range table.Dist.KeyOrds {
+			cols[i] = expr.ColID{Rel: rel, Ord: ord}
+		}
+		reqs = append(reqs, request{dist: HashedOn(cols...), specs: specs})
+	}
+	reqs = append(reqs, request{dist: AnySpec(), specs: specs})
+
+	var core *result
+	for _, req := range reqs {
+		if res := m.optimize(g, req); res.valid {
+			core = res
+			break
+		}
+	}
+	if core == nil {
+		return nil, fmt.Errorf("orca: no valid plan for DML on %s", table.Name)
+	}
+	markRowID(core.node, rel)
+	node := wrap(core.node)
+	plan.SetEstimates(node, 1, core.cost)
+	return plan.NewMotion(plan.GatherMotion, nil, node), nil
+}
+
+// markRowID turns on the RowID pseudo-column for the target relation's
+// scan in an extracted plan.
+func markRowID(n plan.Node, rel int) {
+	plan.Walk(n, func(x plan.Node) bool {
+		switch s := x.(type) {
+		case *plan.Scan:
+			if s.Rel == rel {
+				s.WithRowID = true
+			}
+		case *plan.DynamicScan:
+			if s.Rel == rel {
+				s.WithRowID = true
+			}
+		case *plan.IndexScan:
+			if s.Rel == rel {
+				s.WithRowID = true
+			}
+		case *plan.DynamicIndexScan:
+			if s.Rel == rel {
+				s.WithRowID = true
+			}
+		}
+		return true
+	})
+}
+
+// optimizeCore runs the Memo over a Select/Join/Get core.
+func (o *Optimizer) optimizeCore(n logical.Node) (*result, error) {
+	m := &memo{o: o}
+	g, err := m.insert(n)
+	if err != nil {
+		return nil, err
+	}
+	specs := collectSpecs(n)
+	o.stripPredsIfDisabled(specs)
+	res := m.optimize(g, request{dist: AnySpec(), specs: specs})
+	if !res.valid {
+		return nil, fmt.Errorf("orca: no valid plan found")
+	}
+	return res, nil
+}
+
+func (o *Optimizer) stripPredsIfDisabled(specs []*SpecReq) {
+	// Initial specs carry no predicates; the flag matters during routing.
+	_ = specs
+}
+
+// optimize computes the best plan of a group for a request, memoized.
+// This is the heart of the paper's §3.1: direct implementations compete
+// with enforcer-rooted alternatives.
+func (m *memo) optimize(g *group, req request) *result {
+	key := req.key()
+	if r, ok := g.best[key]; ok {
+		if r == nil {
+			return invalidResult // in-progress: cyclic alternative, prune
+		}
+		return r
+	}
+	g.best[key] = nil
+	best := invalidResult
+	consider := func(r *result) {
+		if r != nil && r.valid && (!best.valid || r.cost < best.cost) {
+			best = r
+		}
+	}
+
+	externalCount := 0
+	for _, s := range req.specs {
+		if !g.rels[s.ScanRel] {
+			externalCount++
+		}
+	}
+
+	// 1. Direct operator implementations. External specs must be consumed
+	// by a PartitionSelector enforcer before an operator can root the plan
+	// — the selector is the producer and must sit on top of the subtree
+	// whose rows drive it.
+	if externalCount == 0 {
+		for _, le := range g.lexprs {
+			for _, r := range m.implement(g, le, req) {
+				consider(r)
+			}
+		}
+	}
+
+	// 2. PartitionSelector enforcer (the partition-propagation property
+	// enforcer). Allowed for external specs (producer side) and at the
+	// spec's own scan group (static selection above the scan).
+	for i, spec := range req.specs {
+		isExternal := !g.rels[spec.ScanRel]
+		isOwnScan := scanGroupFor(g, spec)
+		if !isExternal && !isOwnScan {
+			continue
+		}
+		sub := m.optimize(g, req.without(i))
+		if !sub.valid {
+			continue
+		}
+		if isOwnScan {
+			if !pathMotionFree(sub.node, spec.ScanRel) {
+				// A selector above a Motion above its own scan would put
+				// producer and consumer in different processes — and the
+				// Motion may sit anywhere on the path, not just at the
+				// child's root (e.g. below another spec's selector).
+				continue
+			}
+			preds := staticOnlyPreds(spec)
+			fraction := m.o.staticFraction(spec, preds)
+			node := plan.NewPartitionSelector(spec.Table, spec.ScanRel, preds, sub.node)
+			rows := sub.rows * fraction
+			if rows < 1 {
+				rows = 1
+			}
+			cost := sub.cost*fraction + costSelectorBase
+			plan.SetEstimates(node, rows, cost)
+			consider(&result{valid: true, cost: cost, rows: rows, delivered: sub.delivered, node: node})
+			continue
+		}
+		// Producer-side selector: pass-through over this subtree's rows.
+		node := plan.NewPartitionSelector(spec.Table, spec.ScanRel, spec.Preds, sub.node)
+		cost := sub.cost + sub.rows*costSelectorPerRow + costSelectorBase
+		plan.SetEstimates(node, sub.rows, cost)
+		consider(&result{valid: true, cost: cost, rows: sub.rows, delivered: sub.delivered, node: node})
+	}
+
+	// 3. Motion enforcer (the distribution property enforcer). Prohibited
+	// while the request carries external specs: the Motion would separate
+	// the pending PartitionSelector from its DynamicScan.
+	if externalCount == 0 && req.dist.Kind != AnyDist {
+		sub := m.optimize(g, req.withDist(AnySpec()))
+		if sub.valid {
+			switch req.dist.Kind {
+			case HashedDist:
+				keys := make([]expr.Expr, len(req.dist.Cols))
+				for i, c := range req.dist.Cols {
+					keys[i] = expr.NewCol(c, "")
+				}
+				node := plan.NewMotion(plan.RedistributeMotion, keys, sub.node)
+				cost := sub.cost + sub.rows*costRedistRow
+				plan.SetEstimates(node, sub.rows, cost)
+				consider(&result{valid: true, cost: cost, rows: sub.rows, delivered: req.dist, node: node})
+			case ReplicatedDist:
+				if sub.delivered.Kind != ReplicatedDist {
+					node := plan.NewMotion(plan.BroadcastMotion, nil, sub.node)
+					cost := sub.cost + sub.rows*costBcastRow*float64(m.o.Segments)
+					plan.SetEstimates(node, sub.rows*float64(m.o.Segments), cost)
+					consider(&result{valid: true, cost: cost, rows: sub.rows, delivered: req.dist, node: node})
+				}
+			}
+		}
+	}
+
+	g.best[key] = best
+	return best
+}
+
+// implement produces the candidate plans of one logical expression for a
+// request. All specs in req are internal to g here.
+func (m *memo) implement(g *group, le *lexpr, req request) []*result {
+	switch op := le.op.(type) {
+	case *logical.Get:
+		return m.implementGet(op, req)
+	case *logical.Select:
+		return m.implementSelect(le, op, req)
+	case *logical.Project:
+		return m.implementProject(le, op, req)
+	case *logical.GroupBy:
+		return m.implementGroupBy(le, op, req)
+	case *logical.Join:
+		return m.implementJoin(le, op, req)
+	}
+	return nil
+}
+
+func (m *memo) implementGet(op *logical.Get, req request) []*result {
+	if len(req.specs) > 0 {
+		// The spec for this scan is resolved by the selector enforcer.
+		return nil
+	}
+	delivered := m.o.nativeDist(op)
+	if !delivered.Satisfies(req.dist) {
+		return nil
+	}
+	rows := m.o.tableRows(op.Table)
+	var node plan.Node
+	if op.Table.IsPartitioned() {
+		node = plan.NewDynamicScan(op.Table, op.Rel, op.Rel)
+	} else {
+		node = plan.NewScan(op.Table, op.Rel)
+	}
+	cost := rows * costScanRow
+	plan.SetEstimates(node, rows, cost)
+	return []*result{{valid: true, cost: cost, rows: rows, delivered: delivered, node: node}}
+}
+
+func (m *memo) implementSelect(le *lexpr, op *logical.Select, req request) []*result {
+	// Algorithm 3 in Memo form: augment travelling specs with the
+	// partition-filtering conjuncts of this predicate.
+	childSpecs := make([]*SpecReq, 0, len(req.specs))
+	for _, spec := range req.specs {
+		if m.o.DisableSelection {
+			childSpecs = append(childSpecs, spec)
+			continue
+		}
+		keyPreds, found := expr.FindPredsOnKeys(spec.Keys, op.Pred)
+		if !found {
+			childSpecs = append(childSpecs, spec)
+			continue
+		}
+		ns := spec.clone()
+		for lvl, p := range keyPreds {
+			if p != nil {
+				ns.Preds[lvl] = expr.Conj(p, ns.Preds[lvl])
+			}
+		}
+		childSpecs = append(childSpecs, ns)
+	}
+	var out []*result
+	sub := m.optimize(le.children[0], request{dist: req.dist, specs: childSpecs})
+	if sub.valid {
+		node := plan.NewFilter(op.Pred, sub.node)
+		rows := sub.rows * m.selectivity(op.Pred)
+		if rows < 1 {
+			rows = 1
+		}
+		cost := sub.cost + sub.rows*costFilterRow
+		plan.SetEstimates(node, rows, cost)
+		out = append(out, &result{valid: true, cost: cost, rows: rows, delivered: sub.delivered, node: node})
+	}
+	if idx := m.implementIndexSelect(le, op, childSpecs, req); idx != nil {
+		out = append(out, idx)
+	}
+	return out
+}
+
+// implementIndexSelect offers the index-scan alternative of a Select over a
+// base table (the paper's future-work indexing): an IndexScan, or — for
+// partitioned tables — a DynamicIndexScan under its PartitionSelectors, so
+// partition elimination and index lookup compose.
+func (m *memo) implementIndexSelect(le *lexpr, op *logical.Select, childSpecs []*SpecReq, req request) *result {
+	get := soleGetAny(le.children[0])
+	if get == nil {
+		return nil
+	}
+	delivered := m.o.nativeDist(get)
+	if !delivered.Satisfies(req.dist) {
+		return nil
+	}
+	// Pick the first index whose column the predicate statically constrains.
+	var chosen *catalog.IndexDef
+	var keyPred expr.Expr
+	for i := range get.Table.Indexes {
+		idx := &get.Table.Indexes[i]
+		key := expr.ColID{Rel: get.Rel, Ord: idx.ColOrd}
+		p := expr.FindPredOnKey(key, op.Pred)
+		if p == nil {
+			continue
+		}
+		p = staticConjunctsOnly(p, key)
+		if p == nil {
+			continue
+		}
+		chosen, keyPred = idx, p
+		break
+	}
+	if chosen == nil {
+		return nil
+	}
+
+	rows := m.o.tableRows(get.Table)
+	var scanNode plan.Node
+	if get.Table.IsPartitioned() {
+		scanNode = plan.NewDynamicIndexScan(get.Table, get.Rel, get.Rel, *chosen, keyPred)
+	} else {
+		scanNode = plan.NewIndexScan(get.Table, get.Rel, *chosen, keyPred)
+	}
+	var node plan.Node = plan.NewFilter(op.Pred, scanNode)
+	for _, spec := range childSpecs {
+		preds := staticOnlyPreds(spec)
+		fraction := m.o.staticFraction(spec, preds)
+		node = plan.NewPartitionSelector(spec.Table, spec.ScanRel, preds, node)
+		rows *= fraction
+	}
+	sel := m.selectivity(keyPred)
+	fetched := rows * sel
+	if fetched < 1 {
+		fetched = 1
+	}
+	outRows := rows * m.selectivity(op.Pred)
+	if outRows < 1 {
+		outRows = 1
+	}
+	cost := fetched*costIndexRow + fetched*costFilterRow + costSelectorBase
+	plan.SetEstimates(node, outRows, cost)
+	return &result{valid: true, cost: cost, rows: outRows, delivered: delivered, node: node}
+}
+
+// soleGetAny returns the group's Get operator for any base table.
+func soleGetAny(g *group) *logical.Get {
+	for _, le := range g.lexprs {
+		if get, ok := le.op.(*logical.Get); ok {
+			return get
+		}
+	}
+	return nil
+}
+
+// staticConjunctsOnly keeps the conjuncts of pred whose only column is the
+// key itself and which carry no parameters that cannot bind — parameters
+// ARE allowed (they bind at Open); other columns are not.
+func staticConjunctsOnly(pred expr.Expr, key expr.ColID) expr.Expr {
+	var keep []expr.Expr
+	for _, c := range expr.Conjuncts(pred) {
+		ok := true
+		for id := range expr.ColsUsed(c) {
+			if id != key {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			keep = append(keep, c)
+		}
+	}
+	return expr.Conj(keep...)
+}
+
+func (m *memo) implementProject(le *lexpr, op *logical.Project, req request) []*result {
+	sub := m.optimize(le.children[0], request{dist: req.dist, specs: req.specs})
+	if !sub.valid {
+		return nil
+	}
+	node := plan.NewProject(op.Cols, sub.node)
+	cost := sub.cost + sub.rows*costProjectRow
+	plan.SetEstimates(node, sub.rows, cost)
+	return []*result{{valid: true, cost: cost, rows: sub.rows, delivered: sub.delivered, node: node}}
+}
+
+func (m *memo) implementGroupBy(le *lexpr, op *logical.GroupBy, req request) []*result {
+	if len(op.Groups) == 0 {
+		return nil // scalar aggregation is planned on the coordinator
+	}
+	cols := make([]expr.ColID, 0, len(op.Groups))
+	for _, gc := range op.Groups {
+		c, ok := gc.E.(*expr.Col)
+		if !ok {
+			return nil
+		}
+		cols = append(cols, c.ID)
+	}
+	sub := m.optimize(le.children[0], request{dist: HashedOn(cols...), specs: req.specs})
+	if !sub.valid {
+		return nil
+	}
+	if !sub.delivered.Satisfies(req.dist) {
+		return nil
+	}
+	node := plan.NewHashAgg(op.Groups, op.Aggs, sub.node)
+	rows := sub.rows / 3
+	if rows < 1 {
+		rows = 1
+	}
+	cost := sub.cost + sub.rows*costAggRow
+	plan.SetEstimates(node, rows, cost)
+	return []*result{{valid: true, cost: cost, rows: rows, delivered: sub.delivered, node: node}}
+}

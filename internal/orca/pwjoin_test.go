@@ -1,0 +1,242 @@
+package orca
+
+import (
+	"testing"
+
+	"partopt/internal/catalog"
+	"partopt/internal/exec"
+	"partopt/internal/expr"
+	"partopt/internal/logical"
+	"partopt/internal/part"
+	"partopt/internal/plan"
+	"partopt/internal/stats"
+	"partopt/internal/storage"
+	"partopt/internal/types"
+)
+
+// coPartitioned builds two tables partitioned AND hash-distributed on the
+// same key column with identical schemes — the partition-wise join
+// preconditions.
+func coPartitioned(t *testing.T, segs int) (*catalog.Catalog, *exec.Runtime) {
+	t.Helper()
+	cat := catalog.New()
+	st := storage.NewStore(segs)
+	for _, name := range []string{"A", "B"} {
+		tab, err := cat.CreateTable(name,
+			[]catalog.Column{{Name: "k", Kind: types.KindInt}, {Name: "v", Kind: types.KindInt}},
+			catalog.Hashed(0),
+			part.RangeLevel(0, part.IntBounds(0, 1000, 10)...),
+		)
+		if err != nil {
+			t.Fatalf("create %s: %v", name, err)
+		}
+		st.CreateTable(tab)
+		for i := int64(0); i < 1000; i += 2 {
+			k := i
+			if name == "B" {
+				k = i + 1 // B holds odd keys except every 10th, which matches
+				if i%10 == 0 {
+					k = i
+				}
+			}
+			if err := st.Insert(tab, types.Row{types.NewInt(k), types.NewInt(i)}); err != nil {
+				t.Fatalf("insert %s: %v", name, err)
+			}
+		}
+	}
+	if err := stats.CollectAll(st, cat); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	return cat, &exec.Runtime{Store: st}
+}
+
+func coJoin(cat *catalog.Catalog, pred expr.Expr) *logical.Join {
+	return &logical.Join{
+		Type:  plan2InnerJoin(),
+		Pred:  pred,
+		Left:  &logical.Get{Table: cat.MustTable("A"), Rel: 1},
+		Right: &logical.Get{Table: cat.MustTable("B"), Rel: 2},
+	}
+}
+
+func TestPartitionWiseJoinChosenAndCorrect(t *testing.T) {
+	cat, rt := coPartitioned(t, 4)
+	pred := expr.NewCmp(expr.EQ, col(1, 0, "A.k"), col(2, 0, "B.k"))
+	o := &Optimizer{Segments: 4}
+	p, err := o.Optimize(coJoin(cat, pred))
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	pwjs := planFindPWJ(p)
+	if len(pwjs) != 1 {
+		t.Fatalf("partition-wise join not chosen:\n%s", planExplain(p))
+	}
+	res, err := exec.Run(rt, p, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Matching keys: every 10th even value 0,10,...,990 → 100 rows.
+	if len(res.Rows) != 100 {
+		t.Errorf("rows = %d, want 100", len(res.Rows))
+	}
+
+	// Cross-check against the plain hash-join result by disabling the
+	// partition-wise candidate via a non-colocated alias... simplest:
+	// compare with the legacy-style manual join through a fresh optimizer
+	// on a query whose keys are computed (disabling the PWJ rule).
+	computed := expr.NewCmp(expr.EQ,
+		&expr.Arith{Op: expr.Add, L: col(1, 0, "A.k"), R: expr.NewConst(types.NewInt(0))},
+		col(2, 0, "B.k"))
+	p2, err := o.Optimize(coJoin(cat, computed))
+	if err != nil {
+		t.Fatalf("Optimize fallback: %v", err)
+	}
+	if len(planFindPWJ(p2)) != 0 {
+		t.Fatalf("computed key should disable partition-wise join:\n%s", planExplain(p2))
+	}
+	res2, err := exec.Run(rt, p2, nil)
+	if err != nil {
+		t.Fatalf("Run fallback: %v", err)
+	}
+	if len(res2.Rows) != len(res.Rows) {
+		t.Errorf("partition-wise join result differs: %d vs %d rows", len(res.Rows), len(res2.Rows))
+	}
+}
+
+func TestPartitionWiseJoinComposesWithSelection(t *testing.T) {
+	cat, rt := coPartitioned(t, 2)
+	// Static predicate on A.k prunes pairs on BOTH sides: only matching
+	// pairs are scanned at all.
+	pred := expr.Conj(
+		expr.NewCmp(expr.EQ, col(1, 0, "A.k"), col(2, 0, "B.k")),
+		expr.NewCmp(expr.LT, col(1, 0, "A.k"), expr.NewConst(types.NewInt(100))),
+		expr.NewCmp(expr.LT, col(2, 0, "B.k"), expr.NewConst(types.NewInt(100))),
+	)
+	q := &logical.Select{Pred: pred, Child: coJoin(cat, expr.NewCmp(expr.EQ, col(1, 0, "A.k"), col(2, 0, "B.k")))}
+	// Push the static conjuncts the way the binder would.
+	bound := &logical.Select{
+		Pred: expr.NewCmp(expr.LT, col(2, 0, "B.k"), expr.NewConst(types.NewInt(100))),
+		Child: &logical.Select{
+			Pred:  expr.NewCmp(expr.LT, col(1, 0, "A.k"), expr.NewConst(types.NewInt(100))),
+			Child: coJoin(cat, expr.NewCmp(expr.EQ, col(1, 0, "A.k"), col(2, 0, "B.k"))),
+		},
+	}
+	_ = q
+	o := &Optimizer{Segments: 2}
+	p, err := o.Optimize(bound)
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	res, err := exec.Run(rt, p, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Keys < 100: matches at 0,10,...,90 → 10 rows.
+	if len(res.Rows) != 10 {
+		t.Errorf("rows = %d, want 10", len(res.Rows))
+	}
+	if len(planFindPWJ(p)) == 1 {
+		// With the PWJ chosen, only 1 of 10 partitions per table is read.
+		if got := res.Stats.PartsScanned("A"); got != 1 {
+			t.Errorf("A parts = %d, want 1:\n%s", got, planExplain(p))
+		}
+		if got := res.Stats.PartsScanned("B"); got != 1 {
+			t.Errorf("B parts = %d, want 1", got)
+		}
+	}
+}
+
+func TestPartitionWiseJoinRequiresAlignmentAndColocation(t *testing.T) {
+	cat := catalog.New()
+	st := storage.NewStore(2)
+	// C partitioned on k but distributed on v → not colocated by k.
+	c, err := cat.CreateTable("C",
+		[]catalog.Column{{Name: "k", Kind: types.KindInt}, {Name: "v", Kind: types.KindInt}},
+		catalog.Hashed(1),
+		part.RangeLevel(0, part.IntBounds(0, 1000, 10)...))
+	if err != nil {
+		t.Fatalf("create C: %v", err)
+	}
+	st.CreateTable(c)
+	// D aligned with C but 20 partitions → unaligned schemes.
+	d, err := cat.CreateTable("D",
+		[]catalog.Column{{Name: "k", Kind: types.KindInt}, {Name: "v", Kind: types.KindInt}},
+		catalog.Hashed(0),
+		part.RangeLevel(0, part.IntBounds(0, 1000, 20)...))
+	if err != nil {
+		t.Fatalf("create D: %v", err)
+	}
+	st.CreateTable(d)
+	if err := stats.CollectAll(st, cat); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	o := &Optimizer{Segments: 2}
+	q := &logical.Join{
+		Type:  plan2InnerJoin(),
+		Pred:  expr.NewCmp(expr.EQ, col(1, 0, "C.k"), col(2, 0, "D.k")),
+		Left:  &logical.Get{Table: c, Rel: 1},
+		Right: &logical.Get{Table: d, Rel: 2},
+	}
+	p, err := o.Optimize(q)
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if len(planFindPWJ(p)) != 0 {
+		t.Errorf("partition-wise join chosen despite misalignment:\n%s", planExplain(p))
+	}
+	if !part.Aligned(cat.MustTable("C").Part, cat.MustTable("C").Part) {
+		t.Errorf("a scheme should align with itself")
+	}
+	if part.Aligned(c.Part, d.Part) {
+		t.Errorf("10- and 20-way schemes reported aligned")
+	}
+}
+
+// Helpers shared by the partition-wise tests.
+func plan2InnerJoin() plan.JoinType { return plan.InnerJoin }
+
+func planFindPWJ(p plan.Node) []plan.Node {
+	return plan.FindAll(p, func(n plan.Node) bool {
+		_, ok := n.(*plan.PartitionWiseJoin)
+		return ok
+	})
+}
+
+func planExplain(p plan.Node) string { return plan.Explain(p) }
+
+// The plan stays partition-count independent: the pairing is recomputed at
+// run time, never enumerated in the plan.
+func TestPartitionWiseJoinPlanSizeFlat(t *testing.T) {
+	sizeFor := func(parts int) int {
+		cat := catalog.New()
+		st := storage.NewStore(2)
+		for _, name := range []string{"A", "B"} {
+			tab, err := cat.CreateTable(name,
+				[]catalog.Column{{Name: "k", Kind: types.KindInt}, {Name: "v", Kind: types.KindInt}},
+				catalog.Hashed(0),
+				part.RangeLevel(0, part.IntBounds(0, 1000, parts)...))
+			if err != nil {
+				t.Fatalf("create: %v", err)
+			}
+			st.CreateTable(tab)
+		}
+		o := &Optimizer{Segments: 2}
+		q := &logical.Join{
+			Type:  plan.InnerJoin,
+			Pred:  expr.NewCmp(expr.EQ, col(1, 0, "A.k"), col(2, 0, "B.k")),
+			Left:  &logical.Get{Table: cat.MustTable("A"), Rel: 1},
+			Right: &logical.Get{Table: cat.MustTable("B"), Rel: 2},
+		}
+		p, err := o.Optimize(q)
+		if err != nil {
+			t.Fatalf("Optimize: %v", err)
+		}
+		if len(planFindPWJ(p)) != 1 {
+			t.Fatalf("PWJ not chosen at %d parts:\n%s", parts, planExplain(p))
+		}
+		return plan.SerializedSize(p)
+	}
+	if a, b := sizeFor(10), sizeFor(300); a != b {
+		t.Errorf("partition-wise join plan size depends on partition count: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,143 @@
+package part
+
+import (
+	"fmt"
+	"time"
+
+	"partopt/internal/types"
+)
+
+// Builders for partition descriptors. A descriptor is assembled from one
+// LevelSpec per partitioning level; multi-level tables use a uniform
+// subpartition template per level, exactly like GPDB's SUBPARTITION
+// TEMPLATE clause (paper Fig. 9: months × regions).
+
+// PartSpec describes one partition of a level: a name and its check
+// constraint over that level's key.
+type PartSpec struct {
+	Name       string
+	Constraint types.IntervalSet
+}
+
+// LevelSpec describes one level: which column it partitions by, the
+// scheme, and the partitions.
+type LevelSpec struct {
+	KeyOrd int
+	Scheme Scheme
+	Parts  []PartSpec
+}
+
+// RangeLevel builds a range level with len(bounds)-1 consecutive
+// partitions [bounds[i], bounds[i+1]). At least two bounds are required.
+func RangeLevel(keyOrd int, bounds ...types.Datum) LevelSpec {
+	if len(bounds) < 2 {
+		panic("part: RangeLevel needs at least two bounds")
+	}
+	spec := LevelSpec{KeyOrd: keyOrd, Scheme: Range}
+	for i := 0; i+1 < len(bounds); i++ {
+		spec.Parts = append(spec.Parts, PartSpec{
+			Name:       fmt.Sprintf("r%d", i+1),
+			Constraint: types.SetOf(types.RangeInterval(bounds[i], bounds[i+1])),
+		})
+	}
+	return spec
+}
+
+// ListLevel builds a list (categorical) level: one partition per name,
+// holding exactly the given values.
+func ListLevel(keyOrd int, names []string, values [][]types.Datum) LevelSpec {
+	if len(names) != len(values) {
+		panic("part: ListLevel names/values length mismatch")
+	}
+	spec := LevelSpec{KeyOrd: keyOrd, Scheme: List}
+	for i, name := range names {
+		var ivs []types.Interval
+		for _, v := range values[i] {
+			ivs = append(ivs, types.PointInterval(v))
+		}
+		spec.Parts = append(spec.Parts, PartSpec{Name: name, Constraint: types.SetOf(ivs...)})
+	}
+	return spec
+}
+
+// Build assembles a descriptor from per-level specs. alloc must return a
+// fresh OID on each call; the catalog supplies it. Multi-level hierarchies
+// replicate deeper specs under every partition of the level above.
+func Build(rootOID OID, alloc func() OID, levels ...LevelSpec) *Desc {
+	if len(levels) == 0 {
+		panic("part: Build needs at least one level")
+	}
+	d := &Desc{RootOID: rootOID}
+	for _, l := range levels {
+		d.Levels = append(d.Levels, Level{KeyOrd: l.KeyOrd, Scheme: l.Scheme})
+	}
+	var build func(lvl int, prefix string) []*Node
+	build = func(lvl int, prefix string) []*Node {
+		spec := levels[lvl]
+		nodes := make([]*Node, 0, len(spec.Parts))
+		for _, p := range spec.Parts {
+			n := &Node{
+				OID:        alloc(),
+				Name:       prefix + p.Name,
+				Constraint: p.Constraint,
+			}
+			if lvl+1 < len(levels) {
+				n.Children = build(lvl+1, n.Name+"/")
+			}
+			nodes = append(nodes, n)
+		}
+		return nodes
+	}
+	d.Roots = build(0, "")
+	d.finalize()
+	return d
+}
+
+// MonthlyBounds returns date bounds carving [start, start+months) into
+// partitions of monthsPer months each — the partitioning scenarios of
+// paper Table 2 (2 months, monthly) and Fig. 1 (24 monthly partitions).
+func MonthlyBounds(startYear, startMonth, months, monthsPer int) []types.Datum {
+	var out []types.Datum
+	for m := 0; m <= months; m += monthsPer {
+		t := time.Date(startYear, time.Month(startMonth+m), 1, 0, 0, 0, 0, time.UTC)
+		out = append(out, types.NewDate(t.Unix()/86400))
+	}
+	return out
+}
+
+// DayBounds returns date bounds carving [start, start+totalDays) into
+// partitions of daysPer days each — bi-weekly (14) and weekly (7)
+// partitioning of paper Table 2.
+func DayBounds(startYear, startMonth, startDay, totalDays, daysPer int) []types.Datum {
+	start := time.Date(startYear, time.Month(startMonth), startDay, 0, 0, 0, 0, time.UTC)
+	var out []types.Datum
+	for d := 0; d <= totalDays; d += daysPer {
+		out = append(out, types.NewDate(start.AddDate(0, 0, d).Unix()/86400))
+	}
+	if last := out[len(out)-1]; last.Days() < start.AddDate(0, 0, totalDays).Unix()/86400 {
+		out = append(out, types.NewDate(start.AddDate(0, 0, totalDays).Unix()/86400))
+	}
+	return out
+}
+
+// IntBounds returns integer bounds carving [lo, hi) into n equal ranges
+// (the last range absorbs the remainder).
+func IntBounds(lo, hi int64, n int) []types.Datum {
+	if n < 1 || hi <= lo {
+		panic("part: IntBounds needs n >= 1 and hi > lo")
+	}
+	step := (hi - lo) / int64(n)
+	if step == 0 {
+		step = 1
+	}
+	out := []types.Datum{types.NewInt(lo)}
+	for i := 1; i < n; i++ {
+		b := lo + int64(i)*step
+		if b >= hi {
+			break
+		}
+		out = append(out, types.NewInt(b))
+	}
+	out = append(out, types.NewInt(hi))
+	return out
+}

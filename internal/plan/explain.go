@@ -1,0 +1,48 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders a plan tree in the indented style of EXPLAIN output.
+// Estimates are shown when the optimizer annotated them.
+func Explain(n Node) string {
+	var b strings.Builder
+	explainInto(&b, n, 0)
+	return b.String()
+}
+
+func explainInto(b *strings.Builder, n Node, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	if depth > 0 {
+		b.WriteString("-> ")
+	}
+	b.WriteString(n.Label())
+	if rows, cost := Estimates(n); rows != 0 || cost != 0 {
+		fmt.Fprintf(b, "  (rows=%.0f cost=%.0f)", rows, cost)
+	}
+	b.WriteByte('\n')
+	for _, c := range n.Children() {
+		explainInto(b, c, depth+1)
+	}
+}
+
+// CountNodes returns the number of operators in the plan.
+func CountNodes(n Node) int {
+	count := 0
+	Walk(n, func(Node) bool { count++; return true })
+	return count
+}
+
+// FindAll returns every node in the plan matched by pred, in pre-order.
+func FindAll(n Node, pred func(Node) bool) []Node {
+	var out []Node
+	Walk(n, func(x Node) bool {
+		if pred(x) {
+			out = append(out, x)
+		}
+		return true
+	})
+	return out
+}

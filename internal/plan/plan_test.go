@@ -1,0 +1,324 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"partopt/internal/catalog"
+	"partopt/internal/expr"
+	"partopt/internal/part"
+	"partopt/internal/types"
+)
+
+func fixture(t *testing.T) (*catalog.Catalog, *catalog.Table, *catalog.Table) {
+	t.Helper()
+	cat := catalog.New()
+	r, err := cat.CreateTable("r",
+		[]catalog.Column{{Name: "a", Kind: types.KindInt}, {Name: "b", Kind: types.KindInt}},
+		catalog.Hashed(0),
+		part.RangeLevel(1, part.IntBounds(0, 1000, 100)...),
+	)
+	if err != nil {
+		t.Fatalf("create r: %v", err)
+	}
+	s, err := cat.CreateTable("s",
+		[]catalog.Column{{Name: "a", Kind: types.KindInt}, {Name: "b", Kind: types.KindInt}},
+		catalog.Hashed(0),
+	)
+	if err != nil {
+		t.Fatalf("create s: %v", err)
+	}
+	return cat, r, s
+}
+
+func col(rel, ord int, name string) *expr.Col {
+	return expr.NewCol(expr.ColID{Rel: rel, Ord: ord}, name)
+}
+
+func TestScanLayouts(t *testing.T) {
+	_, r, s := fixture(t)
+	sc := NewScan(s, 2)
+	l := sc.Layout()
+	if len(l) != 2 || l[expr.ColID{Rel: 2, Ord: 1}] != 1 {
+		t.Errorf("scan layout = %v", l)
+	}
+	ds := NewDynamicScan(r, 1, 0)
+	ds.WithRowID = true
+	l = ds.Layout()
+	if len(l) != 3 || l[expr.ColID{Rel: 1, Ord: RowIDOrd}] != 2 {
+		t.Errorf("dynamic scan layout with rowid = %v", l)
+	}
+	leaf := r.Part.Expansion()[3]
+	ls := NewLeafScan(r, 1, leaf)
+	if !strings.Contains(ls.Label(), "r[") {
+		t.Errorf("leaf scan label = %q", ls.Label())
+	}
+}
+
+func TestSelectorLabelAndLayout(t *testing.T) {
+	_, r, s := fixture(t)
+	// Childless static selector.
+	pred := expr.NewCmp(expr.LT, col(1, 1, "r.b"), expr.NewConst(types.NewInt(35)))
+	sel := NewPartitionSelector(r, 0, []expr.Expr{pred}, nil)
+	if got := sel.Label(); got != "PartitionSelector(0, r, r.b < 35)" {
+		t.Errorf("label = %q", got)
+	}
+	if len(sel.Layout()) != 0 || sel.Children() != nil {
+		t.Errorf("childless selector should have empty layout and no children")
+	}
+	// Pass-through selector.
+	child := NewScan(s, 2)
+	sel2 := NewPartitionSelector(r, 0, nil, child)
+	if sel2.Layout().Width() != 2 || len(sel2.Children()) != 1 {
+		t.Errorf("pass-through selector layout/children wrong")
+	}
+	if !strings.Contains(sel2.Label(), "φ") {
+		t.Errorf("no-predicate selector label = %q", sel2.Label())
+	}
+}
+
+func TestSelectorArityPanic(t *testing.T) {
+	_, r, _ := fixture(t)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("selector with wrong predicate arity did not panic")
+		}
+	}()
+	NewPartitionSelector(r, 0, []expr.Expr{nil, nil}, nil) // r has 1 level
+}
+
+func TestSequenceAndAppend(t *testing.T) {
+	_, r, s := fixture(t)
+	sel := NewPartitionSelector(r, 0, nil, nil)
+	ds := NewDynamicScan(r, 1, 0)
+	seq := NewSequence(sel, ds)
+	if seq.Layout().Width() != 2 {
+		t.Errorf("sequence layout should be last child's")
+	}
+	app := NewAppend(NewScan(s, 2), NewScan(s, 2))
+	if app.ParamID != -1 || len(app.Children()) != 2 {
+		t.Errorf("append wrong")
+	}
+	fapp := NewFilteredAppend(0, NewScan(s, 2))
+	if !strings.Contains(fapp.Label(), "$0") {
+		t.Errorf("filtered append label = %q", fapp.Label())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("empty sequence did not panic")
+		}
+	}()
+	NewSequence()
+}
+
+func TestHashJoinLayout(t *testing.T) {
+	_, r, s := fixture(t)
+	build := NewScan(s, 2)
+	probe := NewDynamicScan(r, 1, 0)
+	cond := expr.NewCmp(expr.EQ, col(1, 1, "r.b"), col(2, 1, "s.b"))
+	j := NewHashJoin(InnerJoin,
+		[]expr.Expr{col(2, 1, "s.b")}, []expr.Expr{col(1, 1, "r.b")},
+		nil, build, probe, cond)
+	l := j.Layout()
+	if l.Width() != 4 {
+		t.Errorf("inner join layout width = %d, want 4", l.Width())
+	}
+	if l[expr.ColID{Rel: 1, Ord: 0}] != 2 {
+		t.Errorf("probe columns should follow build columns: %v", l)
+	}
+	semi := NewHashJoin(SemiJoin,
+		[]expr.Expr{col(2, 1, "s.b")}, []expr.Expr{col(1, 1, "r.b")},
+		nil, build, probe, cond)
+	if semi.Layout().Width() != 2 {
+		t.Errorf("semi join should expose only probe columns")
+	}
+	if !strings.Contains(semi.Label(), "Semi") {
+		t.Errorf("semi label = %q", semi.Label())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("key arity mismatch did not panic")
+		}
+	}()
+	NewHashJoin(InnerJoin, []expr.Expr{col(2, 1, "")}, nil, nil, build, probe, nil)
+}
+
+func TestHashAggLayoutAndLabel(t *testing.T) {
+	_, r, _ := fixture(t)
+	child := NewDynamicScan(r, 1, 0)
+	agg := NewHashAgg(
+		[]GroupCol{{E: col(1, 1, "r.b"), Name: "b", Out: expr.ColID{Rel: 10, Ord: 0}}},
+		[]AggSpec{
+			{Kind: AggAvg, Arg: col(1, 0, "r.a"), Name: "avg_a", Out: expr.ColID{Rel: 10, Ord: 1}},
+			{Kind: AggCount, Name: "n", Out: expr.ColID{Rel: 10, Ord: 2}},
+		},
+		child)
+	l := agg.Layout()
+	if l.Width() != 3 || l[expr.ColID{Rel: 10, Ord: 2}] != 2 {
+		t.Errorf("agg layout = %v", l)
+	}
+	lbl := agg.Label()
+	if !strings.Contains(lbl, "avg(r.a)") || !strings.Contains(lbl, "count(*)") {
+		t.Errorf("agg label = %q", lbl)
+	}
+}
+
+func TestMotionAndUpdate(t *testing.T) {
+	_, r, _ := fixture(t)
+	child := NewDynamicScan(r, 1, 0)
+	g := NewMotion(GatherMotion, nil, child)
+	if g.Layout().Width() != 2 || g.Label() != "Gather Motion" {
+		t.Errorf("gather motion wrong: %q", g.Label())
+	}
+	rd := NewMotion(RedistributeMotion, []expr.Expr{col(1, 1, "r.b")}, child)
+	if !strings.Contains(rd.Label(), "r.b") {
+		t.Errorf("redistribute label = %q", rd.Label())
+	}
+	b := NewMotion(BroadcastMotion, nil, child)
+	if b.Label() != "Broadcast Motion" {
+		t.Errorf("broadcast label = %q", b.Label())
+	}
+	up := NewUpdate(r, 1, []SetClause{{Ord: 1, Value: expr.NewConst(types.NewInt(7))}}, child)
+	if up.Layout()[UpdateCountCol] != 0 {
+		t.Errorf("update layout = %v", up.Layout())
+	}
+	if !strings.Contains(up.Label(), "SET b = 7") {
+		t.Errorf("update label = %q", up.Label())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("redistribute without keys did not panic")
+		}
+	}()
+	NewMotion(RedistributeMotion, nil, child)
+}
+
+func TestExplainShape(t *testing.T) {
+	_, r, s := fixture(t)
+	sel := NewPartitionSelector(r, 0, nil, NewScan(s, 2))
+	probe := NewDynamicScan(r, 1, 0)
+	j := NewHashJoin(InnerJoin,
+		[]expr.Expr{col(2, 1, "s.b")}, []expr.Expr{col(1, 1, "r.b")},
+		nil, sel, probe,
+		expr.NewCmp(expr.EQ, col(1, 1, "r.b"), col(2, 1, "s.b")))
+	SetEstimates(j, 100, 5000)
+	root := NewMotion(GatherMotion, nil, j)
+	out := Explain(root)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("explain lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Gather Motion") {
+		t.Errorf("root line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "HashJoin") || !strings.Contains(lines[1], "rows=100") {
+		t.Errorf("join line = %q", lines[1])
+	}
+	// Indentation increases with depth.
+	if !strings.HasPrefix(lines[2], "    ->") {
+		t.Errorf("depth-2 indent wrong: %q", lines[2])
+	}
+	if CountNodes(root) != 5 {
+		t.Errorf("CountNodes = %d", CountNodes(root))
+	}
+	scans := FindAll(root, func(n Node) bool { _, ok := n.(*DynamicScan); return ok })
+	if len(scans) != 1 {
+		t.Errorf("FindAll found %d dynamic scans", len(scans))
+	}
+}
+
+func TestSerializeDeterministicAndDistinct(t *testing.T) {
+	_, r, s := fixture(t)
+	p1 := NewMotion(GatherMotion, nil, NewScan(s, 2))
+	if string(Serialize(p1)) != string(Serialize(p1)) {
+		t.Errorf("serialization not deterministic")
+	}
+	p2 := NewMotion(GatherMotion, nil, NewDynamicScan(r, 1, 0))
+	if string(Serialize(p1)) == string(Serialize(p2)) {
+		t.Errorf("different plans serialize identically")
+	}
+}
+
+// The core compactness property of the paper: DynamicScan plan size is
+// independent of partition count, explicit-Append plan size is linear.
+func TestSerializeSizeScaling(t *testing.T) {
+	cat := catalog.New()
+	mk := func(name string, parts int) *catalog.Table {
+		tab, err := cat.CreateTable(name,
+			[]catalog.Column{{Name: "a", Kind: types.KindInt}, {Name: "b", Kind: types.KindInt}},
+			catalog.Hashed(0),
+			part.RangeLevel(1, part.IntBounds(0, 10000, parts)...),
+		)
+		if err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		return tab
+	}
+	small, big := mk("small", 10), mk("big", 300)
+
+	dynPlan := func(tab *catalog.Table) Node {
+		sel := NewPartitionSelector(tab, 0, nil, nil)
+		return NewSequence(sel, NewDynamicScan(tab, 1, 0))
+	}
+	appendPlan := func(tab *catalog.Table) Node {
+		var kids []Node
+		for _, leaf := range tab.Part.Expansion() {
+			kids = append(kids, NewLeafScan(tab, 1, leaf))
+		}
+		return NewAppend(kids...)
+	}
+
+	dynSmall, dynBig := SerializedSize(dynPlan(small)), SerializedSize(dynPlan(big))
+	if dynSmall != dynBig {
+		t.Errorf("DynamicScan plan size depends on partition count: %d vs %d", dynSmall, dynBig)
+	}
+	appSmall, appBig := SerializedSize(appendPlan(small)), SerializedSize(appendPlan(big))
+	if appBig < 20*appSmall {
+		t.Errorf("Append plan should grow ~linearly: %d (10 parts) vs %d (300 parts)", appSmall, appBig)
+	}
+}
+
+func TestSerializeAllExprKinds(t *testing.T) {
+	_, r, _ := fixture(t)
+	pred := expr.Conj(
+		expr.NewCmp(expr.GE, col(1, 1, "b"), expr.NewConst(types.NewInt(1))),
+		expr.Disj(
+			&expr.InList{Arg: col(1, 0, "a"), List: []expr.Expr{expr.NewConst(types.NewString("x"))}},
+			&expr.Not{Arg: &expr.IsNull{Arg: col(1, 0, "a"), Negate: true}},
+		),
+		expr.NewCmp(expr.EQ, &expr.Arith{Op: expr.Add, L: col(1, 0, "a"), R: expr.NewConst(types.NewFloat(1.5))}, &expr.Param{Idx: 0}),
+		expr.NewCmp(expr.EQ, col(1, 0, "a"), expr.NewConst(types.NewBool(true))),
+		expr.NewCmp(expr.EQ, col(1, 0, "a"), expr.NewConst(types.Null)),
+		expr.NewCmp(expr.EQ, col(1, 0, "a"), expr.NewConst(types.DateFromYMD(2013, 1, 1))),
+	)
+	n := NewFilter(pred, NewDynamicScan(r, 1, 0))
+	if len(Serialize(n)) == 0 {
+		t.Errorf("serialization empty")
+	}
+	// Update and project serialize too.
+	up := NewUpdate(r, 1, []SetClause{{Ord: 1, Value: col(1, 0, "a")}}, n)
+	pr := NewProject([]ProjCol{{E: col(1, 0, "a"), Name: "a", Out: expr.ColID{Rel: 5, Ord: 0}}}, n)
+	agg := NewHashAgg(nil, []AggSpec{{Kind: AggSum, Arg: col(1, 0, "a"), Out: expr.ColID{Rel: 5, Ord: 0}}}, n)
+	for _, x := range []Node{up, pr, agg} {
+		if len(Serialize(x)) <= len(Serialize(n)) {
+			t.Errorf("%T serialization should include child", x)
+		}
+	}
+}
+
+func TestProjectLayoutAndLabel(t *testing.T) {
+	_, r, _ := fixture(t)
+	p := NewProject([]ProjCol{
+		{E: col(1, 0, "a"), Name: "a", Out: expr.ColID{Rel: 5, Ord: 0}},
+		{E: &expr.Arith{Op: Mul2(), L: col(1, 0, "a"), R: expr.NewConst(types.NewInt(2))}, Out: expr.ColID{Rel: 5, Ord: 1}},
+	}, NewDynamicScan(r, 1, 0))
+	if p.Layout().Width() != 2 {
+		t.Errorf("project layout = %v", p.Layout())
+	}
+	if !strings.Contains(p.Label(), "a") {
+		t.Errorf("project label = %q", p.Label())
+	}
+}
+
+// Mul2 exists to avoid an unused-import dance in the test above.
+func Mul2() expr.ArithOp { return expr.Mul }

@@ -1,0 +1,141 @@
+package sql
+
+import "partopt/internal/types"
+
+// The AST mirrors the surface syntax; names are unresolved until binding.
+
+// Statement is a parsed SQL statement.
+type Statement interface{ stmt() }
+
+// SelectStmt is SELECT ... FROM ... [WHERE ...] [GROUP BY ...]
+// [ORDER BY ...] [LIMIT n].
+type SelectStmt struct {
+	Star    bool
+	Items   []SelectItem
+	From    []TableRef
+	Where   Node
+	GroupBy []Node
+	OrderBy []OrderItem
+	Limit   int64 // -1 when absent
+}
+
+// OrderItem is one ORDER BY entry: an output-column ordinal (1-based
+// integer literal) or an output alias.
+type OrderItem struct {
+	E    Node
+	Desc bool
+}
+
+func (*SelectStmt) stmt() {}
+
+// SelectItem is one output expression with an optional alias.
+type SelectItem struct {
+	E     Node
+	Alias string
+}
+
+// TableRef is one FROM entry.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// UpdateStmt is UPDATE t SET col = e, ... [FROM t2 ...] [WHERE ...].
+type UpdateStmt struct {
+	Table TableRef
+	Sets  []SetItem
+	From  []TableRef
+	Where Node
+}
+
+func (*UpdateStmt) stmt() {}
+
+// SetItem is one SET assignment.
+type SetItem struct {
+	Col string
+	E   Node
+}
+
+// InsertStmt is INSERT INTO t [(cols)] VALUES (...), (...).
+type InsertStmt struct {
+	Table string
+	Cols  []string // empty: positional
+	Rows  [][]Node
+}
+
+func (*InsertStmt) stmt() {}
+
+// DeleteStmt is DELETE FROM t [USING t2 ...] [WHERE ...].
+type DeleteStmt struct {
+	Table TableRef
+	Using []TableRef
+	Where Node
+}
+
+func (*DeleteStmt) stmt() {}
+
+// Node is an unbound scalar expression.
+type Node interface{ node() }
+
+// Ident is a possibly-qualified column reference.
+type Ident struct {
+	Qual string // table or alias; empty when unqualified
+	Name string
+}
+
+// Lit is a literal value.
+type Lit struct {
+	Val types.Datum
+}
+
+// ParamRef is a $n placeholder (0-based index).
+type ParamRef struct {
+	Idx int
+}
+
+// BinOp is a binary operation: comparisons (=, <>, <, <=, >, >=),
+// arithmetic (+, -, *, /, %), and the connectives AND/OR.
+type BinOp struct {
+	Op   string
+	L, R Node
+}
+
+// NotExpr is logical negation.
+type NotExpr struct {
+	Arg Node
+}
+
+// BetweenExpr is e BETWEEN lo AND hi.
+type BetweenExpr struct {
+	E, Lo, Hi Node
+}
+
+// InExpr is e IN (list) or e IN (subquery); exactly one of List/Sub is set.
+type InExpr struct {
+	E    Node
+	List []Node
+	Sub  *SelectStmt
+}
+
+// IsNullExpr is e IS [NOT] NULL.
+type IsNullExpr struct {
+	E      Node
+	Negate bool
+}
+
+// FuncCall is an aggregate invocation.
+type FuncCall struct {
+	Name string // COUNT, SUM, AVG, MIN, MAX (upper case)
+	Star bool   // COUNT(*)
+	Arg  Node
+}
+
+func (*Ident) node()       {}
+func (*Lit) node()         {}
+func (*ParamRef) node()    {}
+func (*BinOp) node()       {}
+func (*NotExpr) node()     {}
+func (*BetweenExpr) node() {}
+func (*InExpr) node()      {}
+func (*IsNullExpr) node()  {}
+func (*FuncCall) node()    {}

@@ -1,0 +1,183 @@
+// Package sql implements the SQL front end: a hand-written lexer and
+// recursive-descent parser for the dialect the paper's queries use
+// (SELECT/JOIN/WHERE/GROUP BY with aggregates, IN lists and subqueries,
+// BETWEEN, prepared-statement parameters, and UPDATE ... FROM), plus a
+// binder that resolves names against the catalog and lowers the AST to the
+// logical algebra.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokInt
+	tokFloat
+	tokString
+	tokParam  // $1, $2, ...
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased, identifiers lower-cased
+	pos  int    // byte offset, for error messages
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"AND": true, "OR": true, "NOT": true, "IN": true, "BETWEEN": true,
+	"IS": true, "NULL": true, "AS": true, "JOIN": true, "ON": true,
+	"INNER": true, "UPDATE": true, "SET": true, "TRUE": true, "FALSE": true,
+	"DELETE": true, "USING": true, "ORDER": true, "LIMIT": true,
+	"INSERT": true, "INTO": true, "VALUES": true,
+	"ASC": true, "DESC": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"DISTINCT": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes a statement.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case c == '\'':
+			s, err := l.lexString()
+			if err != nil {
+				return nil, err
+			}
+			l.toks = append(l.toks, token{kind: tokString, text: s, pos: start})
+		case c == '$':
+			l.pos++
+			d := l.lexWhile(unicode.IsDigit)
+			if d == "" {
+				return nil, fmt.Errorf("sql: bad parameter at offset %d", start)
+			}
+			l.toks = append(l.toks, token{kind: tokParam, text: d, pos: start})
+		case unicode.IsDigit(rune(c)):
+			num, isFloat := l.lexNumber()
+			kind := tokInt
+			if isFloat {
+				kind = tokFloat
+			}
+			l.toks = append(l.toks, token{kind: kind, text: num, pos: start})
+		case unicode.IsLetter(rune(c)) || c == '_':
+			word := l.lexWhile(func(r rune) bool {
+				return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+			})
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				l.toks = append(l.toks, token{kind: tokKeyword, text: up, pos: start})
+			} else {
+				l.toks = append(l.toks, token{kind: tokIdent, text: strings.ToLower(word), pos: start})
+			}
+		default:
+			sym, err := l.lexSymbol()
+			if err != nil {
+				return nil, err
+			}
+			l.toks = append(l.toks, token{kind: tokSymbol, text: sym, pos: start})
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		if !unicode.IsSpace(rune(c)) {
+			return
+		}
+		l.pos++
+	}
+}
+
+func (l *lexer) lexWhile(pred func(rune) bool) string {
+	start := l.pos
+	for l.pos < len(l.src) && pred(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) lexString() (string, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'') // escaped quote
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return b.String(), nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return "", fmt.Errorf("sql: unterminated string starting at offset %d", start)
+}
+
+func (l *lexer) lexNumber() (string, bool) {
+	start := l.pos
+	isFloat := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if unicode.IsDigit(rune(c)) {
+			l.pos++
+			continue
+		}
+		if c == '.' && !isFloat && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1])) {
+			isFloat = true
+			l.pos++
+			continue
+		}
+		break
+	}
+	return l.src[start:l.pos], isFloat
+}
+
+var symbols = []string{"<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", "*", "+", "-", "/", "%", "."}
+
+func (l *lexer) lexSymbol() (string, error) {
+	rest := l.src[l.pos:]
+	for _, s := range symbols {
+		if strings.HasPrefix(rest, s) {
+			l.pos += len(s)
+			if s == "!=" {
+				s = "<>"
+			}
+			return s, nil
+		}
+	}
+	return "", fmt.Errorf("sql: unexpected character %q at offset %d", l.src[l.pos], l.pos)
+}

@@ -1,0 +1,697 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+
+	"partopt/internal/types"
+)
+
+// Parse parses one SQL statement.
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	var stmt Statement
+	switch {
+	case p.peekKeyword("SELECT"):
+		stmt, err = p.parseSelect()
+	case p.peekKeyword("UPDATE"):
+		stmt, err = p.parseUpdate()
+	case p.peekKeyword("DELETE"):
+		stmt, err = p.parseDelete()
+	case p.peekKeyword("INSERT"):
+		stmt, err = p.parseInsert()
+	default:
+		return nil, fmt.Errorf("sql: expected SELECT, UPDATE or DELETE, got %q", p.cur().text)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokEOF {
+		return nil, fmt.Errorf("sql: trailing input at %q", p.cur().text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == tokKeyword && t.text == kw
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peekKeyword(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("sql: expected %s, got %q", kw, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) peekSymbol(s string) bool {
+	t := p.cur()
+	return t.kind == tokSymbol && t.text == s
+}
+
+func (p *parser) acceptSymbol(s string) bool {
+	if p.peekSymbol(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.acceptSymbol(s) {
+		return fmt.Errorf("sql: expected %q, got %q", s, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sql: expected identifier, got %q", t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+// parseSelect parses a full SELECT statement.
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	p.acceptKeyword("DISTINCT") // accepted and ignored under set semantics of aggregates
+	if p.acceptSymbol("*") {
+		stmt.Star = true
+	} else {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{E: e}
+			if p.acceptKeyword("AS") {
+				name, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = name
+			} else if p.cur().kind == tokIdent {
+				item.Alias = p.next().text
+			}
+			stmt.Items = append(stmt.Items, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	var onPreds []Node
+	first, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = append(stmt.From, first)
+	for {
+		if p.acceptSymbol(",") {
+			ref, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.From = append(stmt.From, ref)
+			continue
+		}
+		if p.peekKeyword("INNER") || p.peekKeyword("JOIN") {
+			p.acceptKeyword("INNER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			ref, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.From = append(stmt.From, ref)
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			pred, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			onPreds = append(onPreds, pred)
+			continue
+		}
+		break
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+	// Fold ON predicates into WHERE.
+	for _, pred := range onPreds {
+		if stmt.Where == nil {
+			stmt.Where = pred
+		} else {
+			stmt.Where = &BinOp{Op: "AND", L: stmt.Where, R: pred}
+		}
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{E: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.cur()
+		if t.kind != tokInt {
+			return nil, fmt.Errorf("sql: LIMIT needs an integer, got %q", t.text)
+		}
+		p.pos++
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sql: bad LIMIT %q", t.text)
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Name: name, Alias: name}
+	if p.acceptKeyword("AS") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = alias
+	} else if p.cur().kind == tokIdent {
+		ref.Alias = p.next().text
+	}
+	return ref, nil
+}
+
+// parseUpdate parses UPDATE t SET ... [FROM ...] [WHERE ...].
+func (p *parser) parseUpdate() (*UpdateStmt, error) {
+	if err := p.expectKeyword("UPDATE"); err != nil {
+		return nil, err
+	}
+	target, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &UpdateStmt{Table: target}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Sets = append(stmt.Sets, SetItem{Col: col, E: e})
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("FROM") {
+		for {
+			ref, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.From = append(stmt.From, ref)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+	return stmt, nil
+}
+
+// parseInsert parses INSERT INTO t [(cols)] VALUES (...), (...).
+func (p *parser) parseInsert() (*InsertStmt, error) {
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &InsertStmt{Table: name}
+	if p.acceptSymbol("(") {
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Cols = append(stmt.Cols, col)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var row []Node
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		stmt.Rows = append(stmt.Rows, row)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	return stmt, nil
+}
+
+// parseDelete parses DELETE FROM t [USING ...] [WHERE ...].
+func (p *parser) parseDelete() (*DeleteStmt, error) {
+	if err := p.expectKeyword("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	target, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &DeleteStmt{Table: target}
+	if p.acceptKeyword("USING") {
+		for {
+			ref, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Using = append(stmt.Using, ref)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+	return stmt, nil
+}
+
+// Expression grammar: OR < AND < NOT < comparison/IN/BETWEEN/IS < additive
+// < multiplicative < unary < primary.
+
+func (p *parser) parseExpr() (Node, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Node, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Node, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Node, error) {
+	if p.acceptKeyword("NOT") {
+		arg, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{Arg: arg}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Node, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	negate := false
+	if p.peekKeyword("NOT") {
+		// Lookahead for NOT IN / NOT BETWEEN.
+		save := p.pos
+		p.pos++
+		if p.peekKeyword("IN") || p.peekKeyword("BETWEEN") {
+			negate = true
+		} else {
+			p.pos = save
+			return l, nil
+		}
+	}
+	switch {
+	case p.acceptKeyword("BETWEEN"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		var out Node = &BetweenExpr{E: l, Lo: lo, Hi: hi}
+		if negate {
+			out = &NotExpr{Arg: out}
+		}
+		return out, nil
+	case p.acceptKeyword("IN"):
+		in, err := p.parseInTail(l)
+		if err != nil {
+			return nil, err
+		}
+		var out Node = in
+		if negate {
+			out = &NotExpr{Arg: out}
+		}
+		return out, nil
+	case p.acceptKeyword("IS"):
+		neg := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{E: l, Negate: neg}, nil
+	}
+	for _, op := range []string{"=", "<>", "<=", ">=", "<", ">"} {
+		if p.acceptSymbol(op) {
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &BinOp{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseInTail(l Node) (*InExpr, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	if p.peekKeyword("SELECT") {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{E: l, Sub: sub}, nil
+	}
+	var list []Node
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, e)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return &InExpr{E: l, List: list}, nil
+}
+
+func (p *parser) parseAdditive() (Node, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptSymbol("+"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinOp{Op: "+", L: l, R: r}
+		case p.acceptSymbol("-"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinOp{Op: "-", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Node, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptSymbol("*"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinOp{Op: "*", L: l, R: r}
+		case p.acceptSymbol("/"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinOp{Op: "/", L: l, R: r}
+		case p.acceptSymbol("%"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinOp{Op: "%", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Node, error) {
+	if p.acceptSymbol("-") {
+		arg, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &BinOp{Op: "-", L: &Lit{Val: types.NewInt(0)}, R: arg}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Node, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokInt:
+		p.pos++
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad integer %q", t.text)
+		}
+		return &Lit{Val: types.NewInt(v)}, nil
+	case tokFloat:
+		p.pos++
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad float %q", t.text)
+		}
+		return &Lit{Val: types.NewFloat(v)}, nil
+	case tokString:
+		p.pos++
+		return &Lit{Val: types.NewString(t.text)}, nil
+	case tokParam:
+		p.pos++
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("sql: bad parameter $%s", t.text)
+		}
+		return &ParamRef{Idx: n - 1}, nil
+	case tokKeyword:
+		switch t.text {
+		case "NULL":
+			p.pos++
+			return &Lit{Val: types.Null}, nil
+		case "TRUE":
+			p.pos++
+			return &Lit{Val: types.NewBool(true)}, nil
+		case "FALSE":
+			p.pos++
+			return &Lit{Val: types.NewBool(false)}, nil
+		case "COUNT", "SUM", "AVG", "MIN", "MAX":
+			p.pos++
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			if t.text == "COUNT" && p.acceptSymbol("*") {
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+				return &FuncCall{Name: "COUNT", Star: true}, nil
+			}
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return &FuncCall{Name: t.text, Arg: arg}, nil
+		}
+		return nil, fmt.Errorf("sql: unexpected keyword %q in expression", t.text)
+	case tokIdent:
+		p.pos++
+		// `date '2013-01-02'` is a date literal; a bare `date` is a
+		// perfectly good column name (the paper's Fig. 1 schema uses one).
+		if t.text == "date" && p.cur().kind == tokString {
+			s := p.next()
+			d, err := types.ParseDate(s.text)
+			if err != nil {
+				return nil, err
+			}
+			return &Lit{Val: d}, nil
+		}
+		if p.acceptSymbol(".") {
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &Ident{Qual: t.text, Name: name}, nil
+		}
+		return &Ident{Name: t.text}, nil
+	case tokSymbol:
+		if t.text == "(" {
+			p.pos++
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("sql: unexpected token %q in expression", t.text)
+}

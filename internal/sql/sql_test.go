@@ -1,0 +1,484 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"partopt/internal/catalog"
+	"partopt/internal/expr"
+	"partopt/internal/logical"
+	"partopt/internal/part"
+	"partopt/internal/plan"
+	"partopt/internal/types"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex("SELECT avg(amount), 3.5, 'it''s' FROM orders WHERE a >= $2 -- comment\n AND b <> 1")
+	if err != nil {
+		t.Fatalf("lex: %v", err)
+	}
+	var kinds []tokenKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.kind)
+		texts = append(texts, tok.text)
+	}
+	joined := strings.Join(texts, " ")
+	for _, want := range []string{"SELECT", "AVG", "amount", "3.5", "it's", "orders", "$-less"} {
+		if want == "$-less" {
+			continue
+		}
+		if !strings.Contains(joined, want) {
+			t.Errorf("tokens missing %q: %v", want, texts)
+		}
+	}
+	if kinds[len(kinds)-1] != tokEOF {
+		t.Errorf("missing EOF token")
+	}
+	// Comment must be skipped; <> must survive.
+	if !strings.Contains(joined, "<>") || strings.Contains(joined, "comment") {
+		t.Errorf("comment handling wrong: %v", texts)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := lex("'unterminated"); err == nil {
+		t.Errorf("unterminated string accepted")
+	}
+	if _, err := lex("a ; b"); err == nil {
+		t.Errorf("unknown symbol accepted")
+	}
+	if _, err := lex("$x"); err == nil {
+		t.Errorf("bad parameter accepted")
+	}
+}
+
+func TestParseSelectShapes(t *testing.T) {
+	stmts := []string{
+		"SELECT * FROM orders",
+		"SELECT avg(amount) FROM orders WHERE date BETWEEN '2013-10-01' AND '2013-12-31'",
+		"SELECT a, count(*) AS n FROM r WHERE b IN (1, 2, 3) GROUP BY a",
+		"SELECT r.a FROM r, s WHERE r.b = s.b AND s.a < 100",
+		"SELECT a FROM r JOIN s ON r.b = s.b WHERE s.a IS NOT NULL",
+		"SELECT a FROM r WHERE a IN (SELECT x FROM t WHERE y = 1)",
+		"SELECT a FROM r WHERE NOT (a = 1 OR a = 2)",
+		"SELECT a+1, -a, a*2 FROM r WHERE a % 2 = 0 AND a / 2 > 3",
+		"SELECT a FROM r WHERE d = date '2013-01-02'",
+		"SELECT a FROM r WHERE a NOT IN (1,2) AND b NOT BETWEEN 1 AND 2",
+		"SELECT a FROM r WHERE a = $1 AND b = true OR c = false OR d IS NULL",
+	}
+	for _, s := range stmts {
+		if _, err := Parse(s); err != nil {
+			t.Errorf("Parse(%q): %v", s, err)
+		}
+	}
+}
+
+func TestParseUpdate(t *testing.T) {
+	stmt, err := Parse("UPDATE r SET b = s.b, a = a + 1 FROM s WHERE r.a = s.a")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	u, ok := stmt.(*UpdateStmt)
+	if !ok || len(u.Sets) != 2 || len(u.From) != 1 {
+		t.Errorf("update parse wrong: %+v", u)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"DELETE r",
+		"SELECT FROM r",
+		"SELECT a FROM",
+		"SELECT a FROM r WHERE",
+		"SELECT a FROM r GROUP a",
+		"SELECT a FROM r extra garbage (",
+		"SELECT count(* FROM r",
+		"SELECT a FROM r WHERE a BETWEEN 1",
+		"SELECT a FROM r WHERE a IN (",
+		"UPDATE r SET",
+		"SELECT a FROM r WHERE date 5",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	if _, err := cat.CreateTable("orders",
+		[]catalog.Column{
+			{Name: "id", Kind: types.KindInt},
+			{Name: "amount", Kind: types.KindFloat},
+			{Name: "date", Kind: types.KindDate},
+			{Name: "date_id", Kind: types.KindInt},
+		},
+		catalog.Hashed(0),
+		part.RangeLevel(2, part.MonthlyBounds(2012, 1, 24, 1)...),
+	); err != nil {
+		t.Fatalf("create orders: %v", err)
+	}
+	if _, err := cat.CreateTable("date_dim",
+		[]catalog.Column{
+			{Name: "date_id", Kind: types.KindInt},
+			{Name: "year", Kind: types.KindInt},
+			{Name: "month", Kind: types.KindInt},
+			{Name: "day", Kind: types.KindInt},
+		},
+		catalog.Hashed(0),
+	); err != nil {
+		t.Fatalf("create date_dim: %v", err)
+	}
+	return cat
+}
+
+// The paper's Figure 2 query binds to Project(GroupBy(Select(Get))), with
+// the BETWEEN coerced to date constants.
+func TestBindFig2Query(t *testing.T) {
+	cat := testCatalog(t)
+	stmt, err := Parse("SELECT avg(amount) FROM orders WHERE date BETWEEN '2013-10-01' AND '2013-12-31'")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	bound, err := Bind(cat, stmt)
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	proj, ok := bound.Root.(*logical.Project)
+	if !ok {
+		t.Fatalf("root = %T", bound.Root)
+	}
+	gb, ok := proj.Child.(*logical.GroupBy)
+	if !ok || len(gb.Aggs) != 1 || gb.Aggs[0].Kind != plan.AggAvg {
+		t.Fatalf("missing scalar avg: %s", logical.Explain(bound.Root))
+	}
+	sel, ok := gb.Child.(*logical.Select)
+	if !ok {
+		t.Fatalf("missing select: %s", logical.Explain(bound.Root))
+	}
+	// Date coercion: the predicate's constants must be dates, not strings.
+	found := 0
+	expr.Walk(sel.Pred, func(e expr.Expr) bool {
+		if c, ok := e.(*expr.Const); ok && c.Val.Kind() == types.KindDate {
+			found++
+		}
+		return true
+	})
+	if found != 2 {
+		t.Errorf("date constants = %d, want 2 (coerced)", found)
+	}
+	if len(bound.Columns) != 1 {
+		t.Errorf("columns = %v", bound.Columns)
+	}
+}
+
+// The paper's Figure 4 query: IN subquery becomes a semi join with the
+// dimension on the build side.
+func TestBindFig4Query(t *testing.T) {
+	cat := testCatalog(t)
+	stmt, err := Parse(`SELECT avg(amount) FROM orders WHERE date_id IN
+		(SELECT date_id FROM date_dim WHERE year = 2013 AND month BETWEEN 10 AND 12)`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	bound, err := Bind(cat, stmt)
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	out := logical.Explain(bound.Root)
+	proj := bound.Root.(*logical.Project)
+	gb := proj.Child.(*logical.GroupBy)
+	join, ok := gb.Child.(*logical.Join)
+	if !ok || join.Type != plan.SemiJoin {
+		t.Fatalf("expected semi join:\n%s", out)
+	}
+	// Build side: the subquery (date_dim select); probe: orders.
+	if _, ok := join.Left.(*logical.Select); !ok {
+		t.Errorf("build side = %T:\n%s", join.Left, out)
+	}
+	if g, ok := join.Right.(*logical.Get); !ok || g.Table.Name != "orders" {
+		t.Errorf("probe side = %T:\n%s", join.Right, out)
+	}
+}
+
+func TestBindJoinTreeAndPredicatePlacement(t *testing.T) {
+	cat := testCatalog(t)
+	stmt, err := Parse("SELECT o.id FROM date_dim d, orders o WHERE d.date_id = o.date_id AND d.year = 2013 AND o.amount > 10")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	bound, err := Bind(cat, stmt)
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	out := logical.Explain(bound.Root)
+	proj := bound.Root.(*logical.Project)
+	join, ok := proj.Child.(*logical.Join)
+	if !ok {
+		t.Fatalf("expected join below project:\n%s", out)
+	}
+	if join.Pred == nil || !strings.Contains(join.Pred.String(), "date_id") {
+		t.Errorf("join predicate = %v", join.Pred)
+	}
+	// d.year pred above the date_dim Get; o.amount pred above orders Get.
+	if _, ok := join.Left.(*logical.Select); !ok {
+		t.Errorf("dimension-side select missing:\n%s", out)
+	}
+	if _, ok := join.Right.(*logical.Select); !ok {
+		t.Errorf("fact-side select missing:\n%s", out)
+	}
+}
+
+func TestBindUpdate(t *testing.T) {
+	cat := testCatalog(t)
+	stmt, err := Parse("UPDATE orders SET amount = amount * 2 WHERE id = 5")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	bound, err := Bind(cat, stmt)
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	if !bound.IsUpdate {
+		t.Errorf("IsUpdate = false")
+	}
+	u, ok := bound.Root.(*logical.Update)
+	if !ok || len(u.Sets) != 1 || u.Sets[0].Ord != 1 {
+		t.Fatalf("update shape wrong: %s", logical.Explain(bound.Root))
+	}
+	// UPDATE ... FROM.
+	stmt, err = Parse("UPDATE orders SET amount = d.year FROM date_dim d WHERE orders.date_id = d.date_id AND d.month = 3")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	bound, err = Bind(cat, stmt)
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	u = bound.Root.(*logical.Update)
+	j, ok := u.Child.(*logical.Join)
+	if !ok {
+		t.Fatalf("update child = %T", u.Child)
+	}
+	if g, ok := j.Right.(*logical.Get); !ok || g.Table.Name != "orders" {
+		t.Errorf("target must be the probe side: %s", logical.Explain(bound.Root))
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	cat := testCatalog(t)
+	bad := []string{
+		"SELECT * FROM ghost",
+		"SELECT ghost FROM orders",
+		"SELECT o.ghost FROM orders o",
+		"SELECT date_id FROM orders, date_dim",                                 // ambiguous
+		"SELECT amount FROM orders o, orders o",                                // duplicate alias
+		"SELECT amount, count(*) FROM orders",                                  // non-grouped column
+		"SELECT a FROM orders WHERE amount IN (SELECT id, amount FROM orders)", // two columns
+		"UPDATE orders SET ghost = 1",
+		"SELECT * FROM orders GROUP BY id",
+	}
+	for _, s := range bad {
+		stmt, err := Parse(s)
+		if err != nil {
+			continue // parse errors also acceptable
+		}
+		if _, err := Bind(cat, stmt); err == nil {
+			t.Errorf("Bind(%q) should fail", s)
+		}
+	}
+}
+
+func TestBindParamsCounted(t *testing.T) {
+	cat := testCatalog(t)
+	stmt, err := Parse("SELECT amount FROM orders WHERE date_id = $2 AND id = $1")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	bound, err := Bind(cat, stmt)
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	if bound.NumParams != 2 {
+		t.Errorf("NumParams = %d, want 2", bound.NumParams)
+	}
+}
+
+func TestParseOrderLimitInsertDelete(t *testing.T) {
+	good := []string{
+		"SELECT a FROM r ORDER BY a",
+		"SELECT a FROM r ORDER BY a DESC, 1 ASC LIMIT 10",
+		"SELECT DISTINCT a FROM r",
+		"DELETE FROM r",
+		"DELETE FROM r WHERE a = 1",
+		"DELETE FROM r USING s, t WHERE r.a = s.a AND s.b = t.b",
+		"INSERT INTO r VALUES (1, 'x')",
+		"INSERT INTO r (a, b) VALUES (1, 2), (3, 4)",
+		"INSERT INTO r VALUES ($1, $2)",
+	}
+	for _, q := range good {
+		if _, err := Parse(q); err != nil {
+			t.Errorf("Parse(%q): %v", q, err)
+		}
+	}
+	bad := []string{
+		"SELECT a FROM r ORDER a",
+		"SELECT a FROM r ORDER BY",
+		"SELECT a FROM r LIMIT",
+		"SELECT a FROM r LIMIT abc",
+		"DELETE r",
+		"DELETE FROM r USING",
+		"INSERT r VALUES (1)",
+		"INSERT INTO r",
+		"INSERT INTO r VALUES 1",
+		"INSERT INTO r VALUES (1",
+		"INSERT INTO r (a VALUES (1)",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+	// Shapes.
+	stmt, err := Parse("SELECT a, b FROM r ORDER BY b DESC LIMIT 7")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	sel := stmt.(*SelectStmt)
+	if len(sel.OrderBy) != 1 || !sel.OrderBy[0].Desc || sel.Limit != 7 {
+		t.Errorf("order/limit shape: %+v limit=%d", sel.OrderBy, sel.Limit)
+	}
+	stmt, err = Parse("DELETE FROM r USING s WHERE r.a = s.a")
+	if err != nil {
+		t.Fatalf("Parse delete: %v", err)
+	}
+	del := stmt.(*DeleteStmt)
+	if del.Table.Name != "r" || len(del.Using) != 1 || del.Where == nil {
+		t.Errorf("delete shape: %+v", del)
+	}
+	stmt, err = Parse("INSERT INTO r (a) VALUES (1), (2)")
+	if err != nil {
+		t.Fatalf("Parse insert: %v", err)
+	}
+	ins := stmt.(*InsertStmt)
+	if ins.Table != "r" || len(ins.Cols) != 1 || len(ins.Rows) != 2 {
+		t.Errorf("insert shape: %+v", ins)
+	}
+}
+
+func TestBindOrderByResolution(t *testing.T) {
+	cat := testCatalog(t)
+	// Alias, bare column name, ordinal.
+	for _, q := range []string{
+		"SELECT amount AS amt FROM orders ORDER BY amt DESC",
+		"SELECT amount FROM orders ORDER BY amount",
+		"SELECT amount, id FROM orders ORDER BY 2, 1 DESC",
+		"SELECT id, count(*) AS n FROM orders GROUP BY id ORDER BY n DESC LIMIT 5",
+	} {
+		stmt, err := Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		bound, err := Bind(cat, stmt)
+		if err != nil {
+			t.Errorf("Bind(%q): %v", q, err)
+			continue
+		}
+		if len(bound.OrderBy) == 0 {
+			t.Errorf("Bind(%q): no sort keys", q)
+		}
+	}
+	// Errors.
+	for _, q := range []string{
+		"SELECT amount FROM orders ORDER BY ghost",
+		"SELECT amount FROM orders ORDER BY 0",
+		"SELECT amount FROM orders ORDER BY 9",
+		"SELECT amount FROM orders ORDER BY o.amount",
+		"SELECT amount FROM orders ORDER BY amount + 1",
+		"SELECT amount FROM orders ORDER BY 'x'",
+		"SELECT amount FROM orders WHERE id IN (SELECT id FROM orders ORDER BY 1)",
+	} {
+		stmt, err := Parse(q)
+		if err != nil {
+			continue
+		}
+		if _, err := Bind(cat, stmt); err == nil {
+			t.Errorf("Bind(%q) should fail", q)
+		}
+	}
+}
+
+func TestBindInsertShapes(t *testing.T) {
+	cat := testCatalog(t)
+	stmt, err := Parse("INSERT INTO orders (id, date, amount) VALUES (1, '2012-05-05', 2.5), ($1, '2013-01-01', $2)")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	tab, rows, err := BindInsert(cat, stmt.(*InsertStmt),
+		[]types.Datum{types.NewInt(2), types.NewFloat(9)})
+	if err != nil {
+		t.Fatalf("BindInsert: %v", err)
+	}
+	if tab.Name != "orders" || len(rows) != 2 {
+		t.Fatalf("shape: %s %d", tab.Name, len(rows))
+	}
+	if rows[0][2].Kind() != types.KindDate {
+		t.Errorf("date not coerced: %v", rows[0][2])
+	}
+	if !rows[0][3].IsNull() {
+		t.Errorf("unnamed column should be NULL")
+	}
+	if rows[1][0].Int() != 2 || rows[1][1].Float() != 9 {
+		t.Errorf("params not bound: %v", rows[1])
+	}
+	// Errors.
+	for _, q := range []string{
+		"INSERT INTO ghost VALUES (1)",
+		"INSERT INTO orders (ghost) VALUES (1)",
+		"INSERT INTO orders (id, id) VALUES (1, 2)",
+		"INSERT INTO orders (id) VALUES (1, 2)",
+		"INSERT INTO orders (date) VALUES ('nonsense')",
+	} {
+		stmt, err := Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		if _, _, err := BindInsert(cat, stmt.(*InsertStmt), nil); err == nil {
+			t.Errorf("BindInsert(%q) should fail", q)
+		}
+	}
+}
+
+func TestBindDeleteShapes(t *testing.T) {
+	cat := testCatalog(t)
+	stmt, err := Parse("DELETE FROM orders USING date_dim d WHERE orders.date_id = d.date_id AND d.year = 2013")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	bound, err := Bind(cat, stmt)
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	if !bound.IsUpdate || bound.Columns[0] != "deleted" {
+		t.Errorf("bound shape: %+v", bound)
+	}
+	del, ok := bound.Root.(*logical.Delete)
+	if !ok {
+		t.Fatalf("root = %T", bound.Root)
+	}
+	if _, ok := del.Child.(*logical.Join); !ok {
+		t.Errorf("delete child = %T, want join", del.Child)
+	}
+	// IN subquery rejected in DELETE.
+	stmt, err = Parse("DELETE FROM orders WHERE date_id IN (SELECT date_id FROM date_dim)")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if _, err := Bind(cat, stmt); err == nil {
+		t.Errorf("IN subquery in DELETE accepted")
+	}
+}

@@ -1,0 +1,75 @@
+// Package stats collects table statistics (row counts, per-partition
+// counts, per-column NDV/min/max) used by the optimizers' cost models.
+// Collection is exact — the simulated datasets are small enough that
+// sampling would only add noise to the experiments.
+package stats
+
+import (
+	"partopt/internal/catalog"
+	"partopt/internal/part"
+	"partopt/internal/storage"
+	"partopt/internal/types"
+)
+
+// Collect computes statistics for a table and attaches them to its catalog
+// entry.
+func Collect(st *storage.Store, t *catalog.Table) (*catalog.TableStats, error) {
+	out := &catalog.TableStats{
+		LeafRows: map[part.OID]int64{},
+		Cols:     make([]catalog.ColumnStats, len(t.Cols)),
+	}
+	distinct := make([]map[string]struct{}, len(t.Cols))
+	nulls := make([]int64, len(t.Cols))
+	for i := range distinct {
+		distinct[i] = map[string]struct{}{}
+	}
+
+	segs := st.Segments()
+	if t.Dist.Kind == catalog.DistReplicated {
+		segs = 1 // all copies identical
+	}
+	for _, leaf := range storage.LeafOIDs(t) {
+		for seg := 0; seg < segs; seg++ {
+			rows, err := st.ScanLeaf(t.OID, seg, leaf)
+			if err != nil {
+				return nil, err
+			}
+			out.LeafRows[leaf] += int64(len(rows))
+			out.RowCount += int64(len(rows))
+			for _, r := range rows {
+				for c, v := range r {
+					if v.IsNull() {
+						nulls[c]++
+						continue
+					}
+					distinct[c][v.String()] = struct{}{}
+					cs := &out.Cols[c]
+					if cs.Min.IsNull() || types.Compare(v, cs.Min) < 0 {
+						cs.Min = v
+					}
+					if cs.Max.IsNull() || types.Compare(v, cs.Max) > 0 {
+						cs.Max = v
+					}
+				}
+			}
+		}
+	}
+	for c := range out.Cols {
+		out.Cols[c].NDV = int64(len(distinct[c]))
+		if out.RowCount > 0 {
+			out.Cols[c].NullFrac = float64(nulls[c]) / float64(out.RowCount)
+		}
+	}
+	t.Stats = out
+	return out, nil
+}
+
+// CollectAll collects statistics for every table in the catalog.
+func CollectAll(st *storage.Store, cat *catalog.Catalog) error {
+	for _, t := range cat.Tables() {
+		if _, err := Collect(st, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}

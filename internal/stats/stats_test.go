@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"testing"
+
+	"partopt/internal/catalog"
+	"partopt/internal/part"
+	"partopt/internal/storage"
+	"partopt/internal/types"
+)
+
+func TestCollectBasic(t *testing.T) {
+	cat := catalog.New()
+	st := storage.NewStore(2)
+	tab, err := cat.CreateTable("r",
+		[]catalog.Column{{Name: "a", Kind: types.KindInt}, {Name: "b", Kind: types.KindInt}},
+		catalog.Hashed(0),
+		part.RangeLevel(1, types.NewInt(0), types.NewInt(50), types.NewInt(100)),
+	)
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	st.CreateTable(tab)
+	for i := int64(0); i < 100; i++ {
+		row := types.Row{types.NewInt(i % 10), types.NewInt(i)}
+		if err := st.Insert(tab, row); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	s, err := Collect(st, tab)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if s.RowCount != 100 {
+		t.Errorf("RowCount = %d", s.RowCount)
+	}
+	if s.Cols[0].NDV != 10 || s.Cols[1].NDV != 100 {
+		t.Errorf("NDV = %d, %d; want 10, 100", s.Cols[0].NDV, s.Cols[1].NDV)
+	}
+	if s.Cols[1].Min.Int() != 0 || s.Cols[1].Max.Int() != 99 {
+		t.Errorf("min/max = %v/%v", s.Cols[1].Min, s.Cols[1].Max)
+	}
+	if len(s.LeafRows) != 2 {
+		t.Errorf("LeafRows = %v", s.LeafRows)
+	}
+	for leaf, n := range s.LeafRows {
+		if n != 50 {
+			t.Errorf("leaf %d rows = %d, want 50", leaf, n)
+		}
+	}
+	if tab.Stats != s {
+		t.Errorf("stats not attached to catalog entry")
+	}
+}
+
+func TestCollectReplicatedCountsOneCopy(t *testing.T) {
+	cat := catalog.New()
+	st := storage.NewStore(3)
+	tab, err := cat.CreateTable("dim",
+		[]catalog.Column{{Name: "id", Kind: types.KindInt}},
+		catalog.Replicated(),
+	)
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	st.CreateTable(tab)
+	for i := int64(0); i < 7; i++ {
+		if err := st.Insert(tab, types.Row{types.NewInt(i)}); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	s, err := Collect(st, tab)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if s.RowCount != 7 {
+		t.Errorf("replicated RowCount = %d, want 7 (one copy)", s.RowCount)
+	}
+}
+
+func TestCollectNullFraction(t *testing.T) {
+	cat := catalog.New()
+	st := storage.NewStore(1)
+	tab, _ := cat.CreateTable("t",
+		[]catalog.Column{{Name: "x", Kind: types.KindInt}},
+		catalog.Hashed(0),
+	)
+	st.CreateTable(tab)
+	for i := 0; i < 4; i++ {
+		v := types.Null
+		if i%2 == 0 {
+			v = types.NewInt(int64(i))
+		}
+		if err := st.Insert(tab, types.Row{v}); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	s, err := Collect(st, tab)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if s.Cols[0].NullFrac != 0.5 {
+		t.Errorf("NullFrac = %g, want 0.5", s.Cols[0].NullFrac)
+	}
+	if s.Cols[0].NDV != 2 {
+		t.Errorf("NDV = %d, want 2", s.Cols[0].NDV)
+	}
+}
+
+func TestCollectAll(t *testing.T) {
+	cat := catalog.New()
+	st := storage.NewStore(1)
+	for _, n := range []string{"a", "b"} {
+		tab, err := cat.CreateTable(n, []catalog.Column{{Name: "x", Kind: types.KindInt}}, catalog.Hashed(0))
+		if err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		st.CreateTable(tab)
+	}
+	if err := CollectAll(st, cat); err != nil {
+		t.Fatalf("CollectAll: %v", err)
+	}
+	for _, tab := range cat.Tables() {
+		if tab.Stats == nil {
+			t.Errorf("table %q missing stats", tab.Name)
+		}
+	}
+}

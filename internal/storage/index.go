@@ -1,0 +1,174 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"partopt/internal/catalog"
+	"partopt/internal/part"
+	"partopt/internal/types"
+)
+
+// Secondary indexes (the paper's stated future work). Each index covers one
+// column; partitioned tables get one physical index per (segment × leaf)
+// heap, which is what lets an index scan compose with partition selection:
+// a DynamicIndexScan looks up only the leaves its PartitionSelector chose.
+//
+// Indexes are rebuilt lazily: any mutation of the table marks them stale,
+// and the next lookup rebuilds the touched heap's entries. That favours the
+// load-then-analyze-then-query pattern of analytic workloads over
+// OLTP-style incremental maintenance.
+
+// idxEntry pairs a key with its row and the row's heap position. Rows are
+// shared with the heap at build time; staleness tracking keeps lookups
+// (and the positions, which DML uses as RowIDs) consistent after mutation.
+type idxEntry struct {
+	key types.Datum
+	row types.Row
+	pos int
+}
+
+// tableIndex is one secondary index of one table.
+type tableIndex struct {
+	def  catalog.IndexDef
+	segs []map[part.OID][]idxEntry
+	// built is false until the first lookup after a mutation.
+	built bool
+}
+
+// CreateIndex registers (and builds on next use) an index over one column.
+func (s *Store) CreateIndex(t *catalog.Table, def catalog.IndexDef) error {
+	if def.ColOrd < 0 || def.ColOrd >= len(t.Cols) {
+		return fmt.Errorf("storage: index %q column ordinal %d out of range", def.Name, def.ColOrd)
+	}
+	td, err := s.data(t.OID)
+	if err != nil {
+		return err
+	}
+	td.mu.Lock()
+	defer td.mu.Unlock()
+	for _, idx := range td.indexes {
+		if idx.def.Name == def.Name {
+			return fmt.Errorf("storage: index %q already exists", def.Name)
+		}
+	}
+	td.indexes = append(td.indexes, &tableIndex{
+		def:  def,
+		segs: make([]map[part.OID][]idxEntry, s.segments),
+	})
+	return nil
+}
+
+// invalidateIndexesLocked marks every index of the table stale. Callers
+// hold td.mu.
+func (td *tableData) invalidateIndexesLocked() {
+	for _, idx := range td.indexes {
+		idx.built = false
+	}
+}
+
+// rebuildLocked re-sorts every heap's entries. Callers hold td.mu.
+func (idx *tableIndex) rebuildLocked(td *tableData) {
+	for seg := range td.heaps {
+		m := map[part.OID][]idxEntry{}
+		for leaf, rows := range td.heaps[seg] {
+			entries := make([]idxEntry, 0, len(rows))
+			for pos, row := range rows {
+				entries = append(entries, idxEntry{key: row[idx.def.ColOrd], row: row, pos: pos})
+			}
+			sort.SliceStable(entries, func(i, j int) bool {
+				return types.Compare(entries[i].key, entries[j].key) < 0
+			})
+			m[leaf] = entries
+		}
+		idx.segs[seg] = m
+	}
+	idx.built = true
+}
+
+// IndexLookup returns the rows of one (segment × leaf) heap whose indexed
+// column falls inside the interval set, using binary search per interval,
+// together with each row's identity (valid until the next mutation). The
+// result over-approximates only as much as the set does.
+func (s *Store) IndexLookup(t *catalog.Table, indexName string, seg int, leaf part.OID, set types.IntervalSet) ([]types.Row, []RowID, error) {
+	td, err := s.data(t.OID)
+	if err != nil {
+		return nil, nil, err
+	}
+	if seg < 0 || seg >= s.segments {
+		return nil, nil, fmt.Errorf("storage: segment %d out of range", seg)
+	}
+	td.mu.Lock()
+	defer td.mu.Unlock()
+	var idx *tableIndex
+	for _, cand := range td.indexes {
+		if cand.def.Name == indexName {
+			idx = cand
+			break
+		}
+	}
+	if idx == nil {
+		return nil, nil, fmt.Errorf("storage: table %q has no index %q", t.Name, indexName)
+	}
+	if !idx.built {
+		idx.rebuildLocked(td)
+	}
+	entries := idx.segs[seg][leaf]
+
+	// Resolve each interval to an entry range, then merge the ranges so
+	// overlapping intervals (an unnormalized set from an OR) emit each row
+	// once. NULL keys sort first and belong to no interval.
+	type span struct{ lo, hi int }
+	var spans []span
+	for _, iv := range set.Ivs {
+		lo := 0
+		if !iv.LoUnb {
+			lo = sort.Search(len(entries), func(i int) bool {
+				if entries[i].key.IsNull() {
+					return false
+				}
+				c := types.Compare(entries[i].key, iv.Lo)
+				if iv.LoIncl {
+					return c >= 0
+				}
+				return c > 0
+			})
+		} else {
+			// Skip the NULL prefix.
+			lo = sort.Search(len(entries), func(i int) bool { return !entries[i].key.IsNull() })
+		}
+		hi := len(entries)
+		if !iv.HiUnb {
+			hi = sort.Search(len(entries), func(i int) bool {
+				if entries[i].key.IsNull() {
+					return false
+				}
+				c := types.Compare(entries[i].key, iv.Hi)
+				if iv.HiIncl {
+					return c > 0
+				}
+				return c >= 0
+			})
+		}
+		if lo < hi {
+			spans = append(spans, span{lo: lo, hi: hi})
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+	var out []types.Row
+	var ids []RowID
+	last := 0
+	for _, sp := range spans {
+		if sp.lo < last {
+			sp.lo = last
+		}
+		for i := sp.lo; i < sp.hi; i++ {
+			out = append(out, entries[i].row)
+			ids = append(ids, RowID{Seg: seg, Leaf: leaf, Idx: entries[i].pos})
+		}
+		if sp.hi > last {
+			last = sp.hi
+		}
+	}
+	return out, ids, nil
+}

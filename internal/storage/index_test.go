@@ -1,0 +1,185 @@
+package storage
+
+import (
+	"testing"
+
+	"partopt/internal/catalog"
+	"partopt/internal/part"
+	"partopt/internal/types"
+)
+
+func indexFixture(t *testing.T) (*Store, *catalog.Table) {
+	t.Helper()
+	cat := catalog.New()
+	st := NewStore(1)
+	tab, err := cat.CreateTable("t",
+		[]catalog.Column{{Name: "k", Kind: types.KindInt}, {Name: "v", Kind: types.KindInt}},
+		catalog.Hashed(0))
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	st.CreateTable(tab)
+	if err := st.CreateIndex(tab, catalog.IndexDef{Name: "tk", ColOrd: 0}); err != nil {
+		t.Fatalf("CreateIndex: %v", err)
+	}
+	return st, tab
+}
+
+func lookup(t *testing.T, st *Store, tab *catalog.Table, set types.IntervalSet) []int64 {
+	t.Helper()
+	rows, ids, err := st.IndexLookup(tab, "tk", 0, tab.OID, set)
+	if err != nil {
+		t.Fatalf("IndexLookup: %v", err)
+	}
+	if len(rows) != len(ids) {
+		t.Fatalf("rows/ids length mismatch: %d vs %d", len(rows), len(ids))
+	}
+	out := make([]int64, len(rows))
+	for i, r := range rows {
+		out[i] = r[0].Int()
+	}
+	return out
+}
+
+func TestIndexLookupRanges(t *testing.T) {
+	st, tab := indexFixture(t)
+	for i := int64(0); i < 100; i++ {
+		if err := st.Insert(tab, types.Row{types.NewInt(i), types.NewInt(i * 2)}); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	got := lookup(t, st, tab, types.SetOf(types.RangeInterval(types.NewInt(10), types.NewInt(15))))
+	if len(got) != 5 {
+		t.Fatalf("range [10,15) = %v", got)
+	}
+	for i, v := range got {
+		if v != int64(10+i) {
+			t.Errorf("entry %d = %d (index order should be key order)", i, v)
+		}
+	}
+	// Point, unbounded, empty.
+	if got := lookup(t, st, tab, types.SetOf(types.PointInterval(types.NewInt(42)))); len(got) != 1 || got[0] != 42 {
+		t.Errorf("point lookup = %v", got)
+	}
+	if got := lookup(t, st, tab, types.WholeDomain()); len(got) != 100 {
+		t.Errorf("whole domain = %d rows", len(got))
+	}
+	if got := lookup(t, st, tab, types.SetOf()); len(got) != 0 {
+		t.Errorf("empty set = %v", got)
+	}
+}
+
+func TestIndexLookupOverlappingIntervalsDedup(t *testing.T) {
+	st, tab := indexFixture(t)
+	for i := int64(0); i < 50; i++ {
+		if err := st.Insert(tab, types.Row{types.NewInt(i), types.NewInt(0)}); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	// Overlapping intervals (an unnormalized OR derivation): each row once.
+	set := types.SetOf(
+		types.Below(types.NewInt(30), false),
+		types.Below(types.NewInt(20), true),
+		types.RangeInterval(types.NewInt(10), types.NewInt(40)),
+	)
+	got := lookup(t, st, tab, set)
+	if len(got) != 40 {
+		t.Fatalf("overlapping lookup = %d rows, want 40 (0..39 once each)", len(got))
+	}
+	seen := map[int64]bool{}
+	for _, v := range got {
+		if seen[v] {
+			t.Fatalf("duplicate key %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestIndexNullKeys(t *testing.T) {
+	st, tab := indexFixture(t)
+	for i := int64(0); i < 10; i++ {
+		k := types.NewInt(i)
+		if i%3 == 0 {
+			k = types.Null
+		}
+		if err := st.Insert(tab, types.Row{k, types.NewInt(i)}); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	// No interval contains NULL — not even unbounded ones.
+	got := lookup(t, st, tab, types.WholeDomain())
+	if len(got) != 6 {
+		t.Fatalf("whole domain with NULLs = %d rows, want 6 non-null", len(got))
+	}
+	got = lookup(t, st, tab, types.SetOf(types.Below(types.NewInt(100), true)))
+	if len(got) != 6 {
+		t.Fatalf("bounded-above with NULLs = %d rows, want 6", len(got))
+	}
+}
+
+func TestIndexStaleRebuildAfterDML(t *testing.T) {
+	st, tab := indexFixture(t)
+	for i := int64(0); i < 10; i++ {
+		if err := st.Insert(tab, types.Row{types.NewInt(i), types.NewInt(i)}); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	point := func(v int64) types.IntervalSet {
+		return types.SetOf(types.PointInterval(types.NewInt(v)))
+	}
+	if got := lookup(t, st, tab, point(5)); len(got) != 1 {
+		t.Fatalf("initial lookup = %v", got)
+	}
+	// RowIDs from the index are valid until the next mutation.
+	_, ids, err := st.IndexLookup(tab, "tk", 0, tab.OID, point(5))
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("ids: %v %v", ids, err)
+	}
+	if _, err := st.UpdateRow(tab, ids[0], types.Row{types.NewInt(500), types.NewInt(5)}); err != nil {
+		t.Fatalf("UpdateRow: %v", err)
+	}
+	if got := lookup(t, st, tab, point(5)); len(got) != 0 {
+		t.Fatalf("post-update lookup of old key = %v", got)
+	}
+	if got := lookup(t, st, tab, point(500)); len(got) != 1 {
+		t.Fatalf("post-update lookup of new key = %v", got)
+	}
+	// Delete through a fresh id.
+	_, ids, err = st.IndexLookup(tab, "tk", 0, tab.OID, point(500))
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("fresh ids: %v %v", ids, err)
+	}
+	if err := st.DeleteRow(tab, ids[0]); err != nil {
+		t.Fatalf("DeleteRow: %v", err)
+	}
+	if got := lookup(t, st, tab, point(500)); len(got) != 0 {
+		t.Fatalf("post-delete lookup = %v", got)
+	}
+	// Truncate invalidates too.
+	if err := st.Truncate(tab); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	if got := lookup(t, st, tab, types.WholeDomain()); len(got) != 0 {
+		t.Fatalf("post-truncate lookup = %v", got)
+	}
+}
+
+func TestIndexErrors(t *testing.T) {
+	st, tab := indexFixture(t)
+	if err := st.CreateIndex(tab, catalog.IndexDef{Name: "tk", ColOrd: 1}); err == nil {
+		t.Errorf("duplicate index name accepted")
+	}
+	if err := st.CreateIndex(tab, catalog.IndexDef{Name: "bad", ColOrd: 9}); err == nil {
+		t.Errorf("out-of-range column accepted")
+	}
+	if _, _, err := st.IndexLookup(tab, "ghost", 0, tab.OID, types.WholeDomain()); err == nil {
+		t.Errorf("unknown index accepted")
+	}
+	if _, _, err := st.IndexLookup(tab, "tk", 9, tab.OID, types.WholeDomain()); err == nil {
+		t.Errorf("bad segment accepted")
+	}
+	other := &catalog.Table{OID: part.OID(999), Cols: []catalog.Column{{Name: "x", Kind: types.KindInt}}}
+	if err := st.CreateIndex(other, catalog.IndexDef{Name: "i", ColOrd: 0}); err == nil {
+		t.Errorf("unknown table accepted")
+	}
+}

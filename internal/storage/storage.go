@@ -1,0 +1,277 @@
+// Package storage implements the in-memory MPP storage substrate: every
+// table's rows live in per-(segment × leaf-partition) heaps. Inserts route
+// tuples to a leaf with the partitioning function fT and to a segment with
+// the distribution policy; replicated tables hold a full copy per segment.
+//
+// The layout mirrors what the paper relies on: "given a logical partition
+// OID the storage layer can locate and retrieve the tuples belonging to
+// that partition" (§2.1), independently on every segment.
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"partopt/internal/catalog"
+	"partopt/internal/part"
+	"partopt/internal/types"
+)
+
+// RowID identifies a stored row physically: segment, leaf partition, index
+// within the heap. It is the analogue of PostgreSQL's ctid and is used by
+// DML to address rows produced by a scan.
+type RowID struct {
+	Seg  int
+	Leaf part.OID
+	Idx  int
+}
+
+// tableData holds one table's rows and secondary indexes.
+type tableData struct {
+	tab *catalog.Table
+	mu  sync.RWMutex
+	// heaps[segment][leafOID] — for unpartitioned tables the single heap
+	// is keyed by the table's root OID.
+	heaps   []map[part.OID][]types.Row
+	indexes []*tableIndex
+}
+
+// Store is the storage layer of one simulated cluster.
+type Store struct {
+	segments int
+	mu       sync.RWMutex
+	tables   map[part.OID]*tableData
+}
+
+// NewStore creates storage for a cluster with the given segment count.
+func NewStore(segments int) *Store {
+	if segments < 1 {
+		panic("storage: need at least one segment")
+	}
+	return &Store{segments: segments, tables: map[part.OID]*tableData{}}
+}
+
+// Segments returns the cluster's segment count.
+func (s *Store) Segments() int { return s.segments }
+
+// CreateTable allocates heaps for a catalog table.
+func (s *Store) CreateTable(t *catalog.Table) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.tables[t.OID]; exists {
+		panic(fmt.Sprintf("storage: table %q already created", t.Name))
+	}
+	td := &tableData{tab: t, heaps: make([]map[part.OID][]types.Row, s.segments)}
+	for i := range td.heaps {
+		td.heaps[i] = map[part.OID][]types.Row{}
+	}
+	s.tables[t.OID] = td
+}
+
+func (s *Store) data(root part.OID) (*tableData, error) {
+	s.mu.RLock()
+	td, ok := s.tables[root]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("storage: no table with OID %d", root)
+	}
+	return td, nil
+}
+
+// partKeys extracts the per-level partitioning key datums from a row.
+func partKeys(t *catalog.Table, row types.Row) []types.Datum {
+	ords := t.Part.KeyOrds()
+	keys := make([]types.Datum, len(ords))
+	for i, o := range ords {
+		keys[i] = row[o]
+	}
+	return keys
+}
+
+// targetSegment computes the home segment of a row under hash distribution.
+func (s *Store) targetSegment(t *catalog.Table, row types.Row) int {
+	h := types.HashRow(row, t.Dist.KeyOrds)
+	return int(h % uint64(s.segments))
+}
+
+// Insert routes one row to its leaf partition and segment(s). It returns
+// an error for rows that map to no partition (fT = ⊥) or have the wrong
+// arity.
+func (s *Store) Insert(t *catalog.Table, row types.Row) error {
+	td, err := s.data(t.OID)
+	if err != nil {
+		return err
+	}
+	if len(row) != len(t.Cols) {
+		return fmt.Errorf("storage: table %q: row has %d columns, want %d", t.Name, len(row), len(t.Cols))
+	}
+	leaf := t.OID
+	if t.IsPartitioned() {
+		leaf = t.Part.Route(partKeys(t, row))
+		if leaf == part.InvalidOID {
+			return fmt.Errorf("storage: table %q: row %s maps to no partition", t.Name, row)
+		}
+	}
+	td.mu.Lock()
+	defer td.mu.Unlock()
+	td.invalidateIndexesLocked()
+	if t.Dist.Kind == catalog.DistReplicated {
+		for seg := range td.heaps {
+			td.heaps[seg][leaf] = append(td.heaps[seg][leaf], row.Clone())
+		}
+		return nil
+	}
+	seg := s.targetSegment(t, row)
+	td.heaps[seg][leaf] = append(td.heaps[seg][leaf], row)
+	return nil
+}
+
+// InsertBatch inserts many rows, stopping at the first error.
+func (s *Store) InsertBatch(t *catalog.Table, rows []types.Row) error {
+	for _, r := range rows {
+		if err := s.Insert(t, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanLeaf returns the heap of one (segment, leaf). The returned slice is
+// owned by the store; callers must not mutate it.
+func (s *Store) ScanLeaf(root part.OID, seg int, leaf part.OID) ([]types.Row, error) {
+	td, err := s.data(root)
+	if err != nil {
+		return nil, err
+	}
+	if seg < 0 || seg >= s.segments {
+		return nil, fmt.Errorf("storage: segment %d out of range", seg)
+	}
+	td.mu.RLock()
+	defer td.mu.RUnlock()
+	return td.heaps[seg][leaf], nil
+}
+
+// LeafOIDs returns the leaves to scan for a table: its partition expansion,
+// or just the root OID for unpartitioned tables.
+func LeafOIDs(t *catalog.Table) []part.OID {
+	if t.IsPartitioned() {
+		return t.Part.Expansion()
+	}
+	return []part.OID{t.OID}
+}
+
+// RowCount returns the total number of logical rows in the table. For
+// replicated tables, one copy is counted.
+func (s *Store) RowCount(t *catalog.Table) (int64, error) {
+	td, err := s.data(t.OID)
+	if err != nil {
+		return 0, err
+	}
+	td.mu.RLock()
+	defer td.mu.RUnlock()
+	var n int64
+	for seg := range td.heaps {
+		for _, rows := range td.heaps[seg] {
+			n += int64(len(rows))
+		}
+		if t.Dist.Kind == catalog.DistReplicated {
+			break // every segment holds the same copy
+		}
+	}
+	return n, nil
+}
+
+// LeafRowCount returns per-leaf logical row counts.
+func (s *Store) LeafRowCount(t *catalog.Table) (map[part.OID]int64, error) {
+	td, err := s.data(t.OID)
+	if err != nil {
+		return nil, err
+	}
+	td.mu.RLock()
+	defer td.mu.RUnlock()
+	out := map[part.OID]int64{}
+	for seg := range td.heaps {
+		for leaf, rows := range td.heaps[seg] {
+			out[leaf] += int64(len(rows))
+		}
+		if t.Dist.Kind == catalog.DistReplicated {
+			break
+		}
+	}
+	return out, nil
+}
+
+// UpdateRow overwrites the row at the given RowID with newRow. When the new
+// partitioning key routes to a different leaf, the row is moved (deleted
+// and re-inserted), matching GPDB's split-update behaviour. The boolean
+// result reports whether the row moved heaps.
+func (s *Store) UpdateRow(t *catalog.Table, id RowID, newRow types.Row) (bool, error) {
+	td, err := s.data(t.OID)
+	if err != nil {
+		return false, err
+	}
+	if len(newRow) != len(t.Cols) {
+		return false, fmt.Errorf("storage: table %q: updated row has %d columns, want %d", t.Name, len(newRow), len(t.Cols))
+	}
+	newLeaf := id.Leaf
+	if t.IsPartitioned() {
+		newLeaf = t.Part.Route(partKeys(t, newRow))
+		if newLeaf == part.InvalidOID {
+			return false, fmt.Errorf("storage: table %q: updated row %s maps to no partition", t.Name, newRow)
+		}
+	}
+	td.mu.Lock()
+	defer td.mu.Unlock()
+	td.invalidateIndexesLocked()
+	heap := td.heaps[id.Seg][id.Leaf]
+	if id.Idx < 0 || id.Idx >= len(heap) {
+		return false, fmt.Errorf("storage: table %q: stale RowID %+v", t.Name, id)
+	}
+	if newLeaf == id.Leaf {
+		heap[id.Idx] = newRow
+		return false, nil
+	}
+	// Move across partitions: delete from the old heap (swap with last to
+	// keep the heap dense) and append to the new one on the same segment.
+	last := len(heap) - 1
+	heap[id.Idx] = heap[last]
+	td.heaps[id.Seg][id.Leaf] = heap[:last]
+	td.heaps[id.Seg][newLeaf] = append(td.heaps[id.Seg][newLeaf], newRow)
+	return true, nil
+}
+
+// DeleteRow removes the row at the given RowID with a swap-delete (the
+// heap's last row moves into the hole, so callers deleting in bulk must
+// process each heap in descending index order).
+func (s *Store) DeleteRow(t *catalog.Table, id RowID) error {
+	td, err := s.data(t.OID)
+	if err != nil {
+		return err
+	}
+	td.mu.Lock()
+	defer td.mu.Unlock()
+	td.invalidateIndexesLocked()
+	heap := td.heaps[id.Seg][id.Leaf]
+	if id.Idx < 0 || id.Idx >= len(heap) {
+		return fmt.Errorf("storage: table %q: stale RowID %+v", t.Name, id)
+	}
+	last := len(heap) - 1
+	heap[id.Idx] = heap[last]
+	td.heaps[id.Seg][id.Leaf] = heap[:last]
+	return nil
+}
+
+// Truncate removes all rows of a table.
+func (s *Store) Truncate(t *catalog.Table) error {
+	td, err := s.data(t.OID)
+	if err != nil {
+		return err
+	}
+	td.mu.Lock()
+	defer td.mu.Unlock()
+	td.invalidateIndexesLocked()
+	for seg := range td.heaps {
+		td.heaps[seg] = map[part.OID][]types.Row{}
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+package storage
+
+import (
+	"testing"
+
+	"partopt/internal/catalog"
+	"partopt/internal/part"
+	"partopt/internal/types"
+)
+
+func newFixture(t *testing.T, segs int) (*catalog.Catalog, *Store, *catalog.Table) {
+	t.Helper()
+	cat := catalog.New()
+	st := NewStore(segs)
+	// r(a int, b int) partitioned on b into [0,10), [10,20), [20,30).
+	tab, err := cat.CreateTable("r",
+		[]catalog.Column{{Name: "a", Kind: types.KindInt}, {Name: "b", Kind: types.KindInt}},
+		catalog.Hashed(0),
+		part.RangeLevel(1, types.NewInt(0), types.NewInt(10), types.NewInt(20), types.NewInt(30)),
+	)
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	st.CreateTable(tab)
+	return cat, st, tab
+}
+
+func TestInsertRoutesToLeafAndSegment(t *testing.T) {
+	_, st, tab := newFixture(t, 4)
+	for i := int64(0); i < 30; i++ {
+		if err := st.Insert(tab, types.Row{types.NewInt(i), types.NewInt(i)}); err != nil {
+			t.Fatalf("Insert(%d): %v", i, err)
+		}
+	}
+	n, err := st.RowCount(tab)
+	if err != nil || n != 30 {
+		t.Fatalf("RowCount = %d (%v), want 30", n, err)
+	}
+	leafCounts, err := st.LeafRowCount(tab)
+	if err != nil {
+		t.Fatalf("LeafRowCount: %v", err)
+	}
+	if len(leafCounts) != 3 {
+		t.Fatalf("leaf count map = %v", leafCounts)
+	}
+	for leaf, c := range leafCounts {
+		if c != 10 {
+			t.Errorf("leaf %d holds %d rows, want 10", leaf, c)
+		}
+	}
+	// Every row must be on exactly one segment.
+	total := 0
+	for _, leaf := range LeafOIDs(tab) {
+		for seg := 0; seg < 4; seg++ {
+			rows, err := st.ScanLeaf(tab.OID, seg, leaf)
+			if err != nil {
+				t.Fatalf("ScanLeaf: %v", err)
+			}
+			total += len(rows)
+		}
+	}
+	if total != 30 {
+		t.Errorf("sum over segments = %d, want 30", total)
+	}
+}
+
+func TestInsertRejectsInvalidRows(t *testing.T) {
+	_, st, tab := newFixture(t, 2)
+	// Out of partition range → fT = ⊥.
+	if err := st.Insert(tab, types.Row{types.NewInt(1), types.NewInt(99)}); err == nil {
+		t.Errorf("row outside all partitions accepted")
+	}
+	// Wrong arity.
+	if err := st.Insert(tab, types.Row{types.NewInt(1)}); err == nil {
+		t.Errorf("short row accepted")
+	}
+	// NULL partition key → ⊥.
+	if err := st.Insert(tab, types.Row{types.NewInt(1), types.Null}); err == nil {
+		t.Errorf("NULL partition key accepted")
+	}
+}
+
+func TestReplicatedTables(t *testing.T) {
+	cat := catalog.New()
+	st := NewStore(3)
+	tab, err := cat.CreateTable("dim",
+		[]catalog.Column{{Name: "id", Kind: types.KindInt}},
+		catalog.Replicated(),
+	)
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	st.CreateTable(tab)
+	for i := int64(0); i < 5; i++ {
+		if err := st.Insert(tab, types.Row{types.NewInt(i)}); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	// Logical count is 5, but each segment holds a full copy.
+	n, _ := st.RowCount(tab)
+	if n != 5 {
+		t.Errorf("RowCount = %d, want 5", n)
+	}
+	for seg := 0; seg < 3; seg++ {
+		rows, err := st.ScanLeaf(tab.OID, seg, tab.OID)
+		if err != nil || len(rows) != 5 {
+			t.Errorf("segment %d copy = %d rows (%v), want 5", seg, len(rows), err)
+		}
+	}
+}
+
+func TestUnpartitionedLeafOIDs(t *testing.T) {
+	cat := catalog.New()
+	tab, err := cat.CreateTable("plain",
+		[]catalog.Column{{Name: "x", Kind: types.KindInt}},
+		catalog.Hashed(0),
+	)
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	leaves := LeafOIDs(tab)
+	if len(leaves) != 1 || leaves[0] != tab.OID {
+		t.Errorf("LeafOIDs = %v, want [root]", leaves)
+	}
+}
+
+func TestUpdateRowInPlace(t *testing.T) {
+	_, st, tab := newFixture(t, 1)
+	if err := st.Insert(tab, types.Row{types.NewInt(1), types.NewInt(5)}); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	leaf := tab.Part.Route([]types.Datum{types.NewInt(5)})
+	moved, err := st.UpdateRow(tab, RowID{Seg: 0, Leaf: leaf, Idx: 0},
+		types.Row{types.NewInt(2), types.NewInt(7)})
+	if err != nil || moved {
+		t.Fatalf("in-place update: moved=%v err=%v", moved, err)
+	}
+	rows, _ := st.ScanLeaf(tab.OID, 0, leaf)
+	if len(rows) != 1 || rows[0][0].Int() != 2 {
+		t.Errorf("update not applied: %v", rows)
+	}
+}
+
+func TestUpdateRowMovesAcrossPartitions(t *testing.T) {
+	_, st, tab := newFixture(t, 1)
+	if err := st.Insert(tab, types.Row{types.NewInt(1), types.NewInt(5)}); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	oldLeaf := tab.Part.Route([]types.Datum{types.NewInt(5)})
+	newLeaf := tab.Part.Route([]types.Datum{types.NewInt(25)})
+	moved, err := st.UpdateRow(tab, RowID{Seg: 0, Leaf: oldLeaf, Idx: 0},
+		types.Row{types.NewInt(1), types.NewInt(25)})
+	if err != nil || !moved {
+		t.Fatalf("cross-partition update: moved=%v err=%v", moved, err)
+	}
+	oldRows, _ := st.ScanLeaf(tab.OID, 0, oldLeaf)
+	newRows, _ := st.ScanLeaf(tab.OID, 0, newLeaf)
+	if len(oldRows) != 0 || len(newRows) != 1 {
+		t.Errorf("row not moved: old=%v new=%v", oldRows, newRows)
+	}
+	// Moving to an invalid partition fails.
+	if _, err := st.UpdateRow(tab, RowID{Seg: 0, Leaf: newLeaf, Idx: 0},
+		types.Row{types.NewInt(1), types.NewInt(999)}); err == nil {
+		t.Errorf("update to invalid partition accepted")
+	}
+	// Stale RowID fails.
+	if _, err := st.UpdateRow(tab, RowID{Seg: 0, Leaf: oldLeaf, Idx: 5},
+		types.Row{types.NewInt(1), types.NewInt(5)}); err == nil {
+		t.Errorf("stale RowID accepted")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	_, st, tab := newFixture(t, 2)
+	for i := int64(0); i < 10; i++ {
+		if err := st.Insert(tab, types.Row{types.NewInt(i), types.NewInt(i)}); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	if err := st.Truncate(tab); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	n, _ := st.RowCount(tab)
+	if n != 0 {
+		t.Errorf("RowCount after truncate = %d", n)
+	}
+}
+
+func TestUnknownTableErrors(t *testing.T) {
+	st := NewStore(1)
+	if _, err := st.ScanLeaf(999, 0, 999); err == nil {
+		t.Errorf("ScanLeaf of unknown table should fail")
+	}
+	if _, err := st.RowCount(&catalog.Table{OID: 999}); err == nil {
+		t.Errorf("RowCount of unknown table should fail")
+	}
+	if err := st.Truncate(&catalog.Table{OID: 999}); err == nil {
+		t.Errorf("Truncate of unknown table should fail")
+	}
+}
+
+func TestScanLeafBounds(t *testing.T) {
+	_, st, tab := newFixture(t, 2)
+	if _, err := st.ScanLeaf(tab.OID, 7, tab.OID); err == nil {
+		t.Errorf("out-of-range segment should fail")
+	}
+}

@@ -1,0 +1,274 @@
+// Package types provides the value substrate of the engine: typed scalar
+// values (Datum), rows, comparison, hashing, and date handling.
+//
+// The engine is deliberately narrow: the paper's experiments exercise
+// integers, floats, strings, dates and booleans, so those are the only
+// scalar kinds. Dates are stored as days since the Unix epoch in an int64
+// payload, which keeps partition-range arithmetic cheap.
+package types
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+)
+
+// Kind identifies the runtime type of a Datum.
+type Kind uint8
+
+// The supported scalar kinds.
+const (
+	KindNull   Kind = iota
+	KindInt         // 64-bit signed integer
+	KindFloat       // 64-bit IEEE float
+	KindString      // UTF-8 string
+	KindBool        // boolean
+	KindDate        // days since 1970-01-01, stored in the int payload
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	case KindDate:
+		return "date"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Datum is a single scalar value. The zero value is the SQL NULL.
+//
+// Datum is a value type and must stay small: it is copied into rows, hash
+// tables and motion buffers throughout the executor.
+type Datum struct {
+	kind Kind
+	i    int64 // int, bool (0/1), date payload
+	f    float64
+	s    string
+}
+
+// Null is the SQL NULL value.
+var Null = Datum{}
+
+// NewInt returns an integer datum.
+func NewInt(v int64) Datum { return Datum{kind: KindInt, i: v} }
+
+// NewFloat returns a float datum.
+func NewFloat(v float64) Datum { return Datum{kind: KindFloat, f: v} }
+
+// NewString returns a string datum.
+func NewString(v string) Datum { return Datum{kind: KindString, s: v} }
+
+// NewBool returns a boolean datum.
+func NewBool(v bool) Datum {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Datum{kind: KindBool, i: i}
+}
+
+// NewDate returns a date datum from days since the Unix epoch.
+func NewDate(days int64) Datum { return Datum{kind: KindDate, i: days} }
+
+// DateFromYMD returns a date datum for the given calendar day.
+func DateFromYMD(year, month, day int) Datum {
+	t := time.Date(year, time.Month(month), day, 0, 0, 0, 0, time.UTC)
+	return NewDate(t.Unix() / 86400)
+}
+
+// ParseDate parses a YYYY-MM-DD literal into a date datum.
+func ParseDate(s string) (Datum, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return Null, fmt.Errorf("types: invalid date %q: %w", s, err)
+	}
+	return NewDate(t.Unix() / 86400), nil
+}
+
+// Kind reports the datum's runtime type.
+func (d Datum) Kind() Kind { return d.kind }
+
+// IsNull reports whether the datum is SQL NULL.
+func (d Datum) IsNull() bool { return d.kind == KindNull }
+
+// Int returns the integer payload. It panics if the datum is not an int or
+// date; use Kind to check first.
+func (d Datum) Int() int64 {
+	if d.kind != KindInt && d.kind != KindDate {
+		panic(fmt.Sprintf("types: Int() on %s datum", d.kind))
+	}
+	return d.i
+}
+
+// Float returns the float payload, widening integers.
+func (d Datum) Float() float64 {
+	switch d.kind {
+	case KindFloat:
+		return d.f
+	case KindInt, KindDate:
+		return float64(d.i)
+	default:
+		panic(fmt.Sprintf("types: Float() on %s datum", d.kind))
+	}
+}
+
+// Str returns the string payload. It panics for non-string datums.
+func (d Datum) Str() string {
+	if d.kind != KindString {
+		panic(fmt.Sprintf("types: Str() on %s datum", d.kind))
+	}
+	return d.s
+}
+
+// Bool returns the boolean payload. It panics for non-bool datums.
+func (d Datum) Bool() bool {
+	if d.kind != KindBool {
+		panic(fmt.Sprintf("types: Bool() on %s datum", d.kind))
+	}
+	return d.i != 0
+}
+
+// Days returns the date payload as days since the epoch.
+func (d Datum) Days() int64 {
+	if d.kind != KindDate {
+		panic(fmt.Sprintf("types: Days() on %s datum", d.kind))
+	}
+	return d.i
+}
+
+// String renders the datum for EXPLAIN output and error messages.
+func (d Datum) String() string {
+	switch d.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(d.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(d.f, 'g', -1, 64)
+	case KindString:
+		return "'" + d.s + "'"
+	case KindBool:
+		if d.i != 0 {
+			return "true"
+		}
+		return "false"
+	case KindDate:
+		return time.Unix(d.i*86400, 0).UTC().Format("2006-01-02")
+	default:
+		return fmt.Sprintf("datum(%d)", uint8(d.kind))
+	}
+}
+
+// Compare orders two datums. NULL sorts before every non-NULL value, and
+// two NULLs compare equal (this is the ordering used for hashing and
+// grouping, not three-valued SQL comparison — the expression evaluator
+// handles NULL propagation separately).
+//
+// Numeric kinds (int, float, date) compare with each other numerically;
+// comparing other mixed kinds panics, because the binder is responsible for
+// type agreement.
+func Compare(a, b Datum) int {
+	if a.kind == KindNull || b.kind == KindNull {
+		switch {
+		case a.kind == b.kind:
+			return 0
+		case a.kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if a.kind == b.kind {
+		switch a.kind {
+		case KindInt, KindDate:
+			return compareInt(a.i, b.i)
+		case KindFloat:
+			return compareFloat(a.f, b.f)
+		case KindString:
+			switch {
+			case a.s < b.s:
+				return -1
+			case a.s > b.s:
+				return 1
+			}
+			return 0
+		case KindBool:
+			return compareInt(a.i, b.i)
+		}
+	}
+	if a.isNumeric() && b.isNumeric() {
+		return compareFloat(a.Float(), b.Float())
+	}
+	panic(fmt.Sprintf("types: cannot compare %s with %s", a.kind, b.kind))
+}
+
+// Equal reports whether two datums compare equal under Compare.
+func Equal(a, b Datum) bool { return Compare(a, b) == 0 }
+
+func (d Datum) isNumeric() bool {
+	return d.kind == KindInt || d.kind == KindFloat || d.kind == KindDate
+}
+
+func compareInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func compareFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	case a == b:
+		return 0
+	// NaN handling: NaN sorts after everything, two NaNs equal.
+	case math.IsNaN(a) && math.IsNaN(b):
+		return 0
+	case math.IsNaN(a):
+		return 1
+	default:
+		return -1
+	}
+}
+
+// Row is a tuple of datums. Rows are positional; column naming lives in the
+// catalog and binder layers.
+type Row []Datum
+
+// Clone returns a deep copy of the row (datums are values, so a shallow
+// copy of the slice suffices).
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// String renders the row for tests and debugging.
+func (r Row) String() string {
+	s := "("
+	for i, d := range r {
+		if i > 0 {
+			s += ", "
+		}
+		s += d.String()
+	}
+	return s + ")"
+}

@@ -1,0 +1,233 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDatumConstructorsAndAccessors(t *testing.T) {
+	if got := NewInt(42).Int(); got != 42 {
+		t.Errorf("NewInt(42).Int() = %d", got)
+	}
+	if got := NewFloat(2.5).Float(); got != 2.5 {
+		t.Errorf("NewFloat(2.5).Float() = %g", got)
+	}
+	if got := NewString("abc").Str(); got != "abc" {
+		t.Errorf("NewString(abc).Str() = %q", got)
+	}
+	if !NewBool(true).Bool() || NewBool(false).Bool() {
+		t.Errorf("bool round trip failed")
+	}
+	if got := NewDate(100).Days(); got != 100 {
+		t.Errorf("NewDate(100).Days() = %d", got)
+	}
+	if !Null.IsNull() {
+		t.Errorf("Null.IsNull() = false")
+	}
+	if Null.Kind() != KindNull {
+		t.Errorf("Null.Kind() = %v", Null.Kind())
+	}
+}
+
+func TestDateFromYMD(t *testing.T) {
+	epoch := DateFromYMD(1970, 1, 1)
+	if epoch.Days() != 0 {
+		t.Errorf("1970-01-01 = %d days, want 0", epoch.Days())
+	}
+	d := DateFromYMD(1970, 2, 1)
+	if d.Days() != 31 {
+		t.Errorf("1970-02-01 = %d days, want 31", d.Days())
+	}
+	if s := d.String(); s != "1970-02-01" {
+		t.Errorf("String() = %q, want 1970-02-01", s)
+	}
+}
+
+func TestParseDate(t *testing.T) {
+	d, err := ParseDate("2013-10-01")
+	if err != nil {
+		t.Fatalf("ParseDate: %v", err)
+	}
+	if d.String() != "2013-10-01" {
+		t.Errorf("round trip = %q", d.String())
+	}
+	if _, err := ParseDate("not-a-date"); err == nil {
+		t.Errorf("ParseDate accepted garbage")
+	}
+}
+
+func TestCompareSameKind(t *testing.T) {
+	cases := []struct {
+		a, b Datum
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewFloat(1.5), NewFloat(2.5), -1},
+		{NewString("a"), NewString("b"), -1},
+		{NewString("b"), NewString("b"), 0},
+		{NewBool(false), NewBool(true), -1},
+		{NewDate(10), NewDate(20), -1},
+		{Null, Null, 0},
+		{Null, NewInt(0), -1},
+		{NewInt(0), Null, 1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareCrossNumeric(t *testing.T) {
+	if Compare(NewInt(3), NewFloat(3.0)) != 0 {
+		t.Errorf("int 3 != float 3.0")
+	}
+	if Compare(NewInt(3), NewFloat(3.5)) != -1 {
+		t.Errorf("int 3 not < float 3.5")
+	}
+	if Compare(NewDate(5), NewInt(5)) != 0 {
+		t.Errorf("date 5 != int 5")
+	}
+}
+
+func TestCompareIncompatiblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("comparing string with int did not panic")
+		}
+	}()
+	Compare(NewString("x"), NewInt(1))
+}
+
+func TestCompareNaN(t *testing.T) {
+	nan := NewFloat(math.NaN())
+	if Compare(nan, nan) != 0 {
+		t.Errorf("NaN != NaN under total order")
+	}
+	if Compare(nan, NewFloat(1e300)) != 1 {
+		t.Errorf("NaN should sort after all floats")
+	}
+	if Compare(NewFloat(1e300), nan) != -1 {
+		t.Errorf("float should sort before NaN")
+	}
+}
+
+func TestDatumString(t *testing.T) {
+	cases := []struct {
+		d    Datum
+		want string
+	}{
+		{Null, "NULL"},
+		{NewInt(-7), "-7"},
+		{NewString("hi"), "'hi'"},
+		{NewBool(true), "true"},
+		{NewBool(false), "false"},
+		{NewFloat(1.25), "1.25"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Int on string", func() { NewString("x").Int() })
+	mustPanic("Str on int", func() { NewInt(1).Str() })
+	mustPanic("Bool on int", func() { NewInt(1).Bool() })
+	mustPanic("Days on int", func() { NewInt(1).Days() })
+	mustPanic("Float on string", func() { NewString("x").Float() })
+}
+
+func TestHashEqualImpliesEqualHash(t *testing.T) {
+	pairs := [][2]Datum{
+		{NewInt(3), NewFloat(3.0)},
+		{NewInt(3), NewDate(3)},
+		{NewFloat(0.0), NewFloat(math.Copysign(0, -1))},
+		{NewString("x"), NewString("x")},
+		{Null, Null},
+	}
+	for _, p := range pairs {
+		if Compare(p[0], p[1]) != 0 {
+			t.Fatalf("test bug: %v and %v not equal", p[0], p[1])
+		}
+		h0 := HashDatum(HashSeed, p[0])
+		h1 := HashDatum(HashSeed, p[1])
+		if h0 != h1 {
+			t.Errorf("equal datums %v, %v hash to %d, %d", p[0], p[1], h0, h1)
+		}
+	}
+}
+
+func TestHashRowSubset(t *testing.T) {
+	r := Row{NewInt(1), NewString("a"), NewInt(2)}
+	full := HashRow(r, nil)
+	if full != HashRow(r.Clone(), nil) {
+		t.Errorf("hash not deterministic")
+	}
+	sub := HashRow(r, []int{0, 2})
+	other := HashRow(Row{NewInt(1), NewString("ZZZ"), NewInt(2)}, []int{0, 2})
+	if sub != other {
+		t.Errorf("column-subset hash should ignore excluded columns")
+	}
+}
+
+func TestRowCloneIndependent(t *testing.T) {
+	r := Row{NewInt(1), NewInt(2)}
+	c := r.Clone()
+	c[0] = NewInt(99)
+	if r[0].Int() != 1 {
+		t.Errorf("Clone aliases original")
+	}
+	if r.String() != "(1, 2)" {
+		t.Errorf("Row.String = %q", r.String())
+	}
+}
+
+// Property: Compare is a total order — antisymmetric and transitive over a
+// random sample of int/float datums.
+func TestCompareProperties(t *testing.T) {
+	antisym := func(a, b int64) bool {
+		da, db := NewInt(a), NewInt(b)
+		return Compare(da, db) == -Compare(db, da)
+	}
+	if err := quick.Check(antisym, nil); err != nil {
+		t.Error(err)
+	}
+	crossKind := func(v int64) bool {
+		// int and float views of the same small value must be equal
+		// and hash-equal (restrict to exactly representable range).
+		v %= 1 << 52
+		return Compare(NewInt(v), NewFloat(float64(v))) == 0 &&
+			HashDatum(HashSeed, NewInt(v)) == HashDatum(HashSeed, NewFloat(float64(v)))
+	}
+	if err := quick.Check(crossKind, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := map[Kind]string{
+		KindNull: "null", KindInt: "int", KindFloat: "float",
+		KindString: "string", KindBool: "bool", KindDate: "date",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if Kind(250).String() != "kind(250)" {
+		t.Errorf("unknown kind name = %q", Kind(250).String())
+	}
+}

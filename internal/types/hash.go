@@ -1,0 +1,75 @@
+package types
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Hashing of datums and rows. The MPP substrate distributes rows to
+// segments with hash(distribution key) % #segments, and the hash join
+// buckets build rows by join key; both use the FNV-1a based functions here.
+// The hash must agree with Compare: datums that compare equal hash equal,
+// including int/float/date cross-kind numeric equality.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnv1a(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+func fnv1aUint64(h, v uint64) uint64 {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	return fnv1a(h, buf[:])
+}
+
+// HashDatum folds a datum into a running hash value. Pass fnv seed
+// HashSeed for the first datum.
+func HashDatum(h uint64, d Datum) uint64 {
+	switch d.kind {
+	case KindNull:
+		return fnv1aUint64(h, 0x9e3779b97f4a7c15)
+	case KindInt, KindDate:
+		// Hash numerics through the float representation so that
+		// NewInt(3) and NewFloat(3) — equal under Compare — collide.
+		return fnv1aUint64(h, math.Float64bits(float64(d.i)))
+	case KindFloat:
+		f := d.f
+		if f == 0 {
+			f = 0 // normalize -0.0 to +0.0
+		}
+		return fnv1aUint64(h, math.Float64bits(f))
+	case KindBool:
+		return fnv1aUint64(h, uint64(d.i)+1)
+	case KindString:
+		return fnv1a(h, []byte(d.s))
+	default:
+		return h
+	}
+}
+
+// HashSeed is the initial value for HashDatum/HashRow chains.
+const HashSeed uint64 = fnvOffset64
+
+// HashRow hashes the datums of r at the given column positions. If cols is
+// nil the whole row is hashed.
+func HashRow(r Row, cols []int) uint64 {
+	h := HashSeed
+	if cols == nil {
+		for _, d := range r {
+			h = HashDatum(h, d)
+		}
+		return h
+	}
+	for _, c := range cols {
+		h = HashDatum(h, r[c])
+	}
+	return h
+}

@@ -1,0 +1,291 @@
+package types
+
+import "strings"
+
+// Interval is a (possibly half-open, possibly unbounded) range of datum
+// values over a single ordered domain. Partition check constraints are
+// expressed as unions of intervals (paper §3.2: every constraint can be
+// written pk ∈ ∪ᵢ(aᵢ₁, aᵢₖ)), and predicate analysis derives interval sets
+// from partition-key predicates.
+type Interval struct {
+	Lo, Hi         Datum // bounds; ignored when the matching *Unbounded is set
+	LoIncl, HiIncl bool  // whether the bound itself is included
+	LoUnb, HiUnb   bool  // unbounded below / above
+}
+
+// PointInterval returns the degenerate interval [v, v]. List (categorical)
+// partitioning uses point intervals.
+func PointInterval(v Datum) Interval {
+	return Interval{Lo: v, Hi: v, LoIncl: true, HiIncl: true}
+}
+
+// RangeInterval returns the half-open interval [lo, hi) used by range
+// partitioning (START inclusive, END exclusive in GPDB terms).
+func RangeInterval(lo, hi Datum) Interval {
+	return Interval{Lo: lo, Hi: hi, LoIncl: true}
+}
+
+// Below returns the interval (-inf, v) or (-inf, v] when incl is set.
+func Below(v Datum, incl bool) Interval {
+	return Interval{LoUnb: true, Hi: v, HiIncl: incl}
+}
+
+// Above returns the interval (v, +inf) or [v, +inf) when incl is set.
+func Above(v Datum, incl bool) Interval {
+	return Interval{HiUnb: true, Lo: v, LoIncl: incl}
+}
+
+// Unbounded returns the interval covering the whole domain.
+func Unbounded() Interval { return Interval{LoUnb: true, HiUnb: true} }
+
+// Contains reports whether v lies inside the interval. NULL is contained in
+// no interval.
+func (iv Interval) Contains(v Datum) bool {
+	if v.IsNull() {
+		return false
+	}
+	if !iv.LoUnb {
+		c := Compare(v, iv.Lo)
+		if c < 0 || (c == 0 && !iv.LoIncl) {
+			return false
+		}
+	}
+	if !iv.HiUnb {
+		c := Compare(v, iv.Hi)
+		if c > 0 || (c == 0 && !iv.HiIncl) {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether the interval contains no values. Unbounded sides
+// are never empty; [v, v] is empty only if not inclusive on both ends.
+// Emptiness between adjacent discrete values (e.g. (1,2) over ints) is not
+// detected; callers treat such intervals as possibly-matching, which is
+// safe for partition selection (f*T may over-approximate).
+func (iv Interval) Empty() bool {
+	if iv.LoUnb || iv.HiUnb {
+		return false
+	}
+	c := Compare(iv.Lo, iv.Hi)
+	if c > 0 {
+		return true
+	}
+	if c == 0 {
+		return !(iv.LoIncl && iv.HiIncl)
+	}
+	return false
+}
+
+// Intersect returns the overlap of two intervals (possibly empty).
+func (iv Interval) Intersect(o Interval) Interval {
+	out := iv
+	// Tighten lower bound.
+	if !o.LoUnb {
+		if out.LoUnb {
+			out.LoUnb, out.Lo, out.LoIncl = false, o.Lo, o.LoIncl
+		} else {
+			c := Compare(o.Lo, out.Lo)
+			if c > 0 || (c == 0 && !o.LoIncl) {
+				out.Lo, out.LoIncl = o.Lo, o.LoIncl && out.LoIncl
+				if c > 0 {
+					out.LoIncl = o.LoIncl
+				}
+			}
+		}
+	}
+	// Tighten upper bound.
+	if !o.HiUnb {
+		if out.HiUnb {
+			out.HiUnb, out.Hi, out.HiIncl = false, o.Hi, o.HiIncl
+		} else {
+			c := Compare(o.Hi, out.Hi)
+			if c < 0 || (c == 0 && !o.HiIncl) {
+				out.Hi, out.HiIncl = o.Hi, o.HiIncl && out.HiIncl
+				if c < 0 {
+					out.HiIncl = o.HiIncl
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Overlaps reports whether the two intervals share at least one value
+// (conservatively: true unless provably disjoint).
+func (iv Interval) Overlaps(o Interval) bool {
+	return !iv.Intersect(o).Empty()
+}
+
+// Covers reports whether iv contains every value of o.
+func (iv Interval) Covers(o Interval) bool {
+	if !iv.LoUnb {
+		if o.LoUnb {
+			return false
+		}
+		c := Compare(o.Lo, iv.Lo)
+		if c < 0 || (c == 0 && o.LoIncl && !iv.LoIncl) {
+			return false
+		}
+	}
+	if !iv.HiUnb {
+		if o.HiUnb {
+			return false
+		}
+		c := Compare(o.Hi, iv.Hi)
+		if c > 0 || (c == 0 && o.HiIncl && !iv.HiIncl) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports structural equality of two intervals (same bounds, same
+// inclusivity, same unboundedness).
+func (iv Interval) Equal(o Interval) bool {
+	if iv.LoUnb != o.LoUnb || iv.HiUnb != o.HiUnb {
+		return false
+	}
+	if !iv.LoUnb {
+		if iv.LoIncl != o.LoIncl || Compare(iv.Lo, o.Lo) != 0 {
+			return false
+		}
+	}
+	if !iv.HiUnb {
+		if iv.HiIncl != o.HiIncl || Compare(iv.Hi, o.Hi) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the interval in mathematical notation.
+func (iv Interval) String() string {
+	var b strings.Builder
+	if iv.LoUnb {
+		b.WriteString("(-inf")
+	} else {
+		if iv.LoIncl {
+			b.WriteByte('[')
+		} else {
+			b.WriteByte('(')
+		}
+		b.WriteString(iv.Lo.String())
+	}
+	b.WriteString(", ")
+	if iv.HiUnb {
+		b.WriteString("+inf)")
+	} else {
+		b.WriteString(iv.Hi.String())
+		if iv.HiIncl {
+			b.WriteByte(']')
+		} else {
+			b.WriteByte(')')
+		}
+	}
+	return b.String()
+}
+
+// IntervalSet is a union of intervals. It is kept unnormalized (no sorting
+// or merging) — partition selection only needs Contains/Overlaps, and the
+// sets involved are tiny.
+type IntervalSet struct {
+	Ivs []Interval
+}
+
+// WholeDomain returns a set covering every value.
+func WholeDomain() IntervalSet {
+	return IntervalSet{Ivs: []Interval{Unbounded()}}
+}
+
+// SetOf builds a set from the given intervals, dropping empty ones.
+func SetOf(ivs ...Interval) IntervalSet {
+	var s IntervalSet
+	for _, iv := range ivs {
+		if !iv.Empty() {
+			s.Ivs = append(s.Ivs, iv)
+		}
+	}
+	return s
+}
+
+// Empty reports whether the set contains no values.
+func (s IntervalSet) Empty() bool {
+	for _, iv := range s.Ivs {
+		if !iv.Empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether v is a member of any interval in the set.
+func (s IntervalSet) Contains(v Datum) bool {
+	for _, iv := range s.Ivs {
+		if iv.Contains(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Overlaps reports whether the two sets can share a value.
+func (s IntervalSet) Overlaps(o IntervalSet) bool {
+	for _, a := range s.Ivs {
+		for _, b := range o.Ivs {
+			if a.Overlaps(b) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Intersect returns the pairwise intersection of two sets.
+func (s IntervalSet) Intersect(o IntervalSet) IntervalSet {
+	var out IntervalSet
+	for _, a := range s.Ivs {
+		for _, b := range o.Ivs {
+			if x := a.Intersect(b); !x.Empty() {
+				out.Ivs = append(out.Ivs, x)
+			}
+		}
+	}
+	return out
+}
+
+// Union returns the union of two sets (concatenation; no normalization).
+func (s IntervalSet) Union(o IntervalSet) IntervalSet {
+	out := IntervalSet{Ivs: make([]Interval, 0, len(s.Ivs)+len(o.Ivs))}
+	out.Ivs = append(out.Ivs, s.Ivs...)
+	out.Ivs = append(out.Ivs, o.Ivs...)
+	return out
+}
+
+// Equal reports structural equality of two sets: the same intervals in the
+// same order. Two logically equal but differently arranged sets compare
+// unequal; this is the conservative notion partition-scheme alignment uses.
+func (s IntervalSet) Equal(o IntervalSet) bool {
+	if len(s.Ivs) != len(o.Ivs) {
+		return false
+	}
+	for i := range s.Ivs {
+		if !s.Ivs[i].Equal(o.Ivs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set as iv1 ∪ iv2 ∪ ...
+func (s IntervalSet) String() string {
+	if len(s.Ivs) == 0 {
+		return "∅"
+	}
+	parts := make([]string, len(s.Ivs))
+	for i, iv := range s.Ivs {
+		parts[i] = iv.String()
+	}
+	return strings.Join(parts, " ∪ ")
+}

@@ -1,0 +1,215 @@
+package types
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalContains(t *testing.T) {
+	iv := RangeInterval(NewInt(10), NewInt(20)) // [10, 20)
+	cases := []struct {
+		v    int64
+		want bool
+	}{
+		{9, false}, {10, true}, {15, true}, {19, true}, {20, false}, {21, false},
+	}
+	for _, c := range cases {
+		if got := iv.Contains(NewInt(c.v)); got != c.want {
+			t.Errorf("[10,20).Contains(%d) = %v, want %v", c.v, got, c.want)
+		}
+	}
+	if iv.Contains(Null) {
+		t.Errorf("interval contains NULL")
+	}
+}
+
+func TestIntervalUnboundedAndPoints(t *testing.T) {
+	if !Unbounded().Contains(NewInt(-1 << 60)) {
+		t.Errorf("unbounded misses value")
+	}
+	p := PointInterval(NewString("CA"))
+	if !p.Contains(NewString("CA")) || p.Contains(NewString("NY")) {
+		t.Errorf("point interval wrong membership")
+	}
+	b := Below(NewInt(5), false) // (-inf, 5)
+	if b.Contains(NewInt(5)) || !b.Contains(NewInt(4)) {
+		t.Errorf("Below(5,false) wrong membership")
+	}
+	a := Above(NewInt(5), true) // [5, +inf)
+	if !a.Contains(NewInt(5)) || a.Contains(NewInt(4)) {
+		t.Errorf("Above(5,true) wrong membership")
+	}
+}
+
+func TestIntervalEmpty(t *testing.T) {
+	if RangeInterval(NewInt(1), NewInt(2)).Empty() {
+		t.Errorf("[1,2) should be nonempty")
+	}
+	if !RangeInterval(NewInt(2), NewInt(2)).Empty() {
+		t.Errorf("[2,2) should be empty")
+	}
+	if PointInterval(NewInt(2)).Empty() {
+		t.Errorf("[2,2] should be nonempty")
+	}
+	if !(Interval{Lo: NewInt(3), Hi: NewInt(1), LoIncl: true, HiIncl: true}).Empty() {
+		t.Errorf("[3,1] should be empty")
+	}
+	if Unbounded().Empty() {
+		t.Errorf("unbounded empty")
+	}
+}
+
+func TestIntervalIntersect(t *testing.T) {
+	a := RangeInterval(NewInt(10), NewInt(20))
+	b := RangeInterval(NewInt(15), NewInt(30))
+	x := a.Intersect(b)
+	if !x.Contains(NewInt(15)) || !x.Contains(NewInt(19)) || x.Contains(NewInt(20)) || x.Contains(NewInt(14)) {
+		t.Errorf("intersection of [10,20) and [15,30) = %v", x)
+	}
+	disjoint := RangeInterval(NewInt(30), NewInt(40))
+	if !a.Intersect(disjoint).Empty() {
+		t.Errorf("disjoint intersection not empty")
+	}
+	// Touching at an excluded boundary.
+	if !a.Intersect(PointInterval(NewInt(20))).Empty() {
+		t.Errorf("[10,20) ∩ [20,20] should be empty")
+	}
+	if a.Intersect(PointInterval(NewInt(10))).Empty() {
+		t.Errorf("[10,20) ∩ [10,10] should be nonempty")
+	}
+	// Unbounded operands.
+	u := Unbounded().Intersect(a)
+	if !u.Contains(NewInt(10)) || u.Contains(NewInt(20)) {
+		t.Errorf("unbounded ∩ [10,20) = %v", u)
+	}
+}
+
+func TestIntervalOverlapsAndCovers(t *testing.T) {
+	a := RangeInterval(NewInt(0), NewInt(100))
+	if !a.Overlaps(PointInterval(NewInt(50))) {
+		t.Errorf("overlap missed")
+	}
+	if a.Overlaps(Above(NewInt(100), true)) {
+		t.Errorf("[0,100) overlaps [100,inf)")
+	}
+	if !a.Covers(RangeInterval(NewInt(10), NewInt(20))) {
+		t.Errorf("[0,100) should cover [10,20)")
+	}
+	if a.Covers(Below(NewInt(50), false)) {
+		t.Errorf("[0,100) cannot cover (-inf,50)")
+	}
+	if !Unbounded().Covers(a) || a.Covers(Unbounded()) {
+		t.Errorf("unbounded covering wrong")
+	}
+	// Boundary inclusivity: [0,100] covers [0,100) but not vice versa.
+	closed := Interval{Lo: NewInt(0), Hi: NewInt(100), LoIncl: true, HiIncl: true}
+	if !closed.Covers(a) {
+		t.Errorf("[0,100] should cover [0,100)")
+	}
+	if a.Covers(closed) {
+		t.Errorf("[0,100) cannot cover [0,100]")
+	}
+}
+
+func TestIntervalString(t *testing.T) {
+	if s := RangeInterval(NewInt(1), NewInt(5)).String(); s != "[1, 5)" {
+		t.Errorf("String = %q", s)
+	}
+	if s := Unbounded().String(); s != "(-inf, +inf)" {
+		t.Errorf("String = %q", s)
+	}
+	if s := PointInterval(NewString("x")).String(); s != "['x', 'x']" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestIntervalSetOps(t *testing.T) {
+	s := SetOf(RangeInterval(NewInt(0), NewInt(10)), RangeInterval(NewInt(20), NewInt(30)))
+	if s.Empty() {
+		t.Fatalf("set empty")
+	}
+	for _, c := range []struct {
+		v    int64
+		want bool
+	}{{5, true}, {10, false}, {25, true}, {15, false}} {
+		if got := s.Contains(NewInt(c.v)); got != c.want {
+			t.Errorf("set.Contains(%d) = %v, want %v", c.v, got, c.want)
+		}
+	}
+	o := SetOf(RangeInterval(NewInt(9), NewInt(21)))
+	if !s.Overlaps(o) {
+		t.Errorf("sets should overlap")
+	}
+	x := s.Intersect(o)
+	if !x.Contains(NewInt(9)) || !x.Contains(NewInt(20)) || x.Contains(NewInt(15)) {
+		t.Errorf("set intersection wrong: %v", x)
+	}
+	u := s.Union(o)
+	if !u.Contains(NewInt(15)) {
+		t.Errorf("union missing value")
+	}
+	if SetOf().String() != "∅" {
+		t.Errorf("empty set string = %q", SetOf().String())
+	}
+	if !SetOf(RangeInterval(NewInt(3), NewInt(3))).Empty() {
+		t.Errorf("set of empty interval should be empty")
+	}
+}
+
+func TestWholeDomain(t *testing.T) {
+	w := WholeDomain()
+	if !w.Contains(NewInt(123)) || !w.Contains(NewString("z")) {
+		t.Errorf("whole domain misses values")
+	}
+}
+
+// Property: for random intervals a, b and random probe v,
+// (a∩b).Contains(v) == a.Contains(v) && b.Contains(v).
+func TestIntersectContainsProperty(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	genIv := func() Interval {
+		lo, hi := rnd.Int63n(100), rnd.Int63n(100)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return Interval{
+			Lo: NewInt(lo), Hi: NewInt(hi),
+			LoIncl: rnd.Intn(2) == 0, HiIncl: rnd.Intn(2) == 0,
+			LoUnb: rnd.Intn(8) == 0, HiUnb: rnd.Intn(8) == 0,
+		}
+	}
+	f := func() bool {
+		a, b := genIv(), genIv()
+		v := NewInt(rnd.Int63n(110) - 5)
+		x := a.Intersect(b)
+		return x.Contains(v) == (a.Contains(v) && b.Contains(v))
+	}
+	cfg := &quick.Config{MaxCount: 2000}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Covers is consistent with Contains on sampled points.
+func TestCoversConsistentWithContains(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		lo, hi := rnd.Int63n(50), rnd.Int63n(50)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		a := Interval{Lo: NewInt(lo - 5), Hi: NewInt(hi + 5), LoIncl: true, HiIncl: true}
+		b := Interval{Lo: NewInt(lo), Hi: NewInt(hi), LoIncl: rnd.Intn(2) == 0, HiIncl: rnd.Intn(2) == 0}
+		if !a.Covers(b) && !b.Empty() {
+			t.Fatalf("a=%v should cover b=%v", a, b)
+		}
+		if a.Covers(b) {
+			for v := lo - 2; v <= hi+2; v++ {
+				if b.Contains(NewInt(v)) && !a.Contains(NewInt(v)) {
+					t.Fatalf("a=%v covers b=%v but misses point %d", a, b, v)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"partopt"
+)
+
+// A seeded query fuzzer: random single-fact, dimension-join and
+// IN-subquery queries over the star schema, executed under three
+// configurations — Orca, Orca with partition selection disabled, and the
+// legacy Planner. All three must return identical results; partition
+// selection may only change what is scanned, never what is answered.
+func TestFuzzOptimizersAgree(t *testing.T) {
+	eng, err := partopt.New(3)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	cfg := DefaultStarConfig()
+	cfg.SalesPerDay = 5
+	cfg.Months = 12
+	if err := BuildStar(eng, cfg); err != nil {
+		t.Fatalf("BuildStar: %v", err)
+	}
+	days := cfg.Days()
+
+	rnd := rand.New(rand.NewSource(20140622)) // SIGMOD'14 started June 22
+	facts := FactTables
+
+	randDatePred := func(col string) string {
+		switch rnd.Intn(4) {
+		case 0:
+			return fmt.Sprintf("%s = %d", col, rnd.Intn(days))
+		case 1:
+			lo := rnd.Intn(days)
+			return fmt.Sprintf("%s BETWEEN %d AND %d", col, lo, lo+rnd.Intn(days-lo))
+		case 2:
+			return fmt.Sprintf("%s < %d", col, 1+rnd.Intn(days))
+		default:
+			return fmt.Sprintf("%s >= %d", col, rnd.Intn(days))
+		}
+	}
+	randDimPred := func() string {
+		switch rnd.Intn(4) {
+		case 0:
+			return fmt.Sprintf("d.moy = %d", 1+rnd.Intn(12))
+		case 1:
+			return fmt.Sprintf("d.month BETWEEN %d AND %d", 1+rnd.Intn(cfg.Months), 1+rnd.Intn(cfg.Months))
+		case 2:
+			return fmt.Sprintf("d.dow = %d", rnd.Intn(7))
+		default:
+			return fmt.Sprintf("d.dom < %d", 1+rnd.Intn(cfg.DaysPerMonth))
+		}
+	}
+	randAgg := func() string {
+		return []string{"count(*)", "sum(amount)", "min(amount)", "max(amount)", "avg(quantity)", "sum(quantity)"}[rnd.Intn(6)]
+	}
+
+	genQuery := func() string {
+		fact := facts[rnd.Intn(len(facts))]
+		switch rnd.Intn(4) {
+		case 0: // static
+			q := fmt.Sprintf("SELECT %s FROM %s WHERE %s", randAgg(), fact, randDatePred("date_id"))
+			if rnd.Intn(2) == 0 {
+				q += fmt.Sprintf(" AND quantity > %d", rnd.Intn(10))
+			}
+			return q
+		case 1: // dimension join
+			order := []string{
+				fmt.Sprintf("date_dim d, %s f", fact),
+				fmt.Sprintf("%s f, date_dim d", fact),
+			}[rnd.Intn(2)]
+			q := fmt.Sprintf("SELECT %s FROM %s WHERE d.date_id = f.date_id AND %s",
+				randAgg2(rnd), order, randDimPred())
+			if rnd.Intn(3) == 0 {
+				q += " AND " + randDimPred()
+			}
+			return q
+		case 2: // IN subquery
+			return fmt.Sprintf("SELECT %s FROM %s WHERE date_id IN (SELECT date_id FROM date_dim d WHERE %s)",
+				randAgg(), fact, randDimPred())
+		default: // grouped
+			return fmt.Sprintf("SELECT quantity, count(*) FROM %s WHERE %s GROUP BY quantity",
+				fact, randDatePred("date_id"))
+		}
+	}
+
+	run := func(q string, setup func()) ([][]partopt.Value, error) {
+		setup()
+		rows, err := eng.Query(q)
+		if err != nil {
+			return nil, err
+		}
+		rows.SortData()
+		return rows.Data, nil
+	}
+
+	for i := 0; i < 120; i++ {
+		q := genQuery()
+		ref, err := run(q, func() { eng.SetOptimizer(partopt.Orca); eng.SetPartitionSelection(true) })
+		if err != nil {
+			t.Fatalf("query %d orca: %v\n%s", i, err, q)
+		}
+		noSel, err := run(q, func() { eng.SetPartitionSelection(false) })
+		if err != nil {
+			t.Fatalf("query %d orca-nosel: %v\n%s", i, err, q)
+		}
+		eng.SetPartitionSelection(true)
+		legacy, err := run(q, func() { eng.SetOptimizer(partopt.LegacyPlanner) })
+		if err != nil {
+			t.Fatalf("query %d legacy: %v\n%s", i, err, q)
+		}
+		eng.SetOptimizer(partopt.Orca)
+
+		for name, got := range map[string][][]partopt.Value{"selection-off": noSel, "legacy": legacy} {
+			if !resultsEqual(ref, got) {
+				t.Fatalf("query %d: %s disagrees with orca\nquery: %s\norca:   %v\nother:  %v",
+					i, name, q, sample(ref), sample(got))
+			}
+		}
+	}
+}
+
+// randAgg2 picks an aggregate valid in a two-table context (qualified).
+func randAgg2(rnd *rand.Rand) string {
+	return []string{"count(*)", "sum(f.amount)", "max(f.amount)", "avg(f.quantity)"}[rnd.Intn(4)]
+}
+
+func resultsEqual(a, b [][]partopt.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for c := range a[i] {
+			if !valuesMatch(a[i][c], b[i][c]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func sample(rows [][]partopt.Value) string {
+	out := make([]string, 0, 3)
+	for i, r := range rows {
+		if i >= 3 {
+			out = append(out, "...")
+			break
+		}
+		out = append(out, fmt.Sprint(r))
+	}
+	sort.Strings(out)
+	return fmt.Sprint(out)
+}
+
+// DML fuzzer: two identical clusters execute the same random stream of
+// UPDATEs and DELETEs, one planned by Orca and one by the legacy Planner.
+// After every statement both must report the same affected-row count, and
+// at the end the surviving table contents must be identical.
+func TestFuzzDMLOptimizersAgree(t *testing.T) {
+	build := func() *partopt.Engine {
+		eng, err := partopt.New(2)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if err := BuildRS(eng, 12, 25); err != nil {
+			t.Fatalf("BuildRS: %v", err)
+		}
+		return eng
+	}
+	orcaEng, legacyEng := build(), build()
+	orcaEng.SetOptimizer(partopt.Orca)
+	legacyEng.SetOptimizer(partopt.LegacyPlanner)
+
+	rnd := rand.New(rand.NewSource(2014))
+	genDML := func() string {
+		lo := rnd.Intn(1200)
+		hi := lo + rnd.Intn(300)
+		switch rnd.Intn(3) {
+		case 0:
+			return fmt.Sprintf("UPDATE r SET a = a + 1 WHERE b BETWEEN %d AND %d", lo, hi)
+		case 1:
+			return fmt.Sprintf("UPDATE r SET b = b + 7 WHERE b BETWEEN %d AND %d AND a < %d", lo, hi, rnd.Intn(1000))
+		default:
+			return fmt.Sprintf("DELETE FROM r WHERE b BETWEEN %d AND %d AND a >= %d", lo, hi, rnd.Intn(1000))
+		}
+	}
+
+	for i := 0; i < 40; i++ {
+		stmt := genDML()
+		nOrca, err := orcaEng.Exec(stmt)
+		if err != nil {
+			t.Fatalf("stmt %d orca: %v\n%s", i, err, stmt)
+		}
+		nLegacy, err := legacyEng.Exec(stmt)
+		if err != nil {
+			t.Fatalf("stmt %d legacy: %v\n%s", i, err, stmt)
+		}
+		if nOrca != nLegacy {
+			t.Fatalf("stmt %d: affected rows differ: orca=%d legacy=%d\n%s", i, nOrca, nLegacy, stmt)
+		}
+	}
+
+	const all = "SELECT a, b FROM r"
+	ra, err := orcaEng.Query(all)
+	if err != nil {
+		t.Fatalf("final orca scan: %v", err)
+	}
+	rb, err := legacyEng.Query(all)
+	if err != nil {
+		t.Fatalf("final legacy scan: %v", err)
+	}
+	ra.SortData()
+	rb.SortData()
+	if !resultsEqual(ra.Data, rb.Data) {
+		t.Fatalf("final table states differ: orca=%d rows, legacy=%d rows", len(ra.Data), len(rb.Data))
+	}
+}

@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"partopt"
+)
+
+// valuesMatch compares result values, tolerating float summation-order
+// differences between plans.
+func valuesMatch(a, b partopt.Value) bool {
+	if a.String() == b.String() {
+		return true
+	}
+	if a.IsNull() || b.IsNull() {
+		return false
+	}
+	if a.Type() == partopt.TypeFloat && b.Type() == partopt.TypeFloat {
+		af, bf := a.Float(), b.Float()
+		scale := math.Max(math.Abs(af), math.Abs(bf))
+		return math.Abs(af-bf) <= 1e-9*math.Max(scale, 1)
+	}
+	return false
+}
+
+func TestBuildLineitemSchemes(t *testing.T) {
+	for _, scheme := range []LineitemScheme{
+		LineitemUnpartitioned, LineitemBiMonthly, LineitemMonthly,
+	} {
+		eng, err := partopt.New(2)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if err := BuildLineitem(eng, scheme, 500); err != nil {
+			t.Fatalf("%v: BuildLineitem: %v", scheme, err)
+		}
+		n, err := eng.NumPartitions("lineitem")
+		if err != nil {
+			t.Fatalf("NumPartitions: %v", err)
+		}
+		if n != scheme.Parts() {
+			t.Errorf("%v: partitions = %d, want %d", scheme, n, scheme.Parts())
+		}
+		rows, err := eng.Query("SELECT count(*) FROM lineitem")
+		if err != nil {
+			t.Fatalf("%v: count: %v", scheme, err)
+		}
+		if rows.Data[0][0].Int() != 500 {
+			t.Errorf("%v: rows = %v, want 500", scheme, rows.Data[0][0])
+		}
+	}
+}
+
+func TestLineitemSchemeMetadata(t *testing.T) {
+	cases := map[LineitemScheme]int{
+		LineitemUnpartitioned: 1,
+		LineitemBiMonthly:     42,
+		LineitemMonthly:       84,
+		LineitemBiWeekly:      183,
+		LineitemWeekly:        365,
+	}
+	for s, want := range cases {
+		if got := s.Parts(); got != want {
+			t.Errorf("%v.Parts() = %d, want %d", s, got, want)
+		}
+		if s.String() == "" {
+			t.Errorf("scheme %d has no name", s)
+		}
+	}
+}
+
+func TestBuildRS(t *testing.T) {
+	eng, err := partopt.New(2)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := BuildRS(eng, 10, 20); err != nil {
+		t.Fatalf("BuildRS: %v", err)
+	}
+	for _, name := range []string{"r", "s"} {
+		n, err := eng.NumPartitions(name)
+		if err != nil || n != 10 {
+			t.Errorf("%s partitions = %d (%v)", name, n, err)
+		}
+		rows, err := eng.Query("SELECT count(*) FROM " + name)
+		if err != nil {
+			t.Fatalf("count %s: %v", name, err)
+		}
+		if rows.Data[0][0].Int() != 200 {
+			t.Errorf("%s rows = %v, want 200", name, rows.Data[0][0])
+		}
+	}
+	// The Fig. 18(b) join runs on it.
+	rows, err := eng.Query("SELECT count(*) FROM s, r WHERE r.b = s.b AND s.a < 100000")
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	if rows.Data[0][0].Int() < 1 {
+		t.Errorf("join produced no rows")
+	}
+}
+
+func TestBuildStarAndWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("star workload is slow under -short")
+	}
+	eng, err := partopt.New(2)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	cfg := DefaultStarConfig()
+	cfg.SalesPerDay = 8 // keep the unit test quick
+	if err := BuildStar(eng, cfg); err != nil {
+		t.Fatalf("BuildStar: %v", err)
+	}
+	for _, fact := range FactTables {
+		n, err := eng.NumPartitions(fact)
+		if err != nil || n != cfg.Months {
+			t.Errorf("%s partitions = %d (%v), want %d", fact, n, err, cfg.Months)
+		}
+	}
+
+	// Every workload query must run under both optimizers and agree on
+	// its first result value.
+	for _, q := range StarQueries() {
+		eng.SetOptimizer(partopt.Orca)
+		orcaRows, err := eng.Query(q.SQL)
+		if err != nil {
+			t.Fatalf("%s (orca): %v", q.Name, err)
+		}
+		eng.SetOptimizer(partopt.LegacyPlanner)
+		legacyRows, err := eng.Query(q.SQL)
+		if err != nil {
+			t.Fatalf("%s (legacy): %v", q.Name, err)
+		}
+		orcaRows.SortData()
+		legacyRows.SortData()
+		if len(orcaRows.Data) != len(legacyRows.Data) {
+			t.Errorf("%s: row counts differ: orca=%d legacy=%d", q.Name, len(orcaRows.Data), len(legacyRows.Data))
+			continue
+		}
+		for i := range orcaRows.Data {
+			for c := range orcaRows.Data[i] {
+				a, b := orcaRows.Data[i][c], legacyRows.Data[i][c]
+				if !valuesMatch(a, b) {
+					t.Errorf("%s row %d col %d: orca=%v legacy=%v", q.Name, i, c, a, b)
+				}
+			}
+		}
+		// Orca never scans more partitions of the target fact.
+		if orcaRows.PartsScanned[q.Fact] > legacyRows.PartsScanned[q.Fact] {
+			t.Errorf("%s: orca scanned %d parts of %s, legacy %d",
+				q.Name, orcaRows.PartsScanned[q.Fact], q.Fact, legacyRows.PartsScanned[q.Fact])
+		}
+	}
+}

@@ -1,0 +1,354 @@
+// Package partopt is an embeddable MPP query engine reproducing
+// "Optimizing Queries over Partitioned Tables in MPP Systems" (SIGMOD
+// 2014): a shared-nothing cluster simulation with partitioned tables, two
+// query optimizers — an Orca-style Memo optimizer with PartitionSelector /
+// DynamicScan based partition elimination, and the legacy inheritance-style
+// Planner it is evaluated against — and a SQL front end.
+//
+// Typical use:
+//
+//	eng, _ := partopt.New(4)
+//	eng.MustCreateTable("orders",
+//	    partopt.Columns("id", partopt.TypeInt, "amount", partopt.TypeFloat, "date", partopt.TypeDate),
+//	    partopt.DistributedBy("id"),
+//	    partopt.PartitionByRangeMonthly("date", 2012, 1, 24))
+//	eng.Insert("orders", partopt.Int(1), partopt.Float(9.5), partopt.Date(2013, 10, 2))
+//	eng.Analyze()
+//	rows, _ := eng.Query("SELECT avg(amount) FROM orders WHERE date BETWEEN '2013-10-01' AND '2013-12-31'")
+package partopt
+
+import (
+	"fmt"
+	"sort"
+
+	"partopt/internal/catalog"
+	"partopt/internal/exec"
+	"partopt/internal/legacy"
+	"partopt/internal/logical"
+	"partopt/internal/orca"
+	"partopt/internal/plan"
+	"partopt/internal/sql"
+	"partopt/internal/stats"
+	"partopt/internal/storage"
+)
+
+// OptimizerKind selects which planner compiles queries.
+type OptimizerKind uint8
+
+// The two optimizers of the paper's evaluation.
+const (
+	// Orca is the Memo-based optimizer with unified static/dynamic
+	// partition elimination (the paper's contribution).
+	Orca OptimizerKind = iota
+	// LegacyPlanner is the inheritance-style baseline.
+	LegacyPlanner
+)
+
+func (k OptimizerKind) String() string {
+	if k == LegacyPlanner {
+		return "planner"
+	}
+	return "orca"
+}
+
+// Engine is one simulated MPP database instance.
+type Engine struct {
+	cat   *catalog.Catalog
+	store *storage.Store
+	rt    *exec.Runtime
+
+	optimizer        OptimizerKind
+	disableSelection bool
+	segments         int
+}
+
+// New creates an engine with the given number of segments.
+func New(segments int) (*Engine, error) {
+	if segments < 1 {
+		return nil, fmt.Errorf("partopt: need at least one segment")
+	}
+	st := storage.NewStore(segments)
+	return &Engine{
+		cat:      catalog.New(),
+		store:    st,
+		rt:       &exec.Runtime{Store: st},
+		segments: segments,
+	}, nil
+}
+
+// Segments returns the cluster width.
+func (e *Engine) Segments() int { return e.segments }
+
+// SetOptimizer switches between Orca and the legacy Planner.
+func (e *Engine) SetOptimizer(k OptimizerKind) { e.optimizer = k }
+
+// Optimizer reports the active optimizer.
+func (e *Engine) Optimizer() OptimizerKind { return e.optimizer }
+
+// SetPartitionSelection enables or disables partition elimination in the
+// Orca optimizer (the paper's Figure 17 knob). The legacy planner's
+// equivalent knob is its dynamic-elimination flag, toggled the same way.
+func (e *Engine) SetPartitionSelection(enabled bool) { e.disableSelection = !enabled }
+
+// Insert adds one row to a table.
+func (e *Engine) Insert(table string, vals ...Value) error {
+	t, ok := e.cat.Table(table)
+	if !ok {
+		return fmt.Errorf("partopt: unknown table %q", table)
+	}
+	return e.store.Insert(t, toRow(vals))
+}
+
+// InsertRows bulk-loads rows.
+func (e *Engine) InsertRows(table string, rows [][]Value) error {
+	t, ok := e.cat.Table(table)
+	if !ok {
+		return fmt.Errorf("partopt: unknown table %q", table)
+	}
+	for _, r := range rows {
+		if err := e.store.Insert(t, toRow(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CreateIndex adds a secondary index over one column. Partitioned tables
+// get one physical index per leaf partition, which lets the optimizer
+// combine partition elimination with index lookups (DynamicIndexScan).
+func (e *Engine) CreateIndex(name, table, column string) error {
+	t, ok := e.cat.Table(table)
+	if !ok {
+		return fmt.Errorf("partopt: unknown table %q", table)
+	}
+	ord, ok := t.ColOrd(column)
+	if !ok {
+		return fmt.Errorf("partopt: table %q has no column %q", table, column)
+	}
+	if _, exists := t.IndexOn(ord); exists {
+		return fmt.Errorf("partopt: column %q already indexed", column)
+	}
+	def := catalog.IndexDef{Name: name, ColOrd: ord}
+	if err := e.store.CreateIndex(t, def); err != nil {
+		return err
+	}
+	t.Indexes = append(t.Indexes, def)
+	return nil
+}
+
+// Analyze collects optimizer statistics for every table.
+func (e *Engine) Analyze() error {
+	return stats.CollectAll(e.store, e.cat)
+}
+
+// TableNames lists the catalog's tables.
+func (e *Engine) TableNames() []string {
+	ts := e.cat.Tables()
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.Name
+	}
+	return out
+}
+
+// NumPartitions returns the leaf partition count of a table (1 for
+// unpartitioned tables).
+func (e *Engine) NumPartitions(table string) (int, error) {
+	t, ok := e.cat.Table(table)
+	if !ok {
+		return 0, fmt.Errorf("partopt: unknown table %q", table)
+	}
+	if !t.IsPartitioned() {
+		return 1, nil
+	}
+	return t.Part.NumLeaves(), nil
+}
+
+// Rows is a query result.
+type Rows struct {
+	Columns []string
+	Data    [][]Value
+
+	// Execution metrics.
+	PartsScanned map[string]int // table → distinct leaf partitions read
+	RowsScanned  int64
+	RowsMoved    int64
+	PlanSize     int // serialized plan bytes (the Figure 18 metric)
+}
+
+// Query parses, plans and executes a SELECT, binding args to $1, $2, ...
+func (e *Engine) Query(query string, args ...Value) (*Rows, error) {
+	bound, err := e.bind(query)
+	if err != nil {
+		return nil, err
+	}
+	if bound.IsUpdate {
+		return nil, fmt.Errorf("partopt: use Exec for UPDATE statements")
+	}
+	return e.run(bound, args)
+}
+
+// Exec plans and executes a DML statement (INSERT, UPDATE, DELETE),
+// returning the affected row count.
+func (e *Engine) Exec(query string, args ...Value) (int64, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return 0, err
+	}
+	if ins, ok := stmt.(*sql.InsertStmt); ok {
+		tab, rows, err := sql.BindInsert(e.cat, ins, toRow(args))
+		if err != nil {
+			return 0, err
+		}
+		for _, r := range rows {
+			if err := e.store.Insert(tab, r); err != nil {
+				return 0, err
+			}
+		}
+		return int64(len(rows)), nil
+	}
+	bound, err := sql.Bind(e.cat, stmt)
+	if err != nil {
+		return 0, err
+	}
+	if !bound.IsUpdate {
+		return 0, fmt.Errorf("partopt: use Query for SELECT statements")
+	}
+	res, err := e.run(bound, args)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for _, row := range res.Data {
+		n += row[0].Int()
+	}
+	return n, nil
+}
+
+// Explain returns the physical plan of a query under the active optimizer.
+func (e *Engine) Explain(query string) (string, error) {
+	bound, err := e.bind(query)
+	if err != nil {
+		return "", err
+	}
+	node, _, err := e.plan(bound)
+	if err != nil {
+		return "", err
+	}
+	return plan.Explain(node), nil
+}
+
+// PlanSize returns the serialized plan size in bytes — the paper's
+// Figure 18 metric — without executing the query.
+func (e *Engine) PlanSize(query string) (int, error) {
+	bound, err := e.bind(query)
+	if err != nil {
+		return 0, err
+	}
+	node, pl, err := e.plan(bound)
+	if err != nil {
+		return 0, err
+	}
+	size := plan.SerializedSize(node)
+	if pl != nil {
+		for _, prep := range pl.Preps {
+			size += plan.SerializedSize(prep.Plan)
+		}
+	}
+	return size, nil
+}
+
+func (e *Engine) bind(query string) (*sql.Bound, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return sql.Bind(e.cat, stmt)
+}
+
+// plan compiles a bound statement with the active optimizer and applies
+// the presentation shell (ORDER BY / LIMIT run on the coordinator). For
+// the legacy planner the second result carries the prep steps.
+func (e *Engine) plan(bound *sql.Bound) (plan.Node, *legacy.Planned, error) {
+	var node plan.Node
+	var pl *legacy.Planned
+	switch e.optimizer {
+	case LegacyPlanner:
+		p := &legacy.Planner{Segments: e.segments, DisableDynamic: e.disableSelection}
+		planned, err := p.Plan(bound.Root)
+		if err != nil {
+			return nil, nil, err
+		}
+		node, pl = planned.Main, planned
+	default:
+		o := &orca.Optimizer{Segments: e.segments, DisableSelection: e.disableSelection}
+		n, err := o.Optimize(bound.Root)
+		if err != nil {
+			return nil, nil, err
+		}
+		node = n
+	}
+	if len(bound.OrderBy) > 0 {
+		node = plan.NewSort(bound.OrderBy, node)
+	}
+	if bound.Limit >= 0 {
+		node = plan.NewLimit(bound.Limit, node)
+	}
+	if pl != nil {
+		pl.Main = node
+	}
+	return node, pl, nil
+}
+
+// PlanLogical exposes the bound logical tree (for tools and tests).
+func (e *Engine) PlanLogical(query string) (logical.Node, error) {
+	bound, err := e.bind(query)
+	if err != nil {
+		return nil, err
+	}
+	return bound.Root, nil
+}
+
+func (e *Engine) run(bound *sql.Bound, args []Value) (*Rows, error) {
+	node, pl, err := e.plan(bound)
+	if err != nil {
+		return nil, err
+	}
+	params := &exec.Params{Vals: toRow(args)}
+	if bound.NumParams > len(args) {
+		return nil, fmt.Errorf("partopt: query needs %d parameters, got %d", bound.NumParams, len(args))
+	}
+
+	var res *exec.Result
+	if pl != nil {
+		res, err = legacy.Execute(e.rt, pl, params)
+	} else {
+		res, err = exec.Run(e.rt, node, params)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Rows{
+		Columns:      bound.Columns,
+		PartsScanned: map[string]int{},
+		RowsScanned:  res.Stats.RowsScanned(),
+		RowsMoved:    res.Stats.RowsMoved(),
+		PlanSize:     plan.SerializedSize(node),
+	}
+	for _, tname := range res.Stats.TablesScanned() {
+		out.PartsScanned[tname] = res.Stats.PartsScanned(tname)
+	}
+	for _, r := range res.Rows {
+		out.Data = append(out.Data, fromRow(r))
+	}
+	return out, nil
+}
+
+// SortData orders result rows by their rendered form — a helper for tests
+// and examples that need deterministic output from an unordered engine.
+func (r *Rows) SortData() {
+	sort.Slice(r.Data, func(i, j int) bool {
+		return fmt.Sprint(r.Data[i]) < fmt.Sprint(r.Data[j])
+	})
+}

@@ -1,0 +1,434 @@
+package partopt
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// paperEngine builds the paper's Figure 1/3 scenario: orders for two years
+// (2012-2013) partitioned monthly, and the star-schema variant with a
+// date_dim dimension table (orders partitioned on the foreign key date_id).
+func paperEngine(t testing.TB, segs int) *Engine {
+	t.Helper()
+	eng, err := New(segs)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	eng.MustCreateTable("orders",
+		Columns("order_id", TypeInt, "amount", TypeFloat, "date", TypeDate, "date_id", TypeInt),
+		DistributedBy("order_id"),
+		PartitionByRangeMonthly("date", 2012, 1, 24),
+	)
+	eng.MustCreateTable("date_dim",
+		Columns("date_id", TypeInt, "year", TypeInt, "month", TypeInt, "day_of_week", TypeInt),
+		Replicated(),
+	)
+	eng.MustCreateTable("orders_fk",
+		Columns("order_id", TypeInt, "amount", TypeFloat, "date_id", TypeInt),
+		DistributedBy("order_id"),
+		// Partitioned by the foreign key: date_id = (year-2012)*12 + month,
+		// one partition per month id 0..23.
+		PartitionByRangeInt("date_id", 0, 24, 24),
+	)
+
+	id := int64(0)
+	for year := 2012; year <= 2013; year++ {
+		for month := 1; month <= 12; month++ {
+			monthID := int64((year-2012)*12 + month - 1)
+			if err := eng.Insert("date_dim", Int(monthID), Int(int64(year)), Int(int64(month)), Int(monthID%7)); err != nil {
+				t.Fatalf("insert date_dim: %v", err)
+			}
+			for day := 1; day <= 10; day++ {
+				id++
+				amount := float64(month * day)
+				if err := eng.Insert("orders",
+					Int(id), Float(amount), Date(year, month, day), Int(monthID)); err != nil {
+					t.Fatalf("insert orders: %v", err)
+				}
+				if err := eng.Insert("orders_fk",
+					Int(id), Float(amount), Int(monthID)); err != nil {
+					t.Fatalf("insert orders_fk: %v", err)
+				}
+			}
+		}
+	}
+	if err := eng.Analyze(); err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return eng
+}
+
+// Paper Figure 2: static partition elimination on the date range.
+func TestFig2StaticElimination(t *testing.T) {
+	eng := paperEngine(t, 4)
+	const q = "SELECT avg(amount) FROM orders WHERE date BETWEEN '2013-10-01' AND '2013-12-31'"
+
+	for _, opt := range []OptimizerKind{Orca, LegacyPlanner} {
+		eng.SetOptimizer(opt)
+		rows, err := eng.Query(q)
+		if err != nil {
+			t.Fatalf("%v: Query: %v", opt, err)
+		}
+		if len(rows.Data) != 1 {
+			t.Fatalf("%v: rows = %d", opt, len(rows.Data))
+		}
+		// avg(month*day) for months 10..12, days 1..10 = 11 * 5.5 = 60.5.
+		if got := rows.Data[0][0].Float(); math.Abs(got-60.5) > 1e-9 {
+			t.Errorf("%v: avg = %v, want 60.5", opt, got)
+		}
+		// Both optimizers eliminate statically: 3 of 24 partitions.
+		if got := rows.PartsScanned["orders"]; got != 3 {
+			t.Errorf("%v: parts scanned = %d, want 3", opt, got)
+		}
+	}
+}
+
+// Paper Figure 4: dynamic elimination through the IN subquery on the
+// dimension table. Orca prunes the fact table; only the 3 month partitions
+// matching the dimension filter are read.
+func TestFig4DynamicElimination(t *testing.T) {
+	eng := paperEngine(t, 4)
+	const q = `SELECT avg(amount) FROM orders_fk WHERE date_id IN
+		(SELECT date_id FROM date_dim WHERE year = 2013 AND month BETWEEN 10 AND 12)`
+
+	eng.SetOptimizer(Orca)
+	rows, err := eng.Query(q)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(rows.Data) != 1 || math.Abs(rows.Data[0][0].Float()-60.5) > 1e-9 {
+		t.Fatalf("result = %v, want avg 60.5", rows.Data)
+	}
+	if got := rows.PartsScanned["orders_fk"]; got != 3 {
+		t.Errorf("orca parts scanned = %d, want 3 of 24", got)
+	}
+
+	// The legacy planner does not handle elimination through a semi join:
+	// it scans every partition (its rudimentary support covers only plain
+	// inner-join patterns).
+	eng.SetOptimizer(LegacyPlanner)
+	rows, err = eng.Query(q)
+	if err != nil {
+		t.Fatalf("legacy Query: %v", err)
+	}
+	if math.Abs(rows.Data[0][0].Float()-60.5) > 1e-9 {
+		t.Fatalf("legacy result = %v", rows.Data)
+	}
+	if got := rows.PartsScanned["orders_fk"]; got != 24 {
+		t.Errorf("legacy parts scanned = %d, want all 24", got)
+	}
+}
+
+func TestJoinQueryBothOptimizersAgree(t *testing.T) {
+	eng := paperEngine(t, 3)
+	const q = `SELECT count(*) FROM date_dim d, orders_fk o
+		WHERE d.date_id = o.date_id AND d.year = 2012 AND d.month IN (1, 2)`
+	var counts []int64
+	for _, opt := range []OptimizerKind{Orca, LegacyPlanner} {
+		eng.SetOptimizer(opt)
+		rows, err := eng.Query(q)
+		if err != nil {
+			t.Fatalf("%v: %v", opt, err)
+		}
+		counts = append(counts, rows.Data[0][0].Int())
+		if got := rows.PartsScanned["orders_fk"]; got != 2 {
+			t.Errorf("%v: parts scanned = %d, want 2", opt, got)
+		}
+	}
+	if counts[0] != 20 || counts[1] != 20 {
+		t.Errorf("counts = %v, want [20 20]", counts)
+	}
+}
+
+func TestPreparedStatement(t *testing.T) {
+	eng := paperEngine(t, 2)
+	const q = "SELECT count(*) FROM orders WHERE date = $1"
+
+	eng.SetOptimizer(Orca)
+	rows, err := eng.Query(q, Date(2013, 5, 3))
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if rows.Data[0][0].Int() != 1 {
+		t.Errorf("count = %v", rows.Data[0][0])
+	}
+	// Orca's run-time selector prunes with the bound parameter.
+	if got := rows.PartsScanned["orders"]; got != 1 {
+		t.Errorf("orca parts = %d, want 1", got)
+	}
+
+	eng.SetOptimizer(LegacyPlanner)
+	rows, err = eng.Query(q, Date(2013, 5, 3))
+	if err != nil {
+		t.Fatalf("legacy Query: %v", err)
+	}
+	if got := rows.PartsScanned["orders"]; got != 24 {
+		t.Errorf("legacy parts = %d, want 24 (no run-time pruning)", got)
+	}
+	// Missing parameter is an error.
+	if _, err := eng.Query(q); err == nil {
+		t.Errorf("missing parameter accepted")
+	}
+}
+
+func TestUpdateThroughEngine(t *testing.T) {
+	eng := paperEngine(t, 2)
+	for _, opt := range []OptimizerKind{Orca, LegacyPlanner} {
+		eng.SetOptimizer(opt)
+		n, err := eng.Exec("UPDATE orders SET amount = amount + 1 WHERE date BETWEEN '2012-03-01' AND '2012-03-31'")
+		if err != nil {
+			t.Fatalf("%v: Exec: %v", opt, err)
+		}
+		if n != 10 {
+			t.Errorf("%v: updated = %d, want 10", opt, n)
+		}
+	}
+	// After two +1 updates amount for 2012-03-05 is 3*5+2.
+	rows, err := eng.Query("SELECT amount FROM orders WHERE date = '2012-03-05'")
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if rows.Data[0][0].Float() != 17 {
+		t.Errorf("amount = %v, want 17", rows.Data[0][0])
+	}
+}
+
+func TestUpdateFromJoin(t *testing.T) {
+	eng := paperEngine(t, 2)
+	eng.SetOptimizer(Orca)
+	n, err := eng.Exec(`UPDATE orders_fk SET amount = 0 FROM date_dim d
+		WHERE orders_fk.date_id = d.date_id AND d.year = 2013 AND d.month = 7`)
+	if err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	if n != 10 {
+		t.Errorf("updated = %d, want 10", n)
+	}
+	rows, err := eng.Query("SELECT sum(amount) FROM orders_fk WHERE date_id = 18")
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if rows.Data[0][0].Float() != 0 {
+		t.Errorf("sum = %v, want 0", rows.Data[0][0])
+	}
+}
+
+func TestExplainShowsOperators(t *testing.T) {
+	eng := paperEngine(t, 2)
+	eng.SetOptimizer(Orca)
+	out, err := eng.Explain("SELECT * FROM orders WHERE date < '2012-06-01'")
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	for _, want := range []string{"DynamicScan", "PartitionSelector", "Gather Motion"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("orca explain missing %q:\n%s", want, out)
+		}
+	}
+	eng.SetOptimizer(LegacyPlanner)
+	out, err = eng.Explain("SELECT * FROM orders WHERE date < '2012-06-01'")
+	if err != nil {
+		t.Fatalf("legacy Explain: %v", err)
+	}
+	if !strings.Contains(out, "Append") {
+		t.Errorf("legacy explain missing Append:\n%s", out)
+	}
+}
+
+func TestPlanSizeMetric(t *testing.T) {
+	eng := paperEngine(t, 2)
+	const q = "SELECT * FROM orders WHERE date < '2013-12-31'"
+	eng.SetOptimizer(Orca)
+	orcaSize, err := eng.PlanSize(q)
+	if err != nil {
+		t.Fatalf("PlanSize: %v", err)
+	}
+	eng.SetOptimizer(LegacyPlanner)
+	legacySize, err := eng.PlanSize(q)
+	if err != nil {
+		t.Fatalf("legacy PlanSize: %v", err)
+	}
+	if legacySize <= orcaSize {
+		t.Errorf("legacy plan (%dB) should exceed orca plan (%dB) when scanning 24 parts", legacySize, orcaSize)
+	}
+}
+
+func TestSelectionToggle(t *testing.T) {
+	eng := paperEngine(t, 2)
+	eng.SetOptimizer(Orca)
+	const q = "SELECT count(*) FROM orders WHERE date BETWEEN '2013-01-01' AND '2013-01-31'"
+
+	rows, err := eng.Query(q)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if rows.PartsScanned["orders"] != 1 {
+		t.Errorf("selection on: parts = %d, want 1", rows.PartsScanned["orders"])
+	}
+	eng.SetPartitionSelection(false)
+	rows, err = eng.Query(q)
+	if err != nil {
+		t.Fatalf("Query off: %v", err)
+	}
+	if rows.PartsScanned["orders"] != 24 {
+		t.Errorf("selection off: parts = %d, want 24", rows.PartsScanned["orders"])
+	}
+	if rows.Data[0][0].Int() != 10 {
+		t.Errorf("count changed with selection off: %v", rows.Data[0][0])
+	}
+	eng.SetPartitionSelection(true)
+}
+
+func TestMultiLevelThroughEngine(t *testing.T) {
+	eng, err := New(2)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	eng.MustCreateTable("events",
+		Columns("day", TypeDate, "region", TypeString, "n", TypeInt),
+		DistributedBy("n"),
+		PartitionByRangeMonthly("day", 2012, 1, 6),
+		PartitionByList("region",
+			ListPartition{Name: "west", Values: []Value{String("CA"), String("WA")}},
+			ListPartition{Name: "east", Values: []Value{String("NY"), String("MA")}},
+		),
+	)
+	for m := 1; m <= 6; m++ {
+		for i, rg := range []string{"CA", "WA", "NY", "MA"} {
+			if err := eng.Insert("events", Date(2012, m, 5), String(rg), Int(int64(m*10+i))); err != nil {
+				t.Fatalf("insert: %v", err)
+			}
+		}
+	}
+	if err := eng.Analyze(); err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	n, err := eng.NumPartitions("events")
+	if err != nil || n != 12 {
+		t.Fatalf("NumPartitions = %d (%v), want 12", n, err)
+	}
+	rows, err := eng.Query("SELECT count(*) FROM events WHERE day = '2012-03-05' AND region = 'NY'")
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if rows.Data[0][0].Int() != 1 {
+		t.Errorf("count = %v", rows.Data[0][0])
+	}
+	if rows.PartsScanned["events"] != 1 {
+		t.Errorf("parts = %d, want exactly 1 of 12", rows.PartsScanned["events"])
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	eng, err := New(1)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := New(0); err == nil {
+		t.Errorf("New(0) accepted")
+	}
+	if err := eng.Insert("ghost", Int(1)); err == nil {
+		t.Errorf("insert into unknown table accepted")
+	}
+	if _, err := eng.Query("SELECT * FROM ghost"); err == nil {
+		t.Errorf("query of unknown table accepted")
+	}
+	if _, err := eng.Query("NOT SQL AT ALL"); err == nil {
+		t.Errorf("garbage accepted")
+	}
+	eng.MustCreateTable("t", Columns("a", TypeInt))
+	if _, err := eng.Exec("SELECT a FROM t"); err == nil {
+		t.Errorf("Exec of SELECT accepted")
+	}
+	if err := eng.Insert("t", Int(1)); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	if _, err := eng.Query("UPDATE t SET a = 1"); err == nil {
+		t.Errorf("Query of UPDATE accepted")
+	}
+	if _, err := eng.NumPartitions("ghost"); err == nil {
+		t.Errorf("NumPartitions of unknown table accepted")
+	}
+	if n, _ := eng.NumPartitions("t"); n != 1 {
+		t.Errorf("unpartitioned NumPartitions = %d", n)
+	}
+	if len(eng.TableNames()) != 1 {
+		t.Errorf("TableNames = %v", eng.TableNames())
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if Int(3).Int() != 3 || Float(1.5).Float() != 1.5 || String("x").Str() != "x" || !Bool(true).Bool() {
+		t.Errorf("value round trips failed")
+	}
+	if !Null.IsNull() {
+		t.Errorf("Null not null")
+	}
+	d, err := ParseDate("2013-10-01")
+	if err != nil || d.String() != "2013-10-01" {
+		t.Errorf("ParseDate = %v, %v", d, err)
+	}
+	if _, err := ParseDate("bogus"); err == nil {
+		t.Errorf("bad date accepted")
+	}
+	if Int(1).Type() != TypeInt || Date(2012, 1, 1).Type() != TypeDate {
+		t.Errorf("Type() wrong")
+	}
+	if TypeString.String() != "string" {
+		t.Errorf("ColType.String wrong")
+	}
+}
+
+func TestOrderByAndLimit(t *testing.T) {
+	eng := paperEngine(t, 3)
+	rows, err := eng.Query("SELECT order_id, amount FROM orders WHERE date BETWEEN '2013-06-01' AND '2013-06-30' ORDER BY amount DESC, order_id LIMIT 3")
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(rows.Data) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows.Data))
+	}
+	// June 2013 amounts are 6*day for day 1..10 → top three 60, 54, 48.
+	want := []float64{60, 54, 48}
+	for i, w := range want {
+		if rows.Data[i][1].Float() != w {
+			t.Errorf("row %d amount = %v, want %v", i, rows.Data[i][1], w)
+		}
+	}
+	// Ordinal form and ascending default.
+	rows, err = eng.Query("SELECT amount FROM orders WHERE date BETWEEN '2013-06-01' AND '2013-06-30' ORDER BY 1 LIMIT 2")
+	if err != nil {
+		t.Fatalf("ordinal Query: %v", err)
+	}
+	if rows.Data[0][0].Float() != 6 || rows.Data[1][0].Float() != 12 {
+		t.Errorf("ascending rows = %v", rows.Data)
+	}
+	// Grouped query ordered by the aggregate alias.
+	rows, err = eng.Query("SELECT date_id, count(*) AS n FROM orders WHERE date < '2012-04-01' GROUP BY date_id ORDER BY n DESC, date_id LIMIT 1")
+	if err != nil {
+		t.Fatalf("grouped Query: %v", err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][1].Int() != 10 {
+		t.Errorf("grouped rows = %v", rows.Data)
+	}
+	// Errors.
+	if _, err := eng.Query("SELECT amount FROM orders ORDER BY ghost"); err == nil {
+		t.Errorf("unknown ORDER BY column accepted")
+	}
+	if _, err := eng.Query("SELECT amount FROM orders ORDER BY 5"); err == nil {
+		t.Errorf("out-of-range ordinal accepted")
+	}
+	if _, err := eng.Query("SELECT amount FROM orders LIMIT x"); err == nil {
+		t.Errorf("bad LIMIT accepted")
+	}
+	// Works under the legacy planner too.
+	eng.SetOptimizer(LegacyPlanner)
+	rows, err = eng.Query("SELECT amount FROM orders WHERE date = '2012-05-05' ORDER BY 1 LIMIT 1")
+	if err != nil {
+		t.Fatalf("legacy ordered Query: %v", err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0].Float() != 25 {
+		t.Errorf("legacy ordered rows = %v", rows.Data)
+	}
+}

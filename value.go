@@ -1,0 +1,153 @@
+package partopt
+
+import (
+	"fmt"
+	"time"
+
+	"partopt/internal/types"
+)
+
+// Value is a scalar SQL value: NULL, int, float, string, bool, or date.
+// The zero Value is NULL.
+type Value struct {
+	d types.Datum
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// Int wraps an int64.
+func Int(v int64) Value { return Value{d: types.NewInt(v)} }
+
+// Float wraps a float64.
+func Float(v float64) Value { return Value{d: types.NewFloat(v)} }
+
+// String wraps a string.
+func String(v string) Value { return Value{d: types.NewString(v)} }
+
+// Bool wraps a bool.
+func Bool(v bool) Value { return Value{d: types.NewBool(v)} }
+
+// Date wraps a calendar day.
+func Date(year, month, day int) Value {
+	return Value{d: types.DateFromYMD(year, month, day)}
+}
+
+// DateOf wraps a time.Time's UTC calendar day.
+func DateOf(t time.Time) Value {
+	return Value{d: types.NewDate(t.UTC().Unix() / 86400)}
+}
+
+// DateOfEpochDays wraps a day count since 1970-01-01 as a date.
+func DateOfEpochDays(days int64) Value {
+	return Value{d: types.NewDate(days)}
+}
+
+// ParseDate parses a YYYY-MM-DD string.
+func ParseDate(s string) (Value, error) {
+	d, err := types.ParseDate(s)
+	if err != nil {
+		return Null, err
+	}
+	return Value{d: d}, nil
+}
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.d.IsNull() }
+
+// Int returns the integer payload (also valid for dates, as epoch days).
+func (v Value) Int() int64 { return v.d.Int() }
+
+// Float returns the numeric payload as float64.
+func (v Value) Float() float64 { return v.d.Float() }
+
+// Str returns the string payload.
+func (v Value) Str() string { return v.d.Str() }
+
+// Bool returns the boolean payload.
+func (v Value) Bool() bool { return v.d.Bool() }
+
+// String renders the value in SQL-literal style.
+func (v Value) String() string { return v.d.String() }
+
+// Type names the value's runtime type.
+func (v Value) Type() ColType {
+	switch v.d.Kind() {
+	case types.KindInt:
+		return TypeInt
+	case types.KindFloat:
+		return TypeFloat
+	case types.KindString:
+		return TypeString
+	case types.KindBool:
+		return TypeBool
+	case types.KindDate:
+		return TypeDate
+	default:
+		return ColType(0)
+	}
+}
+
+// ColType is a column's declared type.
+type ColType uint8
+
+// Column types.
+const (
+	TypeInt ColType = iota + 1
+	TypeFloat
+	TypeString
+	TypeBool
+	TypeDate
+)
+
+func (t ColType) String() string {
+	switch t {
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	case TypeString:
+		return "string"
+	case TypeBool:
+		return "bool"
+	case TypeDate:
+		return "date"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+func (t ColType) kind() types.Kind {
+	switch t {
+	case TypeInt:
+		return types.KindInt
+	case TypeFloat:
+		return types.KindFloat
+	case TypeString:
+		return types.KindString
+	case TypeBool:
+		return types.KindBool
+	case TypeDate:
+		return types.KindDate
+	default:
+		panic(fmt.Sprintf("partopt: invalid column type %d", t))
+	}
+}
+
+// toRow converts public values to an engine row.
+func toRow(vals []Value) types.Row {
+	row := make(types.Row, len(vals))
+	for i, v := range vals {
+		row[i] = v.d
+	}
+	return row
+}
+
+// fromRow converts an engine row to public values.
+func fromRow(r types.Row) []Value {
+	out := make([]Value, len(r))
+	for i, d := range r {
+		out[i] = Value{d: d}
+	}
+	return out
+}
