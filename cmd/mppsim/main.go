@@ -20,19 +20,50 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"partopt"
 	"partopt/internal/workload"
 )
 
+// session tracks the in-flight query so the SIGINT handler can cancel it:
+// the first interrupt cancels the running query (partial stats are printed
+// and the shell exits non-zero); an interrupt at the prompt exits directly.
+type session struct {
+	mu       sync.Mutex
+	inflight context.CancelFunc
+}
+
+func (s *session) setInflight(c context.CancelFunc) {
+	s.mu.Lock()
+	s.inflight = c
+	s.mu.Unlock()
+}
+
+func (s *session) interrupt() {
+	s.mu.Lock()
+	c := s.inflight
+	s.mu.Unlock()
+	if c == nil {
+		fmt.Println("\ninterrupted")
+		os.Exit(130)
+	}
+	c()
+}
+
 func main() {
 	segments := flag.Int("segments", 4, "number of cluster segments")
 	sales := flag.Int("sales", 20, "star-schema sales rows per day")
+	timeout := flag.Duration("timeout", 0, "per-query deadline (0 = none), e.g. 5s")
 	flag.Parse()
 
 	eng, err := partopt.New(*segments)
@@ -42,6 +73,30 @@ func main() {
 	fmt.Printf("loading star schema (%d segments, %d months per fact)...\n", *segments, cfg.Months)
 	fatalIf(workload.BuildStar(eng, cfg))
 	fmt.Println("ready. \\q quits, \\tables lists tables, \\optimizer orca|planner switches.")
+
+	ses := &session{}
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		for range sigCh {
+			ses.interrupt()
+		}
+	}()
+
+	// queryCtx opens the lifecycle for one statement: the caller must invoke
+	// the returned stop before reading the next line.
+	queryCtx := func() (context.Context, context.CancelFunc) {
+		ctx, cancel := context.WithCancel(context.Background())
+		if *timeout > 0 {
+			ctx, cancel = context.WithTimeout(context.Background(), *timeout)
+		}
+		ses.setInflight(cancel)
+		stop := func() {
+			ses.setInflight(nil)
+			cancel()
+		}
+		return ctx, stop
+	}
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -102,24 +157,52 @@ func main() {
 			}
 			fmt.Print(out)
 		case strings.HasPrefix(strings.ToUpper(line), "UPDATE"):
+			ctx, stop := queryCtx()
 			start := time.Now()
-			n, err := eng.Exec(line)
+			n, err := eng.ExecCtx(ctx, line)
+			stop()
 			if err != nil {
-				fmt.Println("error:", err)
+				reportQueryError(err, nil, time.Since(start))
 				continue
 			}
 			fmt.Printf("UPDATE %d  (%v)\n", n, time.Since(start).Round(time.Microsecond))
 		default:
-			runSelect(eng, line)
+			ctx, stop := queryCtx()
+			runSelect(ctx, eng, line)
+			stop()
 		}
 	}
 }
 
-func runSelect(eng *partopt.Engine, query string) {
-	start := time.Now()
-	rows, err := eng.Query(query)
-	if err != nil {
+// reportQueryError prints a failed statement's outcome, including partial
+// stats when available. A cancelled query (SIGINT) terminates the shell
+// with a non-zero status.
+func reportQueryError(err error, partial *partopt.Rows, elapsed time.Duration) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Printf("error: query timed out after %v\n", elapsed.Round(time.Millisecond))
+	case errors.Is(err, context.Canceled):
+		fmt.Printf("canceled after %v\n", elapsed.Round(time.Millisecond))
+	default:
 		fmt.Println("error:", err)
+	}
+	if partial != nil {
+		fmt.Printf("partial: %d rows scanned, %d rows moved", partial.RowsScanned, partial.RowsMoved)
+		for table, parts := range partial.PartsScanned {
+			fmt.Printf(", %s: %d parts", table, parts)
+		}
+		fmt.Println()
+	}
+	if errors.Is(err, context.Canceled) {
+		os.Exit(130)
+	}
+}
+
+func runSelect(ctx context.Context, eng *partopt.Engine, query string) {
+	start := time.Now()
+	rows, err := eng.QueryCtx(ctx, query)
+	if err != nil {
+		reportQueryError(err, rows, time.Since(start))
 		return
 	}
 	elapsed := time.Since(start)

@@ -12,18 +12,30 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 
+	"partopt/internal/fault"
 	"partopt/internal/part"
 	"partopt/internal/storage"
 	"partopt/internal/types"
 )
 
-// Runtime binds the executor to a cluster's storage.
+// Runtime binds the executor to a cluster's storage and carries the
+// cluster-wide lifecycle knobs.
 type Runtime struct {
 	Store *storage.Store
+
+	// Faults, when non-nil, injects failures at the executor's named fault
+	// points (see internal/fault). Nil disables injection with no per-row
+	// cost beyond the nil check.
+	Faults *fault.Injector
+
+	// Retry bounds coordinator-side re-execution of read-only queries that
+	// failed with a transient error. The zero value disables retry.
+	Retry RetryPolicy
 }
 
 // Segments returns the cluster width.
@@ -118,24 +130,62 @@ type oidBox struct {
 }
 
 // Ctx is the per-(slice × segment) execution context — the state of one
-// simulated segment process.
+// simulated segment process. Its context.Context is the query lifecycle:
+// when it is cancelled (first error, deadline, caller cancel) every slice
+// instance aborts instead of running to completion.
 type Ctx struct {
 	Rt     *Runtime
 	Seg    int // executing segment; CoordinatorSeg on the coordinator
 	Params *Params
 	Stats  *Stats
 	boxes  map[int]*oidBox
-	quit   <-chan struct{}
+	goCtx  context.Context
+	done   <-chan struct{} // goCtx.Done(), cached for hot selects
+	polls  uint            // pollAbort call counter (Ctx is goroutine-local)
 }
 
 // CoordinatorSeg is the pseudo-segment id of the coordinator process.
 const CoordinatorSeg = -1
 
-func newCtx(rt *Runtime, seg int, params *Params, stats *Stats, quit <-chan struct{}) *Ctx {
+func newCtx(rt *Runtime, seg int, params *Params, stats *Stats, goCtx context.Context) *Ctx {
 	if params == nil {
 		params = &Params{}
 	}
-	return &Ctx{Rt: rt, Seg: seg, Params: params, Stats: stats, boxes: map[int]*oidBox{}, quit: quit}
+	if goCtx == nil {
+		goCtx = context.Background()
+	}
+	return &Ctx{Rt: rt, Seg: seg, Params: params, Stats: stats, boxes: map[int]*oidBox{},
+		goCtx: goCtx, done: goCtx.Done()}
+}
+
+// Context returns the query's lifecycle context, for operators that block.
+func (c *Ctx) Context() context.Context { return c.goCtx }
+
+// pollAbort samples the query context for cancellation. Leaf operators call
+// it per produced row; it only touches the context once every
+// abortPollInterval calls, keeping the hot path at an increment and a mask.
+const abortPollInterval = 64
+
+func (c *Ctx) pollAbort() error {
+	c.polls++
+	if c.polls&(abortPollInterval-1) != 0 || c.done == nil {
+		return nil
+	}
+	select {
+	case <-c.done:
+		return errQueryAborted
+	default:
+		return nil
+	}
+}
+
+// hitFault triggers the named executor fault point for this segment when an
+// injector is armed on the runtime.
+func (c *Ctx) hitFault(p fault.Point) error {
+	if c.Rt == nil || c.Rt.Faults == nil {
+		return nil
+	}
+	return c.Rt.Faults.Hit(c.goCtx, p, c.Seg)
 }
 
 // box returns (creating on demand) the mailbox for a partScanId.

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 
@@ -82,6 +83,7 @@ func TestRepeatedRunsAfterErrorStayHealthy(t *testing.T) {
 		plan.NewFilter(expr.NewCmp(expr.EQ, expr.NewCol(expr.ColID{Rel: 8, Ord: 8}, "x"), expr.NewConst(types.NewInt(1))),
 			plan.NewScan(tab, 1)))
 	good := plan.NewMotion(plan.GatherMotion, nil, plan.NewScan(tab, 1))
+	before := runtime.NumGoroutine()
 	for i := 0; i < 10; i++ {
 		if _, err := Run(rt, bad, nil); err == nil {
 			t.Fatalf("iteration %d: bad plan succeeded", i)
@@ -94,6 +96,8 @@ func TestRepeatedRunsAfterErrorStayHealthy(t *testing.T) {
 			t.Fatalf("iteration %d: rows = %d", i, len(res.Rows))
 		}
 	}
+	// Each failed/successful run must fully wind down its slice goroutines.
+	waitNoGoroutineLeak(t, before)
 }
 
 func TestUpdateErrorRollsUpCleanly(t *testing.T) {

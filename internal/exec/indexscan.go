@@ -44,7 +44,10 @@ func (s *indexScanOp) Open(ctx *Ctx) error {
 	return nil
 }
 
-func (s *indexScanOp) Next(*Ctx) (types.Row, error) {
+func (s *indexScanOp) Next(ctx *Ctx) (types.Row, error) {
+	if err := ctx.pollAbort(); err != nil {
+		return nil, err
+	}
 	if s.pos >= len(s.rows) {
 		return nil, errEOF
 	}
@@ -93,6 +96,9 @@ func (s *dynIndexScanOp) Open(ctx *Ctx) error {
 }
 
 func (s *dynIndexScanOp) Next(ctx *Ctx) (types.Row, error) {
+	if err := ctx.pollAbort(); err != nil {
+		return nil, err
+	}
 	for s.pos >= len(s.rows) {
 		if s.li >= len(s.leaves) {
 			return nil, errEOF

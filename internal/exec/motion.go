@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"partopt/internal/expr"
+	"partopt/internal/fault"
 	"partopt/internal/plan"
 	"partopt/internal/types"
 )
@@ -87,13 +88,16 @@ func (ex *exchange) send(ctx *Ctx, row types.Row) error {
 }
 
 func (ex *exchange) sendTo(ctx *Ctx, seg int, row types.Row) error {
+	if err := ctx.hitFault(fault.MotionSend); err != nil {
+		return err
+	}
 	select {
 	case ex.chans[seg] <- row:
 		if ctx.Stats != nil {
 			ctx.Stats.noteRowsMoved(1)
 		}
 		return nil
-	case <-ctx.quit:
+	case <-ctx.done:
 		return errQueryAborted
 	}
 }
@@ -124,7 +128,7 @@ func (r *motionRecvOp) Next(ctx *Ctx) (types.Row, error) {
 			return nil, errEOF
 		}
 		return row, nil
-	case <-ctx.quit:
+	case <-ctx.done:
 		return nil, errQueryAborted
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"partopt/internal/expr"
+	"partopt/internal/fault"
 	"partopt/internal/part"
 	"partopt/internal/plan"
 	"partopt/internal/storage"
@@ -50,6 +51,12 @@ func (s *scanOp) Open(ctx *Ctx) error {
 }
 
 func (s *scanOp) Next(ctx *Ctx) (types.Row, error) {
+	if err := ctx.pollAbort(); err != nil {
+		return nil, err
+	}
+	if err := ctx.hitFault(fault.OpNext); err != nil {
+		return nil, err
+	}
 	if s.pos >= len(s.rows) {
 		return nil, errEOF
 	}
@@ -100,6 +107,12 @@ func (s *dynScanOp) Open(ctx *Ctx) error {
 }
 
 func (s *dynScanOp) Next(ctx *Ctx) (types.Row, error) {
+	if err := ctx.pollAbort(); err != nil {
+		return nil, err
+	}
+	if err := ctx.hitFault(fault.OpNext); err != nil {
+		return nil, err
+	}
 	for s.pos >= len(s.rows) {
 		if s.li >= len(s.leaves) {
 			return nil, errEOF

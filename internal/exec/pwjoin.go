@@ -137,6 +137,9 @@ func keyHash(keys []expr.Expr, layout expr.Layout, row types.Row, ctx *Ctx) (uin
 }
 
 func (j *pwJoinOp) Next(ctx *Ctx) (types.Row, error) {
+	if err := ctx.pollAbort(); err != nil {
+		return nil, err
+	}
 	for {
 		// Pending matches of the current probe row.
 		for j.mi < len(j.matches) {

@@ -1,0 +1,66 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"partopt/internal/fault"
+)
+
+// QueryError attributes a failure to its place in the distributed query:
+// which segment, which slice, and the operator at the slice root. Every
+// error that crosses a slice boundary — including recovered panics — is
+// wrapped into one, so the coordinator can name the failing process the way
+// an MPP dispatcher names a failed segment.
+type QueryError struct {
+	Seg   int    // failing segment; CoordinatorSeg for the coordinator slice
+	Slice int    // slice index (0 = the coordinator's root slice)
+	Op    string // plan-node name of the slice root, e.g. "Filter"
+	Err   error  // underlying cause
+}
+
+func (e *QueryError) Error() string {
+	return fmt.Sprintf("exec: %s slice %d (%s): %v", segLabel(e.Seg), e.Slice, e.Op, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *QueryError) Unwrap() error { return e.Err }
+
+func segLabel(seg int) string {
+	if seg == CoordinatorSeg {
+		return "coordinator"
+	}
+	return fmt.Sprintf("seg %d", seg)
+}
+
+// wrapQueryError attributes err to a (segment, slice, operator); errors that
+// already carry attribution pass through unchanged.
+func wrapQueryError(seg, slice int, op string, err error) error {
+	var qe *QueryError
+	if errors.As(err, &qe) {
+		return err
+	}
+	return &QueryError{Seg: seg, Slice: slice, Op: op, Err: err}
+}
+
+// IsTransient reports whether an error chain is marked retryable (a segment
+// blip rather than a query bug). It is fault.IsTransient re-exported so
+// executor callers need not import the fault package.
+func IsTransient(err error) bool { return fault.IsTransient(err) }
+
+// RetryPolicy bounds coordinator-side re-execution of queries that failed
+// with a transient error. Only read-only plans are retried: re-running DML
+// after a partial failure would double-apply its effects.
+type RetryPolicy struct {
+	MaxAttempts int           // total attempts; <= 1 disables retry
+	Backoff     time.Duration // backoff before attempt n+1, doubled per retry
+}
+
+// backoff returns the pre-attempt delay before the given retry (1-based).
+func (p RetryPolicy) backoff(retry int) time.Duration {
+	if p.Backoff <= 0 {
+		return 0
+	}
+	return p.Backoff << (retry - 1)
+}

@@ -1,11 +1,15 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
+	"time"
 
 	"partopt/internal/expr"
+	"partopt/internal/fault"
 	"partopt/internal/plan"
 	"partopt/internal/types"
 )
@@ -133,25 +137,96 @@ type sliceSpec struct {
 	members []int
 }
 
+// opName is the short plan-node name used for error provenance.
+func opName(n plan.Node) string {
+	return strings.TrimPrefix(fmt.Sprintf("%T", n), "*plan.")
+}
+
+// errQueryDone is the cancellation cause of a normally-completed query: once
+// the coordinator has its last row, remaining senders (e.g. below a Limit)
+// are released without reporting an error.
+var errQueryDone = errors.New("exec: query finished")
+
 // Run executes a plan on the cluster. The root slice (everything above the
 // topmost Gather Motion — final projection, coordinator-side aggregation)
 // runs on the coordinator; the plan must contain a Gather so that a scan
 // never lands in the coordinator slice.
 func Run(rt *Runtime, root plan.Node, params *Params) (*Result, error) {
-	return RunInto(rt, root, params, NewStats())
+	return RunIntoCtx(context.Background(), rt, root, params, NewStats())
+}
+
+// RunCtx is Run governed by a context: cancelling it — or exceeding its
+// deadline — aborts every slice on every segment instead of letting peers
+// run to completion.
+func RunCtx(ctx context.Context, rt *Runtime, root plan.Node, params *Params) (*Result, error) {
+	return RunIntoCtx(ctx, rt, root, params, NewStats())
 }
 
 // RunInto is Run with caller-provided statistics, letting multi-plan
 // executions (the legacy planner's prep steps plus main plan) accumulate
 // into one counter set.
 func RunInto(rt *Runtime, root plan.Node, params *Params, stats *Stats) (*Result, error) {
+	return RunIntoCtx(context.Background(), rt, root, params, stats)
+}
+
+// RunIntoCtx is the full-control entry point: context plus caller-provided
+// statistics. When the runtime's RetryPolicy allows it, read-only queries
+// that fail with a transient error (a fault marked retryable, e.g. a
+// dropped motion send) are re-executed with exponential backoff; DML plans
+// are never retried, since re-running them after a partial failure would
+// double-apply their effects.
+func RunIntoCtx(ctx context.Context, rt *Runtime, root plan.Node, params *Params, stats *Stats) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	attempts := rt.Retry.MaxAttempts
+	if attempts < 1 || hasDML(root) {
+		attempts = 1
+	}
+	var res *Result
+	var err error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			if d := rt.Retry.backoff(attempt - 1); d > 0 {
+				t := time.NewTimer(d)
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					t.Stop()
+					return nil, err
+				}
+			}
+		}
+		res, err = runAttempt(ctx, rt, root, params, stats)
+		if err == nil || !IsTransient(err) || ctx.Err() != nil {
+			return res, err
+		}
+	}
+	return nil, err
+}
+
+// hasDML reports whether the plan mutates storage anywhere.
+func hasDML(root plan.Node) bool {
+	return len(plan.FindAll(root, func(n plan.Node) bool {
+		switch n.(type) {
+		case *plan.Update, *plan.Delete:
+			return true
+		}
+		return false
+	})) > 0
+}
+
+// runAttempt executes the plan once. The first failure anywhere — a segment
+// error, a recovered panic, a coordinator error, the caller's deadline —
+// cancels the shared query context, so every other slice instance stops
+// instead of doing wasted work.
+func runAttempt(ctx context.Context, rt *Runtime, root plan.Node, params *Params, stats *Stats) (*Result, error) {
 	if len(plan.FindAll(root, func(n plan.Node) bool {
 		m, ok := n.(*plan.Motion)
 		return ok && m.Kind == plan.GatherMotion
 	})) == 0 {
 		return nil, fmt.Errorf("exec: plan has no Gather Motion; nothing delivers rows to the coordinator")
 	}
-	quit := make(chan struct{})
 	segs := make([]int, rt.Segments())
 	for i := range segs {
 		segs[i] = i
@@ -184,7 +259,6 @@ func RunInto(rt *Runtime, root plan.Node, params *Params, stats *Stats) (*Result
 		return nil
 	}
 	if err := cut(root, []int{CoordinatorSeg}); err != nil {
-		close(quit)
 		return nil, err
 	}
 	exchanges := map[*plan.Motion]*exchange{}
@@ -195,70 +269,107 @@ func RunInto(rt *Runtime, root plan.Node, params *Params, stats *Stats) (*Result
 		slices = append(slices, &sliceSpec{root: site.m.Child, ex: ex, members: segs})
 	}
 
-	errCh := make(chan error, len(slices)*len(segs)+1)
+	qctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(errQueryDone)
+
+	// fail records one slice instance's failure and cancels the query, so
+	// siblings abort immediately instead of being discovered after wg.Wait.
+	errCh := make(chan error, 2*len(slices)*len(segs)+2)
+	fail := func(seg, slice int, op string, err error) {
+		qe := wrapQueryError(seg, slice, op, err)
+		errCh <- qe
+		cancel(qe)
+	}
+
 	var wg sync.WaitGroup
-	for _, sl := range slices {
+	for si, sl := range slices {
 		for _, seg := range sl.members {
 			wg.Add(1)
-			go func(sl *sliceSpec, seg int) {
+			go func(sl *sliceSpec, slice, seg int) {
 				defer wg.Done()
 				defer sl.ex.senderDone()
+				// A panic anywhere in this slice instance — operator code,
+				// expression evaluation, an injected fault — becomes a
+				// QueryError instead of killing the process.
+				defer func() {
+					if r := recover(); r != nil {
+						fail(seg, slice, opName(sl.root), fmt.Errorf("panic: %v", r))
+					}
+				}()
+				if err := rt.Faults.Hit(qctx, fault.SliceStart, seg); err != nil {
+					fail(seg, slice, opName(sl.root), err)
+					return
+				}
 				if sl.ex.fromSeg >= 0 && seg != sl.ex.fromSeg {
 					// Single-sender motion (gather from a replicated
 					// input): this member contributes nothing — but any
 					// motions feeding its subtree still broadcast to this
 					// segment, so their channels must be drained or the
 					// senders would block forever.
-					drainSubtreeMotions(sl.root, exchanges, seg, quit)
+					drainSubtreeMotions(sl.root, exchanges, seg, qctx.Done())
 					return
 				}
-				ctx := newCtx(rt, seg, params, stats, quit)
+				ectx := newCtx(rt, seg, params, stats, qctx)
 				op, err := buildOp(sl.root, exchanges)
 				if err != nil {
-					errCh <- err
+					fail(seg, slice, opName(sl.root), err)
 					return
 				}
-				if err := op.Open(ctx); err != nil {
-					errCh <- err
+				if err := op.Open(ectx); err != nil {
+					if !errors.Is(err, errQueryAborted) {
+						fail(seg, slice, opName(sl.root), err)
+					}
 					return
 				}
 				for {
-					row, err := op.Next(ctx)
+					row, err := op.Next(ectx)
 					if errors.Is(err, errEOF) {
 						break
 					}
 					if err != nil {
 						if !errors.Is(err, errQueryAborted) {
-							errCh <- err
+							fail(seg, slice, opName(sl.root), err)
 						}
 						break
 					}
-					if err := sl.ex.send(ctx, row); err != nil {
-						break // aborted
+					if err := sl.ex.send(ectx, row); err != nil {
+						if !errors.Is(err, errQueryAborted) {
+							fail(seg, slice, opName(sl.root), err)
+						}
+						break
 					}
 				}
-				if err := op.Close(ctx); err != nil {
-					errCh <- err
+				if err := op.Close(ectx); err != nil && !errors.Is(err, errQueryAborted) {
+					fail(seg, slice, opName(sl.root), err)
 				}
-			}(sl, seg)
+			}(sl, si+1, seg)
 		}
 	}
 
 	// The coordinator runs the root slice (the receive side of the root
-	// Gather, plus any operators above it — none in practice).
+	// Gather, plus any operators above it). Its panics are isolated the
+	// same way a segment's are.
 	var rows []types.Row
-	coordErr := func() error {
-		ctx := newCtx(rt, CoordinatorSeg, params, stats, quit)
+	coordErr := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("panic: %v", r)
+			}
+		}()
+		if err := rt.Faults.Hit(qctx, fault.SliceStart, CoordinatorSeg); err != nil {
+			return err
+		}
+		cctx := newCtx(rt, CoordinatorSeg, params, stats, qctx)
 		op, err := buildOp(root, exchanges)
 		if err != nil {
 			return err
 		}
-		if err := op.Open(ctx); err != nil {
+		if err := op.Open(cctx); err != nil {
 			return err
 		}
-		defer op.Close(ctx)
+		defer op.Close(cctx)
 		for {
-			row, err := op.Next(ctx)
+			row, err := op.Next(cctx)
 			if errors.Is(err, errEOF) {
 				return nil
 			}
@@ -268,14 +379,28 @@ func RunInto(rt *Runtime, root plan.Node, params *Params, stats *Stats) (*Result
 			rows = append(rows, row)
 		}
 	}()
-
-	close(quit) // unblock any sender still parked on a full channel
+	if coordErr != nil && !errors.Is(coordErr, errQueryAborted) {
+		coordErr = wrapQueryError(CoordinatorSeg, 0, opName(root), coordErr)
+		cancel(coordErr)
+	}
+	cancel(errQueryDone) // normal completion: release senders parked on full channels
 	wg.Wait()
 	close(errCh)
+	var pending error
 	for err := range errCh {
-		if err != nil {
-			return nil, err
+		if pending == nil {
+			pending = err
 		}
+	}
+	// The cancellation cause is the authoritative first failure: the race
+	// between concurrently-failing slices is settled by whichever cancelled
+	// first. A cause from the parent context (deadline, caller cancel)
+	// surfaces as-is so callers can match context.DeadlineExceeded.
+	if cause := context.Cause(qctx); cause != nil && !errors.Is(cause, errQueryDone) {
+		return nil, cause
+	}
+	if pending != nil {
+		return nil, pending
 	}
 	if coordErr != nil && !errors.Is(coordErr, errQueryAborted) {
 		return nil, coordErr
@@ -286,7 +411,7 @@ func RunInto(rt *Runtime, root plan.Node, params *Params, stats *Stats) (*Result
 // drainSubtreeMotions discards everything the given segment would have
 // received from the motions directly feeding a slice subtree (without
 // crossing into deeper slices, whose own members keep consuming normally).
-func drainSubtreeMotions(root plan.Node, exch map[*plan.Motion]*exchange, seg int, quit <-chan struct{}) {
+func drainSubtreeMotions(root plan.Node, exch map[*plan.Motion]*exchange, seg int, done <-chan struct{}) {
 	var walk func(n plan.Node)
 	walk = func(n plan.Node) {
 		if m, ok := n.(*plan.Motion); ok {
@@ -298,7 +423,7 @@ func drainSubtreeMotions(root plan.Node, exch map[*plan.Motion]*exchange, seg in
 							if !open {
 								return
 							}
-						case <-quit:
+						case <-done:
 							return
 						}
 					}
@@ -317,9 +442,7 @@ func drainSubtreeMotions(root plan.Node, exch map[*plan.Motion]*exchange, seg in
 // the harness unit tests use to exercise individual operators.
 func RunLocal(rt *Runtime, root plan.Node, seg int, params *Params) (*Result, error) {
 	stats := NewStats()
-	quit := make(chan struct{})
-	defer close(quit)
-	ctx := newCtx(rt, seg, params, stats, quit)
+	ctx := newCtx(rt, seg, params, stats, context.Background())
 	op, err := buildOp(root, nil)
 	if err != nil {
 		return nil, err

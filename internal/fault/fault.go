@@ -1,0 +1,218 @@
+// Package fault provides deterministic, seeded fault injection for the
+// execution engine and the storage layer. The executor calls Hit at a small
+// set of named fault points; an Injector armed with Rules decides — purely
+// from seeded state and per-rule hit counters — whether that point fires,
+// and how: a permanent error, a transient (retryable) error, a dropped
+// message, a stall, or a panic.
+//
+// Determinism: a Rule with After=N fires on exactly the N+1-th matching hit
+// of its (point, segment) pair. Because every (slice × segment) goroutine
+// executes sequentially, counting hits against a specific segment is fully
+// deterministic across runs. Probability-based rules (Prob > 0) draw from
+// the injector's seeded generator and are only deterministic when the hit
+// order is — use them for soak testing, not for exact reproduction.
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Point names a location in the engine where faults can be injected.
+type Point string
+
+// The named fault points wired into the engine.
+const (
+	// SliceStart fires when a (slice × segment) worker starts, and when the
+	// coordinator slice starts (segment -1).
+	SliceStart Point = "exec.slice.start"
+	// OpNext fires per row produced by a Scan or DynamicScan operator.
+	OpNext Point = "exec.op.next"
+	// MotionSend fires per row a Motion sender routes to a receiver.
+	MotionSend Point = "exec.motion.send"
+	// StorageScan fires per ScanLeaf call in the storage layer.
+	StorageScan Point = "storage.scan.leaf"
+)
+
+// Points lists every named fault point wired into the engine.
+func Points() []Point { return []Point{SliceStart, OpNext, MotionSend, StorageScan} }
+
+// Kind is the failure mode a rule injects.
+type Kind int
+
+const (
+	// KindError is a permanent failure: the query must abort.
+	KindError Kind = iota
+	// KindTransient is a retryable failure (e.g. a segment restart): the
+	// coordinator may re-execute read-only queries.
+	KindTransient
+	// KindDrop simulates a dropped message or connection; like KindTransient
+	// it is retryable, but named separately so schedules read naturally at
+	// motion-send points.
+	KindDrop
+	// KindDelay stalls the fault point for Rule.Delay, then continues. It
+	// models a slow segment rather than a failed one.
+	KindDelay
+	// KindPanic panics at the fault point; the executor must isolate it.
+	KindPanic
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindTransient:
+		return "transient error"
+	case KindDrop:
+		return "drop"
+	case KindDelay:
+		return "delay"
+	case KindPanic:
+		return "panic"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// AnySeg makes a rule match every segment, including the coordinator's
+// pseudo-segment -1.
+const AnySeg = -1 << 20
+
+// Rule arms one fault. Zero value semantics: fire on the first hit of the
+// point on segment 0, with a permanent error, every time it matches.
+type Rule struct {
+	Point Point
+	Kind  Kind
+	Seg   int           // segment to match, or AnySeg
+	After int           // fire on hit number After+1 (counted per rule)
+	Prob  float64       // if > 0, fire per-hit with this probability instead
+	Delay time.Duration // stall duration for KindDelay (default 2ms)
+	Once  bool          // disarm after the first firing
+}
+
+type armedRule struct {
+	Rule
+	hits  int
+	fired int
+}
+
+// Injector evaluates armed rules at fault points. The zero value and nil are
+// both inert; NewInjector seeds the probability generator.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []*armedRule
+}
+
+// NewInjector returns an injector whose probability draws derive from seed.
+func NewInjector(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Arm adds one rule to the schedule.
+func (in *Injector) Arm(r Rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = append(in.rules, &armedRule{Rule: r})
+}
+
+// Triggered reports how many times any rule fired.
+func (in *Injector) Triggered() int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := 0
+	for _, r := range in.rules {
+		n += r.fired
+	}
+	return n
+}
+
+// Hit evaluates the schedule at one fault point. It returns nil when no rule
+// fires; otherwise it returns an *Error, sleeps (KindDelay, bounded by ctx),
+// or panics (KindPanic). A nil injector never fires, so call sites may skip
+// the nil check.
+func (in *Injector) Hit(ctx context.Context, p Point, seg int) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	var fire *armedRule
+	for _, r := range in.rules {
+		if r.Point != p || (r.Seg != AnySeg && r.Seg != seg) {
+			continue
+		}
+		if r.Once && r.fired > 0 {
+			continue
+		}
+		r.hits++
+		hot := false
+		if r.Prob > 0 {
+			hot = in.rng.Float64() < r.Prob
+		} else {
+			hot = r.hits == r.After+1
+		}
+		if hot {
+			r.fired++
+			fire = r
+			break
+		}
+	}
+	in.mu.Unlock()
+	if fire == nil {
+		return nil
+	}
+	switch fire.Kind {
+	case KindDelay:
+		d := fire.Delay
+		if d <= 0 {
+			d = 2 * time.Millisecond
+		}
+		if ctx == nil {
+			time.Sleep(d)
+			return nil
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+		}
+		return nil
+	case KindPanic:
+		panic(fmt.Sprintf("fault: injected panic at %s (seg %d)", p, seg))
+	default:
+		return &Error{Point: p, Seg: seg, Kind: fire.Kind}
+	}
+}
+
+// Error is an injected failure.
+type Error struct {
+	Point Point
+	Seg   int
+	Kind  Kind
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("fault: injected %s at %s (seg %d)", e.Kind, e.Point, e.Seg)
+}
+
+// Transient reports whether retrying the query could succeed.
+func (e *Error) Transient() bool { return e.Kind == KindTransient || e.Kind == KindDrop }
+
+// IsTransient reports whether any error in err's chain declares itself
+// retryable via a `Transient() bool` method.
+func IsTransient(err error) bool {
+	for err != nil {
+		if t, ok := err.(interface{ Transient() bool }); ok && t.Transient() {
+			return true
+		}
+		err = errors.Unwrap(err)
+	}
+	return false
+}

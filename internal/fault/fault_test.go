@@ -1,0 +1,151 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestAfterFiresOnExactHit(t *testing.T) {
+	in := NewInjector(1)
+	in.Arm(Rule{Point: OpNext, Kind: KindError, Seg: 2, After: 3})
+	for i := 0; i < 3; i++ {
+		if err := in.Hit(nil, OpNext, 2); err != nil {
+			t.Fatalf("hit %d fired early: %v", i, err)
+		}
+	}
+	err := in.Hit(nil, OpNext, 2)
+	if err == nil {
+		t.Fatalf("hit 4 did not fire")
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Point != OpNext || fe.Seg != 2 || fe.Kind != KindError {
+		t.Fatalf("unexpected injected error: %#v", err)
+	}
+	if got := in.Triggered(); got != 1 {
+		t.Fatalf("Triggered = %d, want 1", got)
+	}
+}
+
+func TestSegmentAndPointFiltering(t *testing.T) {
+	in := NewInjector(1)
+	in.Arm(Rule{Point: MotionSend, Kind: KindError, Seg: 1})
+	if err := in.Hit(nil, MotionSend, 0); err != nil {
+		t.Fatalf("wrong segment fired: %v", err)
+	}
+	if err := in.Hit(nil, OpNext, 1); err != nil {
+		t.Fatalf("wrong point fired: %v", err)
+	}
+	if err := in.Hit(nil, MotionSend, 1); err == nil {
+		t.Fatalf("matching hit did not fire")
+	}
+}
+
+func TestAnySegMatchesCoordinator(t *testing.T) {
+	in := NewInjector(1)
+	in.Arm(Rule{Point: SliceStart, Kind: KindError, Seg: AnySeg})
+	if err := in.Hit(nil, SliceStart, -1); err == nil {
+		t.Fatalf("AnySeg did not match the coordinator pseudo-segment")
+	}
+}
+
+func TestOnceDisarms(t *testing.T) {
+	in := NewInjector(1)
+	in.Arm(Rule{Point: OpNext, Kind: KindTransient, Seg: 0, Once: true})
+	if err := in.Hit(nil, OpNext, 0); err == nil {
+		t.Fatalf("first hit did not fire")
+	}
+	for i := 0; i < 10; i++ {
+		if err := in.Hit(nil, OpNext, 0); err != nil {
+			t.Fatalf("Once rule fired again on hit %d: %v", i, err)
+		}
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	schedule := func(seed int64) []bool {
+		in := NewInjector(seed)
+		in.Arm(Rule{Point: OpNext, Kind: KindError, Seg: 0, Prob: 0.3})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.Hit(nil, OpNext, 0) != nil
+		}
+		return out
+	}
+	a, b := schedule(42), schedule(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+	}
+	c := schedule(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical 64-hit schedules (suspicious)")
+	}
+}
+
+func TestDelayRespectsContext(t *testing.T) {
+	in := NewInjector(1)
+	in.Arm(Rule{Point: StorageScan, Kind: KindDelay, Seg: 0, Delay: 10 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := in.Hit(ctx, StorageScan, 0); err != nil {
+		t.Fatalf("delay returned error: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("delay ignored context cancellation: slept %v", elapsed)
+	}
+}
+
+func TestPanicKindPanics(t *testing.T) {
+	in := NewInjector(1)
+	in.Arm(Rule{Point: SliceStart, Kind: KindPanic, Seg: 0})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("KindPanic did not panic")
+		}
+		if s := fmt.Sprint(r); s == "" {
+			t.Fatalf("empty panic value")
+		}
+	}()
+	in.Hit(nil, SliceStart, 0)
+}
+
+func TestTransience(t *testing.T) {
+	transient := &Error{Point: OpNext, Seg: 0, Kind: KindTransient}
+	drop := &Error{Point: MotionSend, Seg: 0, Kind: KindDrop}
+	hard := &Error{Point: OpNext, Seg: 0, Kind: KindError}
+	if !IsTransient(transient) || !IsTransient(drop) {
+		t.Fatalf("transient kinds not recognized")
+	}
+	if IsTransient(hard) {
+		t.Fatalf("permanent error reported transient")
+	}
+	if !IsTransient(fmt.Errorf("wrapped: %w", transient)) {
+		t.Fatalf("wrapping lost transience")
+	}
+	if IsTransient(errors.New("plain")) || IsTransient(nil) {
+		t.Fatalf("false positive")
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.Hit(nil, OpNext, 0); err != nil {
+		t.Fatalf("nil injector fired: %v", err)
+	}
+	if in.Triggered() != 0 {
+		t.Fatalf("nil injector triggered")
+	}
+}

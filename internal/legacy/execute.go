@@ -1,6 +1,8 @@
 package legacy
 
 import (
+	"context"
+
 	"partopt/internal/exec"
 	"partopt/internal/part"
 	"partopt/internal/types"
@@ -14,12 +16,19 @@ import (
 // accumulate into one statistics object so partition-scan accounting covers
 // the prep work too.
 func Execute(rt *exec.Runtime, pl *Planned, params *exec.Params) (*exec.Result, error) {
+	return ExecuteIntoCtx(context.Background(), rt, pl, params, exec.NewStats())
+}
+
+// ExecuteIntoCtx is Execute governed by a context — cancellation or a
+// deadline aborts whichever plan (prep or main) is in flight — with
+// caller-provided statistics so partial progress stays observable after a
+// failure.
+func ExecuteIntoCtx(ctx context.Context, rt *exec.Runtime, pl *Planned, params *exec.Params, stats *exec.Stats) (*exec.Result, error) {
 	if params == nil {
 		params = &exec.Params{}
 	}
-	stats := exec.NewStats()
 	for _, prep := range pl.Preps {
-		res, err := exec.RunInto(rt, prep.Plan, params, stats)
+		res, err := exec.RunIntoCtx(ctx, rt, prep.Plan, params, stats)
 		if err != nil {
 			return nil, err
 		}
@@ -44,5 +53,5 @@ func Execute(rt *exec.Runtime, pl *Planned, params *exec.Params) (*exec.Result, 
 		}
 		params.OIDSets[prep.ParamID] = oids
 	}
-	return exec.RunInto(rt, pl.Main, params, stats)
+	return exec.RunIntoCtx(ctx, rt, pl.Main, params, stats)
 }

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"partopt/internal/catalog"
+	"partopt/internal/fault"
 	"partopt/internal/part"
 	"partopt/internal/types"
 )
@@ -41,7 +42,13 @@ type Store struct {
 	segments int
 	mu       sync.RWMutex
 	tables   map[part.OID]*tableData
+	faults   *fault.Injector
 }
+
+// SetFaults arms (or, with nil, disarms) storage-layer fault injection —
+// the fault.StorageScan point in ScanLeaf. Arm it before running queries;
+// it is not synchronized against in-flight scans.
+func (s *Store) SetFaults(in *fault.Injector) { s.faults = in }
 
 // NewStore creates storage for a cluster with the given segment count.
 func NewStore(segments int) *Store {
@@ -145,6 +152,9 @@ func (s *Store) ScanLeaf(root part.OID, seg int, leaf part.OID) ([]types.Row, er
 	}
 	if seg < 0 || seg >= s.segments {
 		return nil, fmt.Errorf("storage: segment %d out of range", seg)
+	}
+	if err := s.faults.Hit(nil, fault.StorageScan, seg); err != nil {
+		return nil, fmt.Errorf("storage: table %q leaf %d on seg %d: %w", td.tab.Name, leaf, seg, err)
 	}
 	td.mu.RLock()
 	defer td.mu.RUnlock()

@@ -18,6 +18,7 @@
 package partopt
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -178,6 +179,14 @@ type Rows struct {
 
 // Query parses, plans and executes a SELECT, binding args to $1, $2, ...
 func (e *Engine) Query(query string, args ...Value) (*Rows, error) {
+	return e.QueryCtx(context.Background(), query, args...)
+}
+
+// QueryCtx is Query governed by a context: cancelling it or exceeding its
+// deadline aborts the query on every segment. On error the returned *Rows,
+// when non-nil, carries the partial execution statistics accumulated before
+// the abort (no data rows), so callers can report work done so far.
+func (e *Engine) QueryCtx(ctx context.Context, query string, args ...Value) (*Rows, error) {
 	bound, err := e.bind(query)
 	if err != nil {
 		return nil, err
@@ -185,12 +194,19 @@ func (e *Engine) Query(query string, args ...Value) (*Rows, error) {
 	if bound.IsUpdate {
 		return nil, fmt.Errorf("partopt: use Exec for UPDATE statements")
 	}
-	return e.run(bound, args)
+	return e.run(ctx, bound, args)
 }
 
 // Exec plans and executes a DML statement (INSERT, UPDATE, DELETE),
 // returning the affected row count.
 func (e *Engine) Exec(query string, args ...Value) (int64, error) {
+	return e.ExecCtx(context.Background(), query, args...)
+}
+
+// ExecCtx is Exec governed by a context. Note that cancelling a DML
+// statement mid-flight may leave part of its effects applied — the
+// simulator has no transactional rollback.
+func (e *Engine) ExecCtx(ctx context.Context, query string, args ...Value) (int64, error) {
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return 0, err
@@ -214,7 +230,7 @@ func (e *Engine) Exec(query string, args ...Value) (int64, error) {
 	if !bound.IsUpdate {
 		return 0, fmt.Errorf("partopt: use Query for SELECT statements")
 	}
-	res, err := e.run(bound, args)
+	res, err := e.run(ctx, bound, args)
 	if err != nil {
 		return 0, err
 	}
@@ -309,7 +325,7 @@ func (e *Engine) PlanLogical(query string) (logical.Node, error) {
 	return bound.Root, nil
 }
 
-func (e *Engine) run(bound *sql.Bound, args []Value) (*Rows, error) {
+func (e *Engine) run(ctx context.Context, bound *sql.Bound, args []Value) (*Rows, error) {
 	node, pl, err := e.plan(bound)
 	if err != nil {
 		return nil, err
@@ -319,26 +335,33 @@ func (e *Engine) run(bound *sql.Bound, args []Value) (*Rows, error) {
 		return nil, fmt.Errorf("partopt: query needs %d parameters, got %d", bound.NumParams, len(args))
 	}
 
-	var res *exec.Result
-	if pl != nil {
-		res, err = legacy.Execute(e.rt, pl, params)
-	} else {
-		res, err = exec.Run(e.rt, node, params)
-	}
-	if err != nil {
-		return nil, err
-	}
-
+	stats := exec.NewStats()
 	out := &Rows{
 		Columns:      bound.Columns,
 		PartsScanned: map[string]int{},
-		RowsScanned:  res.Stats.RowsScanned(),
-		RowsMoved:    res.Stats.RowsMoved(),
 		PlanSize:     plan.SerializedSize(node),
 	}
-	for _, tname := range res.Stats.TablesScanned() {
-		out.PartsScanned[tname] = res.Stats.PartsScanned(tname)
+	fill := func() {
+		out.RowsScanned = stats.RowsScanned()
+		out.RowsMoved = stats.RowsMoved()
+		for _, tname := range stats.TablesScanned() {
+			out.PartsScanned[tname] = stats.PartsScanned(tname)
+		}
 	}
+
+	var res *exec.Result
+	if pl != nil {
+		res, err = legacy.ExecuteIntoCtx(ctx, e.rt, pl, params, stats)
+	} else {
+		res, err = exec.RunIntoCtx(ctx, e.rt, node, params, stats)
+	}
+	if err != nil {
+		// Partial stats: what the cluster did before the abort.
+		fill()
+		return out, err
+	}
+
+	fill()
 	for _, r := range res.Rows {
 		out.Data = append(out.Data, fromRow(r))
 	}
