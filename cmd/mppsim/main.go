@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -64,10 +65,26 @@ func main() {
 	segments := flag.Int("segments", 4, "number of cluster segments")
 	sales := flag.Int("sales", 20, "star-schema sales rows per day")
 	timeout := flag.Duration("timeout", 0, "per-query deadline (0 = none), e.g. 5s")
+	memBudget := flag.String("mem-budget", "", "total executor memory budget, e.g. 64M (empty = unlimited)")
+	workMem := flag.String("work-mem", "", "per-query spill threshold, e.g. 256K (empty = fair share of the budget)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrently executing queries (0 = unbounded)")
 	flag.Parse()
 
 	eng, err := partopt.New(*segments)
 	fatalIf(err)
+	if *memBudget != "" {
+		n, err := parseSize(*memBudget)
+		fatalIf(err)
+		eng.SetMemBudget(n)
+	}
+	if *workMem != "" {
+		n, err := parseSize(*workMem)
+		fatalIf(err)
+		eng.SetWorkMem(n)
+	}
+	if *maxConcurrent > 0 {
+		eng.SetMaxConcurrent(*maxConcurrent)
+	}
 	cfg := workload.DefaultStarConfig()
 	cfg.SalesPerDay = *sales
 	fmt.Printf("loading star schema (%d segments, %d months per fact)...\n", *segments, cfg.Months)
@@ -225,7 +242,41 @@ func runSelect(ctx context.Context, eng *partopt.Engine, query string) {
 		total, _ := eng.NumPartitions(table)
 		fmt.Printf(", %s: %d/%d parts", table, parts, total)
 	}
+	if rows.SpilledBytes > 0 {
+		fmt.Printf(", spilled %s in %d part(s)", fmtSize(rows.SpilledBytes), rows.SpillParts)
+	}
 	fmt.Println(")")
+}
+
+// parseSize parses a byte count with an optional K/M/G suffix (binary
+// multiples), e.g. "64M".
+func parseSize(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "G"), strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid size %q (use e.g. 512K, 64M, 1G)", s)
+	}
+	return n * mult, nil
+}
+
+func fmtSize(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
 }
 
 func fatalIf(err error) {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"strings"
 	"testing"
@@ -12,6 +13,7 @@ import (
 	"partopt/internal/catalog"
 	"partopt/internal/expr"
 	"partopt/internal/fault"
+	"partopt/internal/mem"
 	"partopt/internal/plan"
 	"partopt/internal/types"
 )
@@ -69,6 +71,7 @@ func TestChaosSweep(t *testing.T) {
 		fault.OpNext:      10,
 		fault.MotionSend:  10,
 		fault.StorageScan: 1,
+		fault.MemReserve:  10,
 	}
 	kinds := []fault.Kind{fault.KindError, fault.KindTransient, fault.KindDrop, fault.KindDelay, fault.KindPanic}
 
@@ -85,6 +88,12 @@ func TestChaosSweep(t *testing.T) {
 					rt.Faults = inj
 					rt.Retry = RetryPolicy{MaxAttempts: 3, Backoff: time.Millisecond}
 					rt.Store.SetFaults(inj)
+					// Every run executes under a governor (unlimited budget,
+					// so only injected denials force spills) with a private
+					// spill root, asserted empty after the run: no abort
+					// path may leak spill files.
+					spillBase := t.TempDir()
+					rt.Gov = mem.NewGovernor(mem.Config{BaseDir: spillBase, Faults: inj})
 
 					before := runtime.NumGoroutine()
 					ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -97,8 +106,22 @@ func TestChaosSweep(t *testing.T) {
 						t.Fatalf("schedule never fired (After=%d)", after)
 					}
 
-					switch kind {
-					case fault.KindDelay:
+					switch {
+					case pt == fault.MemReserve &&
+						(kind == fault.KindError || kind == fault.KindTransient || kind == fault.KindDrop):
+						// A denied reservation is memory pressure, not a
+						// failure: the spillable operator absorbs it by
+						// spilling and the query still answers correctly.
+						if err != nil {
+							t.Fatalf("memory-pressure fault failed the query instead of spilling: %v", err)
+						}
+						if len(res.Rows) != wantRows {
+							t.Fatalf("rows under memory pressure = %d, want %d", len(res.Rows), wantRows)
+						}
+						if res.Stats.SpilledBytes() == 0 {
+							t.Fatalf("denied reservation did not force a spill")
+						}
+					case kind == fault.KindDelay:
 						// A slow segment is not a failed one.
 						if err != nil {
 							t.Fatalf("delay fault failed the query: %v", err)
@@ -106,7 +129,7 @@ func TestChaosSweep(t *testing.T) {
 						if len(res.Rows) != wantRows {
 							t.Fatalf("rows = %d, want %d", len(res.Rows), wantRows)
 						}
-					case fault.KindTransient, fault.KindDrop:
+					case kind == fault.KindTransient || kind == fault.KindDrop:
 						// Once-armed transient faults disarm after firing, so
 						// the retry must succeed.
 						if err != nil {
@@ -131,9 +154,23 @@ func TestChaosSweep(t *testing.T) {
 						}
 					}
 					waitNoGoroutineLeak(t, before)
+					assertNoSpillLeak(t, spillBase)
 				})
 			}
 		}
+	}
+}
+
+// assertNoSpillLeak fails if any per-query spill directory survived the
+// query — the disk-side analogue of the goroutine-leak check.
+func assertNoSpillLeak(t *testing.T, base string) {
+	t.Helper()
+	ents, err := os.ReadDir(base)
+	if err != nil {
+		t.Fatalf("reading spill base dir: %v", err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("spill directories leaked after the query: %d left in %s", len(ents), base)
 	}
 }
 

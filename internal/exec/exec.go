@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"partopt/internal/fault"
+	"partopt/internal/mem"
 	"partopt/internal/part"
 	"partopt/internal/storage"
 	"partopt/internal/types"
@@ -36,6 +37,12 @@ type Runtime struct {
 	// Retry bounds coordinator-side re-execution of read-only queries that
 	// failed with a transient error. The zero value disables retry.
 	Retry RetryPolicy
+
+	// Gov, when non-nil, governs memory and admission: every query runs
+	// under a per-query budget drawn from it, memory-hungry operators spill
+	// when denied working memory, and queries queue when the concurrency
+	// bound is reached. Nil runs ungoverned (unlimited memory, no queue).
+	Gov *mem.Governor
 }
 
 // Segments returns the cluster width.
@@ -55,6 +62,8 @@ type Stats struct {
 	partsScanned map[string]map[part.OID]bool
 	rowsScanned  int64
 	rowsMoved    int64
+	spilledBytes int64
+	spillParts   int64
 }
 
 // NewStats returns an empty counter set.
@@ -83,6 +92,29 @@ func (s *Stats) noteRowsMoved(n int64) {
 	s.mu.Lock()
 	s.rowsMoved += n
 	s.mu.Unlock()
+}
+
+// noteSpill records one operator's spill activity: encoded bytes written to
+// disk and the number of spill partitions (or sort runs) produced.
+func (s *Stats) noteSpill(bytes, parts int64) {
+	s.mu.Lock()
+	s.spilledBytes += bytes
+	s.spillParts += parts
+	s.mu.Unlock()
+}
+
+// SpilledBytes returns the total bytes operators wrote to spill files.
+func (s *Stats) SpilledBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spilledBytes
+}
+
+// SpillParts returns the total spill partitions (and sort runs) created.
+func (s *Stats) SpillParts() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spillParts
 }
 
 // PartsScanned returns the number of distinct leaf partitions of the named
@@ -142,12 +174,13 @@ type Ctx struct {
 	goCtx  context.Context
 	done   <-chan struct{} // goCtx.Done(), cached for hot selects
 	polls  uint            // pollAbort call counter (Ctx is goroutine-local)
+	budget *mem.Budget     // query memory account, shared by all slice instances; nil = ungoverned
 }
 
 // CoordinatorSeg is the pseudo-segment id of the coordinator process.
 const CoordinatorSeg = -1
 
-func newCtx(rt *Runtime, seg int, params *Params, stats *Stats, goCtx context.Context) *Ctx {
+func newCtx(rt *Runtime, seg int, params *Params, stats *Stats, goCtx context.Context, budget *mem.Budget) *Ctx {
 	if params == nil {
 		params = &Params{}
 	}
@@ -155,11 +188,41 @@ func newCtx(rt *Runtime, seg int, params *Params, stats *Stats, goCtx context.Co
 		goCtx = context.Background()
 	}
 	return &Ctx{Rt: rt, Seg: seg, Params: params, Stats: stats, boxes: map[int]*oidBox{},
-		goCtx: goCtx, done: goCtx.Done()}
+		goCtx: goCtx, done: goCtx.Done(), budget: budget}
 }
 
 // Context returns the query's lifecycle context, for operators that block.
 func (c *Ctx) Context() context.Context { return c.goCtx }
+
+// Budget exposes the query's memory account (nil when ungoverned) so
+// spilling operators can open spill files in the query's private directory.
+func (c *Ctx) Budget() *mem.Budget { return c.budget }
+
+// reserve asks the budget for n bytes of working memory. A denial means
+// "spill"; ungoverned contexts always grant.
+func (c *Ctx) reserve(n int64) error { return c.budget.Reserve(c.goCtx, c.Seg, n) }
+
+// reserveHard reserves an operator's irreducible working set; failure is a
+// final out-of-memory error, not a spill request.
+func (c *Ctx) reserveHard(n int64) error { return c.budget.ReserveHard(c.goCtx, c.Seg, n) }
+
+// release returns n reserved bytes.
+func (c *Ctx) release(n int64) { c.budget.Release(n) }
+
+// accountRow attributes one motion-buffered row to the query (no denial;
+// raises pressure so spillable operators yield memory sooner).
+func (c *Ctx) accountRow(row types.Row) {
+	if c.budget != nil {
+		c.budget.Account(mem.RowBytes(row))
+	}
+}
+
+// releaseRow undoes accountRow once the row leaves the motion buffer.
+func (c *Ctx) releaseRow(row types.Row) {
+	if c.budget != nil {
+		c.budget.Release(mem.RowBytes(row))
+	}
+}
 
 // pollAbort samples the query context for cancellation. Leaf operators call
 // it per produced row; it only touches the context once every

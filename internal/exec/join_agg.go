@@ -3,11 +3,19 @@ package exec
 import (
 	"errors"
 	"fmt"
+	"io"
 
 	"partopt/internal/expr"
+	"partopt/internal/mem"
 	"partopt/internal/plan"
 	"partopt/internal/types"
 )
+
+// spillFanout is the number of disk partitions a spilling hash operator
+// fans its input into. With the budget-denial threshold at W bytes, one
+// spill pass handles inputs up to roughly W × spillFanout; inputs beyond
+// that still complete because partition loads use hard reservations.
+const spillFanout = 8
 
 // ---------------------------------------------------------------- hash join
 
@@ -15,6 +23,15 @@ import (
 // execution-order sense) into a hash table, then streams the probe child.
 // Inner joins emit buildRow ++ probeRow; semi joins emit each probe row at
 // most once.
+//
+// The build table charges the query budget row by row. When a reservation
+// is denied the operator switches to a Grace-style spill: the rows hashed
+// so far, and everything after them, land in spillFanout disk partitions by
+// build-key hash; the probe side is then partitioned the same way and the
+// join proceeds partition-at-a-time, loading one build partition (a hard
+// reservation — the algorithm's irreducible working set) and streaming the
+// matching probe partition through it. Key hashes agree across sides, so a
+// probe row can only match rows in its own partition.
 type hashJoinOp struct {
 	n     *plan.HashJoin
 	build Operator
@@ -24,7 +41,17 @@ type hashJoinOp struct {
 	probeLayout expr.Layout
 	outLayout   expr.Layout
 
-	table map[uint64][]types.Row // hash(build keys) → build rows
+	table      map[uint64][]types.Row // hash(build keys) → build rows
+	tableBytes int64                  // bytes reserved for the resident table
+
+	spilled    bool
+	buildParts []*mem.SpillWriter
+	probeParts []*mem.SpillWriter
+	part       int              // next partition to load
+	partReader *mem.SpillReader // probe rows of the loaded partition
+
+	buildOpen bool
+	probeOpen bool
 
 	// Streaming state: pending matches for the current probe row.
 	curProbe types.Row
@@ -32,16 +59,29 @@ type hashJoinOp struct {
 	mi       int
 }
 
-func (j *hashJoinOp) Open(ctx *Ctx) error {
+func (j *hashJoinOp) Open(ctx *Ctx) (err error) {
 	j.buildLayout = j.n.Build.Layout()
 	j.probeLayout = j.n.Probe.Layout()
 	j.outLayout = j.n.Layout()
 	j.table = map[uint64][]types.Row{}
+	j.tableBytes = 0
+	j.spilled = false
+	j.buildParts, j.probeParts = nil, nil
+	j.part, j.partReader = 0, nil
 	j.curProbe, j.matches, j.mi = nil, nil, 0
+	// A failed Open tears the operator down itself: the executor only
+	// closes operators whose Open succeeded, and an abort must not leak the
+	// hash table, spill files, or running children.
+	defer func() {
+		if err != nil {
+			j.abort(ctx)
+		}
+	}()
 
 	if err := j.build.Open(ctx); err != nil {
 		return err
 	}
+	j.buildOpen = true
 	for {
 		row, err := j.build.Next(ctx)
 		if errors.Is(err, errEOF) {
@@ -57,12 +97,200 @@ func (j *hashJoinOp) Open(ctx *Ctx) error {
 		if null {
 			continue // NULL keys never join
 		}
-		j.table[h] = append(j.table[h], row)
+		if !j.spilled {
+			rb := mem.RowBytes(row)
+			if ctx.reserve(rb) == nil {
+				j.tableBytes += rb
+				j.table[h] = append(j.table[h], row)
+				continue
+			}
+			if err := j.spillResidentTable(ctx); err != nil {
+				return err
+			}
+		}
+		if err := j.buildParts[int(h%spillFanout)].Write(row); err != nil {
+			return err
+		}
 	}
 	if err := j.build.Close(ctx); err != nil {
+		j.buildOpen = false
 		return err
 	}
-	return j.probe.Open(ctx)
+	j.buildOpen = false
+
+	if err := j.probe.Open(ctx); err != nil {
+		return err
+	}
+	j.probeOpen = true
+	if !j.spilled {
+		return nil // stream the probe side directly in Next
+	}
+	// Spilled: partition the probe side the same way, then join
+	// partition-at-a-time in Next.
+	for {
+		row, err := j.probe.Next(ctx)
+		if errors.Is(err, errEOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		h, null, err := j.keyHash(j.n.ProbeKeys, j.probeLayout, row, ctx)
+		if err != nil {
+			return err
+		}
+		if null {
+			continue // NULL keys never join
+		}
+		if err := j.probeParts[int(h%spillFanout)].Write(row); err != nil {
+			return err
+		}
+	}
+	if err := j.probe.Close(ctx); err != nil {
+		j.probeOpen = false
+		return err
+	}
+	j.probeOpen = false
+	if ctx.Stats != nil {
+		var bytes, parts int64
+		for i := 0; i < spillFanout; i++ {
+			bytes += j.buildParts[i].Bytes() + j.probeParts[i].Bytes()
+			if j.buildParts[i].Rows() > 0 || j.probeParts[i].Rows() > 0 {
+				parts++
+			}
+		}
+		ctx.Stats.noteSpill(bytes, parts)
+	}
+	return nil
+}
+
+// spillResidentTable switches to Grace mode: the rows hashed so far move to
+// their disk partitions and their reservation is returned.
+func (j *hashJoinOp) spillResidentTable(ctx *Ctx) error {
+	bp, err := newSpillParts(ctx, "join-build")
+	if err != nil {
+		return err
+	}
+	pp, err := newSpillParts(ctx, "join-probe")
+	if err != nil {
+		for _, w := range bp {
+			w.Remove()
+		}
+		return err
+	}
+	j.buildParts, j.probeParts = bp, pp
+	for h, rows := range j.table {
+		w := j.buildParts[int(h%spillFanout)]
+		for _, row := range rows {
+			if err := w.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	ctx.release(j.tableBytes)
+	j.tableBytes = 0
+	j.table = nil
+	j.spilled = true
+	return nil
+}
+
+// newSpillParts opens one spill file per partition in the query's budget
+// directory.
+func newSpillParts(ctx *Ctx, name string) ([]*mem.SpillWriter, error) {
+	parts := make([]*mem.SpillWriter, spillFanout)
+	for i := range parts {
+		w, err := ctx.Budget().NewSpillWriter(fmt.Sprintf("%s-p%d-*", name, i))
+		if err != nil {
+			for _, p := range parts {
+				p.Remove()
+			}
+			return nil, err
+		}
+		parts[i] = w
+	}
+	return parts, nil
+}
+
+// loadPartition rebuilds the hash table from one build partition and opens
+// the matching probe partition for streaming. The partition is the join's
+// irreducible working set, so its rows use hard reservations: denial is a
+// final out-of-memory error.
+func (j *hashJoinOp) loadPartition(ctx *Ctx, p int) error {
+	r, err := j.buildParts[p].Reader()
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	j.table = map[uint64][]types.Row{}
+	for {
+		row, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		rb := mem.RowBytes(row)
+		if err := ctx.reserveHard(rb); err != nil {
+			return err
+		}
+		j.tableBytes += rb
+		h, _, err := j.keyHash(j.n.BuildKeys, j.buildLayout, row, ctx)
+		if err != nil {
+			return err
+		}
+		j.table[h] = append(j.table[h], row)
+	}
+	pr, err := j.probeParts[p].Reader()
+	if err != nil {
+		return err
+	}
+	j.partReader = pr
+	return nil
+}
+
+// finishPartition releases the loaded partition's table and deletes both
+// spill files — partitions are reclaimed as the join advances, not at the
+// end.
+func (j *hashJoinOp) finishPartition(ctx *Ctx, p int) {
+	if j.partReader != nil {
+		j.partReader.Close()
+		j.partReader = nil
+	}
+	j.buildParts[p].Remove()
+	j.probeParts[p].Remove()
+	ctx.release(j.tableBytes)
+	j.tableBytes = 0
+	j.table = nil
+}
+
+// nextProbe yields the next probe row: straight from the probe child when
+// the build side fit in memory, or from the current probe partition —
+// advancing (and reclaiming) partitions as they drain — when spilled.
+func (j *hashJoinOp) nextProbe(ctx *Ctx) (types.Row, error) {
+	if !j.spilled {
+		return j.probe.Next(ctx)
+	}
+	for {
+		if err := ctx.pollAbort(); err != nil {
+			return nil, err
+		}
+		if j.partReader == nil {
+			if j.part >= spillFanout {
+				return nil, errEOF
+			}
+			if err := j.loadPartition(ctx, j.part); err != nil {
+				return nil, err
+			}
+		}
+		row, err := j.partReader.Next()
+		if err == io.EOF {
+			j.finishPartition(ctx, j.part)
+			j.part++
+			continue
+		}
+		return row, err
+	}
 }
 
 func (j *hashJoinOp) keyHash(keys []expr.Expr, layout expr.Layout, row types.Row, ctx *Ctx) (uint64, bool, error) {
@@ -143,7 +371,7 @@ func (j *hashJoinOp) Next(ctx *Ctx) (types.Row, error) {
 			return joined, nil
 		}
 		// Fetch the next probe row.
-		probe, err := j.probe.Next(ctx)
+		probe, err := j.nextProbe(ctx)
 		if err != nil {
 			return nil, err // includes EOF
 		}
@@ -168,9 +396,55 @@ func (j *hashJoinOp) Next(ctx *Ctx) (types.Row, error) {
 	}
 }
 
-func (j *hashJoinOp) Close(ctx *Ctx) error {
+// cleanup releases every resource the join holds — hash table reservation,
+// spill files, the partition reader. Idempotent, so abort paths and normal
+// Close can share it.
+func (j *hashJoinOp) cleanup(ctx *Ctx) {
+	if j.partReader != nil {
+		j.partReader.Close()
+		j.partReader = nil
+	}
+	for _, w := range j.buildParts {
+		w.Remove()
+	}
+	for _, w := range j.probeParts {
+		w.Remove()
+	}
+	j.buildParts, j.probeParts = nil, nil
+	ctx.release(j.tableBytes)
+	j.tableBytes = 0
 	j.table = nil
-	return j.probe.Close(ctx)
+	j.curProbe, j.matches = nil, nil
+}
+
+// abort is the failed-Open teardown: children that opened are closed (their
+// errors are secondary to the one being returned) and resources released.
+func (j *hashJoinOp) abort(ctx *Ctx) {
+	if j.probeOpen {
+		j.probe.Close(ctx)
+		j.probeOpen = false
+	}
+	if j.buildOpen {
+		j.build.Close(ctx)
+		j.buildOpen = false
+	}
+	j.cleanup(ctx)
+}
+
+func (j *hashJoinOp) Close(ctx *Ctx) error {
+	var firstErr error
+	if j.probeOpen {
+		firstErr = j.probe.Close(ctx)
+		j.probeOpen = false
+	}
+	if j.buildOpen {
+		if err := j.build.Close(ctx); firstErr == nil {
+			firstErr = err
+		}
+		j.buildOpen = false
+	}
+	j.cleanup(ctx)
+	return firstErr
 }
 
 // ---------------------------------------------------------------- hash agg
@@ -187,27 +461,55 @@ type aggState struct {
 
 // hashAggOp groups its input and computes aggregate functions. With no
 // grouping columns it emits exactly one row.
+//
+// Each new group charges the budget for its aggregation state. When the
+// charge is denied the operator spills: input rows whose group is not
+// already resident are written — raw — to spillFanout disk partitions by
+// group hash, while resident groups keep pre-aggregating in memory. Rows of
+// one group all land in the same partition (and only groups absent from the
+// resident table ever spill), so after the resident groups are emitted each
+// partition is re-aggregated independently with hard reservations.
 type hashAggOp struct {
 	n      *plan.HashAgg
 	child  Operator
 	layout expr.Layout
 
-	groups map[uint64][]*aggState
-	order  []*aggState // emission order (insertion order)
-	pos    int
-	done   bool
+	groups   map[uint64][]*aggState
+	order    []*aggState // emission order (insertion order)
+	pos      int
+	reserved int64
+
+	spilled bool
+	parts   []*mem.SpillWriter
+	part    int // next partition to re-aggregate
+
+	childOpen bool
 }
 
-func (a *hashAggOp) Open(ctx *Ctx) error {
+// aggStateBytes estimates one group's aggregation-state footprint.
+func aggStateBytes(groupVals types.Row, naggs int) int64 {
+	return mem.RowBytes(groupVals) + 200 + 48*int64(naggs)
+}
+
+func (a *hashAggOp) Open(ctx *Ctx) (err error) {
 	a.layout = a.n.Child.Layout()
 	a.groups = map[uint64][]*aggState{}
 	a.order = nil
 	a.pos = 0
-	a.done = false
+	a.reserved = 0
+	a.spilled = false
+	a.parts = nil
+	a.part = 0
+	defer func() {
+		if err != nil {
+			a.abort(ctx)
+		}
+	}()
 
 	if err := a.child.Open(ctx); err != nil {
 		return err
 	}
+	a.childOpen = true
 	for {
 		row, err := a.child.Next(ctx)
 		if errors.Is(err, errEOF) {
@@ -216,16 +518,28 @@ func (a *hashAggOp) Open(ctx *Ctx) error {
 		if err != nil {
 			return err
 		}
-		if err := a.accumulate(row, ctx); err != nil {
+		if err := a.accumulate(row, ctx, false); err != nil {
 			return err
 		}
 	}
 	if err := a.child.Close(ctx); err != nil {
+		a.childOpen = false
 		return err
 	}
+	a.childOpen = false
 	// Scalar aggregation over empty input still yields one row.
-	if len(a.n.Groups) == 0 && len(a.order) == 0 {
+	if len(a.n.Groups) == 0 && len(a.order) == 0 && !a.spilled {
 		a.order = append(a.order, a.newState(nil))
+	}
+	if a.spilled && ctx.Stats != nil {
+		var bytes, parts int64
+		for _, w := range a.parts {
+			bytes += w.Bytes()
+			if w.Rows() > 0 {
+				parts++
+			}
+		}
+		ctx.Stats.noteSpill(bytes, parts)
 	}
 	return nil
 }
@@ -243,7 +557,10 @@ func (a *hashAggOp) newState(groupVals types.Row) *aggState {
 	}
 }
 
-func (a *hashAggOp) accumulate(row types.Row, ctx *Ctx) error {
+// accumulate folds one input row into its group. hard marks the
+// partition-re-aggregation pass, where new groups are the irreducible
+// working set (hard reservation, no further spilling).
+func (a *hashAggOp) accumulate(row types.Row, ctx *Ctx, hard bool) error {
 	env := &expr.Env{Layout: a.layout, Row: row, Params: ctx.Params.Vals}
 	groupVals := make(types.Row, len(a.n.Groups))
 	h := types.HashSeed
@@ -270,6 +587,27 @@ func (a *hashAggOp) accumulate(row types.Row, ctx *Ctx) error {
 		}
 	}
 	if st == nil {
+		sb := aggStateBytes(groupVals, len(a.n.Aggs))
+		if hard {
+			if err := ctx.reserveHard(sb); err != nil {
+				return err
+			}
+		} else {
+			if a.spilled {
+				// Non-resident group under pressure: route the raw row to
+				// its partition for the re-aggregation pass.
+				return a.parts[int(h%spillFanout)].Write(row)
+			}
+			if ctx.reserve(sb) != nil {
+				var err error
+				if a.parts, err = newSpillParts(ctx, "agg"); err != nil {
+					return err
+				}
+				a.spilled = true
+				return a.parts[int(h%spillFanout)].Write(row)
+			}
+		}
+		a.reserved += sb
 		st = a.newState(groupVals)
 		a.groups[h] = append(a.groups[h], st)
 		a.order = append(a.order, st)
@@ -313,9 +651,59 @@ func (a *hashAggOp) accumulate(row types.Row, ctx *Ctx) error {
 	return nil
 }
 
+// loadNextPart re-aggregates spill partitions until one yields groups (or
+// all are drained). The previous batch's states are released first.
+func (a *hashAggOp) loadNextPart(ctx *Ctx) (bool, error) {
+	for a.part < len(a.parts) {
+		ctx.release(a.reserved)
+		a.reserved = 0
+		a.groups = map[uint64][]*aggState{}
+		a.order, a.pos = nil, 0
+		w := a.parts[a.part]
+		r, err := w.Reader()
+		if err != nil {
+			return false, err
+		}
+		for {
+			row, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				r.Close()
+				return false, err
+			}
+			if err := ctx.pollAbort(); err != nil {
+				r.Close()
+				return false, err
+			}
+			if err := a.accumulate(row, ctx, true); err != nil {
+				r.Close()
+				return false, err
+			}
+		}
+		r.Close()
+		w.Remove()
+		a.part++
+		if len(a.order) > 0 {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
 func (a *hashAggOp) Next(ctx *Ctx) (types.Row, error) {
-	if a.pos >= len(a.order) {
-		return nil, errEOF
+	for a.pos >= len(a.order) {
+		if !a.spilled {
+			return nil, errEOF
+		}
+		more, err := a.loadNextPart(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if !more {
+			return nil, errEOF
+		}
 	}
 	st := a.order[a.pos]
 	a.pos++
@@ -357,7 +745,32 @@ func (a *hashAggOp) finalize(agg plan.AggSpec, st *aggState, i int) types.Datum 
 	panic(fmt.Sprintf("exec: unknown aggregate kind %d", agg.Kind))
 }
 
-func (a *hashAggOp) Close(*Ctx) error {
+// cleanup releases states, reservations and spill files. Idempotent.
+func (a *hashAggOp) cleanup(ctx *Ctx) {
+	for _, w := range a.parts {
+		w.Remove()
+	}
+	a.parts = nil
+	ctx.release(a.reserved)
+	a.reserved = 0
 	a.groups, a.order = nil, nil
-	return nil
+}
+
+// abort is the failed-Open teardown.
+func (a *hashAggOp) abort(ctx *Ctx) {
+	if a.childOpen {
+		a.child.Close(ctx)
+		a.childOpen = false
+	}
+	a.cleanup(ctx)
+}
+
+func (a *hashAggOp) Close(ctx *Ctx) error {
+	var firstErr error
+	if a.childOpen {
+		firstErr = a.child.Close(ctx)
+		a.childOpen = false
+	}
+	a.cleanup(ctx)
+	return firstErr
 }

@@ -91,6 +91,11 @@ func (ex *exchange) sendTo(ctx *Ctx, seg int, row types.Row) error {
 	if err := ctx.hitFault(fault.MotionSend); err != nil {
 		return err
 	}
+	// Rows sitting in fan-in channels are query memory like any other: they
+	// are accounted against the budget while buffered (released by the
+	// receiver) so a wide redistribute can't hide queued rows from the
+	// governor. Accounting never denies — the channel buffer bounds it.
+	ctx.accountRow(row)
 	select {
 	case ex.chans[seg] <- row:
 		if ctx.Stats != nil {
@@ -98,6 +103,7 @@ func (ex *exchange) sendTo(ctx *Ctx, seg int, row types.Row) error {
 		}
 		return nil
 	case <-ctx.done:
+		ctx.releaseRow(row)
 		return errQueryAborted
 	}
 }
@@ -127,6 +133,7 @@ func (r *motionRecvOp) Next(ctx *Ctx) (types.Row, error) {
 		if !ok {
 			return nil, errEOF
 		}
+		ctx.releaseRow(row)
 		return row, nil
 	case <-ctx.done:
 		return nil, errQueryAborted

@@ -365,6 +365,7 @@ func (a *appendOp) Next(ctx *Ctx) (types.Row, error) {
 
 func (a *appendOp) Close(ctx *Ctx) error {
 	if a.open && a.idx < len(a.kids) {
+		a.open = false
 		return a.kids[a.idx].Close(ctx)
 	}
 	return nil

@@ -179,6 +179,13 @@ func RunIntoCtx(ctx context.Context, rt *Runtime, root plan.Node, params *Params
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// Admission control: under a bounded governor the query waits here for
+	// an execution slot. Cancellation or a deadline aborts the queued query
+	// cleanly — it never held memory or started any slice.
+	if err := rt.Gov.Admit(ctx); err != nil {
+		return nil, err
+	}
+	defer rt.Gov.Leave()
 	attempts := rt.Retry.MaxAttempts
 	if attempts < 1 || hasDML(root) {
 		attempts = 1
@@ -272,6 +279,13 @@ func runAttempt(ctx context.Context, rt *Runtime, root plan.Node, params *Params
 	qctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(errQueryDone)
 
+	// One memory account per attempt, shared by every slice instance.
+	// Closing it is the backstop that returns every reserved byte and
+	// removes the query's spill directory even when an abort left operator
+	// teardown half-done.
+	budget := rt.Gov.NewBudget()
+	defer budget.Close()
+
 	// fail records one slice instance's failure and cancels the query, so
 	// siblings abort immediately instead of being discovered after wg.Wait.
 	errCh := make(chan error, 2*len(slices)*len(segs)+2)
@@ -309,7 +323,7 @@ func runAttempt(ctx context.Context, rt *Runtime, root plan.Node, params *Params
 					drainSubtreeMotions(sl.root, exchanges, seg, qctx.Done())
 					return
 				}
-				ectx := newCtx(rt, seg, params, stats, qctx)
+				ectx := newCtx(rt, seg, params, stats, qctx, budget)
 				op, err := buildOp(sl.root, exchanges)
 				if err != nil {
 					fail(seg, slice, opName(sl.root), err)
@@ -359,7 +373,7 @@ func runAttempt(ctx context.Context, rt *Runtime, root plan.Node, params *Params
 		if err := rt.Faults.Hit(qctx, fault.SliceStart, CoordinatorSeg); err != nil {
 			return err
 		}
-		cctx := newCtx(rt, CoordinatorSeg, params, stats, qctx)
+		cctx := newCtx(rt, CoordinatorSeg, params, stats, qctx, budget)
 		op, err := buildOp(root, exchanges)
 		if err != nil {
 			return err
@@ -442,7 +456,9 @@ func drainSubtreeMotions(root plan.Node, exch map[*plan.Motion]*exchange, seg in
 // the harness unit tests use to exercise individual operators.
 func RunLocal(rt *Runtime, root plan.Node, seg int, params *Params) (*Result, error) {
 	stats := NewStats()
-	ctx := newCtx(rt, seg, params, stats, context.Background())
+	budget := rt.Gov.NewBudget()
+	defer budget.Close()
+	ctx := newCtx(rt, seg, params, stats, context.Background(), budget)
 	op, err := buildOp(root, nil)
 	if err != nil {
 		return nil, err

@@ -36,10 +36,15 @@ const (
 	MotionSend Point = "exec.motion.send"
 	// StorageScan fires per ScanLeaf call in the storage layer.
 	StorageScan Point = "storage.scan.leaf"
+	// MemReserve fires per memory reservation a query budget evaluates.
+	// Error-kind rules simulate memory pressure: the reservation is denied,
+	// so spillable operators must spill and non-spillable reservations must
+	// surface a structured out-of-memory error.
+	MemReserve Point = "mem.reserve"
 )
 
 // Points lists every named fault point wired into the engine.
-func Points() []Point { return []Point{SliceStart, OpNext, MotionSend, StorageScan} }
+func Points() []Point { return []Point{SliceStart, OpNext, MotionSend, StorageScan, MemReserve} }
 
 // Kind is the failure mode a rule injects.
 type Kind int

@@ -1,0 +1,321 @@
+// Package mem is the executor's resource governor: queries run against
+// byte budgets instead of growing unchecked. A Governor carries the
+// engine-wide policy — a global memory budget, a per-query working-memory
+// threshold, and an admission semaphore bounding concurrently executing
+// queries — and hands each query a Budget.
+//
+// The acquire path has three outcomes, mirroring how MPP engines treat
+// memory as a first-class resource:
+//
+//   - Reserve grants when the query is within its working-memory share.
+//   - A denied Reserve tells a spillable operator (hash join, hash agg,
+//     sort) to move its working set to disk and try again later.
+//   - ReserveHard covers the irreducible working set of a spill algorithm
+//     (one Grace partition, one sorted-run head per run); it bypasses the
+//     per-query threshold but still honours the global budget, and its
+//     failure is a structured *OOMError — the query dies cleanly, the
+//     process never does.
+//
+// The fault point fault.MemReserve lets the chaos harness inject
+// artificial memory pressure: an error-kind rule denies the reservation it
+// matches, deterministically forcing the spill or OOM path.
+package mem
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"partopt/internal/fault"
+)
+
+// Config describes one engine's resource-governance policy.
+type Config struct {
+	// Total is the global executor memory budget in bytes shared by every
+	// concurrently running query. 0 means unlimited.
+	Total int64
+	// WorkMem is the per-query in-memory working-set threshold: a query
+	// whose tracked usage would exceed it gets reservation denials, which
+	// spillable operators answer by spilling. 0 derives Total/MaxConcurrent
+	// (the fair share), or Total when admission is unbounded, or unlimited
+	// when Total is also 0.
+	WorkMem int64
+	// MaxConcurrent bounds the number of queries executing at once; excess
+	// queries wait in a context-aware admission queue. 0 means unbounded.
+	MaxConcurrent int
+	// BaseDir hosts per-query spill directories. "" means os.TempDir().
+	BaseDir string
+	// Faults, when non-nil, is consulted at fault.MemReserve per
+	// reservation, letting tests inject deterministic memory pressure.
+	Faults *fault.Injector
+}
+
+// Governor enforces one engine's Config. A nil Governor is inert: budgets
+// derived from it are nil and grant everything.
+type Governor struct {
+	total   int64
+	workMem int64
+	baseDir string
+	faults  *fault.Injector
+	sem     chan struct{} // admission slots; nil = unbounded
+
+	mu   sync.Mutex
+	used int64 // bytes currently reserved across all budgets
+}
+
+// NewGovernor builds a governor from a config.
+func NewGovernor(cfg Config) *Governor {
+	g := &Governor{total: cfg.Total, workMem: cfg.WorkMem, baseDir: cfg.BaseDir, faults: cfg.Faults}
+	if g.workMem == 0 && g.total > 0 {
+		if cfg.MaxConcurrent > 0 {
+			g.workMem = g.total / int64(cfg.MaxConcurrent)
+		} else {
+			g.workMem = g.total
+		}
+	}
+	if cfg.MaxConcurrent > 0 {
+		g.sem = make(chan struct{}, cfg.MaxConcurrent)
+	}
+	return g
+}
+
+// SetFaults arms (or disarms) injection at fault.MemReserve. Call it before
+// queries run; it is not synchronized against in-flight reservations.
+func (g *Governor) SetFaults(in *fault.Injector) {
+	if g != nil {
+		g.faults = in
+	}
+}
+
+// Admit blocks until an execution slot is free or ctx ends. A queued query
+// whose context is cancelled (or whose deadline passes) leaves the queue
+// cleanly with the context's error.
+func (g *Governor) Admit(ctx context.Context) error {
+	if g == nil || g.sem == nil {
+		return nil
+	}
+	select {
+	case g.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case g.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Leave releases the slot taken by Admit.
+func (g *Governor) Leave() {
+	if g == nil || g.sem == nil {
+		return
+	}
+	<-g.sem
+}
+
+// Active reports how many admission slots are held.
+func (g *Governor) Active() int {
+	if g == nil || g.sem == nil {
+		return 0
+	}
+	return len(g.sem)
+}
+
+// Used reports the bytes currently reserved across every live budget.
+func (g *Governor) Used() int64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.used
+}
+
+// NewBudget opens a per-query budget. A nil governor yields a nil budget,
+// whose methods all grant and no-op.
+func (g *Governor) NewBudget() *Budget {
+	if g == nil {
+		return nil
+	}
+	return &Budget{gov: g}
+}
+
+// ErrOutOfMemory is the sentinel every *OOMError matches via errors.Is.
+var ErrOutOfMemory = errors.New("mem: out of memory")
+
+// OOMError is a structured reservation failure: which limit was hit, how
+// much was asked for, and how much was already in use.
+type OOMError struct {
+	Requested int64
+	QueryUsed int64
+	TotalUsed int64
+	Limit     int64
+	Scope     string // "query": work-mem exceeded (spillable callers spill); "engine": global budget exhausted
+	Cause     error  // non-nil when the denial was fault-injected
+}
+
+func (e *OOMError) Error() string {
+	if e.Cause != nil {
+		return fmt.Sprintf("mem: out of memory (injected): %v", e.Cause)
+	}
+	return fmt.Sprintf("mem: out of memory: %d B requested, %s budget at %d/%d B",
+		e.Requested, e.Scope, e.used(), e.Limit)
+}
+
+func (e *OOMError) used() int64 {
+	if e.Scope == "engine" {
+		return e.TotalUsed
+	}
+	return e.QueryUsed
+}
+
+// Unwrap exposes an injected cause (so fault transience survives wrapping).
+func (e *OOMError) Unwrap() error { return e.Cause }
+
+// Is matches the ErrOutOfMemory sentinel.
+func (e *OOMError) Is(target error) bool { return target == ErrOutOfMemory }
+
+// Budget is one query's memory account. It is shared by every slice
+// instance of the query, so all mutation goes through the governor's lock.
+// A nil budget grants everything and never spills — the ungoverned mode
+// every test without a Governor runs in.
+type Budget struct {
+	gov  *Governor
+	used int64 // guarded by gov.mu
+
+	dirMu sync.Mutex
+	dir   string // lazily created per-query spill directory
+}
+
+// Reserve asks for n more bytes of working memory. A non-nil error is a
+// denial (*OOMError): the caller should spill and retry, or propagate if it
+// cannot. seg names the reserving segment for fault matching.
+func (b *Budget) Reserve(ctx context.Context, seg int, n int64) error {
+	if b == nil {
+		return nil
+	}
+	g := b.gov
+	if err := g.faults.Hit(ctx, fault.MemReserve, seg); err != nil {
+		return &OOMError{Requested: n, Scope: "query", Cause: err}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.workMem > 0 && b.used+n > g.workMem {
+		return &OOMError{Requested: n, QueryUsed: b.used, TotalUsed: g.used, Limit: g.workMem, Scope: "query"}
+	}
+	if g.total > 0 && g.used+n > g.total {
+		return &OOMError{Requested: n, QueryUsed: b.used, TotalUsed: g.used, Limit: g.total, Scope: "engine"}
+	}
+	b.used += n
+	g.used += n
+	return nil
+}
+
+// ReserveHard reserves the irreducible working set of an operator that has
+// already spilled (or cannot spill at all): it bypasses the per-query
+// work-mem threshold but still honours the global budget. Its failure is
+// final — the query aborts with the returned *OOMError.
+func (b *Budget) ReserveHard(ctx context.Context, seg int, n int64) error {
+	if b == nil {
+		return nil
+	}
+	g := b.gov
+	if err := g.faults.Hit(ctx, fault.MemReserve, seg); err != nil {
+		return &OOMError{Requested: n, Scope: "engine", Cause: err}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.total > 0 && g.used+n > g.total {
+		return &OOMError{Requested: n, QueryUsed: b.used, TotalUsed: g.used, Limit: g.total, Scope: "engine"}
+	}
+	b.used += n
+	g.used += n
+	return nil
+}
+
+// Account attributes n bytes to the query without the possibility of
+// denial — for buffers that are bounded elsewhere and cannot spill, like
+// rows queued in motion channels. The usage still raises pressure: other
+// operators' Reserve calls see it and spill sooner.
+func (b *Budget) Account(n int64) {
+	if b == nil {
+		return
+	}
+	g := b.gov
+	g.mu.Lock()
+	b.used += n
+	g.used += n
+	g.mu.Unlock()
+}
+
+// Release returns n bytes to the budget.
+func (b *Budget) Release(n int64) {
+	if b == nil {
+		return
+	}
+	g := b.gov
+	g.mu.Lock()
+	if n > b.used {
+		n = b.used
+	}
+	b.used -= n
+	g.used -= n
+	g.mu.Unlock()
+}
+
+// Used reports the query's current tracked bytes.
+func (b *Budget) Used() int64 {
+	if b == nil {
+		return 0
+	}
+	b.gov.mu.Lock()
+	defer b.gov.mu.Unlock()
+	return b.used
+}
+
+// spillDir lazily creates the query's private spill directory.
+func (b *Budget) spillDir() (string, error) {
+	b.dirMu.Lock()
+	defer b.dirMu.Unlock()
+	if b.dir == "" {
+		base := b.gov.baseDir
+		if base == "" {
+			base = os.TempDir()
+		}
+		dir, err := os.MkdirTemp(base, "partopt-query-")
+		if err != nil {
+			return "", fmt.Errorf("mem: creating spill dir: %w", err)
+		}
+		b.dir = dir
+	}
+	return b.dir, nil
+}
+
+// Close ends the query's account: every tracked byte returns to the
+// governor and the spill directory — including any files an aborted
+// operator failed to delete — is removed. Safe on nil and safe to repeat.
+func (b *Budget) Close() error {
+	if b == nil {
+		return nil
+	}
+	g := b.gov
+	g.mu.Lock()
+	g.used -= b.used
+	if g.used < 0 {
+		g.used = 0
+	}
+	b.used = 0
+	g.mu.Unlock()
+	b.dirMu.Lock()
+	dir := b.dir
+	b.dir = ""
+	b.dirMu.Unlock()
+	if dir != "" {
+		return os.RemoveAll(dir)
+	}
+	return nil
+}

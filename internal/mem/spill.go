@@ -1,0 +1,198 @@
+package mem
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"partopt/internal/types"
+)
+
+// RowBytes estimates the in-memory footprint of a row: slice header plus a
+// per-datum charge plus string payloads. It deliberately over-counts a
+// little — budgets should trip before the process actually swells.
+func RowBytes(r types.Row) int64 {
+	n := int64(48) + int64(len(r))*40
+	for _, d := range r {
+		if d.Kind() == types.KindString {
+			n += int64(len(d.Str()))
+		}
+	}
+	return n
+}
+
+// SpillWriter streams rows into one spill file using a compact binary
+// framing: uvarint column count, then per datum a kind byte and a payload
+// (varint for ints/dates, 8 raw bytes for floats, one byte for bools,
+// uvarint-length-prefixed bytes for strings, nothing for NULL).
+type SpillWriter struct {
+	f       *os.File
+	w       *bufio.Writer
+	buf     []byte
+	path    string
+	bytes   int64
+	rows    int64
+	removed bool
+}
+
+// NewSpillWriter opens a spill file in the budget's private spill
+// directory. pattern names the operator for debuggability (e.g.
+// "join-build-p3-*").
+func (b *Budget) NewSpillWriter(pattern string) (*SpillWriter, error) {
+	dir, err := b.spillDir()
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, fmt.Errorf("mem: creating spill file: %w", err)
+	}
+	return &SpillWriter{f: f, w: bufio.NewWriter(f), path: f.Name()}, nil
+}
+
+// Write appends one row.
+func (sw *SpillWriter) Write(r types.Row) error {
+	buf := sw.buf[:0]
+	buf = binary.AppendUvarint(buf, uint64(len(r)))
+	for _, d := range r {
+		buf = append(buf, byte(d.Kind()))
+		switch d.Kind() {
+		case types.KindNull:
+		case types.KindInt, types.KindDate:
+			var v int64
+			if d.Kind() == types.KindDate {
+				v = d.Days()
+			} else {
+				v = d.Int()
+			}
+			buf = binary.AppendVarint(buf, v)
+		case types.KindFloat:
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(d.Float()))
+		case types.KindBool:
+			if d.Bool() {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		case types.KindString:
+			s := d.Str()
+			buf = binary.AppendUvarint(buf, uint64(len(s)))
+			buf = append(buf, s...)
+		default:
+			return fmt.Errorf("mem: cannot spill datum kind %s", d.Kind())
+		}
+	}
+	sw.buf = buf
+	if _, err := sw.w.Write(buf); err != nil {
+		return fmt.Errorf("mem: spill write: %w", err)
+	}
+	sw.bytes += int64(len(buf))
+	sw.rows++
+	return nil
+}
+
+// Bytes reports the encoded bytes written so far.
+func (sw *SpillWriter) Bytes() int64 { return sw.bytes }
+
+// Rows reports the rows written so far.
+func (sw *SpillWriter) Rows() int64 { return sw.rows }
+
+// Reader flushes pending writes and opens an independent read cursor over
+// the file. The cursor holds its own descriptor, so Remove may be called
+// while readers are still draining (the inode lives until they close).
+func (sw *SpillWriter) Reader() (*SpillReader, error) {
+	if err := sw.w.Flush(); err != nil {
+		return nil, fmt.Errorf("mem: spill flush: %w", err)
+	}
+	f, err := os.Open(sw.path)
+	if err != nil {
+		return nil, fmt.Errorf("mem: reopening spill file: %w", err)
+	}
+	return &SpillReader{f: f, r: bufio.NewReader(f)}, nil
+}
+
+// Remove closes and deletes the spill file. Idempotent.
+func (sw *SpillWriter) Remove() {
+	if sw == nil || sw.removed {
+		return
+	}
+	sw.removed = true
+	sw.f.Close()
+	os.Remove(sw.path)
+}
+
+// SpillReader iterates the rows of one spill file.
+type SpillReader struct {
+	f      *os.File
+	r      *bufio.Reader
+	closed bool
+}
+
+// Next decodes the next row, returning io.EOF cleanly at end of file.
+func (sr *SpillReader) Next() (types.Row, error) {
+	ncols, err := binary.ReadUvarint(sr.r)
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("mem: spill read: %w", err)
+	}
+	row := make(types.Row, ncols)
+	for i := range row {
+		kb, err := sr.r.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("mem: truncated spill row: %w", err)
+		}
+		switch types.Kind(kb) {
+		case types.KindNull:
+			row[i] = types.Null
+		case types.KindInt, types.KindDate:
+			v, err := binary.ReadVarint(sr.r)
+			if err != nil {
+				return nil, fmt.Errorf("mem: truncated spill row: %w", err)
+			}
+			if types.Kind(kb) == types.KindDate {
+				row[i] = types.NewDate(v)
+			} else {
+				row[i] = types.NewInt(v)
+			}
+		case types.KindFloat:
+			var raw [8]byte
+			if _, err := io.ReadFull(sr.r, raw[:]); err != nil {
+				return nil, fmt.Errorf("mem: truncated spill row: %w", err)
+			}
+			row[i] = types.NewFloat(math.Float64frombits(binary.BigEndian.Uint64(raw[:])))
+		case types.KindBool:
+			vb, err := sr.r.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("mem: truncated spill row: %w", err)
+			}
+			row[i] = types.NewBool(vb != 0)
+		case types.KindString:
+			ln, err := binary.ReadUvarint(sr.r)
+			if err != nil {
+				return nil, fmt.Errorf("mem: truncated spill row: %w", err)
+			}
+			sb := make([]byte, ln)
+			if _, err := io.ReadFull(sr.r, sb); err != nil {
+				return nil, fmt.Errorf("mem: truncated spill row: %w", err)
+			}
+			row[i] = types.NewString(string(sb))
+		default:
+			return nil, fmt.Errorf("mem: corrupt spill file: kind byte %d", kb)
+		}
+	}
+	return row, nil
+}
+
+// Close releases the read descriptor. Idempotent.
+func (sr *SpillReader) Close() {
+	if sr == nil || sr.closed {
+		return
+	}
+	sr.closed = true
+	sr.f.Close()
+}

@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"errors"
+	"os"
+	"sort"
+	"strconv"
+	"testing"
+
+	"partopt"
+)
+
+// Engine-level spill equivalence over the star schema: the same SQL run
+// with and without a work_mem budget must agree, and the budgeted run must
+// report spilling. PARTOPT_SPILL_BUDGET (bytes) overrides the default
+// threshold so CI can squeeze the whole workload through a tiny budget.
+
+func spillBudget(t *testing.T) int64 {
+	t.Helper()
+	budget := int64(16 << 10)
+	if s := os.Getenv("PARTOPT_SPILL_BUDGET"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad PARTOPT_SPILL_BUDGET %q", s)
+		}
+		budget = n
+	}
+	return budget
+}
+
+func sortByFirstInt(data [][]partopt.Value) {
+	sort.Slice(data, func(i, j int) bool { return data[i][0].Int() < data[j][0].Int() })
+}
+
+func TestStarWorkloadSpillEquivalence(t *testing.T) {
+	budget := spillBudget(t)
+	eng, err := partopt.New(4)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	cfg := DefaultStarConfig()
+	cfg.SalesPerDay = 10
+	if err := BuildStar(eng, cfg); err != nil {
+		t.Fatalf("BuildStar: %v", err)
+	}
+
+	queries := []struct {
+		name    string
+		sql     string
+		ordered bool // ORDER BY makes the full sequence comparable
+	}{
+		{"join-count", `SELECT count(*) FROM date_dim d, store_sales s WHERE d.date_id = s.date_id`, false},
+		{"groupby-agg", `SELECT date_id, count(*) AS n, sum(amount) AS total FROM store_sales GROUP BY date_id`, false},
+		{"orderby-sort", `SELECT date_id, quantity FROM store_sales ORDER BY date_id, quantity`, true},
+	}
+
+	// Golden answers before any budget is armed.
+	golden := map[string]*partopt.Rows{}
+	for _, q := range queries {
+		rows, err := eng.Query(q.sql)
+		if err != nil {
+			t.Fatalf("%s unbudgeted: %v", q.name, err)
+		}
+		golden[q.name] = rows
+	}
+
+	spillDir := t.TempDir()
+	eng.SetSpillDir(spillDir)
+	eng.SetWorkMem(budget)
+	for _, q := range queries {
+		t.Run(q.name, func(t *testing.T) {
+			rows, err := eng.Query(q.sql)
+			if err != nil {
+				t.Fatalf("budgeted: %v", err)
+			}
+			if rows.SpilledBytes == 0 || rows.SpillParts == 0 {
+				t.Fatalf("work_mem=%d did not spill (bytes=%d parts=%d)",
+					budget, rows.SpilledBytes, rows.SpillParts)
+			}
+			want, got := golden[q.name].Data, rows.Data
+			if len(got) != len(want) {
+				t.Fatalf("budgeted run: %d rows, want %d", len(got), len(want))
+			}
+			if !q.ordered {
+				sortByFirstInt(want)
+				sortByFirstInt(got)
+			}
+			for i := range got {
+				if len(got[i]) != len(want[i]) {
+					t.Fatalf("row %d: %d cols, want %d", i, len(got[i]), len(want[i]))
+				}
+				for c := range got[i] {
+					// valuesMatch tolerates float summation-order drift:
+					// spilled re-aggregation adds partial sums in a
+					// different order than the in-memory run.
+					if !valuesMatch(got[i][c], want[i][c]) {
+						t.Fatalf("row %d col %d diverged after spilling: got %v, want %v",
+							i, c, got[i][c], want[i][c])
+					}
+				}
+			}
+		})
+	}
+	ents, err := os.ReadDir(spillDir)
+	if err != nil {
+		t.Fatalf("reading spill dir: %v", err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("spill dir not cleaned up: %d entries left", len(ents))
+	}
+}
+
+// TestStarWorkloadSpillBudgetExhaustion starves the whole engine: spilling
+// alone cannot save a join whose partition reloads exceed the global cap,
+// so the query must fail with the exported ErrOutOfMemory — not a panic,
+// and not a hang.
+func TestStarWorkloadSpillBudgetExhaustion(t *testing.T) {
+	eng, err := partopt.New(2)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	cfg := DefaultStarConfig()
+	cfg.SalesPerDay = 10
+	if err := BuildStar(eng, cfg); err != nil {
+		t.Fatalf("BuildStar: %v", err)
+	}
+	spillDir := t.TempDir()
+	eng.SetSpillDir(spillDir)
+	eng.SetMemBudget(2048)
+	eng.SetWorkMem(256)
+	_, err = eng.Query(`SELECT count(*) FROM date_dim d, store_sales s WHERE d.date_id = s.date_id`)
+	if err == nil {
+		t.Fatalf("join under a 2KiB engine budget succeeded")
+	}
+	if !errors.Is(err, partopt.ErrOutOfMemory) {
+		t.Fatalf("error does not match partopt.ErrOutOfMemory: %v", err)
+	}
+	ents, err := os.ReadDir(spillDir)
+	if err != nil {
+		t.Fatalf("reading spill dir: %v", err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("failed query leaked %d spill entries", len(ents))
+	}
+}

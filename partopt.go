@@ -26,12 +26,18 @@ import (
 	"partopt/internal/exec"
 	"partopt/internal/legacy"
 	"partopt/internal/logical"
+	"partopt/internal/mem"
 	"partopt/internal/orca"
 	"partopt/internal/plan"
 	"partopt/internal/sql"
 	"partopt/internal/stats"
 	"partopt/internal/storage"
 )
+
+// ErrOutOfMemory matches (via errors.Is) the structured error a query
+// returns when a memory reservation that cannot be satisfied by spilling
+// exceeds the engine's budget.
+var ErrOutOfMemory = mem.ErrOutOfMemory
 
 // OptimizerKind selects which planner compiles queries.
 type OptimizerKind uint8
@@ -61,6 +67,7 @@ type Engine struct {
 	optimizer        OptimizerKind
 	disableSelection bool
 	segments         int
+	govCfg           mem.Config
 }
 
 // New creates an engine with the given number of segments.
@@ -90,6 +97,48 @@ func (e *Engine) Optimizer() OptimizerKind { return e.optimizer }
 // Orca optimizer (the paper's Figure 17 knob). The legacy planner's
 // equivalent knob is its dynamic-elimination flag, toggled the same way.
 func (e *Engine) SetPartitionSelection(enabled bool) { e.disableSelection = !enabled }
+
+// SetMemBudget caps the executor's total memory across all concurrent
+// queries, in bytes. A query whose irreducible working set would exceed it
+// fails with ErrOutOfMemory; working sets above the per-query threshold
+// (see SetWorkMem) spill to disk instead. 0 removes the cap. Call before
+// running queries — the governor is rebuilt, not adjusted in place.
+func (e *Engine) SetMemBudget(bytes int64) {
+	e.govCfg.Total = bytes
+	e.rebuildGovernor()
+}
+
+// SetWorkMem sets the per-query in-memory working-set threshold, in bytes:
+// above it, hash joins, aggregations and sorts spill to disk. 0 derives a
+// fair share of the total budget (or unlimited when there is no budget).
+func (e *Engine) SetWorkMem(bytes int64) {
+	e.govCfg.WorkMem = bytes
+	e.rebuildGovernor()
+}
+
+// SetMaxConcurrent bounds the queries executing at once; excess queries
+// wait in an admission queue (cancellation and deadlines abort queued
+// queries cleanly). 0 removes the bound.
+func (e *Engine) SetMaxConcurrent(n int) {
+	e.govCfg.MaxConcurrent = n
+	e.rebuildGovernor()
+}
+
+// SetSpillDir places operator spill files under dir ("" = the system temp
+// directory). Each query gets its own subdirectory, removed when the query
+// ends.
+func (e *Engine) SetSpillDir(dir string) {
+	e.govCfg.BaseDir = dir
+	e.rebuildGovernor()
+}
+
+func (e *Engine) rebuildGovernor() {
+	if e.govCfg == (mem.Config{}) {
+		e.rt.Gov = nil
+		return
+	}
+	e.rt.Gov = mem.NewGovernor(e.govCfg)
+}
 
 // Insert adds one row to a table.
 func (e *Engine) Insert(table string, vals ...Value) error {
@@ -174,7 +223,9 @@ type Rows struct {
 	PartsScanned map[string]int // table → distinct leaf partitions read
 	RowsScanned  int64
 	RowsMoved    int64
-	PlanSize     int // serialized plan bytes (the Figure 18 metric)
+	SpilledBytes int64 // bytes operators wrote to spill files
+	SpillParts   int64 // spill partitions and sort runs created
+	PlanSize     int   // serialized plan bytes (the Figure 18 metric)
 }
 
 // Query parses, plans and executes a SELECT, binding args to $1, $2, ...
@@ -344,6 +395,8 @@ func (e *Engine) run(ctx context.Context, bound *sql.Bound, args []Value) (*Rows
 	fill := func() {
 		out.RowsScanned = stats.RowsScanned()
 		out.RowsMoved = stats.RowsMoved()
+		out.SpilledBytes = stats.SpilledBytes()
+		out.SpillParts = stats.SpillParts()
 		for _, tname := range stats.TablesScanned() {
 			out.PartsScanned[tname] = stats.PartsScanned(tname)
 		}
