@@ -15,7 +15,18 @@
 //	\selection on|off         toggle partition selection
 //	\index <table> <column>   create a secondary index
 //	\tables                   list tables with partition counts
+//	\metrics                  print the engine-wide metrics registry
 //	\q                        quit
+//
+// EXPLAIN ANALYZE <select> executes the query and prints its plan annotated
+// with per-operator actuals, including the paper's "Partitions selected:
+// N (out of M)" line. The --explain-analyze flag appends the same tree to
+// every query result; --metrics prints the metrics registry when the shell
+// exits.
+//
+// Exit codes: 130 when a query (or the prompt) is interrupted by SIGINT,
+// 124 when a query exceeds the --timeout deadline. Both paths report the
+// same partial-statistics block before exiting.
 package main
 
 import (
@@ -56,9 +67,18 @@ func (s *session) interrupt() {
 	s.mu.Unlock()
 	if c == nil {
 		fmt.Println("\ninterrupted")
-		os.Exit(130)
+		shellExit(130)
 	}
 	c()
+}
+
+// atExit runs before any deliberate shell exit (normal or via exit code) —
+// it prints the metrics registry when --metrics was given.
+var atExit = func() {}
+
+func shellExit(code int) {
+	atExit()
+	os.Exit(code)
 }
 
 func main() {
@@ -68,6 +88,8 @@ func main() {
 	memBudget := flag.String("mem-budget", "", "total executor memory budget, e.g. 64M (empty = unlimited)")
 	workMem := flag.String("work-mem", "", "per-query spill threshold, e.g. 256K (empty = fair share of the budget)")
 	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrently executing queries (0 = unbounded)")
+	explainAnalyze := flag.Bool("explain-analyze", false, "print the EXPLAIN ANALYZE tree after every query")
+	metrics := flag.Bool("metrics", false, "print the engine metrics registry when the shell exits")
 	flag.Parse()
 
 	eng, err := partopt.New(*segments)
@@ -90,6 +112,10 @@ func main() {
 	fmt.Printf("loading star schema (%d segments, %d months per fact)...\n", *segments, cfg.Months)
 	fatalIf(workload.BuildStar(eng, cfg))
 	fmt.Println("ready. \\q quits, \\tables lists tables, \\optimizer orca|planner switches.")
+	if *metrics {
+		atExit = func() { fmt.Print(eng.Metrics()) }
+		defer atExit() // the normal-return paths (\q, EOF) report too
+	}
 
 	ses := &session{}
 	sigCh := make(chan os.Signal, 1)
@@ -134,6 +160,8 @@ func main() {
 				n, _ := eng.NumPartitions(name)
 				fmt.Printf("  %-20s %3d partition(s)\n", name, n)
 			}
+		case line == `\metrics`:
+			fmt.Print(eng.Metrics())
 		case strings.HasPrefix(line, `\optimizer`):
 			arg := strings.TrimSpace(strings.TrimPrefix(line, `\optimizer`))
 			switch arg {
@@ -166,6 +194,19 @@ func main() {
 			default:
 				fmt.Println("usage: \\selection on|off")
 			}
+		case strings.HasPrefix(strings.ToUpper(line), "EXPLAIN ANALYZE "):
+			ctx, stop := queryCtx()
+			start := time.Now()
+			out, err := eng.ExplainAnalyzeCtx(ctx, line[len("EXPLAIN ANALYZE "):])
+			stop()
+			if err != nil {
+				if out != "" {
+					fmt.Print(out) // partial actuals gathered before the abort
+				}
+				reportQueryError(err, nil, time.Since(start))
+				continue
+			}
+			fmt.Print(out)
 		case strings.HasPrefix(strings.ToUpper(line), "EXPLAIN "):
 			out, err := eng.Explain(line[len("EXPLAIN "):])
 			if err != nil {
@@ -185,21 +226,26 @@ func main() {
 			fmt.Printf("UPDATE %d  (%v)\n", n, time.Since(start).Round(time.Microsecond))
 		default:
 			ctx, stop := queryCtx()
-			runSelect(ctx, eng, line)
+			runSelect(ctx, eng, line, *explainAnalyze)
 			stop()
 		}
 	}
 }
 
-// reportQueryError prints a failed statement's outcome, including partial
-// stats when available. A cancelled query (SIGINT) terminates the shell
-// with a non-zero status.
+// reportQueryError prints a failed statement's outcome. SIGINT cancellation
+// and --timeout expiry report the same partial-statistics block — the work
+// the cluster did before the abort — and terminate the shell with distinct
+// exit codes (130 for interrupt, 124 for timeout, matching the timeout(1)
+// convention). Other errors keep the shell running.
 func reportQueryError(err error, partial *partopt.Rows, elapsed time.Duration) {
+	exit := 0
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		fmt.Printf("error: query timed out after %v\n", elapsed.Round(time.Millisecond))
+		exit = 124
 	case errors.Is(err, context.Canceled):
 		fmt.Printf("canceled after %v\n", elapsed.Round(time.Millisecond))
+		exit = 130
 	default:
 		fmt.Println("error:", err)
 	}
@@ -210,15 +256,18 @@ func reportQueryError(err error, partial *partopt.Rows, elapsed time.Duration) {
 		}
 		fmt.Println()
 	}
-	if errors.Is(err, context.Canceled) {
-		os.Exit(130)
+	if exit != 0 {
+		shellExit(exit)
 	}
 }
 
-func runSelect(ctx context.Context, eng *partopt.Engine, query string) {
+func runSelect(ctx context.Context, eng *partopt.Engine, query string, explainAnalyze bool) {
 	start := time.Now()
 	rows, err := eng.QueryCtx(ctx, query)
 	if err != nil {
+		if explainAnalyze && rows != nil && rows.ExplainAnalyze != "" {
+			fmt.Print(rows.ExplainAnalyze) // partial actuals before the abort
+		}
 		reportQueryError(err, rows, time.Since(start))
 		return
 	}
@@ -246,6 +295,9 @@ func runSelect(ctx context.Context, eng *partopt.Engine, query string) {
 		fmt.Printf(", spilled %s in %d part(s)", fmtSize(rows.SpilledBytes), rows.SpillParts)
 	}
 	fmt.Println(")")
+	if explainAnalyze {
+		fmt.Print(rows.ExplainAnalyze)
+	}
 }
 
 // parseSize parses a byte count with an optional K/M/G suffix (binary

@@ -19,7 +19,9 @@ import (
 
 	"partopt/internal/fault"
 	"partopt/internal/mem"
+	"partopt/internal/obs"
 	"partopt/internal/part"
+	"partopt/internal/plan"
 	"partopt/internal/storage"
 	"partopt/internal/types"
 )
@@ -43,6 +45,14 @@ type Runtime struct {
 	// when denied working memory, and queries queue when the concurrency
 	// bound is reached. Nil runs ungoverned (unlimited memory, no queue).
 	Gov *mem.Governor
+
+	// Obs, when non-nil, receives engine-wide metrics (query counts and
+	// latency, spill volume, motion traffic). Nil disables the registry;
+	// per-query OpStats are recorded regardless.
+	Obs *obs.Registry
+
+	obsOnce sync.Once
+	om      *runtimeMetrics
 }
 
 // Segments returns the cluster width.
@@ -64,6 +74,14 @@ type Stats struct {
 	rowsMoved    int64
 	spilledBytes int64
 	spillParts   int64
+
+	// ops is the per-operator runtime record, keyed by plan node. Keying by
+	// node identity (not a numeric id) keeps the trees of a multi-plan
+	// execution — the legacy planner's prep plans plus its main plan share
+	// one Stats — disjoint for free, and makes retry attempts of the same
+	// plan accumulate, so "loops" counts every instance that ever opened the
+	// operator.
+	ops map[plan.Node]*opAccum
 }
 
 // NewStats returns an empty counter set.
@@ -175,6 +193,12 @@ type Ctx struct {
 	done   <-chan struct{} // goCtx.Done(), cached for hot selects
 	polls  uint            // pollAbort call counter (Ctx is goroutine-local)
 	budget *mem.Budget     // query memory account, shared by all slice instances; nil = ungoverned
+
+	// Per-operator instrumentation (see opstats.go). frames and cur are
+	// goroutine-local; finishOpStats flushes them into Stats exactly once.
+	frames  map[plan.Node]*opFrame
+	cur     *opFrame
+	flushed bool
 }
 
 // CoordinatorSeg is the pseudo-segment id of the coordinator process.
@@ -188,7 +212,8 @@ func newCtx(rt *Runtime, seg int, params *Params, stats *Stats, goCtx context.Co
 		goCtx = context.Background()
 	}
 	return &Ctx{Rt: rt, Seg: seg, Params: params, Stats: stats, boxes: map[int]*oidBox{},
-		goCtx: goCtx, done: goCtx.Done(), budget: budget}
+		goCtx: goCtx, done: goCtx.Done(), budget: budget,
+		frames: map[plan.Node]*opFrame{}}
 }
 
 // Context returns the query's lifecycle context, for operators that block.
@@ -199,15 +224,31 @@ func (c *Ctx) Context() context.Context { return c.goCtx }
 func (c *Ctx) Budget() *mem.Budget { return c.budget }
 
 // reserve asks the budget for n bytes of working memory. A denial means
-// "spill"; ungoverned contexts always grant.
-func (c *Ctx) reserve(n int64) error { return c.budget.Reserve(c.goCtx, c.Seg, n) }
+// "spill"; ungoverned contexts always grant. Granted bytes are attributed
+// to the running operator's frame for peak-memory accounting.
+func (c *Ctx) reserve(n int64) error {
+	if err := c.budget.Reserve(c.goCtx, c.Seg, n); err != nil {
+		return err
+	}
+	c.attributeReserve(n)
+	return nil
+}
 
 // reserveHard reserves an operator's irreducible working set; failure is a
 // final out-of-memory error, not a spill request.
-func (c *Ctx) reserveHard(n int64) error { return c.budget.ReserveHard(c.goCtx, c.Seg, n) }
+func (c *Ctx) reserveHard(n int64) error {
+	if err := c.budget.ReserveHard(c.goCtx, c.Seg, n); err != nil {
+		return err
+	}
+	c.attributeReserve(n)
+	return nil
+}
 
 // release returns n reserved bytes.
-func (c *Ctx) release(n int64) { c.budget.Release(n) }
+func (c *Ctx) release(n int64) {
+	c.budget.Release(n)
+	c.attributeRelease(n)
+}
 
 // accountRow attributes one motion-buffered row to the query (no denial;
 // raises pressure so spillable operators yield memory sooner).

@@ -37,10 +37,8 @@ func (s *indexScanOp) Open(ctx *Ctx) error {
 		return err
 	}
 	s.rows, s.ids, s.pos = rows, ids, 0
-	if ctx.Stats != nil {
-		ctx.Stats.notePartScanned(s.n.Table.Name, s.n.Leaf)
-		ctx.Stats.noteRowsScanned(int64(len(rows)))
-	}
+	ctx.notePartScanned(s.n.Table.Name, s.n.Leaf)
+	ctx.noteRowsScanned(int64(len(rows)))
 	return nil
 }
 
@@ -87,10 +85,11 @@ func (s *dynIndexScanOp) Open(ctx *Ctx) error {
 	s.leaves, s.li = leaves, 0
 	s.rows, s.pos = nil, 0
 	s.set = deriveIndexSet(ctx, s.n.Rel, s.n.Index.ColOrd, s.n.Pred)
-	if ctx.Stats != nil {
-		for _, leaf := range leaves {
-			ctx.Stats.notePartScanned(s.n.Table.Name, leaf)
-		}
+	for _, leaf := range leaves {
+		ctx.notePartScanned(s.n.Table.Name, leaf)
+	}
+	if f := ctx.curFrame(); f != nil && s.n.Table.Part != nil {
+		f.partsTotal = s.n.Table.Part.NumLeaves()
 	}
 	return nil
 }
@@ -109,9 +108,7 @@ func (s *dynIndexScanOp) Next(ctx *Ctx) (types.Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		if ctx.Stats != nil {
-			ctx.Stats.noteRowsScanned(int64(len(rows)))
-		}
+		ctx.noteRowsScanned(int64(len(rows)))
 		s.rows, s.ids, s.pos = rows, ids, 0
 	}
 	row := s.rows[s.pos]

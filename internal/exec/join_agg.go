@@ -151,16 +151,14 @@ func (j *hashJoinOp) Open(ctx *Ctx) (err error) {
 		return err
 	}
 	j.probeOpen = false
-	if ctx.Stats != nil {
-		var bytes, parts int64
-		for i := 0; i < spillFanout; i++ {
-			bytes += j.buildParts[i].Bytes() + j.probeParts[i].Bytes()
-			if j.buildParts[i].Rows() > 0 || j.probeParts[i].Rows() > 0 {
-				parts++
-			}
+	var bytes, parts int64
+	for i := 0; i < spillFanout; i++ {
+		bytes += j.buildParts[i].Bytes() + j.probeParts[i].Bytes()
+		if j.buildParts[i].Rows() > 0 || j.probeParts[i].Rows() > 0 {
+			parts++
 		}
-		ctx.Stats.noteSpill(bytes, parts)
 	}
+	ctx.noteSpill(bytes, parts)
 	return nil
 }
 
@@ -531,7 +529,7 @@ func (a *hashAggOp) Open(ctx *Ctx) (err error) {
 	if len(a.n.Groups) == 0 && len(a.order) == 0 && !a.spilled {
 		a.order = append(a.order, a.newState(nil))
 	}
-	if a.spilled && ctx.Stats != nil {
+	if a.spilled {
 		var bytes, parts int64
 		for _, w := range a.parts {
 			bytes += w.Bytes()
@@ -539,7 +537,7 @@ func (a *hashAggOp) Open(ctx *Ctx) (err error) {
 				parts++
 			}
 		}
-		ctx.Stats.noteSpill(bytes, parts)
+		ctx.noteSpill(bytes, parts)
 	}
 	return nil
 }

@@ -98,9 +98,7 @@ func (ex *exchange) sendTo(ctx *Ctx, seg int, row types.Row) error {
 	ctx.accountRow(row)
 	select {
 	case ex.chans[seg] <- row:
-		if ctx.Stats != nil {
-			ctx.Stats.noteRowsMoved(1)
-		}
+		ctx.noteRowsMoved(1)
 		return nil
 	case <-ctx.done:
 		ctx.releaseRow(row)

@@ -43,10 +43,8 @@ func (s *scanOp) Open(ctx *Ctx) error {
 		return err
 	}
 	s.rows, s.pos = rows, 0
-	if ctx.Stats != nil {
-		ctx.Stats.notePartScanned(s.n.Table.Name, s.n.Leaf)
-		ctx.Stats.noteRowsScanned(int64(len(rows)))
-	}
+	ctx.notePartScanned(s.n.Table.Name, s.n.Leaf)
+	ctx.noteRowsScanned(int64(len(rows)))
 	return nil
 }
 
@@ -95,13 +93,14 @@ func (s *dynScanOp) Open(ctx *Ctx) error {
 	}
 	s.leaves, s.li = leaves, 0
 	s.rows, s.pos = nil, 0
-	if ctx.Stats != nil {
-		// Every selected partition will be read; account for it here so
-		// partition-scan counts match the selector's decision even when a
-		// parent stops pulling early.
-		for _, leaf := range leaves {
-			ctx.Stats.notePartScanned(s.n.Table.Name, leaf)
-		}
+	// Every selected partition will be read; account for it here so
+	// partition-scan counts match the selector's decision even when a
+	// parent stops pulling early.
+	for _, leaf := range leaves {
+		ctx.notePartScanned(s.n.Table.Name, leaf)
+	}
+	if f := ctx.curFrame(); f != nil && s.n.Table.Part != nil {
+		f.partsTotal = s.n.Table.Part.NumLeaves()
 	}
 	return nil
 }
@@ -123,9 +122,7 @@ func (s *dynScanOp) Next(ctx *Ctx) (types.Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		if ctx.Stats != nil {
-			ctx.Stats.noteRowsScanned(int64(len(rows)))
-		}
+		ctx.noteRowsScanned(int64(len(rows)))
 		s.rows, s.pos = rows, 0
 	}
 	row := s.rows[s.pos]
@@ -199,9 +196,14 @@ func (s *selectorOp) Open(ctx *Ctx) error {
 		s.staticSets[lvl] = types.WholeDomain()
 	}
 
+	if f := ctx.curFrame(); f != nil {
+		f.partsTotal = desc.NumLeaves()
+	}
 	if !s.anyDynamic {
 		// Fully static: select once, seal, then let the child run.
-		ctx.pushOIDs(s.n.PartScanID, s.handle, desc.Select(s.staticSets))
+		oids := desc.Select(s.staticSets)
+		s.recordSelection(ctx, oids)
+		ctx.pushOIDs(s.n.PartScanID, s.handle, oids)
 		ctx.sealOIDs(s.n.PartScanID, s.handle)
 		s.sealed = true
 	}
@@ -249,9 +251,25 @@ func (s *selectorOp) Next(ctx *Ctx) (types.Row, error) {
 			}
 			sets[lvl] = expr.DeriveIntervals(s.n.Preds[lvl], s.keyIDs[lvl], expr.EnvEval(env))
 		}
-		ctx.pushOIDs(s.n.PartScanID, s.handle, s.n.Table.Part.Select(sets))
+		oids := s.n.Table.Part.Select(sets)
+		s.recordSelection(ctx, oids)
+		ctx.pushOIDs(s.n.PartScanID, s.handle, oids)
 	}
 	return row, nil
+}
+
+// recordSelection notes the selector's chosen partitions in its OpStats
+// frame, so EXPLAIN ANALYZE renders "Partitions selected: N (out of M)" on
+// the selector itself (candidates = the table's leaf count, selected = the
+// union of every per-row selection).
+func (s *selectorOp) recordSelection(ctx *Ctx, oids []part.OID) {
+	f := ctx.curFrame()
+	if f == nil {
+		return
+	}
+	for _, o := range oids {
+		f.notePart(o)
+	}
 }
 
 func (s *selectorOp) seal(ctx *Ctx) {
@@ -290,6 +308,9 @@ func (s *sequenceOp) Open(ctx *Ctx) error {
 				break
 			}
 			if err != nil {
+				// Close the draining child before failing: its buffers are
+				// released and its stats frame sees a complete lifecycle.
+				k.Close(ctx)
 				return err
 			}
 		}
@@ -302,7 +323,13 @@ func (s *sequenceOp) Open(ctx *Ctx) error {
 }
 
 func (s *sequenceOp) Next(ctx *Ctx) (types.Row, error) { return s.last.Next(ctx) }
-func (s *sequenceOp) Close(ctx *Ctx) error             { return s.last.Close(ctx) }
+
+func (s *sequenceOp) Close(ctx *Ctx) error {
+	if s.last == nil {
+		return nil // Open failed before reaching the streaming child
+	}
+	return s.last.Close(ctx)
+}
 
 // ---------------------------------------------------------------- append
 

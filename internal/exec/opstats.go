@@ -1,0 +1,351 @@
+package exec
+
+import (
+	"sort"
+	"time"
+
+	"partopt/internal/obs"
+	"partopt/internal/part"
+	"partopt/internal/plan"
+	"partopt/internal/types"
+)
+
+// Per-operator runtime instrumentation.
+//
+// Every operator instance the executor builds is wrapped in a statsOp
+// decorator that records rows out and wall time, and exposes a per-instance
+// opFrame that the operator body (via the Ctx note*/reserve helpers)
+// charges storage reads, partition selections, spill activity and memory
+// reservations to. Frames are goroutine-local — one Ctx per slice instance,
+// one frame per (Ctx, plan node) — so the row hot path takes no locks; a
+// frame is merged into the query's shared Stats exactly once, when the
+// slice instance finishes (Ctx.finishOpStats), which runAttempt guarantees
+// happens before it returns. That ordering is the EXPLAIN ANALYZE abort
+// guarantee: even a cancelled query's Stats are complete (for the work
+// actually done) by the time the caller sees them.
+
+// opFrame accumulates one slice instance's view of one operator.
+type opFrame struct {
+	started  bool
+	rowsOut  int64
+	rowsRead int64 // rows this operator read from storage
+	nanos    int64 // wall time inside Open+Next+Close, inclusive of children
+
+	cur  int64 // current attributed reservation, bytes
+	peak int64 // high-water mark of cur
+
+	spillBytes int64
+	spillParts int64
+
+	parts      map[part.OID]bool // selected/scanned partitions (partition-aware ops)
+	partsTotal int               // leaf count of the partitioned table; 0 = n/a
+}
+
+// notePart records one selected/scanned partition OID.
+func (f *opFrame) notePart(oid part.OID) {
+	if f.parts == nil {
+		f.parts = map[part.OID]bool{}
+	}
+	f.parts[oid] = true
+}
+
+// opAccum is the shared, mutex-guarded aggregation of every instance's
+// frames for one plan node (guarded by Stats.mu).
+type opAccum struct {
+	started    bool
+	instances  int
+	rowsOut    int64
+	rowsRead   int64
+	nanos      int64
+	peakBytes  int64 // max over instances
+	spillBytes int64
+	spillParts int64
+	parts      map[part.OID]bool // union over instances
+	partsTotal int
+}
+
+// statsOp decorates an operator with instrumentation. It is inserted by
+// buildOp around every operator, so instrumentation is always on.
+type statsOp struct {
+	n     plan.Node
+	inner Operator
+	f     *opFrame
+}
+
+func (s *statsOp) frame(ctx *Ctx) *opFrame {
+	if s.f == nil {
+		s.f = ctx.frameFor(s.n)
+	}
+	return s.f
+}
+
+func (s *statsOp) Open(ctx *Ctx) error {
+	f := s.frame(ctx)
+	f.started = true
+	prev := ctx.pushOp(f)
+	t0 := time.Now()
+	err := s.inner.Open(ctx)
+	f.nanos += time.Since(t0).Nanoseconds()
+	ctx.popOp(prev)
+	return err
+}
+
+func (s *statsOp) Next(ctx *Ctx) (types.Row, error) {
+	f := s.frame(ctx)
+	prev := ctx.pushOp(f)
+	t0 := time.Now()
+	row, err := s.inner.Next(ctx)
+	f.nanos += time.Since(t0).Nanoseconds()
+	ctx.popOp(prev)
+	if err == nil {
+		f.rowsOut++
+	}
+	return row, err
+}
+
+func (s *statsOp) Close(ctx *Ctx) error {
+	f := s.frame(ctx)
+	prev := ctx.pushOp(f)
+	t0 := time.Now()
+	err := s.inner.Close(ctx)
+	f.nanos += time.Since(t0).Nanoseconds()
+	ctx.popOp(prev)
+	return err
+}
+
+// frameFor returns (creating on demand) this slice instance's frame for a
+// plan node. Frames are Ctx-local, so no synchronization is needed.
+func (c *Ctx) frameFor(n plan.Node) *opFrame {
+	f, ok := c.frames[n]
+	if !ok {
+		f = &opFrame{}
+		c.frames[n] = f
+	}
+	return f
+}
+
+// pushOp makes f the attribution target for reservations and note* calls
+// made while an operator body runs; popOp restores the previous target.
+func (c *Ctx) pushOp(f *opFrame) *opFrame {
+	prev := c.cur
+	c.cur = f
+	return prev
+}
+
+func (c *Ctx) popOp(prev *opFrame) { c.cur = prev }
+
+// curFrame exposes the running operator's frame for direct recording
+// (partition counts, per-side attribution in the partition-wise join).
+func (c *Ctx) curFrame() *opFrame { return c.cur }
+
+// finishOpStats merges every frame of this slice instance into the shared
+// Stats. Called exactly once per Ctx, after the instance's operators are
+// done; idempotence guards the coordinator's defer stacking.
+func (c *Ctx) finishOpStats() {
+	if c.flushed || c.Stats == nil || len(c.frames) == 0 {
+		c.flushed = true
+		return
+	}
+	c.flushed = true
+	c.Stats.mergeFrames(c.frames)
+}
+
+// mergeFrames folds one slice instance's frames into the per-node
+// accumulators.
+func (s *Stats) mergeFrames(frames map[plan.Node]*opFrame) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ops == nil {
+		s.ops = map[plan.Node]*opAccum{}
+	}
+	for n, f := range frames {
+		a := s.ops[n]
+		if a == nil {
+			a = &opAccum{}
+			s.ops[n] = a
+		}
+		if !f.started {
+			continue
+		}
+		a.started = true
+		a.instances++
+		a.rowsOut += f.rowsOut
+		a.rowsRead += f.rowsRead
+		a.nanos += f.nanos
+		if f.peak > a.peakBytes {
+			a.peakBytes = f.peak
+		}
+		a.spillBytes += f.spillBytes
+		a.spillParts += f.spillParts
+		if f.partsTotal > a.partsTotal {
+			a.partsTotal = f.partsTotal
+		}
+		if len(f.parts) > 0 {
+			if a.parts == nil {
+				a.parts = map[part.OID]bool{}
+			}
+			for oid := range f.parts {
+				a.parts[oid] = true
+			}
+		}
+	}
+}
+
+// Actuals implements plan.ActualSource: it resolves a plan node to its
+// aggregated runtime record. ok=false means the node was never instrumented
+// (the query did not run, or the node belongs to a different plan).
+func (s *Stats) Actuals(n plan.Node) (plan.Actuals, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.ops[n]
+	if !ok {
+		return plan.Actuals{}, false
+	}
+	return plan.Actuals{
+		Started:       a.started,
+		Instances:     a.instances,
+		RowsOut:       a.rowsOut,
+		RowsRead:      a.rowsRead,
+		Nanos:         a.nanos,
+		PeakBytes:     a.peakBytes,
+		SpillBytes:    a.spillBytes,
+		SpillParts:    a.spillParts,
+		PartsSelected: len(a.parts),
+		PartsTotal:    a.partsTotal,
+	}, true
+}
+
+// OpParts returns the distinct partition OIDs a partition-aware node
+// selected/scanned (union over instances), in ascending order.
+func (s *Stats) OpParts(n plan.Node) []part.OID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.ops[n]
+	if !ok || len(a.parts) == 0 {
+		return nil
+	}
+	out := make([]part.OID, 0, len(a.parts))
+	for oid := range a.parts {
+		out = append(out, oid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ---------------------------------------------------------------- Ctx note helpers
+
+// noteRowsScanned records rows read from storage: the query-wide counter,
+// the running operator's frame, and the engine-wide metrics registry.
+func (c *Ctx) noteRowsScanned(n int64) {
+	if c.Stats != nil {
+		c.Stats.noteRowsScanned(n)
+	}
+	if c.cur != nil {
+		c.cur.rowsRead += n
+	}
+	if m := c.Rt.metrics(); m != nil {
+		m.rowsScanned.Add(n)
+	}
+}
+
+// notePartScanned records one leaf partition actually opened.
+func (c *Ctx) notePartScanned(table string, leaf part.OID) {
+	if c.Stats != nil {
+		c.Stats.notePartScanned(table, leaf)
+	}
+	if c.cur != nil {
+		c.cur.notePart(leaf)
+	}
+}
+
+// noteRowsMoved records one row crossing a Motion.
+func (c *Ctx) noteRowsMoved(n int64) {
+	if c.Stats != nil {
+		c.Stats.noteRowsMoved(n)
+	}
+	if m := c.Rt.metrics(); m != nil {
+		m.motionRows.Add(n)
+	}
+}
+
+// noteSpill records one operator's spill activity.
+func (c *Ctx) noteSpill(bytes, parts int64) {
+	if c.Stats != nil {
+		c.Stats.noteSpill(bytes, parts)
+	}
+	if c.cur != nil {
+		c.cur.spillBytes += bytes
+		c.cur.spillParts += parts
+	}
+	if m := c.Rt.metrics(); m != nil {
+		m.spillBytes.Add(bytes)
+		m.spillParts.Add(parts)
+	}
+}
+
+// attributeReserve/attributeRelease keep the running operator's high-water
+// reservation mark. They are called from the Ctx reserve/release wrappers,
+// so every operator's peak memory is tracked even ungoverned (nil budget
+// grants everything but the attribution still measures the working set).
+func (c *Ctx) attributeReserve(n int64) {
+	if c.cur == nil {
+		return
+	}
+	c.cur.cur += n
+	if c.cur.cur > c.cur.peak {
+		c.cur.peak = c.cur.cur
+	}
+}
+
+func (c *Ctx) attributeRelease(n int64) {
+	if c.cur == nil {
+		return
+	}
+	c.cur.cur -= n
+	if c.cur.cur < 0 {
+		c.cur.cur = 0
+	}
+}
+
+// ---------------------------------------------------------------- engine metrics
+
+// runtimeMetrics caches the executor's obs instruments so hot paths pay one
+// pointer load instead of a registry lookup per event.
+type runtimeMetrics struct {
+	started         *obs.Counter
+	finished        *obs.Counter
+	failed          *obs.Counter
+	retried         *obs.Counter
+	admissionWaited *obs.Counter
+	spillBytes      *obs.Counter
+	spillParts      *obs.Counter
+	motionRows      *obs.Counter
+	rowsScanned     *obs.Counter
+	active          *obs.Gauge
+	latency         *obs.Histogram
+}
+
+// metrics lazily resolves the runtime's instruments; nil when no registry
+// is attached.
+func (rt *Runtime) metrics() *runtimeMetrics {
+	if rt == nil || rt.Obs == nil {
+		return nil
+	}
+	rt.obsOnce.Do(func() {
+		r := rt.Obs
+		rt.om = &runtimeMetrics{
+			started:         r.Counter("partopt_queries_started_total"),
+			finished:        r.Counter("partopt_queries_finished_total"),
+			failed:          r.Counter("partopt_queries_failed_total"),
+			retried:         r.Counter("partopt_queries_retried_total"),
+			admissionWaited: r.Counter("partopt_queries_admission_waited_total"),
+			spillBytes:      r.Counter("partopt_spill_bytes_total"),
+			spillParts:      r.Counter("partopt_spill_parts_total"),
+			motionRows:      r.Counter("partopt_motion_rows_total"),
+			rowsScanned:     r.Counter("partopt_rows_scanned_total"),
+			active:          r.Gauge("partopt_queries_active"),
+			latency:         r.Histogram("partopt_query_latency_seconds", obs.DefaultLatencyBuckets()),
+		}
+	})
+	return rt.om
+}

@@ -1,0 +1,151 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"partopt/internal/fault"
+	"partopt/internal/obs"
+	"partopt/internal/plan"
+)
+
+// A completed query has a full per-operator record: every node started,
+// rows-out totals match the result, and storage reads attributed to the
+// scan agree with the query-wide counter.
+func TestOpStatsRecordedPerOperator(t *testing.T) {
+	rt, tab := failFixture(t)
+	scan := plan.NewScan(tab, 1)
+	gather := plan.NewMotion(plan.GatherMotion, nil, scan)
+	res, err := Run(rt, gather, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	st := res.Stats
+
+	sa, ok := st.Actuals(scan)
+	if !ok || !sa.Started {
+		t.Fatalf("scan has no actuals: ok=%v started=%v", ok, sa.Started)
+	}
+	if sa.Instances != rt.Segments() {
+		t.Errorf("scan instances = %d, want %d", sa.Instances, rt.Segments())
+	}
+	if sa.RowsOut != int64(len(res.Rows)) || sa.RowsRead != int64(len(res.Rows)) {
+		t.Errorf("scan rows out/read = %d/%d, want %d", sa.RowsOut, sa.RowsRead, len(res.Rows))
+	}
+	if sa.RowsRead != st.RowsScanned() {
+		t.Errorf("scan RowsRead %d != Stats.RowsScanned %d", sa.RowsRead, st.RowsScanned())
+	}
+
+	ga, ok := st.Actuals(gather)
+	if !ok || !ga.Started {
+		t.Fatalf("gather has no actuals")
+	}
+	// The gather's receive operator runs once, on the coordinator.
+	if ga.Instances != 1 {
+		t.Errorf("gather instances = %d, want 1", ga.Instances)
+	}
+	if ga.RowsOut != int64(len(res.Rows)) {
+		t.Errorf("gather rows out = %d, want %d", ga.RowsOut, len(res.Rows))
+	}
+}
+
+// An aborted query still flushes every slice instance's frames before
+// RunIntoCtx returns: whatever partial counts the operators recorded are
+// visible and internally consistent (the per-operator storage reads sum to
+// the query-wide counter, with no in-flight remainder).
+func TestOpStatsFlushedOnAbort(t *testing.T) {
+	rt, tab := failFixture(t)
+	inj := fault.NewInjector(7)
+	// Fail one segment's scan partway through its Next loop.
+	inj.Arm(fault.Rule{Point: fault.OpNext, Kind: fault.KindError, Seg: 2, After: 5, Once: true})
+	rt.Faults = inj
+
+	scan := plan.NewScan(tab, 1)
+	gather := plan.NewMotion(plan.GatherMotion, nil, scan)
+	stats := NewStats()
+	_, err := RunIntoCtx(context.Background(), rt, gather, nil, stats)
+	if err == nil {
+		t.Fatalf("injected fault did not fail the query")
+	}
+
+	sa, ok := stats.Actuals(scan)
+	if !ok || !sa.Started {
+		t.Fatalf("aborted query lost the scan's partial actuals")
+	}
+	if sa.RowsRead != stats.RowsScanned() {
+		t.Errorf("partial RowsRead %d != Stats.RowsScanned %d — frames not fully flushed",
+			sa.RowsRead, stats.RowsScanned())
+	}
+	if sa.RowsRead == 0 {
+		t.Errorf("scan recorded no reads before the abort")
+	}
+}
+
+// A cancelled query flushes whatever frames its slices managed to record
+// before noticing the cancellation: the per-operator reads stay consistent
+// with the query-wide counter no matter where the abort landed.
+func TestOpStatsConsistentOnCancel(t *testing.T) {
+	rt, tab := failFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	scan := plan.NewScan(tab, 1)
+	gather := plan.NewMotion(plan.GatherMotion, nil, scan)
+	stats := NewStats()
+	_, err := RunIntoCtx(ctx, rt, gather, nil, stats)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The segments may or may not have opened their scans before seeing the
+	// cancellation; either way the flushed per-operator record must agree
+	// with the aggregate counter.
+	a, _ := stats.Actuals(scan)
+	if a.RowsRead != stats.RowsScanned() {
+		t.Fatalf("scan RowsRead %d != Stats.RowsScanned %d after cancel", a.RowsRead, stats.RowsScanned())
+	}
+}
+
+// The runtime's metrics registry observes query lifecycle and data-flow
+// counters.
+func TestRuntimeObsMetrics(t *testing.T) {
+	rt, tab := failFixture(t)
+	rt.Obs = obs.NewRegistry()
+
+	if _, err := Run(rt, chaosPlan(tab), nil); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	snap := rt.Obs.Snapshot()
+	if got := snap.Counters["partopt_queries_started_total"]; got != 1 {
+		t.Errorf("started = %d, want 1", got)
+	}
+	if got := snap.Counters["partopt_queries_finished_total"]; got != 1 {
+		t.Errorf("finished = %d, want 1", got)
+	}
+	if snap.Counters["partopt_rows_scanned_total"] == 0 {
+		t.Errorf("rows scanned counter not incremented")
+	}
+	if snap.Counters["partopt_motion_rows_total"] == 0 {
+		t.Errorf("motion rows counter not incremented")
+	}
+	if got := snap.Gauges["partopt_queries_active"]; got != 0 {
+		t.Errorf("active gauge = %v after completion", got)
+	}
+	if h, ok := snap.Histograms["partopt_query_latency_seconds"]; !ok || h.Count != 1 {
+		t.Errorf("latency histogram: ok=%v %+v", ok, h)
+	}
+
+	// A failed query increments the failure counter, not the success one.
+	inj := fault.NewInjector(3)
+	inj.Arm(fault.Rule{Point: fault.OpNext, Kind: fault.KindError, Seg: fault.AnySeg, After: 2, Once: true})
+	rt.Faults = inj
+	if _, err := Run(rt, chaosPlan(tab), nil); err == nil {
+		t.Fatalf("injected fault did not fail the query")
+	}
+	snap = rt.Obs.Snapshot()
+	if got := snap.Counters["partopt_queries_failed_total"]; got != 1 {
+		t.Errorf("failed = %d, want 1", got)
+	}
+	if got := snap.Counters["partopt_queries_finished_total"]; got != 1 {
+		t.Errorf("finished after failure = %d, want still 1", got)
+	}
+}

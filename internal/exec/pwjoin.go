@@ -61,6 +61,18 @@ func (j *pwJoinOp) Open(ctx *Ctx) error {
 	}
 	j.pi, j.table, j.probeRows, j.pos = 0, nil, nil, 0
 	j.curProbe, j.matches, j.mi = nil, nil, 0
+
+	// The side scans have no operator instances of their own (the pairwise
+	// loop reads both heaps directly), so record their partition accounting
+	// into the DynamicScan nodes' frames here: EXPLAIN ANALYZE then renders
+	// "Partitions selected" on each side of the join.
+	bf, pf := ctx.frameFor(j.n.Build), ctx.frameFor(j.n.Probe)
+	bf.started, pf.started = true, true
+	bf.partsTotal, pf.partsTotal = bDesc.NumLeaves(), pDesc.NumLeaves()
+	for _, pair := range j.pairs {
+		bf.notePart(pair[0])
+		pf.notePart(pair[1])
+	}
 	return nil
 }
 
@@ -98,8 +110,10 @@ func (j *pwJoinOp) advancePair(ctx *Ctx) (bool, error) {
 		if ctx.Stats != nil {
 			ctx.Stats.notePartScanned(j.n.Build.Table.Name, pair[0])
 			ctx.Stats.notePartScanned(j.n.Probe.Table.Name, pair[1])
-			ctx.Stats.noteRowsScanned(int64(len(buildRows) + len(probeRows)))
 		}
+		ctx.frameFor(j.n.Build).rowsRead += int64(len(buildRows))
+		ctx.frameFor(j.n.Probe).rowsRead += int64(len(probeRows))
+		ctx.noteRowsScanned(int64(len(buildRows) + len(probeRows)))
 		if len(buildRows) == 0 || len(probeRows) == 0 {
 			continue
 		}

@@ -21,10 +21,21 @@ type Result struct {
 	Stats  *Stats
 }
 
-// buildOp instantiates the operator tree for one slice instance. Motion
-// nodes become receive leaves wired to their exchange; the sending side is
-// driven by the child slice's runner.
+// buildOp instantiates the operator tree for one slice instance, wrapping
+// every operator in a statsOp so per-node runtime instrumentation is always
+// on. Motion nodes become receive leaves wired to their exchange; the
+// sending side is driven by the child slice's runner.
 func buildOp(n plan.Node, exch map[*plan.Motion]*exchange) (Operator, error) {
+	inner, err := buildOpRaw(n, exch)
+	if err != nil {
+		return nil, err
+	}
+	return &statsOp{n: n, inner: inner}, nil
+}
+
+// buildOpRaw constructs the bare operator for one plan node; children are
+// built through buildOp, so they carry their own instrumentation.
+func buildOpRaw(n plan.Node, exch map[*plan.Motion]*exchange) (Operator, error) {
 	switch x := n.(type) {
 	case *plan.Scan:
 		return &scanOp{n: x}, nil
@@ -179,13 +190,37 @@ func RunIntoCtx(ctx context.Context, rt *Runtime, root plan.Node, params *Params
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	m := rt.metrics()
 	// Admission control: under a bounded governor the query waits here for
 	// an execution slot. Cancellation or a deadline aborts the queued query
 	// cleanly — it never held memory or started any slice.
-	if err := rt.Gov.Admit(ctx); err != nil {
+	waited, err := rt.Gov.Admit(ctx)
+	if waited && m != nil {
+		m.admissionWaited.Inc()
+	}
+	if err != nil {
 		return nil, err
 	}
 	defer rt.Gov.Leave()
+	if m == nil {
+		return runWithRetry(ctx, rt, root, params, stats)
+	}
+	m.started.Inc()
+	m.active.Add(1)
+	t0 := time.Now()
+	res, err := runWithRetry(ctx, rt, root, params, stats)
+	m.active.Add(-1)
+	m.latency.Observe(time.Since(t0).Seconds())
+	if err != nil {
+		m.failed.Inc()
+	} else {
+		m.finished.Inc()
+	}
+	return res, err
+}
+
+// runWithRetry drives the attempt loop of an admitted query.
+func runWithRetry(ctx context.Context, rt *Runtime, root plan.Node, params *Params, stats *Stats) (*Result, error) {
 	attempts := rt.Retry.MaxAttempts
 	if attempts < 1 || hasDML(root) {
 		attempts = 1
@@ -202,6 +237,9 @@ func RunIntoCtx(ctx context.Context, rt *Runtime, root plan.Node, params *Params
 					t.Stop()
 					return nil, err
 				}
+			}
+			if m := rt.metrics(); m != nil {
+				m.retried.Inc()
 			}
 		}
 		res, err = runAttempt(ctx, rt, root, params, stats)
@@ -324,6 +362,10 @@ func runAttempt(ctx context.Context, rt *Runtime, root plan.Node, params *Params
 					return
 				}
 				ectx := newCtx(rt, seg, params, stats, qctx, budget)
+				// Flush this instance's operator stats no matter how it
+				// exits — error, abort, panic. wg.Wait below therefore
+				// guarantees complete (if partial-work) OpStats by return.
+				defer ectx.finishOpStats()
 				op, err := buildOp(sl.root, exchanges)
 				if err != nil {
 					fail(seg, slice, opName(sl.root), err)
@@ -374,6 +416,7 @@ func runAttempt(ctx context.Context, rt *Runtime, root plan.Node, params *Params
 			return err
 		}
 		cctx := newCtx(rt, CoordinatorSeg, params, stats, qctx, budget)
+		defer cctx.finishOpStats() // after op.Close (LIFO), before the closure returns
 		op, err := buildOp(root, exchanges)
 		if err != nil {
 			return err
@@ -459,6 +502,7 @@ func RunLocal(rt *Runtime, root plan.Node, seg int, params *Params) (*Result, er
 	budget := rt.Gov.NewBudget()
 	defer budget.Close()
 	ctx := newCtx(rt, seg, params, stats, context.Background(), budget)
+	defer ctx.finishOpStats()
 	op, err := buildOp(root, nil)
 	if err != nil {
 		return nil, err

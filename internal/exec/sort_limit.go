@@ -92,13 +92,11 @@ func (s *sortOp) Open(ctx *Ctx) (err error) {
 			return err
 		}
 	}
-	if ctx.Stats != nil {
-		var bytes int64
-		for _, w := range s.runs {
-			bytes += w.Bytes()
-		}
-		ctx.Stats.noteSpill(bytes, int64(len(s.runs)))
+	var spillBytes int64
+	for _, w := range s.runs {
+		spillBytes += w.Bytes()
 	}
+	ctx.noteSpill(spillBytes, int64(len(s.runs)))
 	s.readers = make([]*mem.SpillReader, len(s.runs))
 	s.heads = make([]types.Row, len(s.runs))
 	s.headBytes = make([]int64, len(s.runs))

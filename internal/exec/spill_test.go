@@ -311,7 +311,7 @@ func TestAdmissionControlBlocksRunsAndCancels(t *testing.T) {
 	rt, tab := failFixture(t)
 	gov := mem.NewGovernor(mem.Config{MaxConcurrent: 1})
 	rt.Gov = gov
-	if err := gov.Admit(context.Background()); err != nil {
+	if _, err := gov.Admit(context.Background()); err != nil {
 		t.Fatalf("occupying the slot: %v", err)
 	}
 

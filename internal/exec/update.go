@@ -60,6 +60,7 @@ func (u *updateOp) Open(ctx *Ctx) error {
 			break
 		}
 		if err != nil {
+			u.child.Close(ctx) // release the child's state before failing
 			return err
 		}
 		id := DecodeRowID(row[ridPos])
@@ -75,6 +76,7 @@ func (u *updateOp) Open(ctx *Ctx) error {
 		for _, set := range u.n.Sets {
 			v, err := expr.Eval(set.Value, env)
 			if err != nil {
+				u.child.Close(ctx)
 				return err
 			}
 			newRow[set.Ord] = v
@@ -147,6 +149,7 @@ func (d *deleteOp) Open(ctx *Ctx) error {
 			break
 		}
 		if err != nil {
+			d.child.Close(ctx) // release the child's state before failing
 			return err
 		}
 		id := DecodeRowID(row[ridPos])

@@ -91,21 +91,22 @@ func (g *Governor) SetFaults(in *fault.Injector) {
 
 // Admit blocks until an execution slot is free or ctx ends. A queued query
 // whose context is cancelled (or whose deadline passes) leaves the queue
-// cleanly with the context's error.
-func (g *Governor) Admit(ctx context.Context) error {
+// cleanly with the context's error. waited reports whether the query had to
+// queue at all — the executor's admission-wait metric.
+func (g *Governor) Admit(ctx context.Context) (waited bool, err error) {
 	if g == nil || g.sem == nil {
-		return nil
+		return false, nil
 	}
 	select {
 	case g.sem <- struct{}{}:
-		return nil
+		return false, nil
 	default:
 	}
 	select {
 	case g.sem <- struct{}{}:
-		return nil
+		return true, nil
 	case <-ctx.Done():
-		return ctx.Err()
+		return true, ctx.Err()
 	}
 }
 

@@ -14,8 +14,8 @@ import (
 
 func TestNilGovernorAndBudgetAreInert(t *testing.T) {
 	var g *Governor
-	if err := g.Admit(context.Background()); err != nil {
-		t.Fatalf("nil Admit: %v", err)
+	if waited, err := g.Admit(context.Background()); err != nil || waited {
+		t.Fatalf("nil Admit: waited=%v err=%v", waited, err)
 	}
 	g.Leave()
 	b := g.NewBudget()
@@ -126,8 +126,8 @@ func TestInjectedDenialCarriesCauseAndTransience(t *testing.T) {
 
 func TestAdmissionQueueBlocksAndCancels(t *testing.T) {
 	g := NewGovernor(Config{MaxConcurrent: 1})
-	if err := g.Admit(context.Background()); err != nil {
-		t.Fatalf("first admit: %v", err)
+	if waited, err := g.Admit(context.Background()); err != nil || waited {
+		t.Fatalf("first admit: waited=%v err=%v", waited, err)
 	}
 	if g.Active() != 1 {
 		t.Fatalf("active = %d", g.Active())
@@ -135,7 +135,7 @@ func TestAdmissionQueueBlocksAndCancels(t *testing.T) {
 	// A queued query whose context is cancelled leaves cleanly.
 	ctx, cancel := context.WithCancel(context.Background())
 	errCh := make(chan error, 1)
-	go func() { errCh <- g.Admit(ctx) }()
+	go func() { _, err := g.Admit(ctx); errCh <- err }()
 	select {
 	case err := <-errCh:
 		t.Fatalf("second admit did not queue: %v", err)
@@ -145,9 +145,11 @@ func TestAdmissionQueueBlocksAndCancels(t *testing.T) {
 	if err := <-errCh; !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled waiter got %v", err)
 	}
-	// Leaving frees the slot for the next waiter.
+	// Leaving frees the slot for the next waiter. (waited is racy here — the
+	// goroutine may reach Admit before or after Leave — so only err is
+	// asserted.)
 	done := make(chan error, 1)
-	go func() { done <- g.Admit(context.Background()) }()
+	go func() { _, err := g.Admit(context.Background()); done <- err }()
 	g.Leave()
 	if err := <-done; err != nil {
 		t.Fatalf("admit after leave: %v", err)

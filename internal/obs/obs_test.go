@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("queries_started_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("queries_started_total") != c {
+		t.Fatalf("re-registration returned a different counter")
+	}
+	g := r.Gauge("queries_active")
+	g.Add(3)
+	g.Add(-2)
+	if got := g.Value(); got != 1 {
+		t.Fatalf("gauge = %d, want 1", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.001, 0.05, 0.05, 0.5, 10} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["latency_seconds"]
+	want := []uint64{1, 2, 1, 1} // ≤0.01, ≤0.1, ≤1, +Inf
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if s.Sum < 10.6 || s.Sum > 10.7 {
+		t.Fatalf("sum = %g, want ~10.601", s.Sum)
+	}
+}
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc() // must not panic
+	r.Gauge("y").Add(1)
+	r.Histogram("z", DefaultLatencyBuckets()).Observe(1)
+	if got := r.Snapshot(); len(got.Counters) != 0 {
+		t.Fatalf("nil registry snapshot non-empty: %+v", got)
+	}
+	if r.Expose() != "" {
+		t.Fatalf("nil registry exposition non-empty")
+	}
+}
+
+func TestNilInstrumentsAreInert(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	// Nil instruments come from a nil registry; all updates must no-op.
+	defer func() {
+		if rec := recover(); rec != nil {
+			t.Fatalf("nil instrument panicked: %v", rec)
+		}
+	}()
+	_ = c
+	_ = g
+	_ = h
+}
+
+func TestExposeDeterministicAndParsable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Counter("a_total").Add(1)
+	r.Gauge("g").Set(7)
+	r.Histogram("h_seconds", []float64{0.5}).Observe(0.2)
+	out := r.Expose()
+	if out != r.Expose() {
+		t.Fatalf("exposition not deterministic")
+	}
+	for _, want := range []string{
+		"a_total 1\n",
+		"b_total 2\n",
+		"g 7\n",
+		`h_seconds_bucket{le="0.5"} 1`,
+		`h_seconds_bucket{le="+Inf"} 1`,
+		"h_seconds_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "a_total") > strings.Index(out, "b_total") {
+		t.Fatalf("counters not sorted:\n%s", out)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c_total").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", []float64{1, 10}).Observe(float64(j % 20))
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c_total").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Snapshot().Histograms["h"].Count; got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}

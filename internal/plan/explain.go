@@ -19,7 +19,8 @@ func explainInto(b *strings.Builder, n Node, depth int) {
 		b.WriteString("-> ")
 	}
 	b.WriteString(n.Label())
-	if rows, cost := Estimates(n); rows != 0 || cost != 0 {
+	if HasEstimates(n) {
+		rows, cost := Estimates(n)
 		fmt.Fprintf(b, "  (rows=%.0f cost=%.0f)", rows, cost)
 	}
 	b.WriteByte('\n')

@@ -1,0 +1,124 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Actuals is one operator's observed runtime behaviour, aggregated across
+// every slice instance (segment) that ran it. It is the per-node record
+// EXPLAIN ANALYZE renders next to the optimizer's estimates — the
+// executor's exec.Stats produces these, keyed by plan node.
+type Actuals struct {
+	Started   bool  // at least one instance opened the operator
+	Instances int   // slice instances that opened it ("loops")
+	RowsOut   int64 // rows returned by Next, summed across instances
+	RowsRead  int64 // rows read from storage (leaf operators)
+	Nanos     int64 // wall time inside Open+Next+Close, summed across instances (inclusive of children)
+	PeakBytes int64 // max reserved working memory of any single instance
+	SpillBytes int64
+	SpillParts int64
+	// Partition accounting (PartitionSelector, DynamicScan,
+	// DynamicIndexScan, PartitionWiseJoin sides). PartsTotal == 0 means not
+	// applicable.
+	PartsSelected int
+	PartsTotal    int
+}
+
+// ActualSource resolves a plan node to its runtime actuals. The executor's
+// Stats type implements it; ok=false means the node has no record (it was
+// never instrumented — distinct from instrumented-but-never-opened).
+type ActualSource interface {
+	Actuals(n Node) (Actuals, bool)
+}
+
+// ExplainAnalyze renders the plan tree with optimizer estimates and runtime
+// actuals side by side — the engine's analogue of GPDB's EXPLAIN ANALYZE
+// (paper §2.2/§4), including the `Partitions selected: N (out of M)` line
+// on partitioned scans.
+//
+// Semantics of the annotations:
+//
+//   - "actual rows" and "time" are totals across all slice instances of the
+//     operator ("loops"); time is inclusive of children, like EXPLAIN
+//     ANALYZE in PostgreSQL.
+//   - "(never executed)" marks operators no instance opened — eliminated
+//     Append children, the probe side of an aborted join, or any operator
+//     downstream of an abort.
+//   - On an aborted query the actuals are the partial work done before the
+//     abort; the tree still renders (that is the EXPLAIN ANALYZE guarantee:
+//     whatever was flushed by slice teardown is visible).
+func ExplainAnalyze(root Node, src ActualSource) string {
+	var b strings.Builder
+	explainAnalyzeInto(&b, root, src, 0)
+	return b.String()
+}
+
+func explainAnalyzeInto(b *strings.Builder, n Node, src ActualSource, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	if depth > 0 {
+		b.WriteString("-> ")
+	}
+	b.WriteString(n.Label())
+	if HasEstimates(n) {
+		rows, cost := Estimates(n)
+		fmt.Fprintf(b, "  (rows=%.0f cost=%.0f)", rows, cost)
+	}
+	a, ok := Actuals{}, false
+	if src != nil {
+		a, ok = src.Actuals(n)
+	}
+	switch {
+	case ok && a.Started:
+		fmt.Fprintf(b, "  (actual rows=%d loops=%d time=%s)", a.RowsOut, a.Instances, fmtDuration(a.Nanos))
+	case ok:
+		b.WriteString("  (never executed)")
+	}
+	b.WriteByte('\n')
+
+	// Detail lines, indented one step past the node.
+	pad := strings.Repeat("  ", depth) + "     "
+	if ok && a.Started {
+		if a.PartsTotal > 0 {
+			fmt.Fprintf(b, "%sPartitions selected: %d (out of %d)\n", pad, a.PartsSelected, a.PartsTotal)
+		}
+		if a.RowsRead > 0 {
+			fmt.Fprintf(b, "%sRows read from storage: %d\n", pad, a.RowsRead)
+		}
+		if a.SpillBytes > 0 || a.SpillParts > 0 {
+			fmt.Fprintf(b, "%sSpilled: %s in %d part(s)\n", pad, fmtBytes(a.SpillBytes), a.SpillParts)
+		}
+		if a.PeakBytes > 0 {
+			fmt.Fprintf(b, "%sPeak memory: %s per instance\n", pad, fmtBytes(a.PeakBytes))
+		}
+	}
+	for _, c := range n.Children() {
+		explainAnalyzeInto(b, c, src, depth+1)
+	}
+}
+
+// fmtDuration renders nanoseconds compactly (µs below 10ms, ms below 10s).
+func fmtDuration(nanos int64) string {
+	d := time.Duration(nanos)
+	switch {
+	case d < 10*time.Millisecond:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	case d < 10*time.Second:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	}
+	return fmt.Sprintf("%.2fs", d.Seconds())
+}
+
+// fmtBytes renders a byte count with binary-multiple suffixes.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}

@@ -1,0 +1,83 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+)
+
+// fakeSource maps nodes to canned actuals for renderer tests.
+type fakeSource map[Node]Actuals
+
+func (f fakeSource) Actuals(n Node) (Actuals, bool) {
+	a, ok := f[n]
+	return a, ok
+}
+
+// Regression for the estimate-hiding bug: an optimizer-annotated node whose
+// estimates happen to be rows=0 cost=0 (e.g. a provably empty scan) must
+// still render "(rows=0 cost=0)" instead of silently dropping the
+// annotation.
+func TestExplainShowsZeroEstimates(t *testing.T) {
+	_, _, s := fixture(t)
+	sc := NewScan(s, 1)
+	SetEstimates(sc, 0, 0)
+	out := Explain(sc)
+	if !strings.Contains(out, "(rows=0 cost=0)") {
+		t.Fatalf("annotated rows=0 cost=0 node rendered unannotated:\n%s", out)
+	}
+	// And genuinely unannotated nodes still render bare.
+	bare := NewScan(s, 2)
+	if strings.Contains(Explain(bare), "rows=") {
+		t.Fatalf("unannotated node grew estimates:\n%s", Explain(bare))
+	}
+}
+
+func TestExplainAnalyzeRendersActuals(t *testing.T) {
+	_, r, _ := fixture(t)
+	ds := NewDynamicScan(r, 1, 0)
+	SetEstimates(ds, 120, 40)
+	sel := NewPartitionSelector(r, 0, nil, nil)
+	seq := NewSequence(sel, ds)
+	gather := NewMotion(GatherMotion, nil, seq)
+
+	src := fakeSource{
+		gather: {Started: true, Instances: 1, RowsOut: 30, Nanos: 1500000},
+		seq:    {Started: true, Instances: 4, RowsOut: 30, Nanos: 1200000},
+		sel:    {Started: true, Instances: 4, PartsSelected: 3, PartsTotal: 10},
+		ds: {Started: true, Instances: 4, RowsOut: 30, RowsRead: 30, Nanos: 900000,
+			PartsSelected: 3, PartsTotal: 10, SpillBytes: 2048, SpillParts: 2, PeakBytes: 4096},
+	}
+	out := ExplainAnalyze(gather, src)
+	for _, want := range []string{
+		"Gather Motion  (actual rows=30 loops=1",
+		"(rows=120 cost=40)  (actual rows=30 loops=4",
+		"Partitions selected: 3 (out of 10)",
+		"Rows read from storage: 30",
+		"Spilled: 2.0KiB in 2 part(s)",
+		"Peak memory: 4.0KiB per instance",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ExplainAnalyze missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainAnalyzeMarksNeverExecuted(t *testing.T) {
+	_, _, s := fixture(t)
+	sc := NewScan(s, 1)
+	skipped := NewScan(s, 2)
+	ap := NewAppend(sc, skipped)
+	src := fakeSource{
+		ap:      {Started: true, Instances: 4, RowsOut: 8},
+		sc:      {Started: true, Instances: 4, RowsOut: 8},
+		skipped: {}, // instrumented but no instance opened it
+	}
+	out := ExplainAnalyze(ap, src)
+	if !strings.Contains(out, "(never executed)") {
+		t.Fatalf("skipped child not marked:\n%s", out)
+	}
+	// A node absent from the source renders without any actuals clause.
+	if n := strings.Count(out, "actual rows="); n != 2 {
+		t.Fatalf("want 2 actual clauses, got %d:\n%s", n, out)
+	}
+}

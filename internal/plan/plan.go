@@ -29,6 +29,10 @@ const RowIDOrd = -1
 type Props struct {
 	Rows float64 // estimated output rows
 	Cost float64 // estimated cumulative cost
+	// HasEst distinguishes "the optimizer annotated this node" from "no
+	// annotation": an annotated rows=0 cost=0 node (e.g. a provably empty
+	// scan) must still render its estimates.
+	HasEst bool
 }
 
 // Node is a physical plan operator.
@@ -54,6 +58,7 @@ func (b *base) props() *Props { return &b.P }
 func SetEstimates(n Node, rows, cost float64) {
 	p := n.props()
 	p.Rows, p.Cost = rows, cost
+	p.HasEst = true
 }
 
 // Estimates reads a node's annotations.
@@ -61,6 +66,10 @@ func Estimates(n Node) (rows, cost float64) {
 	p := n.props()
 	return p.Rows, p.Cost
 }
+
+// HasEstimates reports whether the optimizer annotated the node. Zero
+// estimates on an annotated node are real estimates, not absence.
+func HasEstimates(n Node) bool { return n.props().HasEst }
 
 // tableLayout builds the layout of a base-table scan: every table column at
 // its ordinal, plus the RowID pseudo-column appended when requested.

@@ -27,6 +27,7 @@ import (
 	"partopt/internal/legacy"
 	"partopt/internal/logical"
 	"partopt/internal/mem"
+	"partopt/internal/obs"
 	"partopt/internal/orca"
 	"partopt/internal/plan"
 	"partopt/internal/sql"
@@ -79,7 +80,7 @@ func New(segments int) (*Engine, error) {
 	return &Engine{
 		cat:      catalog.New(),
 		store:    st,
-		rt:       &exec.Runtime{Store: st},
+		rt:       &exec.Runtime{Store: st, Obs: obs.NewRegistry()},
 		segments: segments,
 	}, nil
 }
@@ -226,6 +227,14 @@ type Rows struct {
 	SpilledBytes int64 // bytes operators wrote to spill files
 	SpillParts   int64 // spill partitions and sort runs created
 	PlanSize     int   // serialized plan bytes (the Figure 18 metric)
+
+	// OpStats is the per-operator runtime tree of the executed plan (the
+	// main plan, for the legacy planner's multi-plan executions). On an
+	// aborted query it carries the partial work done before the abort.
+	OpStats *OpStats
+	// ExplainAnalyze is the plan annotated with runtime actuals, rendered
+	// as EXPLAIN ANALYZE text.
+	ExplainAnalyze string
 }
 
 // Query parses, plans and executes a SELECT, binding args to $1, $2, ...
@@ -400,6 +409,8 @@ func (e *Engine) run(ctx context.Context, bound *sql.Bound, args []Value) (*Rows
 		for _, tname := range stats.TablesScanned() {
 			out.PartsScanned[tname] = stats.PartsScanned(tname)
 		}
+		out.OpStats = buildOpStats(node, stats)
+		out.ExplainAnalyze = renderAnalyze(node, pl, stats)
 	}
 
 	var res *exec.Result
