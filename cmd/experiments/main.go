@@ -7,9 +7,14 @@
 //	Figure 17    — runtime improvement with partition selection enabled
 //	Figure 18a-c — plan-size scaling: static, dynamic, and DML plans
 //
+// With -json, each experiment additionally writes its headline metrics to
+// BENCH_<name>.json in -json-dir (default: current directory) using the
+// stable {experiment, metric, value, unit} record schema, so the repo can
+// track its performance trajectory commit over commit.
+//
 // Usage:
 //
-//	experiments [-segments N] [-rows N] [-sales N] [-iters N] [-only table2|table3|fig16|fig17|fig18]
+//	experiments [-segments N] [-rows N] [-sales N] [-iters N] [-only table2|table3|fig16|fig17|fig18] [-json] [-json-dir DIR]
 package main
 
 import (
@@ -28,17 +33,26 @@ func main() {
 	sales := flag.Int("sales", 40, "star-schema sales rows per day")
 	iters := flag.Int("iters", 5, "timing iterations (fastest run wins)")
 	only := flag.String("only", "", "run a single experiment (table2|table3|fig16|fig17|fig18)")
+	jsonOut := flag.Bool("json", false, "write BENCH_<name>.json files with the headline metrics")
+	jsonDir := flag.String("json-dir", ".", "directory for -json output files")
 	flag.Parse()
 
 	want := func(name string) bool { return *only == "" || *only == name }
 	starCfg := workload.DefaultStarConfig()
 	starCfg.SalesPerDay = *sales
 
+	emit := func(name string, recs []benchRecord) {
+		if *jsonOut {
+			fatalIf(writeBenchJSON(*jsonDir, name, recs))
+		}
+	}
+
 	if want("table2") {
 		fmt.Println("== Table 2 ==============================================================")
 		t2, err := bench.RunTable2(bench.Table2Config{Rows: *rows, Segments: *segments, Iters: *iters})
 		fatalIf(err)
 		fmt.Println(bench.FormatTable2(t2))
+		emit("table2", table2Records(t2, *rows))
 	}
 
 	var stats []bench.QueryStat
@@ -56,10 +70,13 @@ func main() {
 			fmt.Printf("%-24s %-16s %6d %6d %6d\n", s.Name, s.Fact, s.TotalParts, s.OrcaParts, s.LegacyParts)
 		}
 		fmt.Println()
+		emit("table3", table3Records(stats))
 	}
 	if want("fig16") {
 		fmt.Println("== Figure 16 ============================================================")
-		fmt.Println(bench.FormatFigure16(bench.Figure16(stats)))
+		f16 := bench.Figure16(stats)
+		fmt.Println(bench.FormatFigure16(f16))
+		emit("fig16", fig16Records(f16))
 	}
 
 	if want("fig17") {
@@ -67,6 +84,7 @@ func main() {
 		f17, err := bench.RunFigure17(starCfg, *segments, *iters)
 		fatalIf(err)
 		fmt.Println(bench.FormatFigure17(f17))
+		emit("fig17", fig17Records(f17))
 	}
 
 	if want("fig18") {
@@ -76,16 +94,19 @@ func main() {
 		fmt.Println(bench.FormatFigure18(
 			"Figure 18(a): static partition elimination — plan size",
 			"% of partitions scanned", a))
+		emit("fig18a", fig18Records("fig18a", a))
 		b, err := bench.RunFigure18b(*segments)
 		fatalIf(err)
 		fmt.Println(bench.FormatFigure18(
 			"Figure 18(b): dynamic partition elimination — plan size",
 			"partitions per table", b))
+		emit("fig18b", fig18Records("fig18b", b))
 		c, err := bench.RunFigure18c(*segments)
 		fatalIf(err)
 		fmt.Println(bench.FormatFigure18(
 			"Figure 18(c): DML update join — plan size",
 			"partitions per table", c))
+		emit("fig18c", fig18Records("fig18c", c))
 	}
 
 	if *only != "" && !isKnown(*only) {

@@ -1,0 +1,170 @@
+package exec
+
+import (
+	"errors"
+
+	"partopt/internal/types"
+)
+
+// Batch-at-a-time execution protocol.
+//
+// Row-at-a-time Volcano iteration pays an abort poll, a fault-point check,
+// stats accounting and an interface dispatch per tuple. BatchOperator
+// amortizes all of that to once per batch: operators hand whole []types.Row
+// slices up the tree and per-row work shrinks to the actual data movement.
+//
+// Ownership contract:
+//
+//   - Rows inside a returned batch are immutable and stable: a consumer may
+//     retain individual row headers (hash-join build tables, sort buffers,
+//     the coordinator's result set) indefinitely. Producers never reuse the
+//     datum storage behind emitted rows.
+//   - The Batch itself (the *Batch and its Rows slice header) is transient:
+//     it is valid only until the next NextBatch or Close call on the same
+//     operator. Consumers that need the slice beyond that must copy the
+//     headers out. Truncating b.Rows in place (limitOp) is permitted — the
+//     producer resets the header on its next call.
+//   - A returned batch holds at least one row; end of stream is (nil, errEOF)
+//     like the row protocol. Operators that filter (filterOp) keep pulling
+//     child batches until they can return a non-empty batch.
+//   - An operator instance is driven through exactly one of the two
+//     interfaces between Open and Close; mixing Next and NextBatch on the
+//     same instance is undefined. (Materializing operators may consume their
+//     children in batch mode regardless of how they are driven themselves —
+//     each parent→child edge independently commits to one mode.)
+
+// DefaultBatchSize is the standard batch capacity. 1024 rows keeps a batch
+// of small rows comfortably inside the L2 cache while amortizing per-batch
+// bookkeeping to noise.
+const DefaultBatchSize = 1024
+
+// execBatchSize is the active batch capacity. It is a package variable (not
+// a constant) so equivalence tests can sweep degenerate sizes; the engine
+// never mutates it mid-query.
+var execBatchSize = DefaultBatchSize
+
+// SetBatchSize overrides the batch capacity (test hook; n < 1 is pinned to
+// 1). It returns the previous value so tests can restore it.
+func SetBatchSize(n int) int {
+	prev := execBatchSize
+	if n < 1 {
+		n = 1
+	}
+	execBatchSize = n
+	return prev
+}
+
+// BatchSize returns the active batch capacity.
+func BatchSize() int { return execBatchSize }
+
+// Batch is one unit of batched data flow: a slice of rows plus the reusable
+// header storage behind it. See the ownership contract above.
+type Batch struct {
+	Rows []types.Row
+}
+
+// Len returns the number of rows, tolerating a nil batch.
+func (b *Batch) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.Rows)
+}
+
+// reset empties the batch for refilling, keeping the header capacity.
+func (b *Batch) reset() { b.Rows = b.Rows[:0] }
+
+// BatchOperator is the vectorized side of the executor. Open and Close are
+// shared with Operator; NextBatch replaces Next.
+type BatchOperator interface {
+	Open(ctx *Ctx) error
+	NextBatch(ctx *Ctx) (*Batch, error)
+	Close(ctx *Ctx) error
+}
+
+// batchOf adapts any operator to the batch protocol: batch-native operators
+// are returned as-is, row-only operators get a pulling adapter.
+func batchOf(op Operator) BatchOperator {
+	if b, ok := op.(BatchOperator); ok {
+		return b
+	}
+	return &rowSourceBatcher{src: op}
+}
+
+// rowsOf is the inverse adapter: batch-native sources appear as row
+// iterators, so row-at-a-time consumers compose with them freely.
+func rowsOf(bop BatchOperator) Operator {
+	if op, ok := bop.(Operator); ok {
+		return op
+	}
+	return &batchRowSource{src: bop}
+}
+
+// rowSourceBatcher drives a row-at-a-time operator and accumulates its rows
+// into reused batch headers.
+type rowSourceBatcher struct {
+	src Operator
+	buf Batch
+}
+
+func (a *rowSourceBatcher) Open(ctx *Ctx) error { return a.src.Open(ctx) }
+
+func (a *rowSourceBatcher) NextBatch(ctx *Ctx) (*Batch, error) {
+	a.buf.reset()
+	for len(a.buf.Rows) < execBatchSize {
+		row, err := a.src.Next(ctx)
+		if errors.Is(err, errEOF) {
+			if len(a.buf.Rows) == 0 {
+				return nil, errEOF
+			}
+			return &a.buf, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		a.buf.Rows = append(a.buf.Rows, row)
+	}
+	return &a.buf, nil
+}
+
+func (a *rowSourceBatcher) Close(ctx *Ctx) error { return a.src.Close(ctx) }
+
+// batchCursor iterates the rows of successive batches from a batch source.
+// Operators that stream rows out of a batched child (hash-join probe, the
+// row-protocol adapter) share it.
+type batchCursor struct {
+	cur *Batch
+	pos int
+}
+
+func (c *batchCursor) next(ctx *Ctx, src BatchOperator) (types.Row, error) {
+	for c.cur == nil || c.pos >= len(c.cur.Rows) {
+		b, err := src.NextBatch(ctx)
+		if err != nil {
+			return nil, err // includes EOF
+		}
+		c.cur, c.pos = b, 0
+	}
+	row := c.cur.Rows[c.pos]
+	c.pos++
+	return row, nil
+}
+
+func (c *batchCursor) reset() { c.cur, c.pos = nil, 0 }
+
+// batchRowSource presents a batch-native operator as a row iterator.
+type batchRowSource struct {
+	src BatchOperator
+	cur batchCursor
+}
+
+func (r *batchRowSource) Open(ctx *Ctx) error {
+	r.cur.reset()
+	return r.src.Open(ctx)
+}
+
+func (r *batchRowSource) Next(ctx *Ctx) (types.Row, error) {
+	return r.cur.next(ctx, r.src)
+}
+
+func (r *batchRowSource) Close(ctx *Ctx) error { return r.src.Close(ctx) }

@@ -1,0 +1,249 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"partopt/internal/fault"
+	"partopt/internal/plan"
+	"partopt/internal/types"
+)
+
+// rowOnly hides an operator's NextBatch so batchOf must fall back to the
+// pulling adapter.
+type rowOnly struct{ op Operator }
+
+func (r *rowOnly) Open(ctx *Ctx) error              { return r.op.Open(ctx) }
+func (r *rowOnly) Next(ctx *Ctx) (types.Row, error) { return r.op.Next(ctx) }
+func (r *rowOnly) Close(ctx *Ctx) error             { return r.op.Close(ctx) }
+
+// batchOnly hides an operator's Next so rowsOf must fall back to the cursor
+// adapter.
+type batchOnly struct{ op BatchOperator }
+
+func (b *batchOnly) Open(ctx *Ctx) error                { return b.op.Open(ctx) }
+func (b *batchOnly) NextBatch(ctx *Ctx) (*Batch, error) { return b.op.NextBatch(ctx) }
+func (b *batchOnly) Close(ctx *Ctx) error               { return b.op.Close(ctx) }
+
+func rowKeys(rows []types.Row) []string {
+	keys := make([]string, len(rows))
+	for i, r := range rows {
+		keys[i] = fmt.Sprint(r)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// The two adapters are exact inverses: a row-only source batched through
+// rowSourceBatcher, then unbatched through batchRowSource, yields the same
+// row sequence as driving the operator directly — across batch sizes that
+// divide the input, don't, and degenerate to one row per batch.
+func TestBatchAdapterRoundTrip(t *testing.T) {
+	for _, bs := range []int{1, 7, DefaultBatchSize} {
+		t.Run(fmt.Sprintf("batch=%d", bs), func(t *testing.T) {
+			defer SetBatchSize(SetBatchSize(bs))
+			rt, tab := failFixture(t)
+			budget := rt.Gov.NewBudget()
+			defer budget.Close()
+			ctx := newCtx(rt, 0, nil, NewStats(), context.Background(), budget)
+
+			direct := &scanOp{n: plan.NewScan(tab, 1)}
+			if err := direct.Open(ctx); err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			var want []types.Row
+			for {
+				row, err := direct.Next(ctx)
+				if errors.Is(err, errEOF) {
+					break
+				}
+				if err != nil {
+					t.Fatalf("next: %v", err)
+				}
+				want = append(want, row)
+			}
+			direct.Close(ctx)
+			if len(want) == 0 {
+				t.Fatalf("fixture scan is empty")
+			}
+
+			// Round trip: row-only → batched → row-only again.
+			src := rowsOf(&batchOnly{op: batchOf(&rowOnly{op: &scanOp{n: plan.NewScan(tab, 1)}})})
+			if _, ok := src.(*batchRowSource); !ok {
+				t.Fatalf("rowsOf(batch-only) = %T, want *batchRowSource", src)
+			}
+			if err := src.Open(ctx); err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			var got []types.Row
+			for {
+				row, err := src.Next(ctx)
+				if errors.Is(err, errEOF) {
+					break
+				}
+				if err != nil {
+					t.Fatalf("next: %v", err)
+				}
+				got = append(got, row)
+			}
+			src.Close(ctx)
+
+			if len(got) != len(want) {
+				t.Fatalf("round trip produced %d rows, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if fmt.Sprint(got[i]) != fmt.Sprint(want[i]) {
+					t.Fatalf("row %d = %v, want %v (order must be preserved)", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// Batches returned by the pulling adapter respect the configured capacity
+// and are never empty.
+func TestBatchSizeRespected(t *testing.T) {
+	defer SetBatchSize(SetBatchSize(7))
+	rt, tab := failFixture(t)
+	budget := rt.Gov.NewBudget()
+	defer budget.Close()
+	ctx := newCtx(rt, 0, nil, NewStats(), context.Background(), budget)
+
+	// The segment's true row count, from a plain row-mode scan.
+	direct := &scanOp{n: plan.NewScan(tab, 1)}
+	if err := direct.Open(ctx); err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	want := 0
+	for {
+		if _, err := direct.Next(ctx); errors.Is(err, errEOF) {
+			break
+		} else if err != nil {
+			t.Fatalf("next: %v", err)
+		}
+		want++
+	}
+	direct.Close(ctx)
+
+	bop := batchOf(&rowOnly{op: &scanOp{n: plan.NewScan(tab, 1)}})
+	if err := bop.Open(ctx); err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer bop.Close(ctx)
+	total := 0
+	for {
+		b, err := bop.NextBatch(ctx)
+		if errors.Is(err, errEOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("next batch: %v", err)
+		}
+		if b.Len() == 0 {
+			t.Fatalf("adapter returned an empty batch")
+		}
+		if b.Len() > 7 {
+			t.Fatalf("batch of %d rows exceeds capacity 7", b.Len())
+		}
+		total += b.Len()
+	}
+	if total != want || want == 0 {
+		t.Fatalf("saw %d rows, want %d", total, want)
+	}
+}
+
+// A full distributed query — scans, broadcast, hash join, gather — produces
+// the identical result set and identical storage-read counts at every batch
+// size, including the degenerate size 1 where every batch boundary the
+// protocol has is exercised.
+func TestBatchSizeEquivalence(t *testing.T) {
+	rt, tab := failFixture(t)
+	golden, err := Run(rt, chaosPlan(tab), nil)
+	if err != nil {
+		t.Fatalf("golden run: %v", err)
+	}
+	wantKeys := rowKeys(golden.Rows)
+	wantScanned := golden.Stats.RowsScanned()
+
+	for _, bs := range []int{1, 3, 64, DefaultBatchSize} {
+		t.Run(fmt.Sprintf("batch=%d", bs), func(t *testing.T) {
+			defer SetBatchSize(SetBatchSize(bs))
+			rt2, tab2 := failFixture(t)
+			res, err := Run(rt2, chaosPlan(tab2), nil)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			gotKeys := rowKeys(res.Rows)
+			if len(gotKeys) != len(wantKeys) {
+				t.Fatalf("rows = %d, want %d", len(gotKeys), len(wantKeys))
+			}
+			for i := range wantKeys {
+				if gotKeys[i] != wantKeys[i] {
+					t.Fatalf("row multiset diverges at %d: %s vs %s", i, gotKeys[i], wantKeys[i])
+				}
+			}
+			if got := res.Stats.RowsScanned(); got != wantScanned {
+				t.Fatalf("rows scanned = %d, want %d", got, wantScanned)
+			}
+		})
+	}
+}
+
+// Batched operators still honor cancellation and fault injection at every
+// batch size: a probability-1 delay rule on the per-batch OpNext point must
+// both fire and be interrupted by the caller's cancel.
+func TestBatchedOperatorsHonorCancellation(t *testing.T) {
+	for _, bs := range []int{1, DefaultBatchSize} {
+		t.Run(fmt.Sprintf("batch=%d", bs), func(t *testing.T) {
+			defer SetBatchSize(SetBatchSize(bs))
+			rt, tab := failFixture(t)
+			inj := fault.NewInjector(1)
+			inj.Arm(fault.Rule{Point: fault.OpNext, Kind: fault.KindDelay, Seg: fault.AnySeg, Prob: 1, Delay: 10 * time.Second})
+			rt.Faults = inj
+
+			ctx, cancel := context.WithCancel(context.Background())
+			go func() {
+				time.Sleep(30 * time.Millisecond)
+				cancel()
+			}()
+			start := time.Now()
+			_, err := RunCtx(ctx, rt, chaosPlan(tab), nil)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want Canceled", err)
+			}
+			if elapsed := time.Since(start); elapsed > 5*time.Second {
+				t.Fatalf("cancellation ignored for %v", elapsed)
+			}
+			if inj.Triggered() == 0 {
+				t.Fatalf("per-batch fault point never fired")
+			}
+		})
+	}
+}
+
+// A permanent fault on the per-batch OpNext point fails the query with full
+// provenance regardless of batch size.
+func TestBatchedOperatorsHonorFaults(t *testing.T) {
+	for _, bs := range []int{1, DefaultBatchSize} {
+		t.Run(fmt.Sprintf("batch=%d", bs), func(t *testing.T) {
+			defer SetBatchSize(SetBatchSize(bs))
+			rt, tab := failFixture(t)
+			inj := fault.NewInjector(3)
+			inj.Arm(fault.Rule{Point: fault.OpNext, Kind: fault.KindError, Seg: 2, After: 1, Once: true})
+			rt.Faults = inj
+
+			_, err := Run(rt, chaosPlan(tab), nil)
+			if err == nil {
+				t.Fatalf("injected fault returned success")
+			}
+			var qe *QueryError
+			if !errors.As(err, &qe) || qe.Seg != 2 {
+				t.Fatalf("fault provenance lost: %v", err)
+			}
+		})
+	}
+}

@@ -250,18 +250,29 @@ func (c *Ctx) release(n int64) {
 	c.attributeRelease(n)
 }
 
-// accountRow attributes one motion-buffered row to the query (no denial;
+// chunkBytes sums the memory footprint of a motion chunk. Both sides of an
+// exchange recompute it deterministically from the rows, so account and
+// release always agree without shipping the figure alongside the chunk.
+func chunkBytes(rows []types.Row) int64 {
+	var n int64
+	for _, row := range rows {
+		n += mem.RowBytes(row)
+	}
+	return n
+}
+
+// accountChunk attributes one motion-buffered chunk to the query (no denial;
 // raises pressure so spillable operators yield memory sooner).
-func (c *Ctx) accountRow(row types.Row) {
+func (c *Ctx) accountChunk(rows []types.Row) {
 	if c.budget != nil {
-		c.budget.Account(mem.RowBytes(row))
+		c.budget.Account(chunkBytes(rows))
 	}
 }
 
-// releaseRow undoes accountRow once the row leaves the motion buffer.
-func (c *Ctx) releaseRow(row types.Row) {
+// releaseChunk undoes accountChunk once the chunk leaves the motion buffer.
+func (c *Ctx) releaseChunk(rows []types.Row) {
 	if c.budget != nil {
-		c.budget.Release(mem.RowBytes(row))
+		c.budget.Release(chunkBytes(rows))
 	}
 }
 
@@ -273,6 +284,22 @@ const abortPollInterval = 64
 func (c *Ctx) pollAbort() error {
 	c.polls++
 	if c.polls&(abortPollInterval-1) != 0 || c.done == nil {
+		return nil
+	}
+	select {
+	case <-c.done:
+		return errQueryAborted
+	default:
+		return nil
+	}
+}
+
+// pollAbortBatch samples the query context once per batch. Unlike pollAbort
+// it checks on every call: a batch already amortizes hundreds of rows, so
+// the select is cheap and cancellation latency stays bounded by one batch
+// rather than abortPollInterval of them.
+func (c *Ctx) pollAbortBatch() error {
+	if c.done == nil {
 		return nil
 	}
 	select {

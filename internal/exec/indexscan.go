@@ -18,6 +18,9 @@ type indexScanOp struct {
 	rows []types.Row
 	ids  []storage.RowID
 	pos  int
+
+	batch Batch
+	idBuf []types.Row
 }
 
 // deriveIndexSet turns the scan predicate into the indexed column's
@@ -60,6 +63,27 @@ func (s *indexScanOp) Next(ctx *Ctx) (types.Row, error) {
 	return row, nil
 }
 
+func (s *indexScanOp) NextBatch(ctx *Ctx) (*Batch, error) {
+	if err := ctx.pollAbortBatch(); err != nil {
+		return nil, err
+	}
+	if s.pos >= len(s.rows) {
+		return nil, errEOF
+	}
+	end := s.pos + execBatchSize
+	if end > len(s.rows) {
+		end = len(s.rows)
+	}
+	out := s.rows[s.pos:end]
+	if s.n.WithRowID {
+		s.idBuf = withRowIDs(out, s.ids[s.pos:end], 0, 0, 0, s.idBuf)
+		out = s.idBuf
+	}
+	s.pos = end
+	s.batch.Rows = out
+	return &s.batch, nil
+}
+
 func (s *indexScanOp) Close(*Ctx) error { s.rows = nil; return nil }
 
 // dynIndexScanOp is the partitioned variant: partition selection chooses
@@ -72,6 +96,9 @@ type dynIndexScanOp struct {
 	rows   []types.Row
 	ids    []storage.RowID
 	pos    int
+
+	batch Batch
+	idBuf []types.Row
 }
 
 func (s *dynIndexScanOp) Open(ctx *Ctx) error {
@@ -120,6 +147,37 @@ func (s *dynIndexScanOp) Next(ctx *Ctx) (types.Row, error) {
 	}
 	s.pos++
 	return row, nil
+}
+
+func (s *dynIndexScanOp) NextBatch(ctx *Ctx) (*Batch, error) {
+	if err := ctx.pollAbortBatch(); err != nil {
+		return nil, err
+	}
+	for s.pos >= len(s.rows) {
+		if s.li >= len(s.leaves) {
+			return nil, errEOF
+		}
+		leaf := s.leaves[s.li]
+		s.li++
+		rows, ids, err := ctx.Rt.Store.IndexLookup(s.n.Table, s.n.Index.Name, ctx.Seg, leaf, s.set)
+		if err != nil {
+			return nil, err
+		}
+		ctx.noteRowsScanned(int64(len(rows)))
+		s.rows, s.ids, s.pos = rows, ids, 0
+	}
+	end := s.pos + execBatchSize
+	if end > len(s.rows) {
+		end = len(s.rows)
+	}
+	out := s.rows[s.pos:end]
+	if s.n.WithRowID {
+		s.idBuf = withRowIDs(out, s.ids[s.pos:end], 0, 0, 0, s.idBuf)
+		out = s.idBuf
+	}
+	s.pos = end
+	s.batch.Rows = out
+	return &s.batch, nil
 }
 
 func (s *dynIndexScanOp) Close(*Ctx) error { s.rows, s.leaves = nil, nil; return nil }

@@ -57,18 +57,32 @@ type hashJoinOp struct {
 	curProbe types.Row
 	matches  []types.Row
 	mi       int
+
+	// Batch-mode state: the probe side is always consumed in batches; the
+	// envs are instance-owned so key hashing and residual evaluation do not
+	// allocate per row.
+	probeB   BatchOperator
+	probeCur batchCursor
+	benv     expr.Env // build-layout env (hashing, key equality)
+	penv     expr.Env // probe-layout env
+	resEnv   expr.Env // concat-layout env (residual predicate)
+	out      Batch    // reused output header for NextBatch
 }
 
 func (j *hashJoinOp) Open(ctx *Ctx) (err error) {
 	j.buildLayout = j.n.Build.Layout()
 	j.probeLayout = j.n.Probe.Layout()
 	j.outLayout = j.n.Layout()
+	j.benv = expr.Env{Layout: j.buildLayout, Params: ctx.Params.Vals}
+	j.penv = expr.Env{Layout: j.probeLayout, Params: ctx.Params.Vals}
+	j.resEnv = expr.Env{Layout: j.outer(), Params: ctx.Params.Vals}
 	j.table = map[uint64][]types.Row{}
 	j.tableBytes = 0
 	j.spilled = false
 	j.buildParts, j.probeParts = nil, nil
 	j.part, j.partReader = 0, nil
 	j.curProbe, j.matches, j.mi = nil, nil, 0
+	j.probeB, j.probeCur = nil, batchCursor{}
 	// A failed Open tears the operator down itself: the executor only
 	// closes operators whose Open succeeded, and an abort must not leak the
 	// hash table, spill files, or running children.
@@ -82,34 +96,40 @@ func (j *hashJoinOp) Open(ctx *Ctx) (err error) {
 		return err
 	}
 	j.buildOpen = true
+	buildB := batchOf(j.build)
 	for {
-		row, err := j.build.Next(ctx)
+		b, err := buildB.NextBatch(ctx)
 		if errors.Is(err, errEOF) {
 			break
 		}
 		if err != nil {
 			return err
 		}
-		h, null, err := j.keyHash(j.n.BuildKeys, j.buildLayout, row, ctx)
-		if err != nil {
+		if err := ctx.pollAbortBatch(); err != nil {
 			return err
 		}
-		if null {
-			continue // NULL keys never join
-		}
-		if !j.spilled {
-			rb := mem.RowBytes(row)
-			if ctx.reserve(rb) == nil {
-				j.tableBytes += rb
-				j.table[h] = append(j.table[h], row)
-				continue
-			}
-			if err := j.spillResidentTable(ctx); err != nil {
+		for _, row := range b.Rows {
+			h, null, err := j.hashWith(&j.benv, j.n.BuildKeys, row)
+			if err != nil {
 				return err
 			}
-		}
-		if err := j.buildParts[int(h%spillFanout)].Write(row); err != nil {
-			return err
+			if null {
+				continue // NULL keys never join
+			}
+			if !j.spilled {
+				rb := mem.RowBytes(row)
+				if ctx.reserve(rb) == nil {
+					j.tableBytes += rb
+					j.table[h] = append(j.table[h], row)
+					continue
+				}
+				if err := j.spillResidentTable(ctx); err != nil {
+					return err
+				}
+			}
+			if err := j.buildParts[int(h%spillFanout)].Write(row); err != nil {
+				return err
+			}
 		}
 	}
 	if err := j.build.Close(ctx); err != nil {
@@ -122,28 +142,34 @@ func (j *hashJoinOp) Open(ctx *Ctx) (err error) {
 		return err
 	}
 	j.probeOpen = true
+	j.probeB = batchOf(j.probe)
 	if !j.spilled {
 		return nil // stream the probe side directly in Next
 	}
 	// Spilled: partition the probe side the same way, then join
 	// partition-at-a-time in Next.
 	for {
-		row, err := j.probe.Next(ctx)
+		b, err := j.probeB.NextBatch(ctx)
 		if errors.Is(err, errEOF) {
 			break
 		}
 		if err != nil {
 			return err
 		}
-		h, null, err := j.keyHash(j.n.ProbeKeys, j.probeLayout, row, ctx)
-		if err != nil {
+		if err := ctx.pollAbortBatch(); err != nil {
 			return err
 		}
-		if null {
-			continue // NULL keys never join
-		}
-		if err := j.probeParts[int(h%spillFanout)].Write(row); err != nil {
-			return err
+		for _, row := range b.Rows {
+			h, null, err := j.hashWith(&j.penv, j.n.ProbeKeys, row)
+			if err != nil {
+				return err
+			}
+			if null {
+				continue // NULL keys never join
+			}
+			if err := j.probeParts[int(h%spillFanout)].Write(row); err != nil {
+				return err
+			}
 		}
 	}
 	if err := j.probe.Close(ctx); err != nil {
@@ -233,7 +259,7 @@ func (j *hashJoinOp) loadPartition(ctx *Ctx, p int) error {
 			return err
 		}
 		j.tableBytes += rb
-		h, _, err := j.keyHash(j.n.BuildKeys, j.buildLayout, row, ctx)
+		h, _, err := j.hashWith(&j.benv, j.n.BuildKeys, row)
 		if err != nil {
 			return err
 		}
@@ -267,7 +293,7 @@ func (j *hashJoinOp) finishPartition(ctx *Ctx, p int) {
 // advancing (and reclaiming) partitions as they drain — when spilled.
 func (j *hashJoinOp) nextProbe(ctx *Ctx) (types.Row, error) {
 	if !j.spilled {
-		return j.probe.Next(ctx)
+		return j.probeCur.next(ctx, j.probeB)
 	}
 	for {
 		if err := ctx.pollAbort(); err != nil {
@@ -291,8 +317,9 @@ func (j *hashJoinOp) nextProbe(ctx *Ctx) (types.Row, error) {
 	}
 }
 
-func (j *hashJoinOp) keyHash(keys []expr.Expr, layout expr.Layout, row types.Row, ctx *Ctx) (uint64, bool, error) {
-	env := &expr.Env{Layout: layout, Row: row, Params: ctx.Params.Vals}
+// hashWith hashes the key expressions of one row through a reused env.
+func (j *hashJoinOp) hashWith(env *expr.Env, keys []expr.Expr, row types.Row) (uint64, bool, error) {
+	env.Row = row
 	h := types.HashSeed
 	for _, k := range keys {
 		v, err := expr.Eval(k, env)
@@ -308,15 +335,14 @@ func (j *hashJoinOp) keyHash(keys []expr.Expr, layout expr.Layout, row types.Row
 }
 
 // keysEqual verifies a hash match against actual key values.
-func (j *hashJoinOp) keysEqual(buildRow, probeRow types.Row, ctx *Ctx) (bool, error) {
-	benv := &expr.Env{Layout: j.buildLayout, Row: buildRow, Params: ctx.Params.Vals}
-	penv := &expr.Env{Layout: j.probeLayout, Row: probeRow, Params: ctx.Params.Vals}
+func (j *hashJoinOp) keysEqual(buildRow, probeRow types.Row) (bool, error) {
+	j.benv.Row, j.penv.Row = buildRow, probeRow
 	for i := range j.n.BuildKeys {
-		bv, err := expr.Eval(j.n.BuildKeys[i], benv)
+		bv, err := expr.Eval(j.n.BuildKeys[i], &j.benv)
 		if err != nil {
 			return false, err
 		}
-		pv, err := expr.Eval(j.n.ProbeKeys[i], penv)
+		pv, err := expr.Eval(j.n.ProbeKeys[i], &j.penv)
 		if err != nil {
 			return false, err
 		}
@@ -334,11 +360,12 @@ func (j *hashJoinOp) concat(buildRow, probeRow types.Row) types.Row {
 	return out
 }
 
-func (j *hashJoinOp) residualOK(joined types.Row, ctx *Ctx) (bool, error) {
+func (j *hashJoinOp) residualOK(joined types.Row) (bool, error) {
 	if j.n.Residual == nil {
 		return true, nil
 	}
-	return expr.EvalPred(j.n.Residual, &expr.Env{Layout: j.outer(), Row: joined, Params: ctx.Params.Vals})
+	j.resEnv.Row = joined
+	return expr.EvalPred(j.n.Residual, &j.resEnv)
 }
 
 // outer returns the layout of the concatenated build++probe row, which is
@@ -347,14 +374,40 @@ func (j *hashJoinOp) outer() expr.Layout {
 	return expr.Concat(j.buildLayout, j.probeLayout)
 }
 
-func (j *hashJoinOp) Next(ctx *Ctx) (types.Row, error) {
+func (j *hashJoinOp) Next(ctx *Ctx) (types.Row, error) { return j.nextRow(ctx) }
+
+// NextBatch accumulates joined rows into a reused output batch. Joined rows
+// are freshly allocated (inner) or probe-row references (semi), so they are
+// stable; only the header is reused.
+func (j *hashJoinOp) NextBatch(ctx *Ctx) (*Batch, error) {
+	if err := ctx.pollAbortBatch(); err != nil {
+		return nil, err
+	}
+	j.out.reset()
+	for len(j.out.Rows) < execBatchSize {
+		row, err := j.nextRow(ctx)
+		if errors.Is(err, errEOF) {
+			if len(j.out.Rows) == 0 {
+				return nil, errEOF
+			}
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		j.out.Rows = append(j.out.Rows, row)
+	}
+	return &j.out, nil
+}
+
+func (j *hashJoinOp) nextRow(ctx *Ctx) (types.Row, error) {
 	for {
 		// Emit pending matches of the current probe row.
 		for j.mi < len(j.matches) {
 			b := j.matches[j.mi]
 			j.mi++
 			joined := j.concat(b, j.curProbe)
-			ok, err := j.residualOK(joined, ctx)
+			ok, err := j.residualOK(joined)
 			if err != nil {
 				return nil, err
 			}
@@ -373,7 +426,7 @@ func (j *hashJoinOp) Next(ctx *Ctx) (types.Row, error) {
 		if err != nil {
 			return nil, err // includes EOF
 		}
-		h, null, err := j.keyHash(j.n.ProbeKeys, j.probeLayout, probe, ctx)
+		h, null, err := j.hashWith(&j.penv, j.n.ProbeKeys, probe)
 		if err != nil {
 			return nil, err
 		}
@@ -382,7 +435,7 @@ func (j *hashJoinOp) Next(ctx *Ctx) (types.Row, error) {
 		}
 		var matches []types.Row
 		for _, b := range j.table[h] {
-			eq, err := j.keysEqual(b, probe, ctx)
+			eq, err := j.keysEqual(b, probe)
 			if err != nil {
 				return nil, err
 			}
@@ -482,6 +535,10 @@ type hashAggOp struct {
 	part    int // next partition to re-aggregate
 
 	childOpen bool
+
+	env    expr.Env  // reused per row
+	keyBuf types.Row // reused group-key probe buffer (cloned only on insert)
+	out    Batch     // reused output header for NextBatch
 }
 
 // aggStateBytes estimates one group's aggregation-state footprint.
@@ -491,6 +548,8 @@ func aggStateBytes(groupVals types.Row, naggs int) int64 {
 
 func (a *hashAggOp) Open(ctx *Ctx) (err error) {
 	a.layout = a.n.Child.Layout()
+	a.env = expr.Env{Layout: a.layout, Params: ctx.Params.Vals}
+	a.keyBuf = make(types.Row, len(a.n.Groups))
 	a.groups = map[uint64][]*aggState{}
 	a.order = nil
 	a.pos = 0
@@ -508,16 +567,22 @@ func (a *hashAggOp) Open(ctx *Ctx) (err error) {
 		return err
 	}
 	a.childOpen = true
+	childB := batchOf(a.child)
 	for {
-		row, err := a.child.Next(ctx)
+		b, err := childB.NextBatch(ctx)
 		if errors.Is(err, errEOF) {
 			break
 		}
 		if err != nil {
 			return err
 		}
-		if err := a.accumulate(row, ctx, false); err != nil {
+		if err := ctx.pollAbortBatch(); err != nil {
 			return err
+		}
+		for _, row := range b.Rows {
+			if err := a.accumulate(row, ctx, false); err != nil {
+				return err
+			}
 		}
 	}
 	if err := a.child.Close(ctx); err != nil {
@@ -559,11 +624,11 @@ func (a *hashAggOp) newState(groupVals types.Row) *aggState {
 // partition-re-aggregation pass, where new groups are the irreducible
 // working set (hard reservation, no further spilling).
 func (a *hashAggOp) accumulate(row types.Row, ctx *Ctx, hard bool) error {
-	env := &expr.Env{Layout: a.layout, Row: row, Params: ctx.Params.Vals}
-	groupVals := make(types.Row, len(a.n.Groups))
+	a.env.Row = row
+	groupVals := a.keyBuf // probe with the reused buffer; clone only on insert
 	h := types.HashSeed
 	for i, g := range a.n.Groups {
-		v, err := expr.Eval(g.E, env)
+		v, err := expr.Eval(g.E, &a.env)
 		if err != nil {
 			return err
 		}
@@ -585,6 +650,7 @@ func (a *hashAggOp) accumulate(row types.Row, ctx *Ctx, hard bool) error {
 		}
 	}
 	if st == nil {
+		groupVals = append(types.Row(nil), a.keyBuf...)
 		sb := aggStateBytes(groupVals, len(a.n.Aggs))
 		if hard {
 			if err := ctx.reserveHard(sb); err != nil {
@@ -615,7 +681,7 @@ func (a *hashAggOp) accumulate(row types.Row, ctx *Ctx, hard bool) error {
 			st.count[i]++
 			continue
 		}
-		v, err := expr.Eval(agg.Arg, env)
+		v, err := expr.Eval(agg.Arg, &a.env)
 		if err != nil {
 			return err
 		}
@@ -690,7 +756,32 @@ func (a *hashAggOp) loadNextPart(ctx *Ctx) (bool, error) {
 	return false, nil
 }
 
-func (a *hashAggOp) Next(ctx *Ctx) (types.Row, error) {
+func (a *hashAggOp) Next(ctx *Ctx) (types.Row, error) { return a.nextRow(ctx) }
+
+// NextBatch emits result groups batch-at-a-time. Emitted rows are freshly
+// allocated per group, so only the header is reused.
+func (a *hashAggOp) NextBatch(ctx *Ctx) (*Batch, error) {
+	if err := ctx.pollAbortBatch(); err != nil {
+		return nil, err
+	}
+	a.out.reset()
+	for len(a.out.Rows) < execBatchSize {
+		row, err := a.nextRow(ctx)
+		if errors.Is(err, errEOF) {
+			if len(a.out.Rows) == 0 {
+				return nil, errEOF
+			}
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		a.out.Rows = append(a.out.Rows, row)
+	}
+	return &a.out, nil
+}
+
+func (a *hashAggOp) nextRow(ctx *Ctx) (types.Row, error) {
 	for a.pos >= len(a.order) {
 		if !a.spilled {
 			return nil, errEOF

@@ -15,8 +15,17 @@ import (
 // set of per-receiver channels that all sender instances write into. The
 // sending side is driven by the child slice's goroutines (one per segment);
 // the receiving side appears as a motionRecvOp leaf in the parent slice.
+//
+// Rows cross the exchange in chunks of up to motionChunkRows, not one at a
+// time: each sender stages rows per receiver and flushes a staged buffer
+// when it fills or at EOF. Fault points, memory accounting, and row-moved
+// stats all fire once per chunk. Ownership of a flushed chunk passes to the
+// receiver — the sender allocates a fresh staging buffer for the next chunk.
 
-const motionBuffer = 256
+const (
+	motionChunkRows    = 64 // max rows per chunk shipped through a channel
+	motionBufferChunks = 8  // per-receiver channel buffer, in chunks
+)
 
 // exchange wires the sender instances of one Motion to its receivers.
 type exchange struct {
@@ -25,8 +34,8 @@ type exchange struct {
 	layout   expr.Layout // child row layout (for hashing)
 	fromSeg  int         // -1: all segments send; ≥0: only that segment
 
-	recvSegs []int                  // receiver pseudo-segments
-	chans    map[int]chan types.Row // receiver seg → fan-in channel
+	recvSegs []int                    // receiver pseudo-segments
+	chans    map[int]chan []types.Row // receiver seg → fan-in channel of chunks
 	senders  sync.WaitGroup
 	closed   sync.Once
 }
@@ -38,10 +47,10 @@ func newExchange(m *plan.Motion, recvSegs []int, senderCount int) *exchange {
 		layout:   m.Child.Layout(),
 		fromSeg:  m.FromSegment,
 		recvSegs: recvSegs,
-		chans:    map[int]chan types.Row{},
+		chans:    map[int]chan []types.Row{},
 	}
 	for _, seg := range recvSegs {
-		ex.chans[seg] = make(chan types.Row, motionBuffer)
+		ex.chans[seg] = make(chan []types.Row, motionBufferChunks)
 	}
 	ex.senders.Add(senderCount)
 	go func() {
@@ -59,83 +68,174 @@ func (ex *exchange) closeAll() {
 	})
 }
 
-// send routes one row from a sender instance. It aborts when quit closes.
-func (ex *exchange) send(ctx *Ctx, row types.Row) error {
-	switch ex.kind {
-	case plan.GatherMotion:
-		return ex.sendTo(ctx, ex.recvSegs[0], row)
-	case plan.BroadcastMotion:
-		for _, seg := range ex.recvSegs {
-			if err := ex.sendTo(ctx, seg, row); err != nil {
-				return err
-			}
-		}
-		return nil
-	case plan.RedistributeMotion:
-		env := &expr.Env{Layout: ex.layout, Row: row, Params: ctx.Params.Vals}
-		h := types.HashSeed
-		for _, k := range ex.hashKeys {
-			v, err := expr.Eval(k, env)
-			if err != nil {
-				return err
-			}
-			h = types.HashDatum(h, v)
-		}
-		seg := ex.recvSegs[int(h%uint64(len(ex.recvSegs)))]
-		return ex.sendTo(ctx, seg, row)
-	}
-	return fmt.Errorf("exec: unknown motion kind %d", ex.kind)
-}
-
-func (ex *exchange) sendTo(ctx *Ctx, seg int, row types.Row) error {
-	if err := ctx.hitFault(fault.MotionSend); err != nil {
-		return err
-	}
-	// Rows sitting in fan-in channels are query memory like any other: they
-	// are accounted against the budget while buffered (released by the
-	// receiver) so a wide redistribute can't hide queued rows from the
-	// governor. Accounting never denies — the channel buffer bounds it.
-	ctx.accountRow(row)
-	select {
-	case ex.chans[seg] <- row:
-		ctx.noteRowsMoved(1)
-		return nil
-	case <-ctx.done:
-		ctx.releaseRow(row)
-		return errQueryAborted
-	}
-}
-
 // senderDone signals this sender instance finished (EOF or error); when all
 // senders are done the receiver channels close.
 func (ex *exchange) senderDone() { ex.senders.Done() }
 
 var errQueryAborted = errors.New("exec: query aborted")
 
+// motionSender is one slice instance's sending half of an exchange. It owns
+// per-receiver staging buffers and a reusable hash environment, so routing a
+// row allocates nothing until a chunk flushes.
+type motionSender struct {
+	ex      *exchange
+	env     expr.Env      // reused across rows for redistribute hashing
+	staging [][]types.Row // parallel to ex.recvSegs; nil after a flush
+}
+
+func (ex *exchange) newSender(ctx *Ctx) *motionSender {
+	return &motionSender{
+		ex:      ex,
+		env:     expr.Env{Layout: ex.layout, Params: ctx.Params.Vals},
+		staging: make([][]types.Row, len(ex.recvSegs)),
+	}
+}
+
+// sendBatch routes every row of one batch into the staging buffers, flushing
+// any buffer that fills. Rows are staged by reference: batch rows are stable
+// per the batch ownership contract, so no copy is needed.
+func (s *motionSender) sendBatch(ctx *Ctx, rows []types.Row) error {
+	switch s.ex.kind {
+	case plan.GatherMotion:
+		for _, row := range rows {
+			if err := s.stage(ctx, 0, row); err != nil {
+				return err
+			}
+		}
+		return nil
+	case plan.BroadcastMotion:
+		for _, row := range rows {
+			for i := range s.ex.recvSegs {
+				if err := s.stage(ctx, i, row); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	case plan.RedistributeMotion:
+		for _, row := range rows {
+			s.env.Row = row
+			h := types.HashSeed
+			for _, k := range s.ex.hashKeys {
+				v, err := expr.Eval(k, &s.env)
+				if err != nil {
+					return err
+				}
+				h = types.HashDatum(h, v)
+			}
+			i := int(h % uint64(len(s.ex.recvSegs)))
+			if err := s.stage(ctx, i, row); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("exec: unknown motion kind %d", s.ex.kind)
+}
+
+// stage appends one row to receiver i's buffer and flushes it when full.
+func (s *motionSender) stage(ctx *Ctx, i int, row types.Row) error {
+	if s.staging[i] == nil {
+		s.staging[i] = make([]types.Row, 0, motionChunkRows)
+	}
+	s.staging[i] = append(s.staging[i], row)
+	if len(s.staging[i]) >= motionChunkRows {
+		return s.flush(ctx, i)
+	}
+	return nil
+}
+
+// flush ships receiver i's staged chunk. Ownership passes to the receiver:
+// the staging slot is cleared so the next stage call allocates fresh.
+//
+// Chunks sitting in fan-in channels are query memory like any other: they
+// are accounted against the budget while buffered (released by the
+// receiver) so a wide redistribute can't hide queued rows from the
+// governor. Accounting never denies — the channel buffer bounds it.
+func (s *motionSender) flush(ctx *Ctx, i int) error {
+	chunk := s.staging[i]
+	if len(chunk) == 0 {
+		return nil
+	}
+	s.staging[i] = nil
+	if err := ctx.hitFault(fault.MotionSend); err != nil {
+		return err
+	}
+	ctx.accountChunk(chunk)
+	select {
+	case s.ex.chans[s.ex.recvSegs[i]] <- chunk:
+		ctx.noteRowsMoved(int64(len(chunk)))
+		return nil
+	case <-ctx.done:
+		ctx.releaseChunk(chunk)
+		return errQueryAborted
+	}
+}
+
+// flushAll ships every non-empty staged chunk. Called on clean EOF only —
+// after an error the staged rows are simply dropped with the query.
+func (s *motionSender) flushAll(ctx *Ctx) error {
+	for i := range s.staging {
+		if err := s.flush(ctx, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // motionRecvOp is the receiving half of a Motion: a leaf operator in the
-// parent slice that drains this instance's fan-in channel.
+// parent slice that drains this instance's fan-in channel chunk by chunk.
 type motionRecvOp struct {
 	ex *exchange
+
+	batch Batch       // reused header for NextBatch
+	cur   []types.Row // current chunk for the row-at-a-time path
+	pos   int
 }
 
 func (r *motionRecvOp) Open(ctx *Ctx) error {
 	if _, ok := r.ex.chans[ctx.Seg]; !ok {
 		return fmt.Errorf("exec: motion has no channel for segment %d", ctx.Seg)
 	}
+	r.cur, r.pos = nil, 0
 	return nil
 }
 
-func (r *motionRecvOp) Next(ctx *Ctx) (types.Row, error) {
+// recvChunk blocks for the next chunk, releasing its budget charge on
+// arrival (the rows now belong to this slice's operators).
+func (r *motionRecvOp) recvChunk(ctx *Ctx) ([]types.Row, error) {
 	select {
-	case row, ok := <-r.ex.chans[ctx.Seg]:
+	case chunk, ok := <-r.ex.chans[ctx.Seg]:
 		if !ok {
 			return nil, errEOF
 		}
-		ctx.releaseRow(row)
-		return row, nil
+		ctx.releaseChunk(chunk)
+		return chunk, nil
 	case <-ctx.done:
 		return nil, errQueryAborted
 	}
+}
+
+func (r *motionRecvOp) Next(ctx *Ctx) (types.Row, error) {
+	for r.pos >= len(r.cur) {
+		chunk, err := r.recvChunk(ctx)
+		if err != nil {
+			return nil, err
+		}
+		r.cur, r.pos = chunk, 0
+	}
+	row := r.cur[r.pos]
+	r.pos++
+	return row, nil
+}
+
+func (r *motionRecvOp) NextBatch(ctx *Ctx) (*Batch, error) {
+	chunk, err := r.recvChunk(ctx)
+	if err != nil {
+		return nil, err
+	}
+	r.batch.Rows = chunk
+	return &r.batch, nil
 }
 
 func (r *motionRecvOp) Close(*Ctx) error { return nil }

@@ -26,12 +26,41 @@ var errEOF = io.EOF
 
 // ---------------------------------------------------------------- scan
 
+// withRowIDs extends rows with the encoded RowID pseudo-column. ids, when
+// non-nil, supplies each row's identity; otherwise identities are sequential
+// in the (seg, leaf) heap starting at base. The returned row headers reuse
+// hdr's backing array across batches; the datum arena behind them is
+// allocated fresh per batch (one allocation for the whole batch instead of
+// one per row) because emitted rows must stay valid after the next call.
+func withRowIDs(rows []types.Row, ids []storage.RowID, seg int, leaf part.OID, base int, hdr []types.Row) []types.Row {
+	if len(rows) == 0 {
+		return hdr[:0]
+	}
+	w := len(rows[0])
+	arena := make([]types.Datum, len(rows)*(w+1))
+	hdr = hdr[:0]
+	for i, row := range rows {
+		dst := arena[i*(w+1) : (i+1)*(w+1) : (i+1)*(w+1)]
+		copy(dst, row)
+		if ids != nil {
+			dst[w] = EncodeRowID(ids[i])
+		} else {
+			dst[w] = EncodeRowID(storage.RowID{Seg: seg, Leaf: leaf, Idx: base + i})
+		}
+		hdr = append(hdr, dst)
+	}
+	return hdr
+}
+
 // scanOp reads one heap (one leaf partition, or an unpartitioned table) on
 // the executing segment.
 type scanOp struct {
 	n    *plan.Scan
 	rows []types.Row
 	pos  int
+
+	batch Batch
+	idBuf []types.Row // reused row headers for the WithRowID arena
 }
 
 func (s *scanOp) Open(ctx *Ctx) error {
@@ -69,6 +98,33 @@ func (s *scanOp) Next(ctx *Ctx) (types.Row, error) {
 	return row, nil
 }
 
+// NextBatch emits up to execBatchSize rows as a zero-copy view of the heap
+// slice (rows are immutable, so the view satisfies the ownership contract).
+// Abort polling and the OpNext fault point run once per batch.
+func (s *scanOp) NextBatch(ctx *Ctx) (*Batch, error) {
+	if err := ctx.pollAbortBatch(); err != nil {
+		return nil, err
+	}
+	if err := ctx.hitFault(fault.OpNext); err != nil {
+		return nil, err
+	}
+	if s.pos >= len(s.rows) {
+		return nil, errEOF
+	}
+	end := s.pos + execBatchSize
+	if end > len(s.rows) {
+		end = len(s.rows)
+	}
+	out := s.rows[s.pos:end]
+	if s.n.WithRowID {
+		s.idBuf = withRowIDs(out, nil, ctx.Seg, s.n.Leaf, s.pos, s.idBuf)
+		out = s.idBuf
+	}
+	s.pos = end
+	s.batch.Rows = out
+	return &s.batch, nil
+}
+
 func (s *scanOp) Close(*Ctx) error { s.rows = nil; return nil }
 
 // ---------------------------------------------------------------- dynamic scan
@@ -81,6 +137,9 @@ type dynScanOp struct {
 	curLeaf part.OID
 	rows    []types.Row
 	pos     int
+
+	batch Batch
+	idBuf []types.Row
 }
 
 func (s *dynScanOp) Open(ctx *Ctx) error {
@@ -136,6 +195,43 @@ func (s *dynScanOp) Next(ctx *Ctx) (types.Row, error) {
 	return row, nil
 }
 
+// NextBatch emits batches that never straddle a leaf boundary: a whole leaf
+// (or execBatchSize, whichever is smaller) per call, so row-ID annotation
+// stays a single (leaf, base) arena fill.
+func (s *dynScanOp) NextBatch(ctx *Ctx) (*Batch, error) {
+	if err := ctx.pollAbortBatch(); err != nil {
+		return nil, err
+	}
+	if err := ctx.hitFault(fault.OpNext); err != nil {
+		return nil, err
+	}
+	for s.pos >= len(s.rows) {
+		if s.li >= len(s.leaves) {
+			return nil, errEOF
+		}
+		s.curLeaf = s.leaves[s.li]
+		s.li++
+		rows, err := ctx.Rt.Store.ScanLeaf(s.n.Table.OID, ctx.Seg, s.curLeaf)
+		if err != nil {
+			return nil, err
+		}
+		ctx.noteRowsScanned(int64(len(rows)))
+		s.rows, s.pos = rows, 0
+	}
+	end := s.pos + execBatchSize
+	if end > len(s.rows) {
+		end = len(s.rows)
+	}
+	out := s.rows[s.pos:end]
+	if s.n.WithRowID {
+		s.idBuf = withRowIDs(out, nil, ctx.Seg, s.curLeaf, s.pos, s.idBuf)
+		out = s.idBuf
+	}
+	s.pos = end
+	s.batch.Rows = out
+	return &s.batch, nil
+}
+
 func (s *dynScanOp) Close(*Ctx) error { s.rows, s.leaves = nil, nil; return nil }
 
 // ---------------------------------------------------------------- partition selector
@@ -155,6 +251,10 @@ type selectorOp struct {
 	anyDynamic  bool
 	handle      int
 	sealed      bool
+
+	bchild  BatchOperator       // batch view of child (set at Open)
+	env     expr.Env            // reused per row for dynamic derivation
+	setsBuf []types.IntervalSet // reused per-row working copy of staticSets
 }
 
 func (s *selectorOp) Open(ctx *Ctx) error {
@@ -208,6 +308,9 @@ func (s *selectorOp) Open(ctx *Ctx) error {
 		s.sealed = true
 	}
 	if s.child != nil {
+		s.bchild = batchOf(s.child)
+		s.env = expr.Env{Layout: s.childLayout, Params: ctx.Params.Vals}
+		s.setsBuf = make([]types.IntervalSet, nl)
 		if err := s.child.Open(ctx); err != nil {
 			return err
 		}
@@ -242,20 +345,49 @@ func (s *selectorOp) Next(ctx *Ctx) (types.Row, error) {
 		return nil, err
 	}
 	if s.anyDynamic {
-		env := &expr.Env{Layout: s.childLayout, Row: row, Params: ctx.Params.Vals}
-		sets := make([]types.IntervalSet, len(s.staticSets))
-		copy(sets, s.staticSets)
-		for lvl, dyn := range s.dynamic {
-			if !dyn {
-				continue
-			}
-			sets[lvl] = expr.DeriveIntervals(s.n.Preds[lvl], s.keyIDs[lvl], expr.EnvEval(env))
-		}
-		oids := s.n.Table.Part.Select(sets)
-		s.recordSelection(ctx, oids)
-		ctx.pushOIDs(s.n.PartScanID, s.handle, oids)
+		s.deriveRow(ctx, row)
 	}
 	return row, nil
+}
+
+// NextBatch passes the child's batch through untouched; dynamic levels
+// derive and push their per-row selections over the whole batch first.
+func (s *selectorOp) NextBatch(ctx *Ctx) (*Batch, error) {
+	if s.child == nil {
+		s.seal(ctx)
+		return nil, errEOF
+	}
+	b, err := s.bchild.NextBatch(ctx)
+	if errors.Is(err, errEOF) {
+		s.seal(ctx)
+		return nil, errEOF
+	}
+	if err != nil {
+		return nil, err
+	}
+	if s.anyDynamic {
+		for _, row := range b.Rows {
+			s.deriveRow(ctx, row)
+		}
+	}
+	return b, nil
+}
+
+// deriveRow unions one child row's dynamic selection into the mailbox. The
+// env and the interval-set working copy are instance state, so the per-row
+// cost is the derivation itself, not allocation.
+func (s *selectorOp) deriveRow(ctx *Ctx, row types.Row) {
+	s.env.Row = row
+	copy(s.setsBuf, s.staticSets)
+	for lvl, dyn := range s.dynamic {
+		if !dyn {
+			continue
+		}
+		s.setsBuf[lvl] = expr.DeriveIntervals(s.n.Preds[lvl], s.keyIDs[lvl], expr.EnvEval(&s.env))
+	}
+	oids := s.n.Table.Part.Select(s.setsBuf)
+	s.recordSelection(ctx, oids)
+	ctx.pushOIDs(s.n.PartScanID, s.handle, oids)
 }
 
 // recordSelection notes the selector's chosen partitions in its OpStats
@@ -292,8 +424,9 @@ func (s *selectorOp) Close(ctx *Ctx) error {
 // sequenceOp runs children 0..n-2 to completion (discarding rows), then
 // streams the last child.
 type sequenceOp struct {
-	kids []Operator
-	last Operator
+	kids  []Operator
+	last  Operator
+	blast BatchOperator
 }
 
 func (s *sequenceOp) Open(ctx *Ctx) error {
@@ -302,8 +435,9 @@ func (s *sequenceOp) Open(ctx *Ctx) error {
 		if err := k.Open(ctx); err != nil {
 			return err
 		}
+		kb := batchOf(k)
 		for {
-			_, err := k.Next(ctx)
+			_, err := kb.NextBatch(ctx)
 			if errors.Is(err, errEOF) {
 				break
 			}
@@ -319,10 +453,13 @@ func (s *sequenceOp) Open(ctx *Ctx) error {
 		}
 	}
 	s.last = s.kids[len(s.kids)-1]
+	s.blast = batchOf(s.last)
 	return s.last.Open(ctx)
 }
 
 func (s *sequenceOp) Next(ctx *Ctx) (types.Row, error) { return s.last.Next(ctx) }
+
+func (s *sequenceOp) NextBatch(ctx *Ctx) (*Batch, error) { return s.blast.NextBatch(ctx) }
 
 func (s *sequenceOp) Close(ctx *Ctx) error {
 	if s.last == nil {
@@ -341,6 +478,7 @@ type appendOp struct {
 	kids []Operator
 	idx  int
 	open bool
+	bcur BatchOperator // batch view of the open kid (batch mode only)
 }
 
 func (a *appendOp) skip(ctx *Ctx, i int) bool {
@@ -390,6 +528,34 @@ func (a *appendOp) Next(ctx *Ctx) (types.Row, error) {
 	}
 }
 
+func (a *appendOp) NextBatch(ctx *Ctx) (*Batch, error) {
+	for {
+		if !a.open {
+			for a.idx < len(a.kids) && a.skip(ctx, a.idx) {
+				a.idx++
+			}
+			if a.idx >= len(a.kids) {
+				return nil, errEOF
+			}
+			if err := a.kids[a.idx].Open(ctx); err != nil {
+				return nil, err
+			}
+			a.open = true
+			a.bcur = batchOf(a.kids[a.idx])
+		}
+		b, err := a.bcur.NextBatch(ctx)
+		if errors.Is(err, errEOF) {
+			if err := a.kids[a.idx].Close(ctx); err != nil {
+				return nil, err
+			}
+			a.idx++
+			a.open = false
+			continue
+		}
+		return b, err
+	}
+}
+
 func (a *appendOp) Close(ctx *Ctx) error {
 	if a.open && a.idx < len(a.kids) {
 		a.open = false
@@ -403,11 +569,16 @@ func (a *appendOp) Close(ctx *Ctx) error {
 type filterOp struct {
 	n      *plan.Filter
 	child  Operator
+	bchild BatchOperator
 	layout expr.Layout
+	env    expr.Env // reused per row
+	out    Batch    // reused output header (qualifying rows by reference)
 }
 
 func (f *filterOp) Open(ctx *Ctx) error {
 	f.layout = f.n.Child.Layout()
+	f.env = expr.Env{Layout: f.layout, Params: ctx.Params.Vals}
+	f.bchild = batchOf(f.child)
 	return f.child.Open(ctx)
 }
 
@@ -417,7 +588,8 @@ func (f *filterOp) Next(ctx *Ctx) (types.Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		ok, err := expr.EvalPred(f.n.Pred, &expr.Env{Layout: f.layout, Row: row, Params: ctx.Params.Vals})
+		f.env.Row = row
+		ok, err := expr.EvalPred(f.n.Pred, &f.env)
 		if err != nil {
 			return nil, err
 		}
@@ -427,6 +599,33 @@ func (f *filterOp) Next(ctx *Ctx) (types.Row, error) {
 	}
 }
 
+// NextBatch evaluates the predicate over whole child batches, collecting
+// qualifying rows (by reference) into a reused output batch. Child batches
+// are pulled until the output is non-empty or the input ends.
+func (f *filterOp) NextBatch(ctx *Ctx) (*Batch, error) {
+	f.out.reset()
+	for len(f.out.Rows) == 0 {
+		cb, err := f.bchild.NextBatch(ctx)
+		if err != nil {
+			return nil, err // includes EOF
+		}
+		if err := ctx.pollAbortBatch(); err != nil {
+			return nil, err
+		}
+		for _, row := range cb.Rows {
+			f.env.Row = row
+			ok, err := expr.EvalPred(f.n.Pred, &f.env)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				f.out.Rows = append(f.out.Rows, row)
+			}
+		}
+	}
+	return &f.out, nil
+}
+
 func (f *filterOp) Close(ctx *Ctx) error { return f.child.Close(ctx) }
 
 // ---------------------------------------------------------------- project
@@ -434,11 +633,16 @@ func (f *filterOp) Close(ctx *Ctx) error { return f.child.Close(ctx) }
 type projectOp struct {
 	n      *plan.Project
 	child  Operator
+	bchild BatchOperator
 	layout expr.Layout
+	env    expr.Env // reused per row
+	out    Batch    // reused output header
 }
 
 func (p *projectOp) Open(ctx *Ctx) error {
 	p.layout = p.n.Child.Layout()
+	p.env = expr.Env{Layout: p.layout, Params: ctx.Params.Vals}
+	p.bchild = batchOf(p.child)
 	return p.child.Open(ctx)
 }
 
@@ -447,16 +651,45 @@ func (p *projectOp) Next(ctx *Ctx) (types.Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	env := &expr.Env{Layout: p.layout, Row: row, Params: ctx.Params.Vals}
+	p.env.Row = row
 	out := make(types.Row, len(p.n.Cols))
 	for i, c := range p.n.Cols {
-		v, err := expr.Eval(c.E, env)
+		v, err := expr.Eval(c.E, &p.env)
 		if err != nil {
 			return nil, err
 		}
 		out[i] = v
 	}
 	return out, nil
+}
+
+// NextBatch projects a whole child batch into one freshly-allocated datum
+// arena (output rows must stay stable after the next call, so only the row
+// headers are reused across batches).
+func (p *projectOp) NextBatch(ctx *Ctx) (*Batch, error) {
+	cb, err := p.bchild.NextBatch(ctx)
+	if err != nil {
+		return nil, err // includes EOF
+	}
+	if err := ctx.pollAbortBatch(); err != nil {
+		return nil, err
+	}
+	w := len(p.n.Cols)
+	arena := make([]types.Datum, len(cb.Rows)*w)
+	p.out.reset()
+	for i, row := range cb.Rows {
+		p.env.Row = row
+		dst := arena[i*w : (i+1)*w : (i+1)*w]
+		for j, c := range p.n.Cols {
+			v, err := expr.Eval(c.E, &p.env)
+			if err != nil {
+				return nil, err
+			}
+			dst[j] = v
+		}
+		p.out.Rows = append(p.out.Rows, dst)
+	}
+	return &p.out, nil
 }
 
 func (p *projectOp) Close(ctx *Ctx) error { return p.child.Close(ctx) }

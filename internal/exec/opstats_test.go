@@ -57,8 +57,9 @@ func TestOpStatsRecordedPerOperator(t *testing.T) {
 func TestOpStatsFlushedOnAbort(t *testing.T) {
 	rt, tab := failFixture(t)
 	inj := fault.NewInjector(7)
-	// Fail one segment's scan partway through its Next loop.
-	inj.Arm(fault.Rule{Point: fault.OpNext, Kind: fault.KindError, Seg: 2, After: 5, Once: true})
+	// Fail one segment's scan partway: OpNext fires per batch, so After=1
+	// lets the first batch out and kills the end-of-stream call.
+	inj.Arm(fault.Rule{Point: fault.OpNext, Kind: fault.KindError, Seg: 2, After: 1, Once: true})
 	rt.Faults = inj
 
 	scan := plan.NewScan(tab, 1)

@@ -377,9 +377,19 @@ func runAttempt(ctx context.Context, rt *Runtime, root plan.Node, params *Params
 					}
 					return
 				}
+				bop := batchOf(op)
+				snd := sl.ex.newSender(ectx)
 				for {
-					row, err := op.Next(ectx)
+					b, err := bop.NextBatch(ectx)
 					if errors.Is(err, errEOF) {
+						// Clean EOF: ship whatever is still staged. Error
+						// exits skip the flush — the query is failing and
+						// partial chunks would only be dropped downstream.
+						if err := snd.flushAll(ectx); err != nil {
+							if !errors.Is(err, errQueryAborted) {
+								fail(seg, slice, opName(sl.root), err)
+							}
+						}
 						break
 					}
 					if err != nil {
@@ -388,7 +398,7 @@ func runAttempt(ctx context.Context, rt *Runtime, root plan.Node, params *Params
 						}
 						break
 					}
-					if err := sl.ex.send(ectx, row); err != nil {
+					if err := snd.sendBatch(ectx, b.Rows); err != nil {
 						if !errors.Is(err, errQueryAborted) {
 							fail(seg, slice, opName(sl.root), err)
 						}
@@ -425,15 +435,16 @@ func runAttempt(ctx context.Context, rt *Runtime, root plan.Node, params *Params
 			return err
 		}
 		defer op.Close(cctx)
+		bop := batchOf(op)
 		for {
-			row, err := op.Next(cctx)
+			b, err := bop.NextBatch(cctx)
 			if errors.Is(err, errEOF) {
 				return nil
 			}
 			if err != nil {
 				return err
 			}
-			rows = append(rows, row)
+			rows = append(rows, b.Rows...)
 		}
 	}()
 	if coordErr != nil && !errors.Is(coordErr, errQueryAborted) {
@@ -512,15 +523,16 @@ func RunLocal(rt *Runtime, root plan.Node, seg int, params *Params) (*Result, er
 	}
 	defer op.Close(ctx)
 	var rows []types.Row
+	bop := batchOf(op)
 	for {
-		row, err := op.Next(ctx)
+		b, err := bop.NextBatch(ctx)
 		if errors.Is(err, errEOF) {
 			break
 		}
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, row)
+		rows = append(rows, b.Rows...)
 	}
 	return &Result{Rows: rows, Layout: root.Layout(), Stats: stats}, nil
 }

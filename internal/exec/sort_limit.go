@@ -36,6 +36,8 @@ type sortOp struct {
 	headBytes []int64
 
 	childOpen bool
+
+	out Batch // reused output header for NextBatch
 }
 
 func (s *sortOp) Open(ctx *Ctx) (err error) {
@@ -52,29 +54,35 @@ func (s *sortOp) Open(ctx *Ctx) (err error) {
 		return err
 	}
 	s.childOpen = true
+	childB := batchOf(s.child)
 	for {
-		row, err := s.child.Next(ctx)
+		b, err := childB.NextBatch(ctx)
 		if errors.Is(err, errEOF) {
 			break
 		}
 		if err != nil {
 			return err
 		}
-		rb := mem.RowBytes(row)
-		if ctx.reserve(rb) != nil {
-			if err := s.flushRun(ctx); err != nil {
-				return err
-			}
+		if err := ctx.pollAbortBatch(); err != nil {
+			return err
+		}
+		for _, row := range b.Rows {
+			rb := mem.RowBytes(row)
 			if ctx.reserve(rb) != nil {
-				// Even an empty buffer cannot afford the row: it is the
-				// sort's irreducible working set, so reserve it hard.
-				if err := ctx.reserveHard(rb); err != nil {
+				if err := s.flushRun(ctx); err != nil {
 					return err
 				}
+				if ctx.reserve(rb) != nil {
+					// Even an empty buffer cannot afford the row: it is the
+					// sort's irreducible working set, so reserve it hard.
+					if err := ctx.reserveHard(rb); err != nil {
+						return err
+					}
+				}
 			}
+			s.reserved += rb
+			s.rows = append(s.rows, row)
 		}
-		s.reserved += rb
-		s.rows = append(s.rows, row)
 	}
 	if err := s.child.Close(ctx); err != nil {
 		s.childOpen = false
@@ -208,6 +216,42 @@ func (s *sortOp) Next(ctx *Ctx) (types.Row, error) {
 	return row, nil
 }
 
+// NextBatch emits sorted output. The in-memory case is zero-copy: batches
+// are windows over the sorted buffer. The merge case fills a reused header
+// with rows popped off the run heads.
+func (s *sortOp) NextBatch(ctx *Ctx) (*Batch, error) {
+	if err := ctx.pollAbortBatch(); err != nil {
+		return nil, err
+	}
+	if len(s.runs) == 0 {
+		if s.pos >= len(s.rows) {
+			return nil, errEOF
+		}
+		end := s.pos + execBatchSize
+		if end > len(s.rows) {
+			end = len(s.rows)
+		}
+		s.out.Rows = s.rows[s.pos:end]
+		s.pos = end
+		return &s.out, nil
+	}
+	s.out.reset()
+	for len(s.out.Rows) < execBatchSize {
+		row, err := s.Next(ctx)
+		if errors.Is(err, errEOF) {
+			if len(s.out.Rows) == 0 {
+				return nil, errEOF
+			}
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.out.Rows = append(s.out.Rows, row)
+	}
+	return &s.out, nil
+}
+
 // cleanup releases buffered rows, heads, readers and run files. Idempotent.
 func (s *sortOp) cleanup(ctx *Ctx) {
 	for _, r := range s.readers {
@@ -253,6 +297,7 @@ func (s *sortOp) Close(ctx *Ctx) error {
 type limitOp struct {
 	n           *plan.Limit
 	child       Operator
+	bchild      BatchOperator
 	seen        int64
 	childClosed bool
 }
@@ -260,6 +305,7 @@ type limitOp struct {
 func (l *limitOp) Open(ctx *Ctx) error {
 	l.seen = 0
 	l.childClosed = false
+	l.bchild = batchOf(l.child)
 	return l.child.Open(ctx)
 }
 
@@ -289,6 +335,32 @@ func (l *limitOp) Next(ctx *Ctx) (types.Row, error) {
 		}
 	}
 	return row, nil
+}
+
+// NextBatch truncates the child's batch in place once the limit is reached
+// (permitted by the ownership contract — the child resets its header on its
+// next call) and closes the child immediately, as the row path does.
+func (l *limitOp) NextBatch(ctx *Ctx) (*Batch, error) {
+	if l.seen >= l.n.N {
+		if err := l.closeChild(ctx); err != nil {
+			return nil, err
+		}
+		return nil, errEOF
+	}
+	b, err := l.bchild.NextBatch(ctx)
+	if err != nil {
+		return nil, err // includes EOF
+	}
+	if rem := l.n.N - l.seen; int64(len(b.Rows)) > rem {
+		b.Rows = b.Rows[:rem]
+	}
+	l.seen += int64(len(b.Rows))
+	if l.seen >= l.n.N {
+		if err := l.closeChild(ctx); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
 }
 
 func (l *limitOp) Close(ctx *Ctx) error { return l.closeChild(ctx) }

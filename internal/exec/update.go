@@ -54,8 +54,10 @@ func (u *updateOp) Open(ctx *Ctx) error {
 	}
 	var pending []pendingUpdate
 	seen := map[storage.RowID]bool{}
+	env := expr.Env{Layout: layout, Params: ctx.Params.Vals}
+	childB := batchOf(u.child)
 	for {
-		row, err := u.child.Next(ctx)
+		b, err := childB.NextBatch(ctx)
 		if errors.Is(err, errEOF) {
 			break
 		}
@@ -63,25 +65,31 @@ func (u *updateOp) Open(ctx *Ctx) error {
 			u.child.Close(ctx) // release the child's state before failing
 			return err
 		}
-		id := DecodeRowID(row[ridPos])
-		if seen[id] {
-			continue // each target row updated at most once
+		if err := ctx.pollAbortBatch(); err != nil {
+			u.child.Close(ctx)
+			return err
 		}
-		seen[id] = true
-		newRow := make(types.Row, len(u.n.Table.Cols))
-		for i, pos := range colPos {
-			newRow[i] = row[pos]
-		}
-		env := &expr.Env{Layout: layout, Row: row, Params: ctx.Params.Vals}
-		for _, set := range u.n.Sets {
-			v, err := expr.Eval(set.Value, env)
-			if err != nil {
-				u.child.Close(ctx)
-				return err
+		for _, row := range b.Rows {
+			id := DecodeRowID(row[ridPos])
+			if seen[id] {
+				continue // each target row updated at most once
 			}
-			newRow[set.Ord] = v
+			seen[id] = true
+			newRow := make(types.Row, len(u.n.Table.Cols))
+			for i, pos := range colPos {
+				newRow[i] = row[pos]
+			}
+			env.Row = row
+			for _, set := range u.n.Sets {
+				v, err := expr.Eval(set.Value, &env)
+				if err != nil {
+					u.child.Close(ctx)
+					return err
+				}
+				newRow[set.Ord] = v
+			}
+			pending = append(pending, pendingUpdate{id: id, row: newRow})
 		}
-		pending = append(pending, pendingUpdate{id: id, row: newRow})
 	}
 	if err := u.child.Close(ctx); err != nil {
 		return err
@@ -143,8 +151,9 @@ func (d *deleteOp) Open(ctx *Ctx) error {
 	}
 	var ids []storage.RowID
 	seen := map[storage.RowID]bool{}
+	childB := batchOf(d.child)
 	for {
-		row, err := d.child.Next(ctx)
+		b, err := childB.NextBatch(ctx)
 		if errors.Is(err, errEOF) {
 			break
 		}
@@ -152,12 +161,18 @@ func (d *deleteOp) Open(ctx *Ctx) error {
 			d.child.Close(ctx) // release the child's state before failing
 			return err
 		}
-		id := DecodeRowID(row[ridPos])
-		if seen[id] {
-			continue
+		if err := ctx.pollAbortBatch(); err != nil {
+			d.child.Close(ctx)
+			return err
 		}
-		seen[id] = true
-		ids = append(ids, id)
+		for _, row := range b.Rows {
+			id := DecodeRowID(row[ridPos])
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			ids = append(ids, id)
+		}
 	}
 	if err := d.child.Close(ctx); err != nil {
 		return err

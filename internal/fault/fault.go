@@ -30,9 +30,13 @@ const (
 	// SliceStart fires when a (slice × segment) worker starts, and when the
 	// coordinator slice starts (segment -1).
 	SliceStart Point = "exec.slice.start"
-	// OpNext fires per row produced by a Scan or DynamicScan operator.
+	// OpNext fires per batch produced by a Scan or DynamicScan operator
+	// (including the final end-of-stream call). Under batch execution the
+	// per-row hook would be pure overhead; batch granularity keeps the
+	// fault surface while costing one check per ~1024 rows.
 	OpNext Point = "exec.op.next"
-	// MotionSend fires per row a Motion sender routes to a receiver.
+	// MotionSend fires per chunk a Motion sender flushes to a receiver
+	// (up to 64 rows per chunk; a flush on EOF may carry fewer).
 	MotionSend Point = "exec.motion.send"
 	// StorageScan fires per ScanLeaf call in the storage layer.
 	StorageScan Point = "storage.scan.leaf"

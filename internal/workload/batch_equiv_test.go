@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"partopt"
+	"partopt/internal/exec"
+)
+
+// Engine-level batched-vs-row equivalence: the same workload suite run at
+// degenerate and standard batch sizes must produce identical row multisets,
+// identical partition-selection behavior, and — under a spill budget — the
+// same decision to spill. Batch size is an execution detail; nothing the
+// engine reports may depend on it.
+
+func batchEquivQueries() []struct {
+	name    string
+	sql     string
+	ordered bool
+} {
+	return []struct {
+		name    string
+		sql     string
+		ordered bool
+	}{
+		{"point-select", `SELECT date_id, amount FROM store_sales WHERE date_id = 42`, false},
+		{"range-filter", `SELECT date_id, quantity FROM store_sales WHERE date_id >= 100 AND date_id < 140`, false},
+		{"join-count", `SELECT count(*) FROM date_dim d, store_sales s WHERE d.date_id = s.date_id`, false},
+		{"groupby-agg", `SELECT date_id, count(*) AS n, sum(amount) AS total FROM store_sales GROUP BY date_id`, false},
+		{"orderby-sort", `SELECT date_id, quantity FROM store_sales ORDER BY date_id, quantity LIMIT 50`, true},
+	}
+}
+
+// sortByFullRow canonicalizes an unordered result by the whole row, so
+// multisets with duplicate leading columns compare deterministically.
+func sortByFullRow(data [][]partopt.Value) {
+	sort.Slice(data, func(i, j int) bool { return fmt.Sprint(data[i]) < fmt.Sprint(data[j]) })
+}
+
+func assertSameData(t *testing.T, name string, want, got *partopt.Rows, ordered bool) {
+	t.Helper()
+	if len(got.Data) != len(want.Data) {
+		t.Fatalf("%s: %d rows, want %d", name, len(got.Data), len(want.Data))
+	}
+	w, g := want.Data, got.Data
+	if !ordered {
+		sortByFullRow(w)
+		sortByFullRow(g)
+	}
+	for i := range g {
+		if len(g[i]) != len(w[i]) {
+			t.Fatalf("%s row %d: %d cols, want %d", name, i, len(g[i]), len(w[i]))
+		}
+		for c := range g[i] {
+			if !valuesMatch(g[i][c], w[i][c]) {
+				t.Fatalf("%s row %d col %d: got %v, want %v", name, i, c, g[i][c], w[i][c])
+			}
+		}
+	}
+}
+
+func TestBatchSizeWorkloadEquivalence(t *testing.T) {
+	eng, err := partopt.New(4)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	cfg := DefaultStarConfig()
+	cfg.SalesPerDay = 10
+	if err := BuildStar(eng, cfg); err != nil {
+		t.Fatalf("BuildStar: %v", err)
+	}
+	queries := batchEquivQueries()
+
+	// Golden answers at the default batch size.
+	golden := map[string]*partopt.Rows{}
+	for _, q := range queries {
+		rows, err := eng.Query(q.sql)
+		if err != nil {
+			t.Fatalf("%s golden: %v", q.name, err)
+		}
+		golden[q.name] = rows
+	}
+
+	for _, bs := range []int{1, 7, exec.DefaultBatchSize} {
+		t.Run(fmt.Sprintf("batch=%d", bs), func(t *testing.T) {
+			defer exec.SetBatchSize(exec.SetBatchSize(bs))
+			for _, q := range queries {
+				rows, err := eng.Query(q.sql)
+				if err != nil {
+					t.Fatalf("%s: %v", q.name, err)
+				}
+				want := golden[q.name]
+				assertSameData(t, q.name, want, rows, q.ordered)
+				// Partition pruning must not see batch size at all.
+				if len(rows.PartsScanned) != len(want.PartsScanned) {
+					t.Fatalf("%s: PartsScanned tables = %d, want %d", q.name, len(rows.PartsScanned), len(want.PartsScanned))
+				}
+				for tab, n := range want.PartsScanned {
+					if rows.PartsScanned[tab] != n {
+						t.Fatalf("%s: PartsScanned[%s] = %d, want %d", q.name, tab, rows.PartsScanned[tab], n)
+					}
+				}
+				if rows.RowsScanned != want.RowsScanned {
+					t.Fatalf("%s: RowsScanned = %d, want %d", q.name, rows.RowsScanned, want.RowsScanned)
+				}
+			}
+		})
+	}
+}
+
+// The spill decision is batch-size independent: a budget that forces the
+// row-sized batches to spill forces the default-sized batches to spill too,
+// and both answer correctly.
+func TestBatchSizeSpillEquivalence(t *testing.T) {
+	budget := spillBudget(t)
+	eng, err := partopt.New(4)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	cfg := DefaultStarConfig()
+	cfg.SalesPerDay = 10
+	if err := BuildStar(eng, cfg); err != nil {
+		t.Fatalf("BuildStar: %v", err)
+	}
+	const sql = `SELECT date_id, count(*) AS n, sum(amount) AS total FROM store_sales GROUP BY date_id`
+	golden, err := eng.Query(sql)
+	if err != nil {
+		t.Fatalf("unbudgeted: %v", err)
+	}
+
+	eng.SetSpillDir(t.TempDir())
+	eng.SetWorkMem(budget)
+	for _, bs := range []int{1, exec.DefaultBatchSize} {
+		t.Run(fmt.Sprintf("batch=%d", bs), func(t *testing.T) {
+			defer exec.SetBatchSize(exec.SetBatchSize(bs))
+			rows, err := eng.Query(sql)
+			if err != nil {
+				t.Fatalf("budgeted: %v", err)
+			}
+			if rows.SpilledBytes == 0 || rows.SpillParts == 0 {
+				t.Fatalf("work_mem=%d did not spill at batch size %d (bytes=%d parts=%d)",
+					budget, bs, rows.SpilledBytes, rows.SpillParts)
+			}
+			assertSameData(t, "groupby-agg", golden, rows, false)
+		})
+	}
+}
