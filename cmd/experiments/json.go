@@ -108,6 +108,21 @@ func fig17Records(rows []bench.Figure17Row) []benchRecord {
 	return out
 }
 
+// plancacheRecords flattens the plan-cache experiment: average point-query
+// latency with the cache off and on, the speedup (the acceptance criterion
+// tracks speedup_x >= 2), and the optimizer-invocation counts that prove
+// hits skip optimization.
+func plancacheRecords(r *bench.PlanCacheResult) []benchRecord {
+	return []benchRecord{
+		{"plancache", "cold_ns", float64(r.ColdNs.Nanoseconds()), "ns"},
+		{"plancache", "cached_ns", float64(r.CachedNs.Nanoseconds()), "ns"},
+		{"plancache", "speedup_x", r.Speedup, "x"},
+		{"plancache", "cold_optimizations", float64(r.ColdOpt), "calls"},
+		{"plancache", "cached_optimizations", float64(r.CachedOpt), "calls"},
+		{"plancache", "cache_hits", float64(r.Hits), "hits"},
+	}
+}
+
 // fig18Records flattens one plan-size curve (a, b or c).
 func fig18Records(name string, rows []bench.SizeRow) []benchRecord {
 	var out []benchRecord

@@ -6,6 +6,7 @@
 //	Figure 16    — scanned partitions per fact table, Planner vs Orca
 //	Figure 17    — runtime improvement with partition selection enabled
 //	Figure 18a-c — plan-size scaling: static, dynamic, and DML plans
+//	plancache    — point-query latency with the plan cache off vs on
 //
 // With -json, each experiment additionally writes its headline metrics to
 // BENCH_<name>.json in -json-dir (default: current directory) using the
@@ -14,7 +15,7 @@
 //
 // Usage:
 //
-//	experiments [-segments N] [-rows N] [-sales N] [-iters N] [-only table2|table3|fig16|fig17|fig18] [-json] [-json-dir DIR]
+//	experiments [-segments N] [-rows N] [-sales N] [-iters N] [-only table2|table3|fig16|fig17|fig18|plancache] [-json] [-json-dir DIR]
 package main
 
 import (
@@ -32,7 +33,7 @@ func main() {
 	rows := flag.Int("rows", 60000, "lineitem rows for Table 2")
 	sales := flag.Int("sales", 40, "star-schema sales rows per day")
 	iters := flag.Int("iters", 5, "timing iterations (fastest run wins)")
-	only := flag.String("only", "", "run a single experiment (table2|table3|fig16|fig17|fig18)")
+	only := flag.String("only", "", "run a single experiment (table2|table3|fig16|fig17|fig18|plancache)")
 	jsonOut := flag.Bool("json", false, "write BENCH_<name>.json files with the headline metrics")
 	jsonDir := flag.String("json-dir", ".", "directory for -json output files")
 	flag.Parse()
@@ -109,14 +110,25 @@ func main() {
 		emit("fig18c", fig18Records("fig18c", c))
 	}
 
+	if want("plancache") {
+		fmt.Println("== Plan cache ===========================================================")
+		pcCfg := bench.DefaultPlanCacheConfig()
+		pcCfg.Segments = *segments
+		pcCfg.Iters = *iters
+		pc, err := bench.RunPlanCache(pcCfg)
+		fatalIf(err)
+		fmt.Println(bench.FormatPlanCache(pc))
+		emit("plancache", plancacheRecords(pc))
+	}
+
 	if *only != "" && !isKnown(*only) {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want table2|table3|fig16|fig17|fig18)\n", *only)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want table2|table3|fig16|fig17|fig18|plancache)\n", *only)
 		os.Exit(2)
 	}
 }
 
 func isKnown(name string) bool {
-	return strings.Contains("table2 table3 fig16 fig17 fig18", name)
+	return strings.Contains("table2 table3 fig16 fig17 fig18 plancache", name)
 }
 
 func fatalIf(err error) {

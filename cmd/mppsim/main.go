@@ -16,7 +16,14 @@
 //	\index <table> <column>   create a secondary index
 //	\tables                   list tables with partition counts
 //	\metrics                  print the engine-wide metrics registry
+//	\cache                    print plan-cache statistics
 //	\q                        quit
+//
+// PREPARE <name> AS <statement> compiles a named prepared statement and
+// EXECUTE <name> [arg, ...] runs it, binding arguments to $1, $2, ...
+// (integers, floats, 'strings' and YYYY-MM-DD dates). Repeated EXECUTEs
+// are served from the plan cache, whose size --plan-cache controls
+// (0 disables caching).
 //
 // EXPLAIN ANALYZE <select> executes the query and prints its plan annotated
 // with per-operator actuals, including the paper's "Partitions selected:
@@ -90,10 +97,14 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrently executing queries (0 = unbounded)")
 	explainAnalyze := flag.Bool("explain-analyze", false, "print the EXPLAIN ANALYZE tree after every query")
 	metrics := flag.Bool("metrics", false, "print the engine metrics registry when the shell exits")
+	planCache := flag.Int("plan-cache", partopt.DefaultPlanCacheCapacity, "plan cache capacity in entries (0 disables caching)")
 	flag.Parse()
 
 	eng, err := partopt.New(*segments)
 	fatalIf(err)
+	if *planCache != partopt.DefaultPlanCacheCapacity {
+		eng.SetPlanCacheCapacity(*planCache)
+	}
 	if *memBudget != "" {
 		n, err := parseSize(*memBudget)
 		fatalIf(err)
@@ -143,6 +154,7 @@ func main() {
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	prepared := map[string]*partopt.Stmt{}
 	for {
 		fmt.Printf("mppsim(%s)> ", eng.Optimizer())
 		if !sc.Scan() {
@@ -162,6 +174,12 @@ func main() {
 			}
 		case line == `\metrics`:
 			fmt.Print(eng.Metrics())
+		case line == `\cache`:
+			st := eng.PlanCacheStats()
+			fmt.Printf("plan cache: %d/%d entries, epoch %d\n", st.Entries, st.Capacity, st.Epoch)
+			fmt.Printf("  hits %d, misses %d, evictions %d, invalidations %d\n",
+				st.Hits, st.Misses, st.Evictions, st.Invalidations)
+			fmt.Printf("  optimizer invocations: %d\n", st.Optimizations)
 		case strings.HasPrefix(line, `\optimizer`):
 			arg := strings.TrimSpace(strings.TrimPrefix(line, `\optimizer`))
 			switch arg {
@@ -214,7 +232,43 @@ func main() {
 				continue
 			}
 			fmt.Print(out)
-		case strings.HasPrefix(strings.ToUpper(line), "UPDATE"):
+		case strings.HasPrefix(strings.ToUpper(line), "PREPARE "):
+			rest := line[len("PREPARE "):]
+			asIdx := strings.Index(strings.ToUpper(rest), " AS ")
+			if asIdx < 0 {
+				fmt.Println("usage: PREPARE <name> AS <statement>")
+				continue
+			}
+			name := strings.TrimSpace(rest[:asIdx])
+			st, err := eng.Prepare(strings.TrimSpace(rest[asIdx+len(" AS "):]))
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			prepared[name] = st
+			fmt.Printf("prepared %s: %s\n", name, st.Fingerprint())
+		case strings.HasPrefix(strings.ToUpper(line), "EXECUTE "):
+			fields := strings.SplitN(strings.TrimSpace(line[len("EXECUTE "):]), " ", 2)
+			st, ok := prepared[fields[0]]
+			if !ok {
+				fmt.Printf("error: no prepared statement %q (use PREPARE <name> AS ...)\n", fields[0])
+				continue
+			}
+			var args []partopt.Value
+			if len(fields) == 2 {
+				var err error
+				if args, err = parseExecArgs(fields[1]); err != nil {
+					fmt.Println("error:", err)
+					continue
+				}
+			}
+			ctx, stop := queryCtx()
+			runPrepared(ctx, eng, st, args, *explainAnalyze)
+			stop()
+		case strings.HasPrefix(strings.ToUpper(line), "UPDATE"),
+			strings.HasPrefix(strings.ToUpper(line), "DELETE"),
+			strings.HasPrefix(strings.ToUpper(line), "INSERT"):
+			verb := strings.ToUpper(strings.Fields(line)[0])
 			ctx, stop := queryCtx()
 			start := time.Now()
 			n, err := eng.ExecCtx(ctx, line)
@@ -223,7 +277,7 @@ func main() {
 				reportQueryError(err, nil, time.Since(start))
 				continue
 			}
-			fmt.Printf("UPDATE %d  (%v)\n", n, time.Since(start).Round(time.Microsecond))
+			fmt.Printf("%s %d  (%v)\n", verb, n, time.Since(start).Round(time.Microsecond))
 		default:
 			ctx, stop := queryCtx()
 			runSelect(ctx, eng, line, *explainAnalyze)
@@ -271,7 +325,65 @@ func runSelect(ctx context.Context, eng *partopt.Engine, query string, explainAn
 		reportQueryError(err, rows, time.Since(start))
 		return
 	}
-	elapsed := time.Since(start)
+	printRows(eng, rows, time.Since(start), explainAnalyze)
+}
+
+// runPrepared executes a named prepared statement, dispatching SELECTs and
+// DML on the statement's own report.
+func runPrepared(ctx context.Context, eng *partopt.Engine, st *partopt.Stmt, args []partopt.Value, explainAnalyze bool) {
+	start := time.Now()
+	rows, err := st.QueryCtx(ctx, args...)
+	if err != nil && strings.Contains(err.Error(), "use Exec") {
+		n, err := st.ExecCtx(ctx, args...)
+		if err != nil {
+			reportQueryError(err, nil, time.Since(start))
+			return
+		}
+		fmt.Printf("EXECUTE %d  (%v)\n", n, time.Since(start).Round(time.Microsecond))
+		return
+	}
+	if err != nil {
+		if explainAnalyze && rows != nil && rows.ExplainAnalyze != "" {
+			fmt.Print(rows.ExplainAnalyze)
+		}
+		reportQueryError(err, rows, time.Since(start))
+		return
+	}
+	printRows(eng, rows, time.Since(start), explainAnalyze)
+}
+
+// parseExecArgs parses EXECUTE arguments: integers, floats, 'strings' and
+// YYYY-MM-DD dates, separated by commas and/or spaces.
+func parseExecArgs(s string) ([]partopt.Value, error) {
+	var out []partopt.Value
+	for _, tok := range strings.FieldsFunc(s, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+		switch {
+		case strings.HasPrefix(tok, "'") && strings.HasSuffix(tok, "'") && len(tok) >= 2:
+			out = append(out, partopt.String(tok[1:len(tok)-1]))
+		case len(tok) == 10 && tok[4] == '-' && tok[7] == '-':
+			v, err := partopt.ParseDate(tok)
+			if err != nil {
+				return nil, fmt.Errorf("invalid date %q: %v", tok, err)
+			}
+			out = append(out, v)
+		case strings.ContainsAny(tok, ".eE") && !strings.HasPrefix(tok, "'"):
+			f, err := strconv.ParseFloat(tok, 64)
+			if err != nil {
+				return nil, fmt.Errorf("invalid argument %q", tok)
+			}
+			out = append(out, partopt.Float(f))
+		default:
+			n, err := strconv.ParseInt(tok, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("invalid argument %q", tok)
+			}
+			out = append(out, partopt.Int(n))
+		}
+	}
+	return out, nil
+}
+
+func printRows(eng *partopt.Engine, rows *partopt.Rows, elapsed time.Duration, explainAnalyze bool) {
 	fmt.Println(strings.Join(rows.Columns, " | "))
 	fmt.Println(strings.Repeat("-", 8*len(rows.Columns)+8))
 	const maxShow = 20

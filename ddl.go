@@ -185,6 +185,7 @@ func PartitionByList(col string, parts ...ListPartition) TableOption {
 
 // CreateTable registers a table and allocates its storage. Without a
 // distribution option the table is hash-distributed on its first column.
+// Like every catalog change, it invalidates cached plans.
 func (e *Engine) CreateTable(name string, cols []ColumnDef, opts ...TableOption) error {
 	cfg := &tableConfig{cols: cols}
 	for _, o := range opts {
@@ -192,6 +193,8 @@ func (e *Engine) CreateTable(name string, cols []ColumnDef, opts ...TableOption)
 			return err
 		}
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	catCols := make([]catalog.Column, len(cols))
 	for i, c := range cols {
 		catCols[i] = catalog.Column{Name: c.Name, Kind: c.Type.kind()}
@@ -205,6 +208,7 @@ func (e *Engine) CreateTable(name string, cols []ColumnDef, opts ...TableOption)
 		return err
 	}
 	e.store.CreateTable(t)
+	e.plans.Bump()
 	return nil
 }
 

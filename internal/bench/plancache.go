@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"partopt"
+)
+
+// -------------------------------------------------------------- Plan cache
+
+// The plan-cache experiment is Table-2-shaped: the same serving-style
+// stream of parameterized point queries is timed against two identically
+// loaded engines, one with the plan cache disabled (every execution
+// re-parses, re-binds and re-optimizes, the pre-cache behaviour) and one
+// going through a prepared statement (every execution after the first is
+// served from one shared parameterized plan whose PartitionSelector
+// re-prunes per parameter). The gap is the planning share of short-query
+// latency — the cost the cache amortizes away. A heavily partitioned
+// table makes that share realistic: optimization considers every
+// partition while the executed point query touches one.
+
+// PlanCacheConfig scales the plan-cache experiment.
+type PlanCacheConfig struct {
+	Segments int
+	Parts    int // partitions of the fact table
+	Rows     int
+	Queries  int // distinct point queries per timing round
+	Iters    int // timing rounds (fastest round wins)
+}
+
+// DefaultPlanCacheConfig returns the scale used by the committed results.
+func DefaultPlanCacheConfig() PlanCacheConfig {
+	return PlanCacheConfig{Segments: 4, Parts: 4800, Rows: 24000, Queries: 50, Iters: 3}
+}
+
+// PlanCacheResult is the experiment's headline numbers.
+type PlanCacheResult struct {
+	Parts     int
+	Queries   int
+	ColdNs    time.Duration // average per-query latency, cache disabled
+	CachedNs  time.Duration // average per-query latency, cache enabled
+	Speedup   float64       // ColdNs / CachedNs
+	ColdOpt   int64         // optimizer invocations during the cold run
+	CachedOpt int64         // optimizer invocations during the cached run
+	Hits      int64         // cache hits during the cached run
+}
+
+// RunPlanCache measures repeated parameterized point-query latency with
+// the plan cache off and on. Both engines are built and warmed before
+// timing, and rounds alternate between them so noise hits both equally.
+func RunPlanCache(cfg PlanCacheConfig) (*PlanCacheResult, error) {
+	build := func() (*partopt.Engine, error) {
+		eng, err := partopt.New(cfg.Segments)
+		if err != nil {
+			return nil, err
+		}
+		if err := eng.CreateTable("pc_sales",
+			partopt.Columns("k", partopt.TypeInt, "v", partopt.TypeFloat),
+			partopt.DistributedBy("k"),
+			partopt.PartitionByRangeInt("k", 0, int64(cfg.Rows), cfg.Parts)); err != nil {
+			return nil, err
+		}
+		rows := make([][]partopt.Value, 0, cfg.Rows)
+		for i := 0; i < cfg.Rows; i++ {
+			rows = append(rows, []partopt.Value{partopt.Int(int64(i)), partopt.Float(float64(i % 97))})
+		}
+		if err := eng.InsertRows("pc_sales", rows); err != nil {
+			return nil, err
+		}
+		if err := eng.Analyze(); err != nil {
+			return nil, err
+		}
+		return eng, nil
+	}
+	cold, err := build()
+	if err != nil {
+		return nil, err
+	}
+	cold.SetPlanCacheCapacity(0)
+	cached, err := build()
+	if err != nil {
+		return nil, err
+	}
+
+	// The cold engine receives textually distinct point queries (ad-hoc
+	// serving traffic, every one planned from scratch); the cached engine
+	// executes the same key sweep through one prepared statement.
+	keys := make([]partopt.Value, cfg.Queries)
+	queries := make([]string, cfg.Queries)
+	for i := range queries {
+		k := int64((i * 37) % cfg.Rows)
+		keys[i] = partopt.Int(k)
+		queries[i] = fmt.Sprintf("SELECT v FROM pc_sales WHERE k = %d", k)
+	}
+	stmt, err := cached.Prepare("SELECT v FROM pc_sales WHERE k = $1")
+	if err != nil {
+		return nil, err
+	}
+	runCold := func() error {
+		for _, q := range queries {
+			if _, err := cold.Query(q); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	runCached := func() error {
+		for _, k := range keys {
+			if _, err := stmt.Query(k); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := runCold(); err != nil {
+		return nil, err
+	}
+	if err := runCached(); err != nil {
+		return nil, err
+	}
+
+	res := &PlanCacheResult{Parts: cfg.Parts, Queries: cfg.Queries}
+	coldBefore, cachedBefore := cold.PlanCacheStats(), cached.PlanCacheStats()
+	bestCold := time.Duration(1<<62 - 1)
+	bestCached := bestCold
+	for iter := 0; iter < cfg.Iters; iter++ {
+		runtime.GC()
+		start := time.Now()
+		if err := runCold(); err != nil {
+			return nil, err
+		}
+		if d := time.Since(start); d < bestCold {
+			bestCold = d
+		}
+		runtime.GC()
+		start = time.Now()
+		if err := runCached(); err != nil {
+			return nil, err
+		}
+		if d := time.Since(start); d < bestCached {
+			bestCached = d
+		}
+	}
+	res.ColdNs = bestCold / time.Duration(cfg.Queries)
+	res.CachedNs = bestCached / time.Duration(cfg.Queries)
+	if res.CachedNs > 0 {
+		res.Speedup = float64(res.ColdNs) / float64(res.CachedNs)
+	}
+	coldAfter, cachedAfter := cold.PlanCacheStats(), cached.PlanCacheStats()
+	res.ColdOpt = coldAfter.Optimizations - coldBefore.Optimizations
+	res.CachedOpt = cachedAfter.Optimizations - cachedBefore.Optimizations
+	res.Hits = cachedAfter.Hits - cachedBefore.Hits
+	return res, nil
+}
+
+// FormatPlanCache renders the experiment.
+func FormatPlanCache(r *PlanCacheResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Plan cache: %d parameterized point queries over %d partitions\n", r.Queries, r.Parts)
+	fmt.Fprintf(&b, "%-28s  %12s  %14s\n", "mode", "avg latency", "optimizations")
+	fmt.Fprintf(&b, "%-28s  %12v  %14d\n", "cache disabled (re-plan)", r.ColdNs.Round(time.Microsecond), r.ColdOpt)
+	fmt.Fprintf(&b, "%-28s  %12v  %14d\n", "prepared stmt (plan reuse)", r.CachedNs.Round(time.Microsecond), r.CachedOpt)
+	fmt.Fprintf(&b, "speedup: %.1fx, cache hits: %d\n", r.Speedup, r.Hits)
+	return b.String()
+}

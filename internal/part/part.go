@@ -12,6 +12,7 @@ package part
 
 import (
 	"fmt"
+	"sort"
 
 	"partopt/internal/types"
 )
@@ -53,6 +54,8 @@ type Node struct {
 	Name       string
 	Constraint types.IntervalSet // check constraint on this level's key
 	Children   []*Node           // nil at the deepest level
+
+	sortedKids bool // Children form a sorted disjoint range sequence
 }
 
 // Desc is the complete partitioning descriptor of one table.
@@ -61,9 +64,10 @@ type Desc struct {
 	Levels  []Level
 	Roots   []*Node // top-level partitions
 
-	leaves []*Node                     // cached leaf list in hierarchy order
-	byOID  map[OID]*Node               // every node by OID
-	paths  map[OID][]types.IntervalSet // leaf OID → per-level constraints
+	leaves      []*Node                     // cached leaf list in hierarchy order
+	byOID       map[OID]*Node               // every node by OID
+	paths       map[OID][]types.IntervalSet // leaf OID → per-level constraints
+	sortedRoots bool                        // Roots form a sorted disjoint range sequence
 }
 
 // NumLevels returns the number of partitioning levels.
@@ -88,6 +92,7 @@ func (d *Desc) finalize() {
 	for _, r := range d.Roots {
 		walk = func(n *Node, depth int, path []types.IntervalSet) {
 			d.byOID[n.OID] = n
+			n.sortedKids = sortedGroup(n.Children)
 			path = append(path, n.Constraint)
 			if len(n.Children) == 0 {
 				if depth != len(d.Levels)-1 {
@@ -105,6 +110,29 @@ func (d *Desc) finalize() {
 		}
 		walk(r, 0, nil)
 	}
+	d.sortedRoots = sortedGroup(d.Roots)
+}
+
+// sortedGroup reports whether a sibling group forms an ascending sequence
+// of pairwise-disjoint single-interval constraints — the shape produced by
+// range partitioning. Selection and routing binary-search such groups
+// instead of scanning every constraint; small groups stay on the linear
+// path, where scanning is already cheap.
+func sortedGroup(group []*Node) bool {
+	if len(group) < 8 {
+		return false
+	}
+	for _, n := range group {
+		if len(n.Constraint.Ivs) != 1 || n.Constraint.Ivs[0].Empty() {
+			return false
+		}
+	}
+	for i := 1; i < len(group); i++ {
+		if !group[i-1].Constraint.Ivs[0].Before(group[i].Constraint.Ivs[0]) {
+			return false
+		}
+	}
+	return true
 }
 
 // NumLeaves returns the number of leaf (physical) partitions.
@@ -156,22 +184,43 @@ func (d *Desc) Route(keys []types.Datum) OID {
 	if len(keys) != len(d.Levels) {
 		panic(fmt.Sprintf("part: Route got %d keys for %d levels", len(keys), len(d.Levels)))
 	}
-	nodes := d.Roots
+	nodes, sorted := d.Roots, d.sortedRoots
 	var found *Node
 	for lvl := 0; lvl < len(d.Levels); lvl++ {
-		found = nil
-		for _, n := range nodes {
-			if n.Constraint.Contains(keys[lvl]) {
-				found = n
-				break
-			}
-		}
+		found = routeLevel(nodes, sorted, keys[lvl])
 		if found == nil {
 			return InvalidOID
 		}
-		nodes = found.Children
+		nodes, sorted = found.Children, found.sortedKids
 	}
 	return found.OID
+}
+
+// routeLevel finds the sibling whose constraint contains v, binary-searching
+// sorted range groups and scanning the rest.
+func routeLevel(nodes []*Node, sorted bool, v types.Datum) *Node {
+	if sorted && !v.IsNull() {
+		// First constraint whose upper bound does not lie below v; only that
+		// one can contain v in an ascending disjoint sequence.
+		i := sort.Search(len(nodes), func(i int) bool {
+			iv := &nodes[i].Constraint.Ivs[0]
+			if iv.HiUnb {
+				return true
+			}
+			c := types.Compare(iv.Hi, v)
+			return c > 0 || (c == 0 && iv.HiIncl)
+		})
+		if i < len(nodes) && nodes[i].Constraint.Contains(v) {
+			return nodes[i]
+		}
+		return nil
+	}
+	for _, n := range nodes {
+		if n.Constraint.Contains(v) {
+			return n
+		}
+	}
+	return nil
 }
 
 // Selection implements the builtin partition_selection(rootOid, value): the
@@ -190,22 +239,43 @@ func (d *Desc) Select(sets []types.IntervalSet) []OID {
 		panic(fmt.Sprintf("part: Select got %d sets for %d levels", len(sets), len(d.Levels)))
 	}
 	var out []OID
-	var walk func(n *Node, lvl int)
-	walk = func(n *Node, lvl int) {
-		if !n.Constraint.Overlaps(sets[lvl]) {
-			return
-		}
+	var emit func(n *Node, lvl int)
+	var group func(nodes []*Node, sorted bool, lvl int)
+	emit = func(n *Node, lvl int) {
 		if len(n.Children) == 0 {
 			out = append(out, n.OID)
 			return
 		}
-		for _, c := range n.Children {
-			walk(c, lvl+1)
+		group(n.Children, n.sortedKids, lvl+1)
+	}
+	group = func(nodes []*Node, sorted bool, lvl int) {
+		set := sets[lvl]
+		if sorted && len(set.Ivs) == 1 && !set.Ivs[0].Empty() {
+			// Sorted disjoint ranges against one predicate interval: the
+			// overlapping constraints form one contiguous run. Binary-search
+			// its start (this is the hot path of a cached plan's runtime
+			// partition selector) and scan until the run ends. For non-empty
+			// single intervals, overlap is exactly "neither lies entirely
+			// before the other".
+			iv := set.Ivs[0]
+			lo := sort.Search(len(nodes), func(i int) bool {
+				return !nodes[i].Constraint.Ivs[0].Before(iv)
+			})
+			for i := lo; i < len(nodes); i++ {
+				if iv.Before(nodes[i].Constraint.Ivs[0]) {
+					break
+				}
+				emit(nodes[i], lvl)
+			}
+			return
+		}
+		for _, n := range nodes {
+			if n.Constraint.Overlaps(set) {
+				emit(n, lvl)
+			}
 		}
 	}
-	for _, r := range d.Roots {
-		walk(r, 0)
-	}
+	group(d.Roots, d.sortedRoots, 0)
 	return out
 }
 

@@ -1,0 +1,353 @@
+package sql
+
+import (
+	"strconv"
+	"strings"
+
+	"partopt/internal/types"
+)
+
+// Query normalization for plan caching. Two SELECTs that differ only in the
+// run-time-constant literals of their WHERE clauses — point lookups over
+// different keys, range scans over different windows — compile to the same
+// parameterized plan under the Orca optimizer, because its
+// PartitionSelector/DynamicScan machinery resolves parameter values at
+// execution time (the paper's plan-reusability property). NormalizeSelect
+// rewrites such literals to trailing $n parameters and renders a canonical
+// text that serves as the cache fingerprint.
+//
+// Lifting rules (documented in DESIGN.md §11):
+//
+//   - Only WHERE-clause literals are lifted, including the WHERE clause of
+//     an IN (SELECT ...) subquery. SELECT items, GROUP BY and ORDER BY
+//     expressions keep their literals: they shape output column names,
+//     grouping structure and sort ordinals, which are part of the plan.
+//   - Only int, float and date literals are lifted. String literals stay
+//     inline because the binder coerces string constants (not parameters)
+//     to dates when compared against date columns; lifting them would
+//     silently change comparison semantics. Bools and NULL are structural.
+//   - LIMIT counts are not expressions in this grammar and are never
+//     touched; integer ORDER BY ordinals are likewise structural.
+//
+// The rewrite never mutates its input: shared statements stay usable for
+// optimizers (the legacy planner) that prune partitions at plan time and
+// therefore must see literal values.
+
+// Normalized is a SELECT rewritten for plan caching.
+type Normalized struct {
+	// Stmt is the rewritten statement: lifted literals replaced by
+	// parameter references numbered after the statement's explicit ones.
+	Stmt *SelectStmt
+	// Text is the canonical rendering of Stmt — the cache fingerprint.
+	Text string
+	// Extra holds the lifted literal values, in parameter order; an
+	// execution binds them after the caller's explicit arguments.
+	Extra []types.Datum
+	// NumExplicit is the number of parameters the caller must supply
+	// (the highest explicit $n in the original text).
+	NumExplicit int
+}
+
+// NormalizeSelect lifts cacheable WHERE-clause literals out of s into
+// trailing parameters and returns the rewritten statement with its
+// canonical text. s itself is not modified.
+func NormalizeSelect(s *SelectStmt) *Normalized {
+	base := maxParamCount(s)
+	l := &lifter{next: base}
+	out := *s
+	if s.Where != nil {
+		out.Where = l.rewrite(s.Where)
+	}
+	return &Normalized{
+		Stmt:        &out,
+		Text:        FormatSelect(&out),
+		Extra:       l.extra,
+		NumExplicit: base,
+	}
+}
+
+// liftable reports whether a literal of this kind may become a parameter
+// without changing binding semantics.
+func liftable(k types.Kind) bool {
+	switch k {
+	case types.KindInt, types.KindFloat, types.KindDate:
+		return true
+	}
+	return false
+}
+
+type lifter struct {
+	next  int
+	extra []types.Datum
+}
+
+func (l *lifter) lift(v types.Datum) Node {
+	p := &ParamRef{Idx: l.next}
+	l.next++
+	l.extra = append(l.extra, v)
+	return p
+}
+
+// rewrite returns a copy of n with liftable literals replaced by parameter
+// references. Unchanged leaves (idents, params, unliftable literals) are
+// shared with the input.
+func (l *lifter) rewrite(n Node) Node {
+	switch x := n.(type) {
+	case *Lit:
+		if liftable(x.Val.Kind()) {
+			return l.lift(x.Val)
+		}
+		return x
+	case *BinOp:
+		// The parser renders a unary minus as (0 - v); fold the pair into
+		// one negated parameter so `k = -5` and `k = -7` share a plan.
+		if x.Op == "-" {
+			if z, ok := x.L.(*Lit); ok && z.Val.Kind() == types.KindInt && z.Val.Int() == 0 {
+				if r, ok := x.R.(*Lit); ok {
+					switch r.Val.Kind() {
+					case types.KindInt:
+						return l.lift(types.NewInt(-r.Val.Int()))
+					case types.KindFloat:
+						return l.lift(types.NewFloat(-r.Val.Float()))
+					}
+				}
+			}
+		}
+		return &BinOp{Op: x.Op, L: l.rewrite(x.L), R: l.rewrite(x.R)}
+	case *NotExpr:
+		return &NotExpr{Arg: l.rewrite(x.Arg)}
+	case *BetweenExpr:
+		return &BetweenExpr{E: l.rewrite(x.E), Lo: l.rewrite(x.Lo), Hi: l.rewrite(x.Hi)}
+	case *InExpr:
+		if x.Sub != nil {
+			sub := *x.Sub
+			if sub.Where != nil {
+				sub.Where = l.rewrite(sub.Where)
+			}
+			return &InExpr{E: l.rewrite(x.E), Sub: &sub}
+		}
+		list := make([]Node, len(x.List))
+		for i, item := range x.List {
+			list[i] = l.rewrite(item)
+		}
+		return &InExpr{E: l.rewrite(x.E), List: list}
+	case *IsNullExpr:
+		return &IsNullExpr{E: l.rewrite(x.E), Negate: x.Negate}
+	default:
+		// Ident, ParamRef, FuncCall: nothing liftable below (aggregates are
+		// rejected in WHERE at bind time anyway).
+		return n
+	}
+}
+
+// maxParamCount returns the number of explicit parameters a statement
+// declares: the highest $n across every expression position.
+func maxParamCount(s *SelectStmt) int {
+	max := 0
+	var walk func(n Node)
+	walk = func(n Node) {
+		switch x := n.(type) {
+		case nil:
+			return
+		case *ParamRef:
+			if x.Idx+1 > max {
+				max = x.Idx + 1
+			}
+		case *BinOp:
+			walk(x.L)
+			walk(x.R)
+		case *NotExpr:
+			walk(x.Arg)
+		case *BetweenExpr:
+			walk(x.E)
+			walk(x.Lo)
+			walk(x.Hi)
+		case *InExpr:
+			walk(x.E)
+			for _, item := range x.List {
+				walk(item)
+			}
+			if x.Sub != nil {
+				walkSelect(x.Sub, walk)
+			}
+		case *IsNullExpr:
+			walk(x.E)
+		case *FuncCall:
+			walk(x.Arg)
+		}
+	}
+	walkSelect(s, walk)
+	return max
+}
+
+func walkSelect(s *SelectStmt, walk func(Node)) {
+	for _, it := range s.Items {
+		walk(it.E)
+	}
+	walk(s.Where)
+	for _, g := range s.GroupBy {
+		walk(g)
+	}
+	for _, o := range s.OrderBy {
+		walk(o.E)
+	}
+}
+
+// FormatSelect renders a SELECT deterministically: uppercase keywords,
+// single spaces, fully parenthesized expressions, $n parameters 1-based.
+// Two parses produce the same text iff their trees are identical, which is
+// what makes the rendering usable as a cache fingerprint.
+func FormatSelect(s *SelectStmt) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Star {
+		b.WriteByte('*')
+	} else {
+		for i, it := range s.Items {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeNode(&b, it.E)
+			if it.Alias != "" {
+				b.WriteString(" AS ")
+				b.WriteString(it.Alias)
+			}
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, ref := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(ref.Name)
+		if ref.Alias != "" && ref.Alias != ref.Name {
+			b.WriteString(" AS ")
+			b.WriteString(ref.Alias)
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		writeNode(&b, s.Where)
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeNode(&b, g)
+		}
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeNode(&b, o.E)
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		b.WriteString(" LIMIT ")
+		b.WriteString(strconv.FormatInt(s.Limit, 10))
+	}
+	return b.String()
+}
+
+func writeNode(b *strings.Builder, n Node) {
+	switch x := n.(type) {
+	case nil:
+	case *Ident:
+		if x.Qual != "" {
+			b.WriteString(x.Qual)
+			b.WriteByte('.')
+		}
+		b.WriteString(x.Name)
+	case *Lit:
+		writeLit(b, x.Val)
+	case *ParamRef:
+		b.WriteByte('$')
+		b.WriteString(strconv.Itoa(x.Idx + 1))
+	case *BinOp:
+		b.WriteByte('(')
+		writeNode(b, x.L)
+		b.WriteByte(' ')
+		b.WriteString(x.Op)
+		b.WriteByte(' ')
+		writeNode(b, x.R)
+		b.WriteByte(')')
+	case *NotExpr:
+		b.WriteString("(NOT ")
+		writeNode(b, x.Arg)
+		b.WriteByte(')')
+	case *BetweenExpr:
+		b.WriteByte('(')
+		writeNode(b, x.E)
+		b.WriteString(" BETWEEN ")
+		writeNode(b, x.Lo)
+		b.WriteString(" AND ")
+		writeNode(b, x.Hi)
+		b.WriteByte(')')
+	case *InExpr:
+		b.WriteByte('(')
+		writeNode(b, x.E)
+		b.WriteString(" IN (")
+		if x.Sub != nil {
+			b.WriteString(FormatSelect(x.Sub))
+		} else {
+			for i, item := range x.List {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				writeNode(b, item)
+			}
+		}
+		b.WriteString("))")
+	case *IsNullExpr:
+		b.WriteByte('(')
+		writeNode(b, x.E)
+		if x.Negate {
+			b.WriteString(" IS NOT NULL")
+		} else {
+			b.WriteString(" IS NULL")
+		}
+		b.WriteByte(')')
+	case *FuncCall:
+		b.WriteString(x.Name)
+		b.WriteByte('(')
+		if x.Star {
+			b.WriteByte('*')
+		} else {
+			writeNode(b, x.Arg)
+		}
+		b.WriteByte(')')
+	}
+}
+
+func writeLit(b *strings.Builder, v types.Datum) {
+	switch v.Kind() {
+	case types.KindInt:
+		b.WriteString(strconv.FormatInt(v.Int(), 10))
+	case types.KindFloat:
+		b.WriteString(strconv.FormatFloat(v.Float(), 'g', -1, 64))
+	case types.KindString:
+		b.WriteByte('\'')
+		b.WriteString(strings.ReplaceAll(v.Str(), "'", "''"))
+		b.WriteByte('\'')
+	case types.KindBool:
+		if v.Bool() {
+			b.WriteString("TRUE")
+		} else {
+			b.WriteString("FALSE")
+		}
+	case types.KindDate:
+		b.WriteString("date '")
+		b.WriteString(v.String())
+		b.WriteByte('\'')
+	default:
+		b.WriteString("NULL")
+	}
+}

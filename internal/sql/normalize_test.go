@@ -1,0 +1,164 @@
+package sql
+
+import (
+	"testing"
+
+	"partopt/internal/types"
+)
+
+func normalize(t *testing.T, src string) *Normalized {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		t.Fatalf("Parse(%q) = %T, want *SelectStmt", src, stmt)
+	}
+	return NormalizeSelect(sel)
+}
+
+// Textually distinct point queries must share one fingerprint, carrying
+// their literals as trailing parameters.
+func TestNormalizePointQueriesShareFingerprint(t *testing.T) {
+	a := normalize(t, "SELECT amount FROM orders WHERE id = 7")
+	b := normalize(t, "SELECT amount FROM orders WHERE id = 12345")
+	if a.Text != b.Text {
+		t.Fatalf("fingerprints differ:\n%s\n%s", a.Text, b.Text)
+	}
+	if len(a.Extra) != 1 || a.Extra[0].Int() != 7 {
+		t.Errorf("a.Extra = %v, want [7]", a.Extra)
+	}
+	if len(b.Extra) != 1 || b.Extra[0].Int() != 12345 {
+		t.Errorf("b.Extra = %v, want [12345]", b.Extra)
+	}
+	want := "SELECT amount FROM orders WHERE (id = $1)"
+	if a.Text != want {
+		t.Errorf("Text = %q, want %q", a.Text, want)
+	}
+}
+
+// Lifted parameters are numbered after the statement's explicit ones, and
+// NumExplicit reports what the caller must still supply.
+func TestNormalizeAfterExplicitParams(t *testing.T) {
+	n := normalize(t, "SELECT amount FROM orders WHERE id = $1 AND qty > 3")
+	if n.NumExplicit != 1 {
+		t.Fatalf("NumExplicit = %d, want 1", n.NumExplicit)
+	}
+	if len(n.Extra) != 1 || n.Extra[0].Int() != 3 {
+		t.Fatalf("Extra = %v, want [3]", n.Extra)
+	}
+	want := "SELECT amount FROM orders WHERE ((id = $1) AND (qty > $2))"
+	if n.Text != want {
+		t.Errorf("Text = %q, want %q", n.Text, want)
+	}
+}
+
+// String literals stay inline (the binder coerces string constants to
+// dates; parameters would skip that), as do bools and NULL.
+func TestNormalizeKeepsStringsInline(t *testing.T) {
+	n := normalize(t, "SELECT * FROM orders WHERE date BETWEEN '2013-10-01' AND '2013-12-31' AND ok = TRUE")
+	if len(n.Extra) != 0 {
+		t.Fatalf("Extra = %v, want none", n.Extra)
+	}
+	want := "SELECT * FROM orders WHERE ((date BETWEEN '2013-10-01' AND '2013-12-31') AND (ok = TRUE))"
+	if n.Text != want {
+		t.Errorf("Text = %q, want %q", n.Text, want)
+	}
+}
+
+// date '...' literals already carry date kind and lift safely.
+func TestNormalizeLiftsDateLiterals(t *testing.T) {
+	a := normalize(t, "SELECT * FROM orders WHERE date < date '2013-10-01'")
+	b := normalize(t, "SELECT * FROM orders WHERE date < date '2012-01-01'")
+	if a.Text != b.Text {
+		t.Fatalf("fingerprints differ:\n%s\n%s", a.Text, b.Text)
+	}
+	if len(a.Extra) != 1 || a.Extra[0].Kind() != types.KindDate {
+		t.Fatalf("Extra = %v, want one date", a.Extra)
+	}
+}
+
+// SELECT items, GROUP BY, ORDER BY ordinals and LIMIT are structural:
+// their literals must survive normalization untouched.
+func TestNormalizeLeavesStructuralLiterals(t *testing.T) {
+	n := normalize(t, "SELECT qty * 2, count(*) AS n FROM orders WHERE qty > 10 GROUP BY qty * 2 ORDER BY 1 DESC LIMIT 5")
+	if len(n.Extra) != 1 || n.Extra[0].Int() != 10 {
+		t.Fatalf("Extra = %v, want [10]", n.Extra)
+	}
+	want := "SELECT (qty * 2), COUNT(*) AS n FROM orders WHERE (qty > $1) GROUP BY (qty * 2) ORDER BY 1 DESC LIMIT 5"
+	if n.Text != want {
+		t.Errorf("Text = %q, want %q", n.Text, want)
+	}
+}
+
+// The parser expands -5 to (0 - 5); normalization folds the pair back into
+// a single negated parameter.
+func TestNormalizeFoldsNegativeLiterals(t *testing.T) {
+	a := normalize(t, "SELECT * FROM t WHERE k = -5")
+	b := normalize(t, "SELECT * FROM t WHERE k = -9")
+	if a.Text != b.Text {
+		t.Fatalf("fingerprints differ:\n%s\n%s", a.Text, b.Text)
+	}
+	if len(a.Extra) != 1 || a.Extra[0].Int() != -5 {
+		t.Errorf("a.Extra = %v, want [-5]", a.Extra)
+	}
+	if b.Extra[0].Int() != -9 {
+		t.Errorf("b.Extra = %v, want [-9]", b.Extra)
+	}
+}
+
+// IN lists lift per element (list length stays part of the fingerprint),
+// and IN-subquery WHERE clauses are lifted too.
+func TestNormalizeInListAndSubquery(t *testing.T) {
+	n := normalize(t, "SELECT * FROM t WHERE k IN (1, 2, 3)")
+	if len(n.Extra) != 3 {
+		t.Fatalf("Extra = %v, want 3 values", n.Extra)
+	}
+	want := "SELECT * FROM t WHERE (k IN ($1, $2, $3))"
+	if n.Text != want {
+		t.Errorf("Text = %q, want %q", n.Text, want)
+	}
+
+	a := normalize(t, "SELECT avg(x) FROM f WHERE k IN (SELECT k FROM d WHERE y = 2013)")
+	b := normalize(t, "SELECT avg(x) FROM f WHERE k IN (SELECT k FROM d WHERE y = 2012)")
+	if a.Text != b.Text {
+		t.Fatalf("subquery fingerprints differ:\n%s\n%s", a.Text, b.Text)
+	}
+	if len(a.Extra) != 1 || a.Extra[0].Int() != 2013 {
+		t.Errorf("a.Extra = %v, want [2013]", a.Extra)
+	}
+}
+
+// Normalization must not mutate the parsed statement: the legacy planner
+// plans the original tree and needs its literal values.
+func TestNormalizeDoesNotMutateInput(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM t WHERE k = 42")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	sel := stmt.(*SelectStmt)
+	before := FormatSelect(sel)
+	_ = NormalizeSelect(sel)
+	if after := FormatSelect(sel); after != before {
+		t.Errorf("input mutated:\nbefore %s\nafter  %s", before, after)
+	}
+	cmp, ok := sel.Where.(*BinOp)
+	if !ok {
+		t.Fatalf("Where = %T", sel.Where)
+	}
+	if lit, ok := cmp.R.(*Lit); !ok || lit.Val.Int() != 42 {
+		t.Errorf("literal gone from input tree: %#v", cmp.R)
+	}
+}
+
+// Whitespace and case variants of the same statement canonicalize to one
+// text.
+func TestFormatSelectCanonicalizesSpacing(t *testing.T) {
+	a := normalize(t, "select   amount from orders where id=7")
+	b := normalize(t, "SELECT amount FROM orders WHERE id = 9")
+	if a.Text != b.Text {
+		t.Errorf("spacing variants differ:\n%s\n%s", a.Text, b.Text)
+	}
+}

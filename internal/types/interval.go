@@ -115,7 +115,50 @@ func (iv Interval) Intersect(o Interval) Interval {
 // Overlaps reports whether the two intervals share at least one value
 // (conservatively: true unless provably disjoint).
 func (iv Interval) Overlaps(o Interval) bool {
-	return !iv.Intersect(o).Empty()
+	return overlaps(&iv, &o)
+}
+
+// overlaps is the pointer-based core of Overlaps. Partition selection calls
+// it once per (predicate interval, partition constraint) pair on every
+// execution of a cached plan, so it avoids the interval copies an
+// Intersect-then-Empty implementation would make. For non-empty inputs the
+// direct facing-bound test is equivalent: the intersection's lower bound is
+// the larger Lo and its upper bound the smaller Hi, so it can only be empty
+// when one interval ends before the other begins.
+func overlaps(a, b *Interval) bool {
+	if a.Empty() || b.Empty() {
+		return false
+	}
+	if !a.HiUnb && !b.LoUnb {
+		c := Compare(a.Hi, b.Lo)
+		if c < 0 || (c == 0 && !(a.HiIncl && b.LoIncl)) {
+			return false
+		}
+	}
+	if !b.HiUnb && !a.LoUnb {
+		c := Compare(b.Hi, a.Lo)
+		if c < 0 || (c == 0 && !(b.HiIncl && a.LoIncl)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Before reports whether every value of iv is provably less than every
+// value of o. Partition selection over sorted range constraints uses it to
+// binary-search the first possibly-overlapping partition. Empty intervals
+// are never Before anything (callers exclude them).
+func (iv Interval) Before(o Interval) bool {
+	return before(&iv, &o)
+}
+
+// before is the pointer-based core of Before.
+func before(a, b *Interval) bool {
+	if a.HiUnb || b.LoUnb {
+		return false
+	}
+	c := Compare(a.Hi, b.Lo)
+	return c < 0 || (c == 0 && !(a.HiIncl && b.LoIncl))
 }
 
 // Covers reports whether iv contains every value of o.
@@ -232,9 +275,9 @@ func (s IntervalSet) Contains(v Datum) bool {
 
 // Overlaps reports whether the two sets can share a value.
 func (s IntervalSet) Overlaps(o IntervalSet) bool {
-	for _, a := range s.Ivs {
-		for _, b := range o.Ivs {
-			if a.Overlaps(b) {
+	for i := range s.Ivs {
+		for j := range o.Ivs {
+			if overlaps(&s.Ivs[i], &o.Ivs[j]) {
 				return true
 			}
 		}

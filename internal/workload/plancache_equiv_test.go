@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"partopt"
+)
+
+// Differential plan-cache fuzzer: the same generated query+parameter
+// sweeps executed against a caching engine and a cache-disabled twin must
+// agree on row multisets, PartsScanned, RowsScanned, and spill decisions.
+// The sweeps repeat each template with varying literals, so the cached
+// engine serves most executions from one auto-parameterized plan while the
+// uncached engine re-optimizes every time — any divergence is a caching
+// bug, not an optimizer difference.
+
+func buildCacheEquivPair(t *testing.T) (cached, uncached *partopt.Engine) {
+	t.Helper()
+	build := func() *partopt.Engine {
+		eng, err := partopt.New(3)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		cfg := DefaultStarConfig()
+		cfg.SalesPerDay = 5
+		cfg.Months = 12
+		if err := BuildStar(eng, cfg); err != nil {
+			t.Fatalf("BuildStar: %v", err)
+		}
+		return eng
+	}
+	cached, uncached = build(), build()
+	uncached.SetPlanCacheCapacity(0)
+	return cached, uncached
+}
+
+func TestFuzzPlanCacheEquivalence(t *testing.T) {
+	cached, uncached := buildCacheEquivPair(t)
+	days := DefaultStarConfig().Days()
+	rnd := rand.New(rand.NewSource(20140622))
+
+	templates := []func(lo, hi int) string{
+		func(lo, _ int) string {
+			return fmt.Sprintf("SELECT date_id, amount FROM store_sales WHERE date_id = %d", lo)
+		},
+		func(lo, hi int) string {
+			return fmt.Sprintf("SELECT sum(amount) FROM store_sales WHERE date_id BETWEEN %d AND %d", lo, hi)
+		},
+		func(lo, _ int) string {
+			return fmt.Sprintf("SELECT quantity, count(*) FROM store_sales WHERE date_id < %d GROUP BY quantity", lo)
+		},
+		func(lo, _ int) string {
+			return fmt.Sprintf("SELECT count(*) FROM date_dim d, store_sales s WHERE d.date_id = s.date_id AND s.date_id >= %d", lo)
+		},
+		func(lo, _ int) string {
+			return fmt.Sprintf("SELECT max(amount) FROM store_sales WHERE date_id IN (SELECT date_id FROM date_dim d WHERE d.moy = %d)", 1+lo%12)
+		},
+	}
+
+	for _, opt := range []partopt.OptimizerKind{partopt.Orca, partopt.LegacyPlanner} {
+		cached.SetOptimizer(opt)
+		uncached.SetOptimizer(opt)
+		t.Run(opt.String(), func(t *testing.T) {
+			for i := 0; i < 60; i++ {
+				tmpl := templates[i%len(templates)]
+				lo := rnd.Intn(days)
+				q := tmpl(lo, lo+rnd.Intn(days-lo))
+
+				want, err := uncached.Query(q)
+				if err != nil {
+					t.Fatalf("query %d uncached: %v\n%s", i, err, q)
+				}
+				got, err := cached.Query(q)
+				if err != nil {
+					t.Fatalf("query %d cached: %v\n%s", i, err, q)
+				}
+				assertSameData(t, fmt.Sprintf("query %d (%s)", i, q), want, got, false)
+				for tab, n := range want.PartsScanned {
+					if got.PartsScanned[tab] != n {
+						t.Fatalf("query %d: PartsScanned[%s] = %d cached vs %d uncached\n%s",
+							i, tab, got.PartsScanned[tab], n, q)
+					}
+				}
+				if got.RowsScanned != want.RowsScanned {
+					t.Fatalf("query %d: RowsScanned = %d cached vs %d uncached\n%s",
+						i, got.RowsScanned, want.RowsScanned, q)
+				}
+			}
+		})
+	}
+
+	// The sweep must actually have exercised the cache.
+	st := cached.PlanCacheStats()
+	if st.Hits == 0 {
+		t.Fatalf("sweep never hit the cache: %+v", st)
+	}
+	if un := uncached.PlanCacheStats(); un.Hits != 0 {
+		t.Fatalf("cache-disabled engine reported hits: %+v", un)
+	}
+}
+
+// Spill decisions are plan-cache independent: under the same budget a
+// cached execution spills iff the uncached one does, and both answer
+// correctly.
+func TestPlanCacheSpillEquivalence(t *testing.T) {
+	budget := spillBudget(t)
+	cached, uncached := buildCacheEquivPair(t)
+	for _, eng := range []*partopt.Engine{cached, uncached} {
+		eng.SetSpillDir(t.TempDir())
+		eng.SetWorkMem(budget)
+	}
+	const q = "SELECT date_id, count(*) AS n, sum(amount) AS total FROM store_sales GROUP BY date_id"
+
+	want, err := uncached.Query(q)
+	if err != nil {
+		t.Fatalf("uncached: %v", err)
+	}
+	// Twice on the caching engine: the second run is a hit and must make
+	// the same spill decision.
+	for run := 0; run < 2; run++ {
+		got, err := cached.Query(q)
+		if err != nil {
+			t.Fatalf("cached run %d: %v", run, err)
+		}
+		if (got.SpilledBytes > 0) != (want.SpilledBytes > 0) {
+			t.Fatalf("run %d: spill decision diverged: cached=%d bytes, uncached=%d bytes",
+				run, got.SpilledBytes, want.SpilledBytes)
+		}
+		if want.SpilledBytes == 0 {
+			t.Fatalf("budget %d did not force a spill; test fixture too small", budget)
+		}
+		assertSameData(t, "spill-agg", want, got, false)
+	}
+	if st := cached.PlanCacheStats(); st.Hits == 0 {
+		t.Fatalf("second cached run was not a hit: %+v", st)
+	}
+}

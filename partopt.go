@@ -21,6 +21,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"partopt/internal/catalog"
 	"partopt/internal/exec"
@@ -30,9 +31,11 @@ import (
 	"partopt/internal/obs"
 	"partopt/internal/orca"
 	"partopt/internal/plan"
+	"partopt/internal/plancache"
 	"partopt/internal/sql"
 	"partopt/internal/stats"
 	"partopt/internal/storage"
+	"partopt/internal/types"
 )
 
 // ErrOutOfMemory matches (via errors.Is) the structured error a query
@@ -59,16 +62,38 @@ func (k OptimizerKind) String() string {
 	return "orca"
 }
 
-// Engine is one simulated MPP database instance.
+// Engine is one simulated MPP database instance. An Engine is safe for
+// concurrent use: the plan phase (bind + optimize + plan-cache access)
+// runs under a read lock, catalog-shape changes (DDL, ANALYZE, optimizer
+// switches) take the write lock and bump the plan-cache epoch, and query
+// execution runs outside the engine lock entirely (plan trees are
+// immutable at run time).
 type Engine struct {
 	cat   *catalog.Catalog
 	store *storage.Store
 	rt    *exec.Runtime
 
+	// mu orders the plan phase against catalog changes. It does not cover
+	// execution or storage (the store has its own lock).
+	mu    sync.RWMutex
+	plans *plancache.Cache
+	met   engineMetrics
+
 	optimizer        OptimizerKind
 	disableSelection bool
 	segments         int
 	govCfg           mem.Config
+}
+
+// engineMetrics caches engine-level instrument pointers (cache counters
+// are mirrored by the plancache itself; see wireCacheMetrics).
+type engineMetrics struct {
+	// optimizations counts optimizer invocations — a cache hit performs
+	// zero of them.
+	optimizations *obs.Counter
+	// hitLatency observes end-to-end latency of queries served from the
+	// plan cache.
+	hitLatency *obs.Histogram
 }
 
 // New creates an engine with the given number of segments.
@@ -77,27 +102,53 @@ func New(segments int) (*Engine, error) {
 		return nil, fmt.Errorf("partopt: need at least one segment")
 	}
 	st := storage.NewStore(segments)
-	return &Engine{
+	reg := obs.NewRegistry()
+	e := &Engine{
 		cat:      catalog.New(),
 		store:    st,
-		rt:       &exec.Runtime{Store: st, Obs: obs.NewRegistry()},
+		rt:       &exec.Runtime{Store: st, Obs: reg},
+		plans:    plancache.New(DefaultPlanCacheCapacity),
 		segments: segments,
-	}, nil
+	}
+	e.met.optimizations = reg.Counter("partopt_optimizations_total")
+	e.met.hitLatency = reg.Histogram("partopt_plan_cache_hit_latency_seconds", obs.DefaultLatencyBuckets())
+	e.wireCacheMetrics()
+	return e, nil
 }
 
 // Segments returns the cluster width.
 func (e *Engine) Segments() int { return e.segments }
 
-// SetOptimizer switches between Orca and the legacy Planner.
-func (e *Engine) SetOptimizer(k OptimizerKind) { e.optimizer = k }
+// SetOptimizer switches between Orca and the legacy Planner. Cached plans
+// are keyed by optimizer, but the switch still bumps the epoch: settings
+// changes are invalidating surfaces.
+func (e *Engine) SetOptimizer(k OptimizerKind) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if k != e.optimizer {
+		e.plans.Bump()
+	}
+	e.optimizer = k
+}
 
 // Optimizer reports the active optimizer.
-func (e *Engine) Optimizer() OptimizerKind { return e.optimizer }
+func (e *Engine) Optimizer() OptimizerKind {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.optimizer
+}
 
 // SetPartitionSelection enables or disables partition elimination in the
 // Orca optimizer (the paper's Figure 17 knob). The legacy planner's
 // equivalent knob is its dynamic-elimination flag, toggled the same way.
-func (e *Engine) SetPartitionSelection(enabled bool) { e.disableSelection = !enabled }
+func (e *Engine) SetPartitionSelection(enabled bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.disableSelection != !enabled {
+		e.plans.Bump()
+	}
+	e.disableSelection = !enabled
+}
 
 // SetMemBudget caps the executor's total memory across all concurrent
 // queries, in bytes. A query whose irreducible working set would exceed it
@@ -141,21 +192,31 @@ func (e *Engine) rebuildGovernor() {
 	e.rt.Gov = mem.NewGovernor(e.govCfg)
 }
 
-// Insert adds one row to a table.
+// Insert adds one row to a table. Like every write, it bumps the plan-
+// cache epoch: cached plans stay executable but were costed against the
+// old data.
 func (e *Engine) Insert(table string, vals ...Value) error {
+	e.mu.RLock()
 	t, ok := e.cat.Table(table)
 	if !ok {
+		e.mu.RUnlock()
 		return fmt.Errorf("partopt: unknown table %q", table)
 	}
-	return e.store.Insert(t, toRow(vals))
+	err := e.store.Insert(t, toRow(vals))
+	e.plans.Bump()
+	e.mu.RUnlock()
+	return err
 }
 
-// InsertRows bulk-loads rows.
+// InsertRows bulk-loads rows (one epoch bump for the whole batch).
 func (e *Engine) InsertRows(table string, rows [][]Value) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	t, ok := e.cat.Table(table)
 	if !ok {
 		return fmt.Errorf("partopt: unknown table %q", table)
 	}
+	defer e.plans.Bump()
 	for _, r := range rows {
 		if err := e.store.Insert(t, toRow(r)); err != nil {
 			return err
@@ -168,6 +229,8 @@ func (e *Engine) InsertRows(table string, rows [][]Value) error {
 // get one physical index per leaf partition, which lets the optimizer
 // combine partition elimination with index lookups (DynamicIndexScan).
 func (e *Engine) CreateIndex(name, table, column string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	t, ok := e.cat.Table(table)
 	if !ok {
 		return fmt.Errorf("partopt: unknown table %q", table)
@@ -184,16 +247,24 @@ func (e *Engine) CreateIndex(name, table, column string) error {
 		return err
 	}
 	t.Indexes = append(t.Indexes, def)
+	e.plans.Bump()
 	return nil
 }
 
-// Analyze collects optimizer statistics for every table.
+// Analyze collects optimizer statistics for every table and invalidates
+// cached plans (they were costed against the old statistics).
 func (e *Engine) Analyze() error {
-	return stats.CollectAll(e.store, e.cat)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	err := stats.CollectAll(e.store, e.cat)
+	e.plans.Bump()
+	return err
 }
 
 // TableNames lists the catalog's tables.
 func (e *Engine) TableNames() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	ts := e.cat.Tables()
 	out := make([]string, len(ts))
 	for i, t := range ts {
@@ -205,6 +276,8 @@ func (e *Engine) TableNames() []string {
 // NumPartitions returns the leaf partition count of a table (1 for
 // unpartitioned tables).
 func (e *Engine) NumPartitions(table string) (int, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	t, ok := e.cat.Table(table)
 	if !ok {
 		return 0, fmt.Errorf("partopt: unknown table %q", table)
@@ -246,15 +319,17 @@ func (e *Engine) Query(query string, args ...Value) (*Rows, error) {
 // deadline aborts the query on every segment. On error the returned *Rows,
 // when non-nil, carries the partial execution statistics accumulated before
 // the abort (no data rows), so callers can report work done so far.
+//
+// SELECTs run through the plan cache: under Orca the query is normalized
+// (liftable literals become trailing parameters) so textually distinct
+// point queries share one dynamic-selection plan; a cache hit skips bind
+// and optimization entirely.
 func (e *Engine) QueryCtx(ctx context.Context, query string, args ...Value) (*Rows, error) {
-	bound, err := e.bind(query)
+	p, err := e.prepare(query)
 	if err != nil {
 		return nil, err
 	}
-	if bound.IsUpdate {
-		return nil, fmt.Errorf("partopt: use Exec for UPDATE statements")
-	}
-	return e.run(ctx, bound, args)
+	return e.queryPrepared(ctx, p, args)
 }
 
 // Exec plans and executes a DML statement (INSERT, UPDATE, DELETE),
@@ -265,73 +340,69 @@ func (e *Engine) Exec(query string, args ...Value) (int64, error) {
 
 // ExecCtx is Exec governed by a context. Note that cancelling a DML
 // statement mid-flight may leave part of its effects applied — the
-// simulator has no transactional rollback.
+// simulator has no transactional rollback. DML plans are never cached;
+// each successful execution bumps the plan-cache epoch instead.
 func (e *Engine) ExecCtx(ctx context.Context, query string, args ...Value) (int64, error) {
-	stmt, err := sql.Parse(query)
+	p, err := e.prepare(query)
 	if err != nil {
 		return 0, err
 	}
-	if ins, ok := stmt.(*sql.InsertStmt); ok {
-		tab, rows, err := sql.BindInsert(e.cat, ins, toRow(args))
-		if err != nil {
-			return 0, err
-		}
-		for _, r := range rows {
-			if err := e.store.Insert(tab, r); err != nil {
-				return 0, err
-			}
-		}
-		return int64(len(rows)), nil
-	}
-	bound, err := sql.Bind(e.cat, stmt)
-	if err != nil {
-		return 0, err
-	}
-	if !bound.IsUpdate {
-		return 0, fmt.Errorf("partopt: use Query for SELECT statements")
-	}
-	res, err := e.run(ctx, bound, args)
-	if err != nil {
-		return 0, err
-	}
-	var n int64
-	for _, row := range res.Data {
-		n += row[0].Int()
-	}
-	return n, nil
+	return e.execPrepared(ctx, p, args)
 }
 
-// Explain returns the physical plan of a query under the active optimizer.
+// Explain returns the physical plan of a query under the active
+// optimizer. SELECTs route through the plan cache, so Explain followed by
+// Query (or two Explains back-to-back) optimizes once per fingerprint.
 func (e *Engine) Explain(query string) (string, error) {
-	bound, err := e.bind(query)
+	p, err := e.prepare(query)
 	if err != nil {
 		return "", err
 	}
-	node, _, err := e.plan(bound)
+	if p.kind == kindSelect {
+		ent, _, _, err := e.lookupOrCompile(p)
+		if err != nil {
+			return "", err
+		}
+		return plan.Explain(ent.Plan), nil
+	}
+	ent, err := e.compileDML(p)
 	if err != nil {
 		return "", err
 	}
-	return plan.Explain(node), nil
+	return plan.Explain(ent.Plan), nil
 }
 
 // PlanSize returns the serialized plan size in bytes — the paper's
-// Figure 18 metric — without executing the query.
+// Figure 18 metric — without executing the query. Like Explain, SELECTs
+// are served from the plan cache.
 func (e *Engine) PlanSize(query string) (int, error) {
-	bound, err := e.bind(query)
+	p, err := e.prepare(query)
 	if err != nil {
 		return 0, err
 	}
-	node, pl, err := e.plan(bound)
-	if err != nil {
-		return 0, err
-	}
-	size := plan.SerializedSize(node)
-	if pl != nil {
-		for _, prep := range pl.Preps {
-			size += plan.SerializedSize(prep.Plan)
+	if p.kind == kindSelect {
+		ent, _, _, err := e.lookupOrCompile(p)
+		if err != nil {
+			return 0, err
 		}
+		return ent.TotalSize, nil
 	}
-	return size, nil
+	ent, err := e.compileDML(p)
+	if err != nil {
+		return 0, err
+	}
+	return ent.TotalSize, nil
+}
+
+// compileDML binds and plans a non-cacheable statement fresh.
+func (e *Engine) compileDML(p *prepared) (*plancache.Entry, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	bound, err := sql.Bind(e.cat, p.stmt)
+	if err != nil {
+		return nil, err
+	}
+	return e.compileBound(bound)
 }
 
 func (e *Engine) bind(query string) (*sql.Bound, error) {
@@ -339,13 +410,18 @@ func (e *Engine) bind(query string) (*sql.Bound, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return sql.Bind(e.cat, stmt)
 }
 
 // plan compiles a bound statement with the active optimizer and applies
 // the presentation shell (ORDER BY / LIMIT run on the coordinator). For
-// the legacy planner the second result carries the prep steps.
+// the legacy planner the second result carries the prep steps. Every call
+// counts one optimizer invocation — the plan cache's purpose is to make
+// this counter stop moving under repeated traffic.
 func (e *Engine) plan(bound *sql.Bound) (plan.Node, *legacy.Planned, error) {
+	e.met.optimizations.Inc()
 	var node plan.Node
 	var pl *legacy.Planned
 	switch e.optimizer {
@@ -385,21 +461,19 @@ func (e *Engine) PlanLogical(query string) (logical.Node, error) {
 	return bound.Root, nil
 }
 
-func (e *Engine) run(ctx context.Context, bound *sql.Bound, args []Value) (*Rows, error) {
-	node, pl, err := e.plan(bound)
-	if err != nil {
-		return nil, err
-	}
-	params := &exec.Params{Vals: toRow(args)}
-	if bound.NumParams > len(args) {
-		return nil, fmt.Errorf("partopt: query needs %d parameters, got %d", bound.NumParams, len(args))
-	}
+// executeEntry runs a compiled plan with fully bound parameter values
+// (explicit arguments followed by any literals the normalizer lifted).
+// It takes no engine locks: entries are immutable at run time, and all
+// per-execution state lives in the exec.Params / exec.Stats it creates.
+func (e *Engine) executeEntry(ctx context.Context, ent *plancache.Entry, vals []types.Datum) (*Rows, error) {
+	node, pl := ent.Plan, ent.Legacy
+	params := &exec.Params{Vals: vals}
 
 	stats := exec.NewStats()
 	out := &Rows{
-		Columns:      bound.Columns,
+		Columns:      ent.Columns,
 		PartsScanned: map[string]int{},
-		PlanSize:     plan.SerializedSize(node),
+		PlanSize:     ent.PlanSize,
 	}
 	fill := func() {
 		out.RowsScanned = stats.RowsScanned()
@@ -414,6 +488,7 @@ func (e *Engine) run(ctx context.Context, bound *sql.Bound, args []Value) (*Rows
 	}
 
 	var res *exec.Result
+	var err error
 	if pl != nil {
 		res, err = legacy.ExecuteIntoCtx(ctx, e.rt, pl, params, stats)
 	} else {

@@ -1,0 +1,346 @@
+package partopt
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"partopt/internal/plan"
+	"partopt/internal/plancache"
+	"partopt/internal/sql"
+)
+
+// DefaultPlanCacheCapacity is the engine's initial plan-cache size, in
+// entries. Use SetPlanCacheCapacity to change it (0 disables caching).
+const DefaultPlanCacheCapacity = 256
+
+type stmtKind uint8
+
+const (
+	kindSelect stmtKind = iota
+	kindInsert
+	kindDML // UPDATE / DELETE
+)
+
+// prepared is the optimizer-independent front half of a statement: parsed
+// once, normalized once, reusable across executions and optimizer
+// switches. It holds both fingerprints — the Orca one over the
+// auto-parameterized tree (Orca's PartitionSelector re-derives partition
+// sets from parameter values at run time, so lifted literals don't cost
+// pruning) and the legacy one over the raw tree (the legacy planner prunes
+// statically at plan time and must see literal values).
+type prepared struct {
+	text  string
+	kind  stmtKind
+	stmt  sql.Statement
+	sel   *sql.SelectStmt // raw tree; kindSelect only
+	norm  *sql.Normalized // auto-parameterized tree + Orca fingerprint
+	canon string          // canonical text of the raw tree — legacy fingerprint
+}
+
+// prepare parses and fingerprints a statement. It takes no engine locks:
+// everything here depends only on the query text.
+func (e *Engine) prepare(query string) (*prepared, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	p := &prepared{text: query, stmt: stmt}
+	switch s := stmt.(type) {
+	case *sql.SelectStmt:
+		p.kind = kindSelect
+		p.sel = s
+		p.norm = sql.NormalizeSelect(s)
+		p.canon = sql.FormatSelect(s)
+	case *sql.InsertStmt:
+		p.kind = kindInsert
+	default:
+		p.kind = kindDML
+	}
+	return p, nil
+}
+
+// cacheKey derives the plan-cache key: fingerprint + optimizer kind +
+// selection flag. Plans compiled under different optimizers or with
+// partition selection toggled are distinct cache entries.
+func (e *Engine) cacheKey(p *prepared, useNorm bool) string {
+	fp, kind := p.canon, "planner"
+	if useNorm {
+		fp, kind = p.norm.Text, "orca"
+	}
+	sel := "+sel"
+	if e.disableSelection {
+		sel = "-sel"
+	}
+	return kind + "|" + sel + "|" + fp
+}
+
+// lookupOrCompile returns the cached plan for p under the current
+// optimizer settings, compiling and caching on a miss. The epoch is read
+// under the same read lock that excludes DDL, and Put stamps that observed
+// epoch, so a plan compiled concurrently with an invalidating change can
+// never be served after the bump.
+func (e *Engine) lookupOrCompile(p *prepared) (ent *plancache.Entry, useNorm, hit bool, err error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	useNorm = e.optimizer != LegacyPlanner
+	key := e.cacheKey(p, useNorm)
+	epoch := e.plans.Epoch()
+	if ent, ok := e.plans.Get(key); ok {
+		return ent, useNorm, true, nil
+	}
+	stmt := sql.Statement(p.sel)
+	if useNorm {
+		stmt = p.norm.Stmt
+	}
+	bound, err := sql.Bind(e.cat, stmt)
+	if err != nil {
+		return nil, useNorm, false, err
+	}
+	ent, err = e.compileBound(bound)
+	if err != nil {
+		return nil, useNorm, false, err
+	}
+	e.plans.Put(key, ent, epoch)
+	return ent, useNorm, false, nil
+}
+
+// compileBound optimizes a bound statement into a cacheable entry. Callers
+// hold at least the engine read lock.
+func (e *Engine) compileBound(bound *sql.Bound) (*plancache.Entry, error) {
+	node, pl, err := e.plan(bound)
+	if err != nil {
+		return nil, err
+	}
+	size := plan.SerializedSize(node)
+	total := size
+	if pl != nil {
+		for _, prep := range pl.Preps {
+			total += plan.SerializedSize(prep.Plan)
+		}
+	}
+	return &plancache.Entry{
+		Plan:      node,
+		Legacy:    pl,
+		Columns:   bound.Columns,
+		NumParams: bound.NumParams,
+		PlanSize:  size,
+		TotalSize: total,
+	}, nil
+}
+
+// queryPrepared runs a prepared SELECT through the plan cache. Execution
+// happens outside the engine lock; cached plan trees are immutable at run
+// time (all per-execution state lives in exec.Ctx / Stats / Params), so
+// concurrent executions may share one entry.
+func (e *Engine) queryPrepared(ctx context.Context, p *prepared, args []Value) (*Rows, error) {
+	if p.kind != kindSelect {
+		return nil, fmt.Errorf("partopt: use Exec for UPDATE statements")
+	}
+	start := time.Now()
+	ent, useNorm, hit, err := e.lookupOrCompile(p)
+	if err != nil {
+		return nil, err
+	}
+	need := ent.NumParams
+	if useNorm {
+		need = p.norm.NumExplicit
+	}
+	if need > len(args) {
+		return nil, fmt.Errorf("partopt: query needs %d parameters, got %d", need, len(args))
+	}
+	vals := toRow(args)
+	if useNorm {
+		// Lifted literals bind after the caller's explicit parameters.
+		vals = append(vals[:need:need], p.norm.Extra...)
+	}
+	out, err := e.executeEntry(ctx, ent, vals)
+	if err == nil && hit {
+		e.met.hitLatency.Observe(time.Since(start).Seconds())
+	}
+	return out, err
+}
+
+// execPrepared runs a prepared INSERT / UPDATE / DELETE. DML plans are
+// never cached: they carry fault-injection points and their effects change
+// the data cached plans were costed against — every successful execution
+// bumps the catalog epoch instead.
+func (e *Engine) execPrepared(ctx context.Context, p *prepared, args []Value) (int64, error) {
+	switch p.kind {
+	case kindSelect:
+		return 0, fmt.Errorf("partopt: use Query for SELECT statements")
+	case kindInsert:
+		e.mu.RLock()
+		tab, rows, err := sql.BindInsert(e.cat, p.stmt.(*sql.InsertStmt), toRow(args))
+		e.mu.RUnlock()
+		if err != nil {
+			return 0, err
+		}
+		for _, r := range rows {
+			if err := e.store.Insert(tab, r); err != nil {
+				return 0, err
+			}
+		}
+		e.bumpEpoch()
+		return int64(len(rows)), nil
+	}
+	e.mu.RLock()
+	bound, err := sql.Bind(e.cat, p.stmt)
+	var ent *plancache.Entry
+	if err == nil {
+		ent, err = e.compileBound(bound)
+	}
+	e.mu.RUnlock()
+	if err != nil {
+		return 0, err
+	}
+	if ent.NumParams > len(args) {
+		return 0, fmt.Errorf("partopt: query needs %d parameters, got %d", ent.NumParams, len(args))
+	}
+	res, err := e.executeEntry(ctx, ent, toRow(args))
+	if err != nil {
+		return 0, err
+	}
+	e.bumpEpoch()
+	var n int64
+	for _, row := range res.Data {
+		n += row[0].Int()
+	}
+	return n, nil
+}
+
+// bumpEpoch invalidates every cached plan. Callers that already hold the
+// engine lock bump e.plans directly.
+func (e *Engine) bumpEpoch() {
+	e.mu.RLock()
+	c := e.plans
+	e.mu.RUnlock()
+	c.Bump()
+}
+
+// Stmt is a prepared statement: parsed and fingerprinted once, planned at
+// most once per catalog epoch, executable many times with different
+// parameters. Safe for concurrent use.
+type Stmt struct {
+	eng *Engine
+	p   *prepared
+}
+
+// Prepare parses and fingerprints a statement for repeated execution.
+// Planning is deferred to the first execution (and re-done only when the
+// catalog epoch moves), so a Stmt never holds a stale plan.
+func (e *Engine) Prepare(query string) (*Stmt, error) {
+	p, err := e.prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{eng: e, p: p}, nil
+}
+
+// Text returns the statement's original SQL.
+func (s *Stmt) Text() string { return s.p.text }
+
+// Fingerprint returns the normalized cache fingerprint of a SELECT (the
+// canonical text with literals lifted to $n). DML statements are not
+// cached and report their original text.
+func (s *Stmt) Fingerprint() string {
+	if s.p.norm != nil {
+		return s.p.norm.Text
+	}
+	return s.p.text
+}
+
+// NumParams reports how many parameters an execution of a SELECT must
+// supply — the statement's explicit $n placeholders (lifted literals are
+// bound internally). DML statements report -1 (unknown until bind).
+func (s *Stmt) NumParams() int {
+	if s.p.norm != nil {
+		return s.p.norm.NumExplicit
+	}
+	return -1
+}
+
+// Query executes a prepared SELECT.
+func (s *Stmt) Query(args ...Value) (*Rows, error) {
+	return s.QueryCtx(context.Background(), args...)
+}
+
+// QueryCtx is Query governed by a context.
+func (s *Stmt) QueryCtx(ctx context.Context, args ...Value) (*Rows, error) {
+	return s.eng.queryPrepared(ctx, s.p, args)
+}
+
+// Exec executes a prepared INSERT, UPDATE or DELETE.
+func (s *Stmt) Exec(args ...Value) (int64, error) {
+	return s.ExecCtx(context.Background(), args...)
+}
+
+// ExecCtx is Exec governed by a context.
+func (s *Stmt) ExecCtx(ctx context.Context, args ...Value) (int64, error) {
+	return s.eng.execPrepared(ctx, s.p, args)
+}
+
+// ExplainAnalyze executes the prepared SELECT and returns its plan
+// annotated with runtime actuals.
+func (s *Stmt) ExplainAnalyze(args ...Value) (string, error) {
+	rows, err := s.Query(args...)
+	if err != nil {
+		return "", err
+	}
+	return rows.ExplainAnalyze, nil
+}
+
+// PlanCacheStats is a point-in-time view of the engine's plan cache.
+type PlanCacheStats struct {
+	Hits          int64
+	Misses        int64
+	Evictions     int64
+	Invalidations int64
+	Entries       int
+	Capacity      int
+	Epoch         uint64
+	// Optimizations counts every optimizer invocation since the engine was
+	// created — the "cache hits skip the optimizer" assertion reads this.
+	Optimizations int64
+}
+
+// PlanCacheStats reports the plan cache's counters.
+func (e *Engine) PlanCacheStats() PlanCacheStats {
+	e.mu.RLock()
+	c := e.plans
+	e.mu.RUnlock()
+	s := c.Snapshot()
+	return PlanCacheStats{
+		Hits:          s.Hits,
+		Misses:        s.Misses,
+		Evictions:     s.Evictions,
+		Invalidations: s.Invalidations,
+		Entries:       s.Entries,
+		Capacity:      c.Capacity(),
+		Epoch:         s.Epoch,
+		Optimizations: e.met.optimizations.Value(),
+	}
+}
+
+// SetPlanCacheCapacity replaces the plan cache with one holding up to n
+// entries; n <= 0 disables caching. Existing entries and cache counters
+// are discarded (the registry's cumulative metrics persist).
+func (e *Engine) SetPlanCacheCapacity(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.plans = plancache.New(n)
+	e.wireCacheMetrics()
+}
+
+// wireCacheMetrics mirrors the cache counters into the engine registry.
+// Callers hold the engine write lock (or are still constructing the
+// engine).
+func (e *Engine) wireCacheMetrics() {
+	r := e.rt.Obs
+	e.plans.SetMetrics(plancache.Metrics{
+		Hits:          r.Counter("partopt_plan_cache_hits_total"),
+		Misses:        r.Counter("partopt_plan_cache_misses_total"),
+		Evictions:     r.Counter("partopt_plan_cache_evictions_total"),
+		Invalidations: r.Counter("partopt_plan_cache_invalidations_total"),
+	})
+}
