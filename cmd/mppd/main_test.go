@@ -1,0 +1,323 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"partopt/internal/server"
+)
+
+// End-to-end suite for the daemon binary: boot, concurrent clients sharing
+// the plan cache through prepared statements, the doctor over HTTP, a
+// SIGTERM drain under load with the /healthz flip, and a doctor failure on
+// an induced spill storm. Each test boots its own mppd on ephemeral ports.
+
+func buildMppd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "mppd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// mppd is one running daemon under test.
+type mppd struct {
+	cmd      *exec.Cmd
+	addr     string // TCP line-protocol address
+	httpAddr string
+	waitCh   chan error
+	mu       sync.Mutex
+	log      strings.Builder
+}
+
+func (m *mppd) logs() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.log.String()
+}
+
+// startMppd boots the daemon and waits for its "serving on" line to learn
+// the ephemeral addresses.
+func startMppd(t *testing.T, bin string, extra ...string) *mppd {
+	t.Helper()
+	args := append([]string{"-listen", "127.0.0.1:0", "-http", "127.0.0.1:0", "-sales", "2"}, extra...)
+	m := &mppd{cmd: exec.Command(bin, args...)}
+	stderr, err := m.cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.cmd.Process.Kill() })
+
+	addrCh := make(chan [2]string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			m.mu.Lock()
+			m.log.WriteString(line + "\n")
+			m.mu.Unlock()
+			if i := strings.Index(line, "serving on "); i >= 0 {
+				rest := line[i+len("serving on "):] // "<addr> (http <addr>)"
+				tcp, httpPart, ok := strings.Cut(rest, " (http ")
+				if ok {
+					select {
+					case addrCh <- [2]string{tcp, strings.TrimSuffix(httpPart, ")")}:
+					default:
+					}
+				}
+			}
+		}
+	}()
+	m.waitCh = make(chan error, 1)
+	go func() { m.waitCh <- m.cmd.Wait() }()
+
+	select {
+	case addrs := <-addrCh:
+		m.addr, m.httpAddr = addrs[0], addrs[1]
+	case err := <-m.waitCh:
+		t.Fatalf("mppd exited before serving: %v\n%s", err, m.logs())
+	case <-time.After(60 * time.Second):
+		t.Fatalf("mppd never announced its address\n%s", m.logs())
+	}
+	return m
+}
+
+// exitCode waits for the daemon to exit and returns its code.
+func (m *mppd) exitCode(t *testing.T, timeout time.Duration) int {
+	t.Helper()
+	select {
+	case err := <-m.waitCh:
+		if err == nil {
+			return 0
+		}
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		t.Fatalf("mppd wait: %v", err)
+	case <-time.After(timeout):
+		t.Fatalf("mppd did not exit\n%s", m.logs())
+	}
+	return -1
+}
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 4096)
+	n, _ := resp.Body.Read(buf)
+	return resp.StatusCode, string(buf[:n])
+}
+
+func TestMppdSmokeConcurrentClientsAndDoctor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots the daemon binary")
+	}
+	bin := buildMppd(t)
+	m := startMppd(t, bin)
+
+	if code, body := httpGet(t, "http://"+m.httpAddr+"/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, body := httpGet(t, "http://"+m.httpAddr+"/metrics"); code != 200 || !strings.Contains(body, "server_sessions_total") {
+		t.Fatalf("/metrics = %d (missing server counters)", code)
+	}
+
+	// Concurrent clients preparing the same statement must share one plan:
+	// identical fingerprints across sessions.
+	const clients = 4
+	fps := make([]string, clients)
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := server.Dial(m.addr, 30*time.Second)
+			if err != nil {
+				errCh <- fmt.Errorf("client %d: %v", i, err)
+				return
+			}
+			defer c.Close()
+			r, err := c.Send("PREPARE q AS SELECT count(*) FROM store_sales WHERE date_id = $1")
+			if err != nil || r.IsErr() || len(r.Lines) == 0 {
+				errCh <- fmt.Errorf("client %d PREPARE: %v %v", i, err, r)
+				return
+			}
+			fps[i] = r.Lines[0]
+			for k := 0; k < 5; k++ {
+				r, err := c.Send(fmt.Sprintf("EXECUTE q %d", k+1))
+				if err != nil || r.IsErr() {
+					errCh <- fmt.Errorf("client %d EXECUTE: %v %v", i, err, r)
+					return
+				}
+			}
+			errCh <- nil
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < clients; i++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < clients; i++ {
+		if fps[i] != fps[0] {
+			t.Fatalf("client %d fingerprint %q != client 0 %q (plan cache not shared)", i, fps[i], fps[0])
+		}
+	}
+
+	// The doctor suite over HTTP passes on a healthy daemon...
+	out, err := exec.Command(bin, "doctor", "-http", "http://"+m.httpAddr, "run").CombinedOutput()
+	if err != nil {
+		t.Fatalf("doctor run failed on a healthy server: %v\n%s", err, out)
+	}
+	for _, check := range []string{"cache-hit-ratio", "spill-volume", "partition-skew"} {
+		if !strings.Contains(string(out), check) {
+			t.Fatalf("doctor output lacks %s:\n%s", check, out)
+		}
+	}
+	// ...and explain lists the registry without needing a server.
+	out, err = exec.Command(bin, "doctor", "explain").CombinedOutput()
+	if err != nil || !strings.Contains(string(out), "goroutine-growth") {
+		t.Fatalf("doctor explain: %v\n%s", err, out)
+	}
+
+	// Unloaded SIGTERM: clean exit 0.
+	m.cmd.Process.Signal(syscall.SIGTERM)
+	if code := m.exitCode(t, 30*time.Second); code != 0 {
+		t.Fatalf("exit code after idle SIGTERM = %d, want 0\n%s", code, m.logs())
+	}
+}
+
+// The headline drain scenario: SIGTERM arrives while a (chaos-slowed)
+// query is in flight. /healthz flips to 503, the query still completes
+// with its full answer, and the daemon exits 0 — zero dropped queries.
+func TestMppdSigtermDrainsInflightQuery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots the daemon binary")
+	}
+	bin := buildMppd(t)
+	m := startMppd(t, bin, "-chaos", "exec.slice.start:delay:1s", "-drain-timeout", "60s")
+
+	c, err := server.Dial(m.addr, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	type res struct {
+		r   *server.Response
+		err error
+	}
+	resCh := make(chan res, 1)
+	go func() {
+		r, err := c.Send("SELECT count(*) FROM store_sales")
+		resCh <- res{r, err}
+	}()
+
+	// The query is in flight once the inflight gauge says so.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		_, body := httpGet(t, "http://"+m.httpAddr+"/statz")
+		if strings.Contains(body, `"inflight_queries": 1`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("query never showed in flight\n%s", m.logs())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	m.cmd.Process.Signal(syscall.SIGTERM)
+
+	// The health endpoint must flip while the query drains.
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		code, _ := httpGet(t, "http://"+m.httpAddr+"/healthz")
+		if code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/healthz never flipped to 503 during drain\n%s", m.logs())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	got := <-resCh
+	if got.err != nil {
+		t.Fatalf("in-flight query dropped during drain: %v\n%s", got.err, m.logs())
+	}
+	if got.r.IsErr() {
+		t.Fatalf("in-flight query failed during drain: %q\n%s", got.r.Header, m.logs())
+	}
+	if rows := got.r.DataRows(); len(rows) != 1 {
+		t.Fatalf("in-flight query returned %d rows, want 1", len(rows))
+	}
+
+	if code := m.exitCode(t, 60*time.Second); code != 0 {
+		t.Fatalf("exit code after drain = %d, want 0 (clean drain)\n%s", code, m.logs())
+	}
+}
+
+// Doctor non-zero exit on an induced unhealthy condition: starve work_mem,
+// run a spilling aggregate, and judge spill volume against a 1-byte
+// ceiling.
+func TestMppdDoctorFailsOnSpillStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots the daemon binary")
+	}
+	bin := buildMppd(t)
+	m := startMppd(t, bin, "-work-mem", "512")
+
+	c, err := server.Dial(m.addr, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r, err := c.Send("SELECT date_id, count(*) AS n, sum(amount) AS total FROM store_sales GROUP BY date_id")
+	if err != nil || r.IsErr() {
+		t.Fatalf("spilling query: %v %v", err, r)
+	}
+
+	// Default threshold (1G): healthy.
+	out, err := exec.Command(bin, "doctor", "-http", "http://"+m.httpAddr, "run", "-only", "spill-volume").CombinedOutput()
+	if err != nil {
+		t.Fatalf("doctor under default threshold failed: %v\n%s", err, out)
+	}
+	// 1-byte ceiling: the storm trips it, exit code 1.
+	cmd := exec.Command(bin, "doctor", "-http", "http://"+m.httpAddr, "-max-spill-bytes", "1", "run", "-only", "spill-volume")
+	out, err = cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("doctor passed a spill storm:\n%s", out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("doctor exit = %v, want code 1\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "FAIL") {
+		t.Fatalf("doctor failure output lacks FAIL:\n%s", out)
+	}
+
+	m.cmd.Process.Signal(syscall.SIGTERM)
+	if code := m.exitCode(t, 30*time.Second); code != 0 {
+		t.Fatalf("exit after SIGTERM = %d\n%s", code, m.logs())
+	}
+}

@@ -31,9 +31,11 @@
 // every query result; --metrics prints the metrics registry when the shell
 // exits.
 //
-// Exit codes: 130 when a query (or the prompt) is interrupted by SIGINT,
-// 124 when a query exceeds the --timeout deadline. Both paths report the
-// same partial-statistics block before exiting.
+// Exit codes: 130 when a query (or the prompt) is interrupted by SIGINT or
+// SIGTERM, 124 when a query exceeds the --timeout deadline. Both paths
+// report the same partial-statistics block before exiting. SIGTERM is
+// handled exactly like SIGINT — graceful cancel, partial stats, exit code
+// 130 — so containerized runs drain cleanly instead of dying mid-query.
 package main
 
 import (
@@ -122,13 +124,18 @@ func main() {
 	cfg.SalesPerDay = *sales
 	fmt.Printf("loading star schema (%d segments, %d months per fact)...\n", *segments, cfg.Months)
 	fatalIf(workload.BuildStar(eng, cfg))
-	fmt.Println("ready. \\q quits, \\tables lists tables, \\optimizer orca|planner switches.")
 	if *metrics {
 		atExit = func() { fmt.Print(eng.Metrics()) }
 		defer atExit() // the normal-return paths (\q, EOF) report too
 	}
 
 	ses := &session{}
+	// SIGTERM gets the same graceful treatment as SIGINT: cancel the
+	// in-flight query (partial stats, exit 130) or exit at the prompt —
+	// container orchestrators send SIGTERM first, and mid-query state
+	// must drain, not die. Registered before "ready." is printed so a
+	// supervisor that signals as soon as the shell announces itself never
+	// hits the runtime's default kill.
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	go func() {
@@ -136,6 +143,7 @@ func main() {
 			ses.interrupt()
 		}
 	}()
+	fmt.Println("ready. \\q quits, \\tables lists tables, \\optimizer orca|planner switches.")
 
 	// queryCtx opens the lifecycle for one statement: the caller must invoke
 	// the returned stop before reading the next line.

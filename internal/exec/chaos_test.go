@@ -80,7 +80,7 @@ func TestChaosSweep(t *testing.T) {
 	}
 	kinds := []fault.Kind{fault.KindError, fault.KindTransient, fault.KindDrop, fault.KindDelay, fault.KindPanic}
 
-	for _, pt := range fault.Points() {
+	for _, pt := range fault.EnginePoints() {
 		for _, kind := range kinds {
 			for seed := int64(0); seed < 3; seed++ {
 				name := fmt.Sprintf("%s/%s/seed%d", pt, kind, seed)

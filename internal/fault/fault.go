@@ -45,10 +45,38 @@ const (
 	// so spillable operators must spill and non-spillable reservations must
 	// surface a structured out-of-memory error.
 	MemReserve Point = "mem.reserve"
+	// ConnAccept fires when the server front end accepts a client
+	// connection, before the session starts. At the net.conn.* points the
+	// seg argument carries the session id rather than a segment: rules can
+	// target the N-th connection deterministically, or AnySeg for all.
+	// Error-kind rules refuse the connection with a retryable protocol
+	// error; drop closes it silently; delay stalls the accept.
+	ConnAccept Point = "net.conn.accept"
+	// ConnRead fires before each statement read on a session. Error and
+	// transient kinds abort the session with a logged error; drop closes
+	// the connection as if the peer vanished; delay stalls the read.
+	ConnRead Point = "net.conn.read"
+	// ConnWrite fires before each response write on a session. Error and
+	// transient kinds abort the session; drop closes the connection without
+	// writing (the response is lost in flight); delay stalls the write.
+	ConnWrite Point = "net.conn.write"
 )
 
 // Points lists every named fault point wired into the engine.
-func Points() []Point { return []Point{SliceStart, OpNext, MotionSend, StorageScan, MemReserve} }
+func Points() []Point {
+	return append(EnginePoints(), NetPoints()...)
+}
+
+// EnginePoints lists the executor- and storage-level fault points (the
+// exec chaos sweep iterates these).
+func EnginePoints() []Point {
+	return []Point{SliceStart, OpNext, MotionSend, StorageScan, MemReserve}
+}
+
+// NetPoints lists the connection-layer fault points the server front end
+// evaluates (the chaos sweep for `internal/server` iterates these; the
+// executor-level sweep iterates the rest).
+func NetPoints() []Point { return []Point{ConnAccept, ConnRead, ConnWrite} }
 
 // Kind is the failure mode a rule injects.
 type Kind int

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"partopt/internal/fault"
 )
@@ -60,6 +61,7 @@ type Governor struct {
 	baseDir string
 	faults  *fault.Injector
 	sem     chan struct{} // admission slots; nil = unbounded
+	waiting atomic.Int64  // queries parked in the admission queue
 
 	mu   sync.Mutex
 	used int64 // bytes currently reserved across all budgets
@@ -102,6 +104,8 @@ func (g *Governor) Admit(ctx context.Context) (waited bool, err error) {
 		return false, nil
 	default:
 	}
+	g.waiting.Add(1)
+	defer g.waiting.Add(-1)
 	select {
 	case g.sem <- struct{}{}:
 		return true, nil
@@ -124,6 +128,24 @@ func (g *Governor) Active() int {
 		return 0
 	}
 	return len(g.sem)
+}
+
+// Waiting reports how many queries are parked in the admission queue —
+// the overload signal the server front end sheds on and the doctor's
+// admission-queue check reads.
+func (g *Governor) Waiting() int {
+	if g == nil {
+		return 0
+	}
+	return int(g.waiting.Load())
+}
+
+// Capacity reports the admission slot count (0 = unbounded).
+func (g *Governor) Capacity() int {
+	if g == nil || g.sem == nil {
+		return 0
+	}
+	return cap(g.sem)
 }
 
 // Used reports the bytes currently reserved across every live budget.

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// Process publishes process-level health gauges into a registry, so the
+// server front end's /metrics endpoint and the doctor's growth checks read
+// the same numbers instead of each doing ad-hoc runtime introspection:
+//
+//	process_goroutines       current goroutine count
+//	process_heap_bytes       live heap (runtime.MemStats.HeapAlloc)
+//	process_uptime_seconds   seconds since NewProcess
+//	server_open_sessions     sessions currently connected (set by the owner)
+//
+// Goroutine count, heap and uptime are point-in-time readings refreshed by
+// Sample — call it before exposing or snapshotting the registry. The
+// sessions gauge is owned by whoever accepts connections and is updated
+// eagerly via AddSessions.
+type Process struct {
+	start      time.Time
+	goroutines *Gauge
+	heapBytes  *Gauge
+	uptime     *Gauge
+	sessions   *Gauge
+}
+
+// NewProcess registers the process gauges in r (nil-safe: a nil registry
+// yields inert gauges) and starts the uptime clock.
+func NewProcess(r *Registry) *Process {
+	return &Process{
+		start:      time.Now(),
+		goroutines: r.Gauge("process_goroutines"),
+		heapBytes:  r.Gauge("process_heap_bytes"),
+		uptime:     r.Gauge("process_uptime_seconds"),
+		sessions:   r.Gauge("server_open_sessions"),
+	}
+}
+
+// Sample refreshes the point-in-time gauges from the Go runtime. It is
+// cheap enough for per-scrape use but not for hot paths: ReadMemStats
+// stops the world briefly.
+func (p *Process) Sample() {
+	if p == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	p.goroutines.Set(int64(runtime.NumGoroutine()))
+	p.heapBytes.Set(int64(ms.HeapAlloc))
+	p.uptime.Set(int64(time.Since(p.start).Seconds()))
+}
+
+// AddSessions moves the open-sessions gauge by delta (+1 on accept, -1 on
+// session close).
+func (p *Process) AddSessions(delta int64) {
+	if p == nil {
+		return
+	}
+	p.sessions.Add(delta)
+}
+
+// Snapshot-style readers, for callers that want the values without going
+// through a registry snapshot.
+
+// Goroutines returns the last sampled goroutine count.
+func (p *Process) Goroutines() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.goroutines.Value()
+}
+
+// HeapBytes returns the last sampled live-heap size.
+func (p *Process) HeapBytes() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.heapBytes.Value()
+}
+
+// UptimeSeconds returns seconds since NewProcess.
+func (p *Process) UptimeSeconds() float64 {
+	if p == nil {
+		return 0
+	}
+	return time.Since(p.start).Seconds()
+}
+
+// OpenSessions returns the current open-session count.
+func (p *Process) OpenSessions() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.sessions.Value()
+}

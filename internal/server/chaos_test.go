@@ -1,0 +1,85 @@
+package server
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"partopt/internal/fault"
+)
+
+// Net chaos sweep: every connection-layer fault point × fault kind × a few
+// seeds. Whatever a fault does to one connection — refuse it, sever it,
+// stall it, panic in its handler — the server itself must survive: a fresh
+// connection afterwards gets full service, and closing the server leaks no
+// goroutines. The engine-level sweep lives in internal/exec; this one
+// covers the surface in front of it.
+func TestNetChaosSweep(t *testing.T) {
+	eng := testEngine(t) // shared: net faults never reach the engine
+	kinds := []fault.Kind{fault.KindError, fault.KindTransient, fault.KindDrop, fault.KindDelay, fault.KindPanic}
+
+	for _, pt := range fault.NetPoints() {
+		for _, kind := range kinds {
+			for seed := int64(0); seed < 2; seed++ {
+				name := fmt.Sprintf("%s/%s/seed%d", pt, kind, seed)
+				t.Run(name, func(t *testing.T) {
+					before := runtime.NumGoroutine()
+					inj := fault.NewInjector(seed)
+					// After=seed: fire on the first or second hit of the
+					// point, whichever session gets there. Once keeps the
+					// post-fault recovery probe deterministic.
+					inj.Arm(fault.Rule{Point: pt, Kind: kind, Seg: fault.AnySeg, After: int(seed), Once: true})
+					srv := New(eng, Config{Addr: "127.0.0.1:0", Faults: inj, IdleTimeout: 2 * time.Second})
+					if err := srv.Start(); err != nil {
+						t.Fatalf("Start: %v", err)
+					}
+
+					// Drive enough traffic that the schedule must fire:
+					// several connections, two statements each. Individual
+					// failures (refused dials, severed sessions) are the
+					// injected behavior, not test failures.
+					for i := 0; i < 4; i++ {
+						c, err := Dial(srv.Addr(), 5*time.Second)
+						if err != nil {
+							continue
+						}
+						for _, stmt := range []string{"PING", "SELECT count(*) FROM orders"} {
+							if _, err := c.Send(stmt); err != nil {
+								break
+							}
+						}
+						c.Close()
+					}
+					if inj.Triggered() == 0 {
+						t.Fatalf("schedule never fired")
+					}
+
+					// The rule is spent: the server must now give a clean
+					// session full service.
+					c, err := Dial(srv.Addr(), 5*time.Second)
+					if err != nil {
+						t.Fatalf("Dial after fault: %v", err)
+					}
+					if r, err := c.Send("PING"); err != nil || r.Header != "OK pong" {
+						t.Fatalf("PING after fault: %v %v", err, r)
+					}
+					r, err := c.Send("SELECT sum(amount) FROM orders")
+					if err != nil || r.IsErr() {
+						t.Fatalf("query after fault: %v %v", err, r)
+					}
+					c.Close()
+
+					if err := srv.Close(); err != nil {
+						t.Fatalf("Close: %v", err)
+					}
+					waitNoGoroutineLeak(t, before)
+				})
+			}
+		}
+	}
+	// The sweep must not have poisoned the engine for later users.
+	if _, err := eng.Query("SELECT count(*) FROM orders"); err != nil {
+		t.Fatalf("engine unhealthy after sweep: %v", err)
+	}
+}

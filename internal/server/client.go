@@ -1,0 +1,161 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client is a minimal line-protocol client: Dial, Send statements, read
+// framed responses. The doctor, the tests and the CI smoke all drive the
+// server through it.
+type Client struct {
+	conn    net.Conn
+	br      *bufio.Reader
+	timeout time.Duration
+	// Greeting is the READY response received on connect.
+	Greeting *Response
+}
+
+// Response is one parsed server response.
+type Response struct {
+	Header string   // full header line
+	Kind   string   // first token: READY, OK, ROWS, TEXT, ERR
+	Code   string   // ERR code ("" otherwise)
+	N      int      // ROWS row count (0 otherwise)
+	Lines  []string // payload lines, dot-unstuffed
+}
+
+// IsErr reports whether the response is an ERR.
+func (r *Response) IsErr() bool { return r.Kind == "ERR" }
+
+// Retryable reports whether the response is a retryable refusal.
+func (r *Response) Retryable() bool { return r.IsErr() && Retryable(r.Code) }
+
+// Err converts an ERR response into a Go error (nil otherwise).
+func (r *Response) Err() error {
+	if !r.IsErr() {
+		return nil
+	}
+	return fmt.Errorf("server: %s", strings.TrimPrefix(r.Header, "ERR "))
+}
+
+// DataRows returns a ROWS response's data lines split on tabs, excluding
+// the column header and STAT trailer.
+func (r *Response) DataRows() [][]string {
+	if r.Kind != "ROWS" || len(r.Lines) == 0 {
+		return nil
+	}
+	var out [][]string
+	for _, line := range r.Lines[1:] {
+		if strings.HasPrefix(line, "STAT ") {
+			continue
+		}
+		out = append(out, strings.Split(line, "\t"))
+	}
+	return out
+}
+
+// RefusedError is returned by Dial when the server answers the connection
+// with an ERR instead of a session greeting (drain, capacity, injected
+// accept fault). Callers inspect Resp.Code / Resp.Retryable() to decide
+// whether to retry elsewhere.
+type RefusedError struct {
+	Resp *Response
+}
+
+func (e *RefusedError) Error() string { return fmt.Sprintf("client: refused: %v", e.Resp.Err()) }
+
+// Retryable reports whether the refusal invites a retry (TOO_BUSY,
+// SHUTTING_DOWN).
+func (e *RefusedError) Retryable() bool { return e.Resp.Retryable() }
+
+// Dial connects and consumes the greeting. timeout bounds the dial and
+// every subsequent send/receive round trip (0 = 30s).
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, br: bufio.NewReader(conn), timeout: timeout}
+	greet, err := c.readResponse()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: reading greeting: %w", err)
+	}
+	c.Greeting = greet
+	if greet.IsErr() {
+		conn.Close()
+		return nil, &RefusedError{Resp: greet}
+	}
+	return c, nil
+}
+
+// Send writes one statement line and reads its response.
+func (c *Client) Send(stmt string) (*Response, error) {
+	c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	if _, err := fmt.Fprintf(c.conn, "%s\n", stmt); err != nil {
+		return nil, err
+	}
+	return c.readResponse()
+}
+
+// readResponse parses one framed response (header .. ".").
+func (c *Client) readResponse() (*Response, error) {
+	c.conn.SetReadDeadline(time.Now().Add(c.timeout))
+	header, err := c.readLine()
+	if err != nil {
+		return nil, err
+	}
+	r := &Response{Header: header}
+	fields := strings.Fields(header)
+	if len(fields) > 0 {
+		r.Kind = fields[0]
+	}
+	switch r.Kind {
+	case "ERR":
+		if len(fields) > 1 {
+			r.Code = fields[1]
+		}
+	case "ROWS":
+		if len(fields) > 1 {
+			r.N, _ = strconv.Atoi(fields[1])
+		}
+	}
+	for {
+		c.conn.SetReadDeadline(time.Now().Add(c.timeout))
+		line, err := c.readLine()
+		if err != nil {
+			return nil, err
+		}
+		if line == "." {
+			return r, nil
+		}
+		if strings.HasPrefix(line, ".") {
+			line = line[1:] // dot-unstuff
+		}
+		r.Lines = append(r.Lines, line)
+	}
+}
+
+func (c *Client) readLine() (string, error) {
+	line, err := c.br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// Close ends the session politely (best-effort \q) and closes the
+// connection.
+func (c *Client) Close() error {
+	c.conn.SetWriteDeadline(time.Now().Add(time.Second))
+	fmt.Fprint(c.conn, "\\q\n")
+	return c.conn.Close()
+}

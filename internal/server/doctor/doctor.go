@@ -1,0 +1,342 @@
+// Package doctor is mppd's read-only health-check suite, modeled on the
+// pgdoctor style of a named check registry with `explain` and
+// `run --only <check>` UX. Each check evaluates one health dimension of a
+// live server from its /statz snapshot — never by running queries — is
+// individually timeout-bounded, and reports pass/fail with a one-line
+// detail. `mppd doctor run` exits non-zero when any check fails, which is
+// what load balancers, cron probes and CI hook into.
+//
+// The registered checks:
+//
+//	cache-hit-ratio   plan cache effectiveness under steady traffic
+//	spill-volume      cumulative operator spill (a spill storm means the
+//	                  memory budget is undersized for the workload)
+//	admission-queue   queries parked behind the concurrency bound
+//	goroutine-growth  goroutine count level and growth between two samples
+//	heap-growth       live-heap level and growth between two samples
+//	partition-skew    per-table leaf row distribution (the paper's
+//	                  partition-selection numbers are only meaningful when
+//	                  rows actually spread across leaves)
+package doctor
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"partopt/internal/server"
+)
+
+// Thresholds tune every check. DefaultThresholds gives conservative
+// production-style values; tests tighten them to induce failures.
+type Thresholds struct {
+	// cache-hit-ratio: fail when lookups >= MinCacheSamples and the hit
+	// ratio is below MinCacheHitRatio.
+	MinCacheSamples  int64
+	MinCacheHitRatio float64
+	// spill-volume: fail when cumulative spill bytes exceed MaxSpillBytes.
+	MaxSpillBytes int64
+	// admission-queue: fail when the engine has a concurrency bound and at
+	// least MaxAdmissionWaiting queries are parked in its queue.
+	MaxAdmissionWaiting int
+	// goroutine-growth: fail when the second sample exceeds MaxGoroutines,
+	// or grew by more than MaxGoroutineGrowth across GrowthInterval.
+	MaxGoroutines      int64
+	MaxGoroutineGrowth int64
+	// heap-growth: the same shape for live heap bytes.
+	MaxHeapBytes       int64
+	MaxHeapGrowthBytes int64
+	// partition-skew: fail when a table with >= 2 leaves and at least
+	// MinSkewRows rows has max-leaf/mean-leaf above MaxSkewRatio.
+	MaxSkewRatio float64
+	MinSkewRows  int64
+	// GrowthInterval separates the two samples of the growth checks.
+	GrowthInterval time.Duration
+	// CheckTimeout bounds each individual check's run.
+	CheckTimeout time.Duration
+}
+
+// DefaultThresholds returns the stock tuning.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		MinCacheSamples:     50,
+		MinCacheHitRatio:    0.5,
+		MaxSpillBytes:       1 << 30,
+		MaxAdmissionWaiting: 8,
+		MaxGoroutines:       10_000,
+		MaxGoroutineGrowth:  500,
+		MaxHeapBytes:        4 << 30,
+		MaxHeapGrowthBytes:  1 << 30,
+		MaxSkewRatio:        4.0,
+		MinSkewRows:         1_000,
+		GrowthInterval:      250 * time.Millisecond,
+		CheckTimeout:        5 * time.Second,
+	}
+}
+
+// Source yields /statz snapshots. Growth checks call it twice.
+type Source interface {
+	Statz(ctx context.Context) (*server.Statz, error)
+}
+
+// HTTPSource fetches snapshots from a live server's HTTP endpoint.
+type HTTPSource struct {
+	// Base is the server's HTTP base URL, e.g. "http://127.0.0.1:7789".
+	Base string
+}
+
+// Statz fetches and decodes /statz.
+func (h HTTPSource) Statz(ctx context.Context) (*server.Statz, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(h.Base, "/")+"/statz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("doctor: /statz returned %s", resp.Status)
+	}
+	var st server.Statz
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("doctor: decoding /statz: %w", err)
+	}
+	return &st, nil
+}
+
+// Result is one check's outcome. A check that could not run (source
+// unreachable, timeout) fails with Err set.
+type Result struct {
+	Check   string
+	OK      bool
+	Detail  string
+	Err     error
+	Elapsed time.Duration
+}
+
+func (r Result) String() string {
+	status := "ok"
+	if !r.OK {
+		status = "FAIL"
+	}
+	detail := r.Detail
+	if r.Err != nil {
+		detail = r.Err.Error()
+	}
+	return fmt.Sprintf("%-18s %-4s %s (%v)", r.Check, status, detail, r.Elapsed.Round(time.Millisecond))
+}
+
+// Check is one registered health check. Run must be read-only against the
+// server and respect ctx.
+type Check struct {
+	Name string
+	Help string
+	Run  func(ctx context.Context, src Source, th Thresholds) (ok bool, detail string, err error)
+}
+
+// Checks returns the registry, in canonical order.
+func Checks() []Check {
+	return []Check{
+		{
+			Name: "cache-hit-ratio",
+			Help: "plan cache hit ratio across all lookups; low ratios under steady traffic mean the cache is undersized or the workload defeats auto-parameterization",
+			Run:  checkCacheHitRatio,
+		},
+		{
+			Name: "spill-volume",
+			Help: "cumulative bytes operators spilled to disk; a spill storm means work_mem is undersized for the workload",
+			Run:  checkSpillVolume,
+		},
+		{
+			Name: "admission-queue",
+			Help: "queries parked behind the engine's concurrency bound; sustained depth means the coordinator is overloaded",
+			Run:  checkAdmissionQueue,
+		},
+		{
+			Name: "goroutine-growth",
+			Help: "goroutine count level and growth between two samples; growth without traffic is a leak",
+			Run:  checkGoroutineGrowth,
+		},
+		{
+			Name: "heap-growth",
+			Help: "live heap level and growth between two samples; unbounded growth means a memory leak or an unbudgeted operator",
+			Run:  checkHeapGrowth,
+		},
+		{
+			Name: "partition-skew",
+			Help: "per-table leaf partition row distribution; heavy skew defeats partition elimination and overloads single leaves",
+			Run:  checkPartitionSkew,
+		},
+	}
+}
+
+// Get finds one check by name.
+func Get(name string) (Check, bool) {
+	for _, c := range Checks() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Check{}, false
+}
+
+// Explain renders the registry as help text (the `doctor explain` output).
+func Explain() string {
+	var b strings.Builder
+	for _, c := range Checks() {
+		fmt.Fprintf(&b, "%-18s %s\n", c.Name, c.Help)
+	}
+	return b.String()
+}
+
+// RunAll executes the suite (or just `only`, when non-empty) against src,
+// each check bounded by th.CheckTimeout. It returns every result and
+// whether all of them passed.
+func RunAll(ctx context.Context, src Source, th Thresholds, only string) ([]Result, bool, error) {
+	checks := Checks()
+	if only != "" {
+		c, ok := Get(only)
+		if !ok {
+			names := make([]string, 0, len(checks))
+			for _, c := range checks {
+				names = append(names, c.Name)
+			}
+			sort.Strings(names)
+			return nil, false, fmt.Errorf("doctor: unknown check %q (have: %s)", only, strings.Join(names, ", "))
+		}
+		checks = []Check{c}
+	}
+	results := make([]Result, 0, len(checks))
+	allOK := true
+	for _, c := range checks {
+		cctx, cancel := context.WithTimeout(ctx, th.CheckTimeout)
+		start := time.Now()
+		ok, detail, err := c.Run(cctx, src, th)
+		cancel()
+		if err != nil {
+			ok = false
+		}
+		results = append(results, Result{Check: c.Name, OK: ok, Detail: detail, Err: err, Elapsed: time.Since(start)})
+		allOK = allOK && ok
+	}
+	return results, allOK, nil
+}
+
+// ---------------------------------------------------------------- checks
+
+func checkCacheHitRatio(ctx context.Context, src Source, th Thresholds) (bool, string, error) {
+	st, err := src.Statz(ctx)
+	if err != nil {
+		return false, "", err
+	}
+	pc := st.PlanCache
+	lookups := pc.Hits + pc.Misses
+	if lookups < th.MinCacheSamples {
+		return true, fmt.Sprintf("only %d lookups (< %d samples), not judged", lookups, th.MinCacheSamples), nil
+	}
+	ratio := float64(pc.Hits) / float64(lookups)
+	detail := fmt.Sprintf("hit ratio %.2f over %d lookups (threshold %.2f)", ratio, lookups, th.MinCacheHitRatio)
+	return ratio >= th.MinCacheHitRatio, detail, nil
+}
+
+func checkSpillVolume(ctx context.Context, src Source, th Thresholds) (bool, string, error) {
+	st, err := src.Statz(ctx)
+	if err != nil {
+		return false, "", err
+	}
+	spilled := st.Counters["partopt_spill_bytes_total"]
+	detail := fmt.Sprintf("%d bytes spilled in %d part(s) (threshold %d)",
+		spilled, st.Counters["partopt_spill_parts_total"], th.MaxSpillBytes)
+	return spilled <= th.MaxSpillBytes, detail, nil
+}
+
+func checkAdmissionQueue(ctx context.Context, src Source, th Thresholds) (bool, string, error) {
+	st, err := src.Statz(ctx)
+	if err != nil {
+		return false, "", err
+	}
+	a := st.Admission
+	if a.Capacity == 0 {
+		return true, "admission unbounded, not judged", nil
+	}
+	detail := fmt.Sprintf("%d/%d slots active, %d waiting (threshold %d)",
+		a.Active, a.Capacity, a.Waiting, th.MaxAdmissionWaiting)
+	return a.Waiting < th.MaxAdmissionWaiting, detail, nil
+}
+
+// sampleTwice powers the growth checks: two snapshots separated by
+// th.GrowthInterval (cut short if ctx ends first — the second fetch then
+// still runs, against a shorter horizon).
+func sampleTwice(ctx context.Context, src Source, th Thresholds) (*server.Statz, *server.Statz, error) {
+	first, err := src.Statz(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := time.NewTimer(th.GrowthInterval)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+	second, err := src.Statz(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	return first, second, nil
+}
+
+func checkGoroutineGrowth(ctx context.Context, src Source, th Thresholds) (bool, string, error) {
+	first, second, err := sampleTwice(ctx, src, th)
+	if err != nil {
+		return false, "", err
+	}
+	grew := second.Server.Goroutines - first.Server.Goroutines
+	detail := fmt.Sprintf("%d goroutines (max %d), %+d over %v (max +%d)",
+		second.Server.Goroutines, th.MaxGoroutines, grew, th.GrowthInterval, th.MaxGoroutineGrowth)
+	return second.Server.Goroutines <= th.MaxGoroutines && grew <= th.MaxGoroutineGrowth, detail, nil
+}
+
+func checkHeapGrowth(ctx context.Context, src Source, th Thresholds) (bool, string, error) {
+	first, second, err := sampleTwice(ctx, src, th)
+	if err != nil {
+		return false, "", err
+	}
+	grew := second.Server.HeapBytes - first.Server.HeapBytes
+	detail := fmt.Sprintf("%d heap bytes (max %d), %+d over %v (max +%d)",
+		second.Server.HeapBytes, th.MaxHeapBytes, grew, th.GrowthInterval, th.MaxHeapGrowthBytes)
+	return second.Server.HeapBytes <= th.MaxHeapBytes && grew <= th.MaxHeapGrowthBytes, detail, nil
+}
+
+func checkPartitionSkew(ctx context.Context, src Source, th Thresholds) (bool, string, error) {
+	st, err := src.Statz(ctx)
+	if err != nil {
+		return false, "", err
+	}
+	var worst string
+	var worstRatio float64
+	judged := 0
+	for _, t := range st.Tables {
+		if len(t.Leaves) < 2 || t.Total < th.MinSkewRows {
+			continue
+		}
+		judged++
+		mean := float64(t.Total) / float64(len(t.Leaves))
+		ratio := float64(t.Max()) / mean
+		if ratio > worstRatio {
+			worstRatio = ratio
+			worst = t.Table
+		}
+	}
+	if judged == 0 {
+		return true, "no partitioned table large enough to judge", nil
+	}
+	detail := fmt.Sprintf("worst skew %.1fx mean on %q across %d judged table(s) (threshold %.1fx)",
+		worstRatio, worst, judged, th.MaxSkewRatio)
+	return worstRatio <= th.MaxSkewRatio, detail, nil
+}

@@ -1,0 +1,86 @@
+package doctor
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"partopt"
+	"partopt/internal/server"
+)
+
+// Integration: the doctor against a live server over HTTP. A healthy boot
+// passes the whole suite; a forced spill storm (tiny work_mem plus an
+// aggressive threshold) flips spill-volume to FAIL — the induced unhealthy
+// condition `mppd doctor run` must exit non-zero on.
+func TestDoctorAgainstLiveServer(t *testing.T) {
+	eng, err := partopt.New(4)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	eng.SetSpillDir(t.TempDir())
+	eng.MustCreateTable("orders",
+		partopt.Columns("id", partopt.TypeInt, "amount", partopt.TypeFloat, "date", partopt.TypeDate),
+		partopt.DistributedBy("id"),
+		partopt.PartitionByRangeMonthly("date", 2013, 1, 12))
+	id := 0
+	for m := 1; m <= 12; m++ {
+		for d := 1; d <= 10; d++ {
+			id++
+			if err := eng.Insert("orders", partopt.Int(int64(id)), partopt.Float(float64(m*d)), partopt.Date(2013, m, d)); err != nil {
+				t.Fatalf("Insert: %v", err)
+			}
+		}
+	}
+	if err := eng.Analyze(); err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+
+	srv := server.New(eng, server.Config{Addr: "127.0.0.1:0", HTTPAddr: "127.0.0.1:0"})
+	if err := srv.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer srv.Close()
+	src := HTTPSource{Base: "http://" + srv.HTTPAddr()}
+
+	th := DefaultThresholds()
+	th.GrowthInterval = 10 * time.Millisecond
+	results, allOK, err := RunAll(context.Background(), src, th, "")
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if !allOK {
+		t.Fatalf("fresh server unhealthy:\n%v", render(results))
+	}
+
+	// Induce the storm: starve work_mem and run a spilling aggregate
+	// through a real session, then judge spill against a 1-byte ceiling.
+	eng.SetWorkMem(512)
+	c, err := server.Dial(srv.Addr(), 10*time.Second)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	r, err := c.Send("SELECT date, count(*) AS n, sum(amount) AS total FROM orders GROUP BY date")
+	if err != nil || r.IsErr() {
+		t.Fatalf("spilling query: %v %v", err, r)
+	}
+	th.MaxSpillBytes = 1
+	res := Result{}
+	results, allOK, err = RunAll(context.Background(), src, th, "spill-volume")
+	if err != nil {
+		t.Fatalf("RunAll(spill-volume): %v", err)
+	}
+	res = results[0]
+	if allOK || res.OK {
+		t.Fatalf("spill storm not detected: %+v", res)
+	}
+}
+
+func render(results []Result) string {
+	out := ""
+	for _, r := range results {
+		out += r.String() + "\n"
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"partopt"
+)
+
+// Statz is the read-only health snapshot /statz serves as JSON — the one
+// fetch the doctor's checks evaluate. Everything in it comes from the
+// obs registry, the engine's introspection surface, or the server's own
+// counters; building it runs no queries.
+type Statz struct {
+	Server struct {
+		UptimeSeconds   float64 `json:"uptime_seconds"`
+		Goroutines      int64   `json:"goroutines"`
+		HeapBytes       int64   `json:"heap_bytes"`
+		OpenSessions    int     `json:"open_sessions"`
+		InflightQueries int64   `json:"inflight_queries"`
+		Draining        bool    `json:"draining"`
+		Segments        int     `json:"segments"`
+	} `json:"server"`
+	Admission partopt.AdmissionState  `json:"admission"`
+	PlanCache partopt.PlanCacheStats  `json:"plan_cache"`
+	Counters  map[string]int64        `json:"counters"`
+	Gauges    map[string]int64        `json:"gauges"`
+	Tables    []partopt.PartitionRows `json:"tables"`
+}
+
+// BuildStatz assembles the current snapshot.
+func (s *Server) BuildStatz() (*Statz, error) {
+	s.proc.Sample()
+	snap := s.eng.Obs().Snapshot()
+	tables, err := s.eng.PartitionRowStats()
+	if err != nil {
+		return nil, err
+	}
+	st := &Statz{
+		Admission: s.eng.AdmissionState(),
+		PlanCache: s.eng.PlanCacheStats(),
+		Counters:  snap.Counters,
+		Gauges:    snap.Gauges,
+		Tables:    tables,
+	}
+	st.Server.UptimeSeconds = time.Since(s.start).Seconds()
+	st.Server.Goroutines = s.proc.Goroutines()
+	st.Server.HeapBytes = s.proc.HeapBytes()
+	st.Server.OpenSessions = s.OpenSessions()
+	st.Server.InflightQueries = s.InflightQueries()
+	st.Server.Draining = s.Draining()
+	st.Server.Segments = s.eng.Segments()
+	return st, nil
+}
+
+// httpMux wires the observability endpoints:
+//
+//	/healthz   200 "ok" while serving, 503 "draining" once drain starts
+//	/readyz    200 once accepting and not draining, else 503
+//	/metrics   the obs registry (engine + server + process gauges),
+//	           Prometheus text format
+//	/statz     the Statz JSON snapshot the doctor consumes
+func (s *Server) httpMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() || s.ln == nil {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ready\n"))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		s.proc.Sample()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(s.eng.Metrics()))
+	})
+	mux.HandleFunc("/statz", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.BuildStatz()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(st)
+	})
+	return mux
+}

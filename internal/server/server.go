@@ -1,0 +1,447 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"partopt"
+	"partopt/internal/fault"
+	"partopt/internal/obs"
+)
+
+// Defaults for the zero Config fields.
+const (
+	DefaultMaxSessions  = 256
+	DefaultMaxQueued    = 32
+	DefaultIdleTimeout  = 5 * time.Minute
+	DefaultReadTimeout  = 30 * time.Second
+	DefaultWriteTimeout = 30 * time.Second
+	DefaultDrainTimeout = 15 * time.Second
+	DefaultMaxPrepared  = 64
+
+	// drainPollInterval caps read deadlines once draining starts, so idle
+	// sessions notice the drain promptly instead of sleeping out their
+	// idle timeout.
+	drainPollInterval = 50 * time.Millisecond
+	// forceCloseGrace bounds how long Shutdown waits, after cancelling
+	// in-flight queries, for sessions to write their final (CANCELED)
+	// responses before force-closing connections.
+	forceCloseGrace = 3 * time.Second
+)
+
+// Config tunes one Server. The zero value listens on ephemeral ports with
+// the defaults above.
+type Config struct {
+	// Addr is the TCP listen address for the line protocol (""/":0" =
+	// ephemeral).
+	Addr string
+	// HTTPAddr is the listen address for /healthz, /readyz, /metrics and
+	// /statz. "" disables the HTTP listener; ":0" picks an ephemeral port.
+	HTTPAddr string
+	// MaxSessions caps concurrently connected sessions; connections beyond
+	// it are refused with a retryable TOO_BUSY error. 0 = DefaultMaxSessions.
+	MaxSessions int
+	// MaxQueued is the admission-queue depth at which new statements are
+	// shed with TOO_BUSY instead of queueing (only meaningful when the
+	// engine has a concurrency bound). 0 = DefaultMaxQueued; negative
+	// disables shedding.
+	MaxQueued int
+	// IdleTimeout closes a session that sends no statement for this long.
+	IdleTimeout time.Duration
+	// ReadTimeout bounds reading the remainder of a statement line once its
+	// first byte arrived (slow-loris guard).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing one response.
+	WriteTimeout time.Duration
+	// QueryTimeout is the per-query deadline inherited by every statement's
+	// context (0 = none).
+	QueryTimeout time.Duration
+	// MaxPrepared caps named prepared statements per session. 0 =
+	// DefaultMaxPrepared.
+	MaxPrepared int
+	// Faults, when non-nil, is consulted at the net.conn.* fault points.
+	// At these points the fault "segment" is the session id, so rules can
+	// target the N-th connection deterministically.
+	Faults *fault.Injector
+	// Logf receives server lifecycle and session-failure logs. nil
+	// discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions == 0 {
+		c.MaxSessions = DefaultMaxSessions
+	}
+	if c.MaxQueued == 0 {
+		c.MaxQueued = DefaultMaxQueued
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = DefaultIdleTimeout
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = DefaultReadTimeout
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = DefaultWriteTimeout
+	}
+	if c.MaxPrepared <= 0 {
+		c.MaxPrepared = DefaultMaxPrepared
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// serverMetrics are the front end's own instruments, registered in the
+// engine's registry so one exposition covers engine and server.
+type serverMetrics struct {
+	sessions        *obs.Counter // server_sessions_total
+	sessionsRefused *obs.Counter // server_sessions_refused_total
+	statements      *obs.Counter // server_statements_total
+	queriesShed     *obs.Counter // server_queries_shed_total
+	panics          *obs.Counter // server_session_panics_total
+	netFaults       *obs.Counter // server_net_faults_total
+	inflight        *obs.Gauge   // server_inflight_queries
+}
+
+// Server is one mppd front end over an Engine. Create with New, start with
+// Start, stop with Shutdown (graceful) or Close (abrupt).
+type Server struct {
+	eng  *partopt.Engine
+	cfg  Config
+	proc *obs.Process
+	met  serverMetrics
+
+	ln     net.Listener
+	httpLn net.Listener
+	httpSv *http.Server
+	start  time.Time
+
+	drainCh   chan struct{} // closed when draining starts
+	drainOnce sync.Once
+	doneCh    chan struct{} // closed when the accept loop exits
+
+	sessWG  sync.WaitGroup // one per live session
+	queryWG sync.WaitGroup // one per in-flight statement execution
+
+	mu       sync.Mutex
+	sessions map[uint64]*session
+	closed   bool
+
+	nextSID  atomic.Uint64
+	inflight atomic.Int64
+}
+
+// New builds a server over eng. The engine is shared: its plan cache,
+// metrics registry and admission queue serve every session.
+func New(eng *partopt.Engine, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := eng.Obs()
+	s := &Server{
+		eng:      eng,
+		cfg:      cfg,
+		proc:     obs.NewProcess(reg),
+		drainCh:  make(chan struct{}),
+		doneCh:   make(chan struct{}),
+		sessions: map[uint64]*session{},
+		start:    time.Now(),
+	}
+	s.met = serverMetrics{
+		sessions:        reg.Counter("server_sessions_total"),
+		sessionsRefused: reg.Counter("server_sessions_refused_total"),
+		statements:      reg.Counter("server_statements_total"),
+		queriesShed:     reg.Counter("server_queries_shed_total"),
+		panics:          reg.Counter("server_session_panics_total"),
+		netFaults:       reg.Counter("server_net_faults_total"),
+		inflight:        reg.Gauge("server_inflight_queries"),
+	}
+	return s
+}
+
+// Start binds the TCP (and, when configured, HTTP) listeners and launches
+// the accept loop. It returns once the server is ready to accept.
+func (s *Server) Start() error {
+	addr := s.cfg.Addr
+	if addr == "" {
+		addr = ":0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	if s.cfg.HTTPAddr != "" {
+		hln, err := net.Listen("tcp", s.cfg.HTTPAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("server: http listen %s: %w", s.cfg.HTTPAddr, err)
+		}
+		s.httpLn = hln
+		s.httpSv = &http.Server{Handler: s.httpMux()}
+		go s.httpSv.Serve(hln)
+	}
+	go s.acceptLoop()
+	s.cfg.Logf("mppd: serving on %s (http %s)", s.Addr(), s.HTTPAddr())
+	return nil
+}
+
+// Addr returns the bound TCP address (after Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// HTTPAddr returns the bound HTTP address, or "" when HTTP is disabled.
+func (s *Server) HTTPAddr() string {
+	if s.httpLn == nil {
+		return ""
+	}
+	return s.httpLn.Addr().String()
+}
+
+// Draining reports whether graceful shutdown has started.
+func (s *Server) Draining() bool {
+	select {
+	case <-s.drainCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// acceptLoop admits sessions until the listener closes. Each accepted
+// connection is screened — drain state, connection cap, injected accept
+// faults — before its session goroutine starts.
+func (s *Server) acceptLoop() {
+	defer close(s.doneCh)
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.cfg.Logf("mppd: accept: %v", err)
+			continue
+		}
+		s.screen(conn)
+	}
+}
+
+// screen decides one accepted connection's fate: refuse (drain, capacity,
+// injected fault) or start a session. Its own panics (e.g. an injected
+// KindPanic at net.conn.accept) are isolated to the connection.
+func (s *Server) screen(conn net.Conn) {
+	sid := s.nextSID.Add(1)
+	defer func() {
+		if r := recover(); r != nil {
+			s.met.panics.Inc()
+			s.cfg.Logf("mppd: session %d: accept panic isolated: %v", sid, r)
+			conn.Close()
+		}
+	}()
+	if err := s.cfg.Faults.Hit(context.Background(), fault.ConnAccept, int(sid)); err != nil {
+		s.met.netFaults.Inc()
+		var fe *fault.Error
+		if errors.As(err, &fe) && fe.Kind == fault.KindError {
+			s.refuse(conn, errHeader(CodeNetFault, "injected accept fault"))
+		} else {
+			conn.Close() // drop/transient: vanish like a dead coordinator
+		}
+		return
+	}
+	if s.Draining() {
+		s.refuse(conn, errHeader(CodeDraining, "server draining; retry against another coordinator"))
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		s.met.sessionsRefused.Inc()
+		s.refuse(conn, errHeader(CodeTooBusy, "connection capacity (%d sessions) reached; retry later", s.cfg.MaxSessions))
+		return
+	}
+	ses := newSession(s, sid, conn)
+	s.sessions[sid] = ses
+	s.sessWG.Add(1)
+	s.mu.Unlock()
+	s.met.sessions.Inc()
+	s.proc.AddSessions(1)
+	go func() {
+		defer s.sessWG.Done()
+		defer s.dropSession(sid)
+		ses.serve()
+	}()
+}
+
+// refuse writes a one-response rejection and closes the connection. The
+// refused client never gets a session: the error itself is the protocol.
+func (s *Server) refuse(conn net.Conn, header string) {
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	fmt.Fprintf(conn, "%s\n.\n", header)
+	conn.Close()
+}
+
+func (s *Server) dropSession(sid uint64) {
+	s.mu.Lock()
+	_, ok := s.sessions[sid]
+	delete(s.sessions, sid)
+	s.mu.Unlock()
+	if ok {
+		s.proc.AddSessions(-1)
+	}
+}
+
+// shed reports whether a new statement must be refused for overload: the
+// engine has a concurrency bound and its admission queue is at least
+// MaxQueued deep. The refused statement never reaches the admission queue,
+// so a saturated engine sheds in O(1) instead of growing the queue.
+func (s *Server) shed() bool {
+	if s.cfg.MaxQueued < 0 {
+		return false
+	}
+	st := s.eng.AdmissionState()
+	return st.Capacity > 0 && st.Waiting >= s.cfg.MaxQueued
+}
+
+// beginQuery registers one in-flight statement execution for drain
+// accounting.
+func (s *Server) beginQuery() {
+	s.queryWG.Add(1)
+	s.inflight.Add(1)
+	s.met.inflight.Set(s.inflight.Load())
+}
+
+func (s *Server) endQuery() {
+	s.inflight.Add(-1)
+	s.met.inflight.Set(s.inflight.Load())
+	s.queryWG.Done()
+}
+
+// InflightQueries reports statements currently executing.
+func (s *Server) InflightQueries() int64 { return s.inflight.Load() }
+
+// OpenSessions reports currently connected sessions.
+func (s *Server) OpenSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// Shutdown drains the server gracefully:
+//
+//  1. Flip to draining: /healthz and /readyz turn 503, newly accepted
+//     connections are refused with a retryable SHUTTING_DOWN error, and
+//     idle sessions are told the same and closed.
+//  2. Let in-flight statements finish. ctx bounds the wait: when it ends,
+//     remaining queries are cancelled and their clients receive CANCELED
+//     with the partial statistics the cluster accumulated.
+//  3. Wait for sessions to write final responses (bounded by
+//     forceCloseGrace), then close the listeners.
+//
+// Shutdown returns nil when every in-flight statement completed inside
+// ctx, and ctx.Err() when stragglers had to be cancelled. It is
+// idempotent; concurrent calls share one drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainOnce.Do(func() { close(s.drainCh) })
+	s.cfg.Logf("mppd: draining (%d sessions, %d in-flight queries)", s.OpenSessions(), s.InflightQueries())
+
+	// Nudge idle sessions out of their blocking reads now rather than at
+	// the next drain poll tick.
+	s.mu.Lock()
+	for _, ses := range s.sessions {
+		ses.nudge()
+	}
+	s.mu.Unlock()
+
+	queriesDone := make(chan struct{})
+	go func() {
+		s.queryWG.Wait()
+		close(queriesDone)
+	}()
+	var drainErr error
+	select {
+	case <-queriesDone:
+	case <-ctx.Done():
+		drainErr = ctx.Err()
+		n := 0
+		s.mu.Lock()
+		for _, ses := range s.sessions {
+			if ses.cancelInflight() {
+				n++
+			}
+		}
+		s.mu.Unlock()
+		s.cfg.Logf("mppd: drain deadline: cancelled %d in-flight quer(ies)", n)
+		<-queriesDone // cancellation unblocks them promptly
+	}
+
+	sessionsDone := make(chan struct{})
+	go func() {
+		s.sessWG.Wait()
+		close(sessionsDone)
+	}()
+	select {
+	case <-sessionsDone:
+	case <-time.After(forceCloseGrace):
+		s.mu.Lock()
+		for _, ses := range s.sessions {
+			ses.conn.Close()
+		}
+		s.mu.Unlock()
+		<-sessionsDone
+	}
+
+	s.closeListeners()
+	<-s.doneCh
+	s.cfg.Logf("mppd: drained")
+	return drainErr
+}
+
+// Close stops the server abruptly: listeners close, live connections are
+// severed, in-flight queries are cancelled. For tests and fatal paths;
+// prefer Shutdown.
+func (s *Server) Close() error {
+	s.drainOnce.Do(func() { close(s.drainCh) })
+	s.closeListeners()
+	s.mu.Lock()
+	for _, ses := range s.sessions {
+		ses.cancelInflight()
+		ses.conn.Close()
+	}
+	s.mu.Unlock()
+	s.sessWG.Wait()
+	<-s.doneCh
+	return nil
+}
+
+func (s *Server) closeListeners() {
+	s.mu.Lock()
+	closed := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if closed {
+		return
+	}
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	if s.httpSv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		s.httpSv.Shutdown(ctx)
+		cancel()
+	}
+}

@@ -1,0 +1,103 @@
+package partopt
+
+import (
+	"fmt"
+	"sort"
+
+	"partopt/internal/fault"
+	"partopt/internal/obs"
+)
+
+// This file is the engine's introspection surface for embedding front
+// ends (the mppd server and its doctor checks): the shared metrics
+// registry, the admission queue's live state, and per-table partition row
+// distributions for skew detection. Everything here is read-only.
+
+// Obs returns the engine's metrics registry. Front ends register their own
+// instruments (session counts, process gauges) next to the engine's so one
+// exposition covers the whole process.
+func (e *Engine) Obs() *obs.Registry { return e.rt.Obs }
+
+// SetFaults arms seeded fault injection across the engine's executor,
+// storage and memory layers — the chaos harnesses' hook for making slow or
+// failing queries deterministic. Call before queries run; nil disarms.
+func (e *Engine) SetFaults(in *fault.Injector) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rt.Faults = in
+	e.store.SetFaults(in)
+	e.govCfg.Faults = in
+	e.rt.Gov.SetFaults(in)
+}
+
+// AdmissionState is a point-in-time view of the executor's admission queue.
+type AdmissionState struct {
+	// Active is the number of queries holding execution slots.
+	Active int
+	// Waiting is the number of queries parked in the admission queue — the
+	// overload signal the server front end sheds on.
+	Waiting int
+	// Capacity is the slot count (0 = admission unbounded, in which case
+	// Active and Waiting are always 0).
+	Capacity int
+}
+
+// AdmissionState reports the admission queue's current depth. With no
+// concurrency bound configured (SetMaxConcurrent 0) all fields are zero.
+func (e *Engine) AdmissionState() AdmissionState {
+	g := e.rt.Gov
+	return AdmissionState{Active: g.Active(), Waiting: g.Waiting(), Capacity: g.Capacity()}
+}
+
+// PartitionRows is one table's physical row distribution: row counts per
+// leaf partition, in partition order (a single element for unpartitioned
+// tables). The doctor's partition-skew check compares Max against the
+// mean to surface badly chosen partition keys.
+type PartitionRows struct {
+	Table  string
+	Leaves []int64 // rows per leaf, in leaf order
+	Total  int64
+}
+
+// Max returns the largest per-leaf row count.
+func (p PartitionRows) Max() int64 {
+	var m int64
+	for _, n := range p.Leaves {
+		if n > m {
+			m = n
+		}
+	}
+	return m
+}
+
+// PartitionRowStats reports every table's per-leaf row distribution,
+// sorted by table name.
+func (e *Engine) PartitionRowStats() ([]PartitionRows, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var out []PartitionRows
+	for _, t := range e.cat.Tables() {
+		pr := PartitionRows{Table: t.Name}
+		if !t.IsPartitioned() {
+			n, err := e.store.RowCount(t)
+			if err != nil {
+				return nil, fmt.Errorf("partopt: row count of %q: %w", t.Name, err)
+			}
+			pr.Leaves = []int64{n}
+			pr.Total = n
+		} else {
+			counts, err := e.store.LeafRowCount(t)
+			if err != nil {
+				return nil, fmt.Errorf("partopt: leaf row count of %q: %w", t.Name, err)
+			}
+			for _, oid := range t.Part.Expansion() {
+				n := counts[oid]
+				pr.Leaves = append(pr.Leaves, n)
+				pr.Total += n
+			}
+		}
+		out = append(out, pr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Table < out[j].Table })
+	return out, nil
+}
