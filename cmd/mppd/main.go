@@ -68,6 +68,10 @@ func serveMain(args []string) int {
 	maxConcurrent := fs.Int("max-concurrent", 0, "max concurrently executing queries (0 = unbounded; required for admission-based shedding)")
 	planCache := fs.Int("plan-cache", partopt.DefaultPlanCacheCapacity, "plan cache capacity in entries (0 disables caching)")
 	chaos := fs.String("chaos", "", "arm a fault rule for resilience drills: point:kind[:delay], e.g. exec.slice.start:delay:500ms")
+	ftsOn := fs.Bool("fts", false, "enable segment fault tolerance: mirrored segments, health probing, failover")
+	ftsProbe := fs.Duration("fts-probe-interval", partopt.DefaultFTConfig().ProbeInterval, "FTS health probe period (0 disables the probe loop)")
+	retryAttempts := fs.Int("retry-attempts", 0, "max attempts for read-only queries that fail transiently (0 keeps the FTS default / no retry)")
+	retryBackoff := fs.Duration("retry-backoff", 2*time.Millisecond, "backoff before a retry attempt, doubled per retry")
 	fs.Parse(args)
 
 	logf := log.New(os.Stderr, "", log.LstdFlags).Printf
@@ -99,6 +103,9 @@ func serveMain(args []string) int {
 	if *maxConcurrent > 0 {
 		eng.SetMaxConcurrent(*maxConcurrent)
 	}
+	if *retryAttempts > 0 {
+		eng.SetRetryPolicy(*retryAttempts, *retryBackoff)
+	}
 
 	cfg := workload.DefaultStarConfig()
 	cfg.SalesPerDay = *sales
@@ -117,6 +124,18 @@ func serveMain(args []string) int {
 		}
 		eng.SetFaults(inj)
 		logf("mppd: chaos drill armed: %s", *chaos)
+	}
+
+	// Mirrors are enabled after the bulk load (cloning the loaded heaps is
+	// cheaper than dual-applying every boot insert) and after chaos arming
+	// (so seg.probe rules see the probe loop from its first tick).
+	if *ftsOn {
+		eng.EnableFaultTolerance(partopt.FTConfig{ProbeInterval: *ftsProbe, DownAfter: partopt.DefaultFTConfig().DownAfter})
+		if *retryAttempts > 0 {
+			eng.SetRetryPolicy(*retryAttempts, *retryBackoff)
+		}
+		defer eng.StopFTS()
+		logf("mppd: fault tolerance enabled (probe every %v)", *ftsProbe)
 	}
 
 	srv := server.New(eng, server.Config{

@@ -17,6 +17,9 @@
 //	\tables                   list tables with partition counts
 //	\metrics                  print the engine-wide metrics registry
 //	\cache                    print plan-cache statistics
+//	\segments                 segment health and failover count (--fts)
+//	\kill <seg>               kill a segment's acting primary (--fts)
+//	\revive <seg>             revive and resync a killed segment (--fts)
 //	\q                        quit
 //
 // PREPARE <name> AS <statement> compiles a named prepared statement and
@@ -100,6 +103,7 @@ func main() {
 	explainAnalyze := flag.Bool("explain-analyze", false, "print the EXPLAIN ANALYZE tree after every query")
 	metrics := flag.Bool("metrics", false, "print the engine metrics registry when the shell exits")
 	planCache := flag.Int("plan-cache", partopt.DefaultPlanCacheCapacity, "plan cache capacity in entries (0 disables caching)")
+	ftsOn := flag.Bool("fts", false, "enable segment fault tolerance (mirrored segments, health probing, failover); adds \\segments and \\kill/\\revive")
 	flag.Parse()
 
 	eng, err := partopt.New(*segments)
@@ -124,6 +128,13 @@ func main() {
 	cfg.SalesPerDay = *sales
 	fmt.Printf("loading star schema (%d segments, %d months per fact)...\n", *segments, cfg.Months)
 	fatalIf(workload.BuildStar(eng, cfg))
+	if *ftsOn {
+		// After the bulk load: mirrors clone the loaded heaps once instead
+		// of dual-applying every boot insert.
+		eng.EnableFaultTolerance(partopt.DefaultFTConfig())
+		defer eng.StopFTS()
+		fmt.Println("fault tolerance enabled: mirrored segments, probe loop running")
+	}
 	if *metrics {
 		atExit = func() { fmt.Print(eng.Metrics()) }
 		defer atExit() // the normal-return paths (\q, EOF) report too
@@ -182,6 +193,48 @@ func main() {
 			}
 		case line == `\metrics`:
 			fmt.Print(eng.Metrics())
+		case line == `\segments`:
+			health, ok := eng.SegmentHealth()
+			if !ok {
+				fmt.Println("fault tolerance is disabled (start with --fts)")
+				continue
+			}
+			fmt.Printf("%d segment(s), %d failover(s)\n", len(health), eng.SegmentFailovers())
+			for _, sh := range health {
+				fmt.Printf("  seg %d: primary=replica %d", sh.Seg, sh.Primary)
+				for r, rep := range sh.Replicas {
+					marker := ""
+					if rep.Primary {
+						marker = "*"
+					}
+					fmt.Printf("  [%d%s %s]", r, marker, rep.State)
+				}
+				fmt.Println()
+			}
+		case strings.HasPrefix(line, `\kill`):
+			arg := strings.TrimSpace(strings.TrimPrefix(line, `\kill`))
+			seg, err := strconv.Atoi(arg)
+			if err != nil {
+				fmt.Println("usage: \\kill <segment>")
+				continue
+			}
+			if err := eng.KillSegment(seg); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("killed segment %d's acting primary; the FTS will detect and fail over\n", seg)
+		case strings.HasPrefix(line, `\revive`):
+			arg := strings.TrimSpace(strings.TrimPrefix(line, `\revive`))
+			seg, err := strconv.Atoi(arg)
+			if err != nil {
+				fmt.Println("usage: \\revive <segment>")
+				continue
+			}
+			if err := eng.ReviveSegment(seg); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("revived segment %d's dead replica(s); resynced from the survivor\n", seg)
 		case line == `\cache`:
 			st := eng.PlanCacheStats()
 			fmt.Printf("plan cache: %d/%d entries, epoch %d\n", st.Entries, st.Capacity, st.Epoch)

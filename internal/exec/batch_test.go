@@ -49,7 +49,7 @@ func TestBatchAdapterRoundTrip(t *testing.T) {
 			rt, tab := failFixture(t)
 			budget := rt.Gov.NewBudget()
 			defer budget.Close()
-			ctx := newCtx(rt, 0, nil, NewStats(), context.Background(), budget)
+			ctx := newCtx(rt, 0, nil, NewStats(), context.Background(), budget, nil)
 
 			direct := &scanOp{n: plan.NewScan(tab, 1)}
 			if err := direct.Open(ctx); err != nil {
@@ -111,7 +111,7 @@ func TestBatchSizeRespected(t *testing.T) {
 	rt, tab := failFixture(t)
 	budget := rt.Gov.NewBudget()
 	defer budget.Close()
-	ctx := newCtx(rt, 0, nil, NewStats(), context.Background(), budget)
+	ctx := newCtx(rt, 0, nil, NewStats(), context.Background(), budget, nil)
 
 	// The segment's true row count, from a plain row-mode scan.
 	direct := &scanOp{n: plan.NewScan(tab, 1)}

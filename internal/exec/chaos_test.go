@@ -77,6 +77,9 @@ func TestChaosSweep(t *testing.T) {
 		fault.MotionSend:  10,
 		fault.StorageScan: 1,
 		fault.MemReserve:  10,
+		// SegExec fires once per scan open; the fixture's two scans give
+		// each segment two hits per attempt.
+		fault.SegExec: 1,
 	}
 	kinds := []fault.Kind{fault.KindError, fault.KindTransient, fault.KindDrop, fault.KindDelay, fault.KindPanic}
 

@@ -40,6 +40,12 @@ type Runtime struct {
 	// failed with a transient error. The zero value disables retry.
 	Retry RetryPolicy
 
+	// FTS, when non-nil, receives segment-death evidence from the read path
+	// and decides failovers. A retried attempt re-snapshots the primary map,
+	// so the retry dispatches to post-failover primaries. Nil disables
+	// evidence reporting (reads still follow the store's primary map).
+	FTS FailureReporter
+
 	// Gov, when non-nil, governs memory and admission: every query runs
 	// under a per-query budget drawn from it, memory-hungry operators spill
 	// when denied working memory, and queries queue when the concurrency
@@ -57,6 +63,15 @@ type Runtime struct {
 
 // Segments returns the cluster width.
 func (rt *Runtime) Segments() int { return rt.Store.Segments() }
+
+// FailureReporter is the slice of the fault tolerance service the executor
+// needs (satisfied by *fts.Service): it receives evidence that reading
+// (seg, replica) failed and reports whether the cluster failed over past
+// the accused replica — true meaning a retry against the refreshed primary
+// map can succeed.
+type FailureReporter interface {
+	ReportFailure(ctx context.Context, seg, replica int, evidence error) bool
+}
 
 // Params carries run-time bindings: prepared-statement parameter values and
 // the OID-set parameters used by the legacy planner's dynamic elimination.
@@ -78,9 +93,10 @@ type Stats struct {
 	// ops is the per-operator runtime record, keyed by plan node. Keying by
 	// node identity (not a numeric id) keeps the trees of a multi-plan
 	// execution — the legacy planner's prep plans plus its main plan share
-	// one Stats — disjoint for free, and makes retry attempts of the same
-	// plan accumulate, so "loops" counts every instance that ever opened the
-	// operator.
+	// one Stats — disjoint for free. Retry attempts do NOT accumulate:
+	// runWithRetry runs each attempt into a scratch Stats and absorbs only
+	// the final attempt, so EXPLAIN ANALYZE never mixes a failed attempt's
+	// partial counts with the attempt that produced the answer.
 	ops map[plan.Node]*opAccum
 }
 
@@ -194,6 +210,14 @@ type Ctx struct {
 	polls  uint            // pollAbort call counter (Ctx is goroutine-local)
 	budget *mem.Budget     // query memory account, shared by all slice instances; nil = ungoverned
 
+	// primaries is the attempt's snapshot of the store's primary map: which
+	// replica serves each segment. Snapshotting once per attempt keeps every
+	// slice instance of the attempt reading one consistent replica set even
+	// if a concurrent failover flips the live map mid-query; the retry takes
+	// a fresh snapshot and lands on the promoted mirrors. Nil (RunLocal,
+	// unmirrored stores) means replica 0 everywhere.
+	primaries []int
+
 	// Per-operator instrumentation (see opstats.go). frames and cur are
 	// goroutine-local; finishOpStats flushes them into Stats exactly once.
 	frames  map[plan.Node]*opFrame
@@ -204,7 +228,7 @@ type Ctx struct {
 // CoordinatorSeg is the pseudo-segment id of the coordinator process.
 const CoordinatorSeg = -1
 
-func newCtx(rt *Runtime, seg int, params *Params, stats *Stats, goCtx context.Context, budget *mem.Budget) *Ctx {
+func newCtx(rt *Runtime, seg int, params *Params, stats *Stats, goCtx context.Context, budget *mem.Budget, primaries []int) *Ctx {
 	if params == nil {
 		params = &Params{}
 	}
@@ -212,8 +236,17 @@ func newCtx(rt *Runtime, seg int, params *Params, stats *Stats, goCtx context.Co
 		goCtx = context.Background()
 	}
 	return &Ctx{Rt: rt, Seg: seg, Params: params, Stats: stats, boxes: map[int]*oidBox{},
-		goCtx: goCtx, done: goCtx.Done(), budget: budget,
+		goCtx: goCtx, done: goCtx.Done(), budget: budget, primaries: primaries,
 		frames: map[plan.Node]*opFrame{}}
+}
+
+// replica reports which physical replica this slice instance reads for its
+// segment under the attempt's primary-map snapshot.
+func (c *Ctx) replica() int {
+	if c.primaries == nil || c.Seg < 0 || c.Seg >= len(c.primaries) {
+		return 0
+	}
+	return c.primaries[c.Seg]
 }
 
 // Context returns the query's lifecycle context, for operators that block.

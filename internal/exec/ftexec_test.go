@@ -1,0 +1,219 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"partopt/internal/catalog"
+	"partopt/internal/expr"
+	"partopt/internal/fault"
+	"partopt/internal/fts"
+	"partopt/internal/obs"
+	"partopt/internal/plan"
+)
+
+// Fault-tolerant execution: a killed segment is detected from query-execution
+// evidence, failed over to its mirror, and the query retried once against the
+// post-failover primary map — with byte-identical answers and no leaks.
+
+// ftFixture is failFixture plus mirrors, an evidence-driven FTS service
+// (ProbeInterval 0: no background loop), and a one-retry policy.
+func ftFixture(t *testing.T) (*Runtime, *catalog.Table, *fts.Service, *obs.Registry) {
+	t.Helper()
+	rt, tab := failFixture(t)
+	rt.Store.EnableMirrors()
+	reg := obs.NewRegistry()
+	svc := fts.New(rt.Store, fts.Config{ProbeInterval: 0, DownAfter: 2}, reg)
+	rt.FTS = svc
+	rt.Obs = reg
+	rt.Retry = RetryPolicy{MaxAttempts: 2, Backoff: time.Millisecond}
+	return rt, tab, svc, reg
+}
+
+// rowMultiset renders a result as a sorted bag of row strings, so two runs
+// can be compared independent of arrival order.
+func rowMultiset(res *Result) []string {
+	out := make([]string, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		out = append(out, fmt.Sprintf("%v", r))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameMultiset(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFailoverRetryReadQuery(t *testing.T) {
+	// Golden answer from a healthy twin.
+	cleanRt, cleanTab := failFixture(t)
+	golden, err := Run(cleanRt, chaosPlan(cleanTab), nil)
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	want := rowMultiset(golden)
+
+	rt, tab, svc, reg := ftFixture(t)
+	// Kill the acting primary of segment 2 — no probe loop is running, so
+	// only in-query evidence can detect it.
+	if err := rt.Store.KillReplica(2, rt.Store.Primary(2)); err != nil {
+		t.Fatalf("KillReplica: %v", err)
+	}
+
+	before := runtime.NumGoroutine()
+	res, err := Run(rt, chaosPlan(tab), nil)
+	if err != nil {
+		t.Fatalf("query against a killed segment failed despite mirror: %v", err)
+	}
+	if got := rowMultiset(res); !sameMultiset(got, want) {
+		t.Fatalf("post-failover answer differs: %d rows vs %d golden", len(got), len(want))
+	}
+	if got := svc.Failovers(); got != 1 {
+		t.Fatalf("failovers = %d, want exactly 1", got)
+	}
+	if got := reg.Counter("segment_failovers_total").Value(); got != 1 {
+		t.Fatalf("segment_failovers_total = %d, want 1", got)
+	}
+	if got := reg.Counter("partopt_queries_retried_total").Value(); got != 1 {
+		t.Fatalf("queries_retried = %d, want exactly 1 (one coordinator retry)", got)
+	}
+	if rt.Store.Primary(2) == 0 {
+		t.Fatalf("segment 2 still routed to the dead replica")
+	}
+	waitNoGoroutineLeak(t, before)
+
+	// The cluster is now stable: further queries succeed with no new retries.
+	res2, err := Run(rt, chaosPlan(tab), nil)
+	if err != nil {
+		t.Fatalf("post-failover run: %v", err)
+	}
+	if got := rowMultiset(res2); !sameMultiset(got, want) {
+		t.Fatalf("steady-state post-failover answer differs")
+	}
+	if got := reg.Counter("partopt_queries_retried_total").Value(); got != 1 {
+		t.Fatalf("steady-state query retried: counter = %d", got)
+	}
+}
+
+func TestSegmentDeathBothReplicasFailsCleanly(t *testing.T) {
+	// Satellite: receiver-segment death with no mirror left. The query must
+	// fail with a non-retryable error naming the segment, and every motion
+	// sender blocked on the dead receiver's slice must unwind — no leaks.
+	rt, tab, svc, _ := ftFixture(t)
+	if err := rt.Store.KillReplica(1, 0); err != nil {
+		t.Fatalf("kill replica 0: %v", err)
+	}
+	if err := rt.Store.KillReplica(1, 1); err != nil {
+		t.Fatalf("kill replica 1: %v", err)
+	}
+
+	before := runtime.NumGoroutine()
+	_, err := Run(rt, chaosPlan(tab), nil)
+	if err == nil {
+		t.Fatalf("query succeeded with both replicas of segment 1 dead")
+	}
+	if IsTransient(err) {
+		t.Fatalf("unrecoverable segment death reported transient: %v", err)
+	}
+	var sf *SegmentFailureError
+	if !errors.As(err, &sf) {
+		t.Fatalf("error chain lacks SegmentFailureError: %v", err)
+	}
+	if sf.Seg != 1 || sf.Recovered {
+		t.Fatalf("bad provenance: seg %d recovered=%v", sf.Seg, sf.Recovered)
+	}
+	if svc.Failovers() != 0 {
+		t.Fatalf("failover counted despite no live mirror")
+	}
+	waitNoGoroutineLeak(t, before)
+}
+
+func TestRetriedAttemptStatsNotMixed(t *testing.T) {
+	// Satellite: EXPLAIN ANALYZE counters must reflect only the attempt that
+	// produced the answer, not the sum of a failed attempt plus the retry.
+	build := func(tab *catalog.Table) (plan.Node, plan.Node) {
+		scan := plan.NewScan(tab, 1)
+		inner := plan.NewMotion(plan.BroadcastMotion, nil, scan)
+		join := plan.NewHashJoin(plan.InnerJoin,
+			[]expr.Expr{expr.NewCol(expr.ColID{Rel: 1, Ord: 1}, "b")},
+			[]expr.Expr{expr.NewCol(expr.ColID{Rel: 2, Ord: 1}, "b")},
+			nil, inner, plan.NewScan(tab, 2), nil)
+		return plan.NewMotion(plan.GatherMotion, nil, join), scan
+	}
+
+	cleanRt, cleanTab := failFixture(t)
+	cleanPlan, cleanScan := build(cleanTab)
+	cleanRes, err := Run(cleanRt, cleanPlan, nil)
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	cleanAct, ok := cleanRes.Stats.Actuals(cleanScan)
+	if !ok {
+		t.Fatalf("no actuals for the clean scan")
+	}
+
+	rt, tab := failFixture(t)
+	rt.Retry = RetryPolicy{MaxAttempts: 2, Backoff: time.Millisecond}
+	inj := fault.NewInjector(3)
+	// One transient failure on the first attempt; the retry runs clean.
+	inj.Arm(fault.Rule{Point: fault.SegExec, Kind: fault.KindTransient, Seg: 0, Once: true})
+	rt.Faults = inj
+
+	p, scan := build(tab)
+	res, err := Run(rt, p, nil)
+	if err != nil {
+		t.Fatalf("retried run: %v", err)
+	}
+	if inj.Triggered() == 0 {
+		t.Fatalf("fault never fired")
+	}
+	if got, want := res.Stats.RowsScanned(), cleanRes.Stats.RowsScanned(); got != want {
+		t.Fatalf("RowsScanned mixed across attempts: %d, clean run %d", got, want)
+	}
+	act, ok := res.Stats.Actuals(scan)
+	if !ok {
+		t.Fatalf("no actuals for the faulted scan")
+	}
+	if act.Instances != cleanAct.Instances {
+		t.Fatalf("scan Instances = %d, clean %d (attempts mixed)", act.Instances, cleanAct.Instances)
+	}
+	if act.RowsOut != cleanAct.RowsOut {
+		t.Fatalf("scan RowsOut = %d, clean %d (attempts mixed)", act.RowsOut, cleanAct.RowsOut)
+	}
+	if act.RowsRead != cleanAct.RowsRead {
+		t.Fatalf("scan RowsRead = %d, clean %d (attempts mixed)", act.RowsRead, cleanAct.RowsRead)
+	}
+}
+
+func TestEvidenceWithoutFTSStillFails(t *testing.T) {
+	// A mirrored store with no FTS service wired: segment death is simply a
+	// non-retryable error (nobody is authorized to fail over).
+	rt, tab := failFixture(t)
+	rt.Store.EnableMirrors()
+	rt.Retry = RetryPolicy{MaxAttempts: 3, Backoff: time.Millisecond}
+	if err := rt.Store.KillReplica(0, 0); err != nil {
+		t.Fatalf("KillReplica: %v", err)
+	}
+	before := runtime.NumGoroutine()
+	_, err := Run(rt, chaosPlan(tab), nil)
+	if err == nil {
+		t.Fatalf("query succeeded against a dead primary with no failover authority")
+	}
+	if IsTransient(err) {
+		t.Fatalf("segment death transient without an FTS decision: %v", err)
+	}
+	waitNoGoroutineLeak(t, before)
+}

@@ -35,7 +35,7 @@ func (s *indexScanOp) Open(ctx *Ctx) error {
 		return fmt.Errorf("exec: IndexScan of %s cannot run on the coordinator", s.n.Table.Name)
 	}
 	set := deriveIndexSet(ctx, s.n.Rel, s.n.Index.ColOrd, s.n.Pred)
-	rows, ids, err := ctx.Rt.Store.IndexLookup(s.n.Table, s.n.Index.Name, ctx.Seg, s.n.Leaf, set)
+	rows, ids, err := ctx.indexLookup(s.n.Table, s.n.Index.Name, s.n.Leaf, set)
 	if err != nil {
 		return err
 	}
@@ -131,7 +131,7 @@ func (s *dynIndexScanOp) Next(ctx *Ctx) (types.Row, error) {
 		}
 		leaf := s.leaves[s.li]
 		s.li++
-		rows, ids, err := ctx.Rt.Store.IndexLookup(s.n.Table, s.n.Index.Name, ctx.Seg, leaf, s.set)
+		rows, ids, err := ctx.indexLookup(s.n.Table, s.n.Index.Name, leaf, s.set)
 		if err != nil {
 			return nil, err
 		}
@@ -159,7 +159,7 @@ func (s *dynIndexScanOp) NextBatch(ctx *Ctx) (*Batch, error) {
 		}
 		leaf := s.leaves[s.li]
 		s.li++
-		rows, ids, err := ctx.Rt.Store.IndexLookup(s.n.Table, s.n.Index.Name, ctx.Seg, leaf, s.set)
+		rows, ids, err := ctx.indexLookup(s.n.Table, s.n.Index.Name, leaf, s.set)
 		if err != nil {
 			return nil, err
 		}

@@ -67,7 +67,7 @@ func (s *scanOp) Open(ctx *Ctx) error {
 	if ctx.Seg == CoordinatorSeg {
 		return fmt.Errorf("exec: Scan of %s cannot run on the coordinator", s.n.Table.Name)
 	}
-	rows, err := ctx.Rt.Store.ScanLeaf(s.n.Table.OID, ctx.Seg, s.n.Leaf)
+	rows, err := ctx.scanLeaf(s.n.Table.OID, s.n.Leaf)
 	if err != nil {
 		return err
 	}
@@ -177,7 +177,7 @@ func (s *dynScanOp) Next(ctx *Ctx) (types.Row, error) {
 		}
 		s.curLeaf = s.leaves[s.li]
 		s.li++
-		rows, err := ctx.Rt.Store.ScanLeaf(s.n.Table.OID, ctx.Seg, s.curLeaf)
+		rows, err := ctx.scanLeaf(s.n.Table.OID, s.curLeaf)
 		if err != nil {
 			return nil, err
 		}
@@ -211,7 +211,7 @@ func (s *dynScanOp) NextBatch(ctx *Ctx) (*Batch, error) {
 		}
 		s.curLeaf = s.leaves[s.li]
 		s.li++
-		rows, err := ctx.Rt.Store.ScanLeaf(s.n.Table.OID, ctx.Seg, s.curLeaf)
+		rows, err := ctx.scanLeaf(s.n.Table.OID, s.curLeaf)
 		if err != nil {
 			return nil, err
 		}

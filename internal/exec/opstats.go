@@ -212,6 +212,65 @@ func (s *Stats) mergeFrames(frames map[plan.Node]*opFrame) {
 	}
 }
 
+// absorb folds another Stats into s. runWithRetry uses it to publish one
+// attempt's scratch counters (see the retry-isolation comment there) into
+// the caller's accumulated Stats; the per-node accumulators merge the same
+// way mergeFrames merges frames (sums, max of peaks, union of partitions).
+func (s *Stats) absorb(o *Stats) {
+	if o == nil || s == o {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for table, leaves := range o.partsScanned {
+		m := s.partsScanned[table]
+		if m == nil {
+			m = map[part.OID]bool{}
+			s.partsScanned[table] = m
+		}
+		for leaf := range leaves {
+			m[leaf] = true
+		}
+	}
+	s.rowsScanned += o.rowsScanned
+	s.rowsMoved += o.rowsMoved
+	s.spilledBytes += o.spilledBytes
+	s.spillParts += o.spillParts
+	if len(o.ops) > 0 && s.ops == nil {
+		s.ops = map[plan.Node]*opAccum{}
+	}
+	for n, oa := range o.ops {
+		a := s.ops[n]
+		if a == nil {
+			a = &opAccum{}
+			s.ops[n] = a
+		}
+		a.started = a.started || oa.started
+		a.instances += oa.instances
+		a.rowsOut += oa.rowsOut
+		a.rowsRead += oa.rowsRead
+		a.nanos += oa.nanos
+		if oa.peakBytes > a.peakBytes {
+			a.peakBytes = oa.peakBytes
+		}
+		a.spillBytes += oa.spillBytes
+		a.spillParts += oa.spillParts
+		if oa.partsTotal > a.partsTotal {
+			a.partsTotal = oa.partsTotal
+		}
+		if len(oa.parts) > 0 {
+			if a.parts == nil {
+				a.parts = map[part.OID]bool{}
+			}
+			for oid := range oa.parts {
+				a.parts[oid] = true
+			}
+		}
+	}
+}
+
 // Actuals implements plan.ActualSource: it resolves a plan node to its
 // aggregated runtime record. ok=false means the node was never instrumented
 // (the query did not run, or the node belongs to a different plan).

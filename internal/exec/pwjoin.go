@@ -99,11 +99,11 @@ func (j *pwJoinOp) advancePair(ctx *Ctx) (bool, error) {
 	for j.pi < len(j.pairs) {
 		pair := j.pairs[j.pi]
 		j.pi++
-		buildRows, err := ctx.Rt.Store.ScanLeaf(j.n.Build.Table.OID, ctx.Seg, pair[0])
+		buildRows, err := ctx.scanLeaf(j.n.Build.Table.OID, pair[0])
 		if err != nil {
 			return false, err
 		}
-		probeRows, err := ctx.Rt.Store.ScanLeaf(j.n.Probe.Table.OID, ctx.Seg, pair[1])
+		probeRows, err := ctx.scanLeaf(j.n.Probe.Table.OID, pair[1])
 		if err != nil {
 			return false, err
 		}

@@ -49,6 +49,59 @@ func wrapQueryError(seg, slice int, op string, err error) error {
 // executor callers need not import the fault package.
 func IsTransient(err error) bool { return fault.IsTransient(err) }
 
+// SegmentFailureError is a storage read that failed because a segment
+// (replica) died — or was injected to look dead — mid-query. Recovered
+// carries the FTS verdict: true means the cluster failed over to the
+// mirror, so a retry against the refreshed primary map can succeed.
+//
+// Transientness is decided HERE, not by the cause: a dead replica with no
+// possible failover (FTS disabled, or the mirror dead too) is permanent no
+// matter what the underlying error claims, and a confirmed failover is
+// retryable even though storage's DeadSegmentError itself never is. The
+// type therefore has no Unwrap — fault.IsTransient's chain walk must not
+// reach the cause — while Is/As still forward so callers can match the
+// cause's type (errors.Is/As consult these methods directly).
+type SegmentFailureError struct {
+	Seg       int
+	Replica   int
+	Recovered bool // the FTS promoted the mirror; retry can succeed
+	Cause     error
+}
+
+func (e *SegmentFailureError) Error() string {
+	verdict := "no failover possible"
+	if e.Recovered {
+		verdict = "failed over to mirror"
+	}
+	return fmt.Sprintf("exec: segment %d (replica %d) failed (%s): %v", e.Seg, e.Replica, verdict, e.Cause)
+}
+
+// Transient makes the error retryable exactly when a failover happened (or
+// the cause was independently transient, e.g. an injected transient fault).
+func (e *SegmentFailureError) Transient() bool { return e.Recovered || fault.IsTransient(e.Cause) }
+
+// Is forwards target matching to the cause (no Unwrap, see type comment).
+func (e *SegmentFailureError) Is(target error) bool { return errors.Is(e.Cause, target) }
+
+// As forwards target extraction to the cause (no Unwrap, see type comment).
+func (e *SegmentFailureError) As(target any) bool { return errors.As(e.Cause, target) }
+
+// dmlAbortedError masks transientness on a DML plan's failure: whatever the
+// cause claims, re-running DML after a partial failure could double-apply
+// its effects, so the error the caller sees must never look retryable — not
+// to runWithRetry, not to a server client honoring retryable error codes.
+// Like SegmentFailureError it hides its cause from the Transient chain walk
+// (no Unwrap) while forwarding Is/As for type matching.
+type dmlAbortedError struct{ cause error }
+
+func (e *dmlAbortedError) Error() string {
+	return fmt.Sprintf("exec: DML aborted (not retried; partial effects possible): %v", e.cause)
+}
+
+func (e *dmlAbortedError) Transient() bool      { return false }
+func (e *dmlAbortedError) Is(target error) bool { return errors.Is(e.cause, target) }
+func (e *dmlAbortedError) As(target any) bool   { return errors.As(e.cause, target) }
+
 // RetryPolicy bounds coordinator-side re-execution of queries that failed
 // with a transient error. Only read-only plans are retried: re-running DML
 // after a partial failure would double-apply its effects.

@@ -220,9 +220,22 @@ func RunIntoCtx(ctx context.Context, rt *Runtime, root plan.Node, params *Params
 }
 
 // runWithRetry drives the attempt loop of an admitted query.
+//
+// Stats isolation: when retry is possible, every attempt runs into a
+// scratch Stats and only the final attempt — the one whose result (or
+// error) the caller sees — is absorbed into the caller's Stats. EXPLAIN
+// ANALYZE therefore never mixes a failed attempt's partial counts with the
+// answer's. The single-attempt path runs directly into the caller's Stats,
+// preserving the legacy planner's accumulation of prep plans + main plan
+// across separate RunIntoCtx calls.
+//
+// DML masking: a DML plan is never retried here, and its failure is
+// wrapped so it never *looks* retryable to anyone downstream either — a
+// client that re-sends on "transient" would double-apply partial effects.
 func runWithRetry(ctx context.Context, rt *Runtime, root plan.Node, params *Params, stats *Stats) (*Result, error) {
+	dml := hasDML(root)
 	attempts := rt.Retry.MaxAttempts
-	if attempts < 1 || hasDML(root) {
+	if attempts < 1 || dml {
 		attempts = 1
 	}
 	var res *Result
@@ -242,8 +255,21 @@ func runWithRetry(ctx context.Context, rt *Runtime, root plan.Node, params *Para
 				m.retried.Inc()
 			}
 		}
-		res, err = runAttempt(ctx, rt, root, params, stats)
-		if err == nil || !IsTransient(err) || ctx.Err() != nil {
+		attemptStats := stats
+		if attempts > 1 {
+			attemptStats = NewStats()
+		}
+		res, err = runAttempt(ctx, rt, root, params, attemptStats)
+		if err == nil || !IsTransient(err) || ctx.Err() != nil || attempt == attempts {
+			if attemptStats != stats {
+				stats.absorb(attemptStats)
+				if res != nil {
+					res.Stats = stats
+				}
+			}
+			if err != nil && dml && IsTransient(err) {
+				err = &dmlAbortedError{cause: err}
+			}
 			return res, err
 		}
 	}
@@ -317,6 +343,11 @@ func runAttempt(ctx context.Context, rt *Runtime, root plan.Node, params *Params
 	qctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(errQueryDone)
 
+	// One primary-map snapshot per attempt: every slice instance of this
+	// attempt reads the same replica set, and a retried attempt re-snapshots
+	// so it dispatches to post-failover primaries.
+	primaries := rt.Store.PrimaryMap()
+
 	// One memory account per attempt, shared by every slice instance.
 	// Closing it is the backstop that returns every reserved byte and
 	// removes the query's spill directory even when an abort left operator
@@ -361,7 +392,7 @@ func runAttempt(ctx context.Context, rt *Runtime, root plan.Node, params *Params
 					drainSubtreeMotions(sl.root, exchanges, seg, qctx.Done())
 					return
 				}
-				ectx := newCtx(rt, seg, params, stats, qctx, budget)
+				ectx := newCtx(rt, seg, params, stats, qctx, budget, primaries)
 				// Flush this instance's operator stats no matter how it
 				// exits — error, abort, panic. wg.Wait below therefore
 				// guarantees complete (if partial-work) OpStats by return.
@@ -425,7 +456,7 @@ func runAttempt(ctx context.Context, rt *Runtime, root plan.Node, params *Params
 		if err := rt.Faults.Hit(qctx, fault.SliceStart, CoordinatorSeg); err != nil {
 			return err
 		}
-		cctx := newCtx(rt, CoordinatorSeg, params, stats, qctx, budget)
+		cctx := newCtx(rt, CoordinatorSeg, params, stats, qctx, budget, primaries)
 		defer cctx.finishOpStats() // after op.Close (LIFO), before the closure returns
 		op, err := buildOp(root, exchanges)
 		if err != nil {
@@ -512,7 +543,7 @@ func RunLocal(rt *Runtime, root plan.Node, seg int, params *Params) (*Result, er
 	stats := NewStats()
 	budget := rt.Gov.NewBudget()
 	defer budget.Close()
-	ctx := newCtx(rt, seg, params, stats, context.Background(), budget)
+	ctx := newCtx(rt, seg, params, stats, context.Background(), budget, rt.Store.PrimaryMap())
 	defer ctx.finishOpStats()
 	op, err := buildOp(root, nil)
 	if err != nil {

@@ -273,7 +273,7 @@ func TestLimitOverSpillingSortReclaimsFiles(t *testing.T) {
 	budget := gov.NewBudget()
 	defer budget.Close()
 	stats := NewStats()
-	ctx := newCtx(rt, 0, nil, stats, context.Background(), budget)
+	ctx := newCtx(rt, 0, nil, stats, context.Background(), budget, nil)
 
 	op, err := buildOp(plan.NewLimit(1, spillSortPlan(tab)), nil)
 	if err != nil {

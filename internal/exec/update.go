@@ -108,7 +108,10 @@ func (u *updateOp) Open(ctx *Ctx) error {
 	})
 	for _, p := range pending {
 		if _, err := ctx.Rt.Store.UpdateRow(u.n.Table, p.id, p.row); err != nil {
-			return err
+			// A dead primary mid-DML still reports evidence (the FTS may fail
+			// over for later queries) but the error stays non-retryable:
+			// runWithRetry masks DML failures so they never look transient.
+			return ctx.noteSegFailure(err)
 		}
 		u.count++
 	}
@@ -189,7 +192,7 @@ func (d *deleteOp) Open(ctx *Ctx) error {
 	})
 	for _, id := range ids {
 		if err := ctx.Rt.Store.DeleteRow(d.n.Table, id); err != nil {
-			return err
+			return ctx.noteSegFailure(err)
 		}
 		d.count++
 	}

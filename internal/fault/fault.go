@@ -60,23 +60,44 @@ const (
 	// transient kinds abort the session; drop closes the connection without
 	// writing (the response is lost in flight); delay stalls the write.
 	ConnWrite Point = "net.conn.write"
+	// SegExec fires once per storage read a slice instance performs (scan
+	// open, dynamic-scan leaf load, index lookup) — the executor treats a
+	// firing as evidence that the segment's acting primary replica died
+	// mid-query and reports it to the fault tolerance service. Unlike
+	// StorageScan it fires above the storage layer, so the FTS evidence
+	// path (probe the replica, fail over if it is really dead) runs.
+	SegExec Point = "seg.exec"
+	// SegProbe fires when the FTS probe loop probes a segment's acting
+	// primary replica; the seg argument is the logical segment. Error-kind
+	// rules simulate probe timeouts: enough consecutive firings drive the
+	// replica through suspect to down and trigger a mirror failover even
+	// though the replica's data is intact (a false positive, like a network
+	// partition between coordinator and segment).
+	SegProbe Point = "seg.probe"
 )
 
 // Points lists every named fault point wired into the engine.
 func Points() []Point {
-	return append(EnginePoints(), NetPoints()...)
+	return append(append(EnginePoints(), NetPoints()...), SegPoints()...)
 }
 
 // EnginePoints lists the executor- and storage-level fault points (the
-// exec chaos sweep iterates these).
+// exec chaos sweep iterates these). SegExec belongs here too — it fires
+// on the executor's per-segment read path — but SegProbe does not: it
+// only fires while an FTS probe loop is running, so sweeps that execute
+// queries without a health service would arm rules that never trigger.
 func EnginePoints() []Point {
-	return []Point{SliceStart, OpNext, MotionSend, StorageScan, MemReserve}
+	return []Point{SliceStart, OpNext, MotionSend, StorageScan, MemReserve, SegExec}
 }
 
 // NetPoints lists the connection-layer fault points the server front end
 // evaluates (the chaos sweep for `internal/server` iterates these; the
 // executor-level sweep iterates the rest).
 func NetPoints() []Point { return []Point{ConnAccept, ConnRead, ConnWrite} }
+
+// SegPoints lists the fault points specific to segment fault tolerance
+// that are not part of the executor sweep (see EnginePoints).
+func SegPoints() []Point { return []Point{SegProbe} }
 
 // Kind is the failure mode a rule injects.
 type Kind int

@@ -1,0 +1,391 @@
+// Package fts is the segment fault tolerance service: the component that
+// turns a fixed-width set of segments into a cluster that survives losing
+// one. It mirrors Greenplum's FTS design at miniature scale.
+//
+// Each logical segment has NumReplicas physical replicas (a primary and a
+// mirror, kept synchronously identical by the storage layer's dual-apply
+// DML path). The service tracks a health state per replica:
+//
+//	up ──probe fails──▶ suspect ──fails DownAfter times──▶ down
+//	 ▲                     │ probe succeeds                  │ revive
+//	 │◀────────────────────┘                                 ▼
+//	 └────────probe succeeds──────────────────────────── recovered
+//
+// Two inputs drive the machine:
+//
+//   - A background probe loop (Start/Stop) probes every segment's acting
+//     primary each ProbeInterval. Consecutive probe failures walk the
+//     replica up → suspect → down; hitting down triggers a mirror
+//     failover (Promote) so subsequent queries dispatch to the survivor.
+//   - Failure evidence from query execution (ReportFailure): when a slice's
+//     storage read fails in a way that smells like segment death, the
+//     executor reports it. The service re-probes the accused replica
+//     immediately — a confirmed death fails over right away (crash
+//     detection does not wait for the next probe tick); an unconfirmed one
+//     only marks the replica suspect.
+//
+// Drain interplay: a draining server must not start a failover storm — a
+// slow shutdown looks exactly like a dying segment to a probe loop. While
+// draining, probe-driven transitions stop at suspect and never promote.
+// Evidence-driven failover stays enabled: in-flight queries being drained
+// still deserve recovery if a segment really dies under them.
+package fts
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"partopt/internal/obs"
+)
+
+// NumReplicas mirrors storage.NumReplicas: a primary and one mirror.
+const NumReplicas = 2
+
+// State is one replica's position in the health state machine.
+type State int
+
+const (
+	// Up: the replica answers probes (or has not been probed yet).
+	Up State = iota
+	// Suspect: at least one recent probe failed, but fewer than
+	// Config.DownAfter consecutively; no failover has happened.
+	Suspect
+	// Down: the replica is declared dead. If it was the acting primary,
+	// declaring it down triggered a mirror failover.
+	Down
+	// Recovered: the replica was revived after being down and is valid
+	// again (resynced by the storage layer); the next clean probe cycle
+	// returns it to Up.
+	Recovered
+)
+
+func (s State) String() string {
+	switch s {
+	case Up:
+		return "up"
+	case Suspect:
+		return "suspect"
+	case Down:
+		return "down"
+	case Recovered:
+		return "recovered"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Cluster is the slice of the storage layer the service needs. It is
+// satisfied by *storage.Store.
+type Cluster interface {
+	// Segments is the logical cluster width.
+	Segments() int
+	// Primary reports which replica currently serves segment seg.
+	Primary(seg int) int
+	// ReplicaAlive reports liveness without probing (no fault points fire).
+	ReplicaAlive(seg, replica int) bool
+	// ProbeReplica health-checks one replica; probing an acting primary
+	// passes through the seg.probe fault point.
+	ProbeReplica(ctx context.Context, seg, replica int) error
+	// Promote fails segment seg over to its other replica.
+	Promote(seg int) error
+}
+
+// Config tunes the probe loop.
+type Config struct {
+	// ProbeInterval is the background probe period. Zero or negative
+	// disables the loop (evidence-driven detection still works); tests use
+	// ProbeOnce to step it manually.
+	ProbeInterval time.Duration
+	// DownAfter is how many consecutive probe failures declare a replica
+	// down. Evidence-driven confirmation skips this ladder: a failed
+	// re-probe after execution evidence is decisive. Default 2.
+	DownAfter int
+}
+
+// DefaultConfig returns production-ish defaults scaled for tests: probe
+// every 50ms, declare down after 2 consecutive failures.
+func DefaultConfig() Config {
+	return Config{ProbeInterval: 50 * time.Millisecond, DownAfter: 2}
+}
+
+// ReplicaHealth is one replica's externally visible health.
+type ReplicaHealth struct {
+	State        State
+	ConsecFails  int  // consecutive probe failures (resets on success)
+	ActingAsPrim bool // currently serving reads for its segment
+}
+
+// SegmentHealth is one logical segment's health snapshot.
+type SegmentHealth struct {
+	Seg      int
+	Primary  int // which replica serves reads
+	Replicas [NumReplicas]ReplicaHealth
+}
+
+// Service is the fault tolerance service for one cluster.
+type Service struct {
+	cluster Cluster
+	cfg     Config
+
+	mu       sync.Mutex
+	state    [][NumReplicas]State
+	fails    [][NumReplicas]int
+	draining bool
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+	started  bool
+
+	// Metrics; all nil-safe, so a Service without a registry just doesn't
+	// report.
+	failovers     *obs.Counter
+	probes        *obs.Counter
+	probeFailures *obs.Counter
+	evidence      *obs.Counter
+	segsUp        *obs.Gauge
+	segsDown      *obs.Gauge
+}
+
+// New builds a service over the cluster. reg may be nil.
+func New(cluster Cluster, cfg Config, reg *obs.Registry) *Service {
+	if cfg.DownAfter <= 0 {
+		cfg.DownAfter = 2
+	}
+	s := &Service{
+		cluster: cluster,
+		cfg:     cfg,
+		state:   make([][NumReplicas]State, cluster.Segments()),
+		fails:   make([][NumReplicas]int, cluster.Segments()),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	if reg != nil {
+		s.failovers = reg.Counter("segment_failovers_total")
+		s.probes = reg.Counter("fts_probes_total")
+		s.probeFailures = reg.Counter("fts_probe_failures_total")
+		s.evidence = reg.Counter("fts_evidence_reports_total")
+		s.segsUp = reg.Gauge("fts_segments_up")
+		s.segsDown = reg.Gauge("fts_segments_down")
+	}
+	s.publishGauges()
+	return s
+}
+
+// Start launches the background probe loop if ProbeInterval is positive.
+// Idempotent; Stop tears it down.
+func (s *Service) Start() {
+	s.mu.Lock()
+	if s.started || s.cfg.ProbeInterval <= 0 {
+		if !s.started {
+			close(s.done) // loop never runs; Stop must not block
+			s.started = true
+		}
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.mu.Unlock()
+	go s.loop()
+}
+
+func (s *Service) loop() {
+	defer close(s.done)
+	t := time.NewTicker(s.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ProbeInterval)
+			s.ProbeOnce(ctx)
+			cancel()
+		}
+	}
+}
+
+// Stop halts the probe loop and waits for it to exit. Safe to call more
+// than once, and before Start (then it only marks the service stopped).
+func (s *Service) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.mu.Lock()
+	started := s.started
+	s.started = true // a Stop()ped service never starts a loop later
+	s.mu.Unlock()
+	if started {
+		<-s.done
+	} else {
+		close(s.done)
+	}
+}
+
+// SetDraining flips drain mode: probe-driven transitions stop at suspect
+// and never promote, so a slow shutdown cannot start a failover storm.
+func (s *Service) SetDraining(v bool) {
+	s.mu.Lock()
+	s.draining = v
+	s.mu.Unlock()
+}
+
+// ProbeOnce runs one probe sweep over every segment's acting primary, plus
+// a liveness re-check of recovered mirrors. Tests call it directly to step
+// the machine without timers.
+func (s *Service) ProbeOnce(ctx context.Context) {
+	n := s.cluster.Segments()
+	for seg := 0; seg < n; seg++ {
+		prim := s.cluster.Primary(seg)
+		err := s.cluster.ProbeReplica(ctx, seg, prim)
+		s.probes.Inc()
+		if err != nil {
+			s.probeFailures.Inc()
+		}
+		s.mu.Lock()
+		failover := false
+		if err != nil {
+			s.fails[seg][prim]++
+			if s.fails[seg][prim] >= s.cfg.DownAfter && !s.draining {
+				failover = true
+			} else if s.state[seg][prim] != Down {
+				s.state[seg][prim] = Suspect
+			}
+		} else {
+			s.fails[seg][prim] = 0
+			s.state[seg][prim] = Up
+		}
+		// Walk the mirror's recovered → up edge once it is alive again.
+		other := 1 - prim
+		if s.state[seg][other] == Recovered && s.cluster.ReplicaAlive(seg, other) {
+			s.state[seg][other] = Up
+			s.fails[seg][other] = 0
+		}
+		s.mu.Unlock()
+		if failover {
+			s.declareDownAndFailover(seg, prim)
+		}
+	}
+	s.publishGauges()
+}
+
+// ReportFailure is the evidence path: query execution saw err reading
+// (seg, replica) and suspects segment death. The return value tells the
+// caller whether the cluster has failed over past the accused replica —
+// true means a retry against the current primary map can succeed.
+//
+// The decision procedure:
+//   - Evidence against a replica that is no longer the acting primary is
+//     stale (someone already failed over, or the executor raced a promote):
+//     report true without touching the state machine.
+//   - Otherwise re-probe the accused replica immediately. A clean probe
+//     means the failure was not segment death: mark suspect, report false.
+//   - A failed probe confirms death: declare down and promote the mirror.
+//     Report whether the promote succeeded (false when the mirror is dead
+//     too — the error is then genuinely unrecoverable).
+//
+// Unlike the probe loop, this path stays armed while draining: queries
+// being drained still deserve recovery.
+func (s *Service) ReportFailure(ctx context.Context, seg, replica int, evidence error) bool {
+	if s == nil {
+		return false
+	}
+	if seg < 0 || seg >= s.cluster.Segments() || replica < 0 || replica >= NumReplicas {
+		return false
+	}
+	s.evidence.Inc()
+	if s.cluster.Primary(seg) != replica {
+		return true // stale evidence; failover already happened
+	}
+	err := s.cluster.ProbeReplica(ctx, seg, replica)
+	s.probes.Inc()
+	if err == nil {
+		s.mu.Lock()
+		if s.state[seg][replica] == Up {
+			s.state[seg][replica] = Suspect
+		}
+		s.mu.Unlock()
+		s.publishGauges()
+		return false
+	}
+	s.probeFailures.Inc()
+	return s.declareDownAndFailover(seg, replica)
+}
+
+// declareDownAndFailover marks the replica down and, if it was the acting
+// primary, promotes the mirror. Reports whether the segment has a live
+// primary afterwards. Callers must not hold s.mu.
+func (s *Service) declareDownAndFailover(seg, replica int) bool {
+	s.mu.Lock()
+	alreadyDown := s.state[seg][replica] == Down
+	s.state[seg][replica] = Down
+	s.mu.Unlock()
+	defer s.publishGauges()
+	if s.cluster.Primary(seg) != replica {
+		return true // mirror died, or a racing report promoted first
+	}
+	if err := s.cluster.Promote(seg); err != nil {
+		return false // both replicas dead: nothing to dispatch to
+	}
+	if !alreadyDown {
+		s.failovers.Inc()
+	}
+	return true
+}
+
+// NoteRecovered records that a downed replica was revived (the storage
+// layer has resynced it). The probe loop walks it back to Up.
+func (s *Service) NoteRecovered(seg, replica int) {
+	if s == nil || seg < 0 || seg >= s.cluster.Segments() || replica < 0 || replica >= NumReplicas {
+		return
+	}
+	s.mu.Lock()
+	if s.state[seg][replica] == Down {
+		s.state[seg][replica] = Recovered
+		s.fails[seg][replica] = 0
+	}
+	s.mu.Unlock()
+	s.publishGauges()
+}
+
+// Snapshot reports every segment's health.
+func (s *Service) Snapshot() []SegmentHealth {
+	n := s.cluster.Segments()
+	out := make([]SegmentHealth, n)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for seg := 0; seg < n; seg++ {
+		prim := s.cluster.Primary(seg)
+		sh := SegmentHealth{Seg: seg, Primary: prim}
+		for r := 0; r < NumReplicas; r++ {
+			sh.Replicas[r] = ReplicaHealth{
+				State:        s.state[seg][r],
+				ConsecFails:  s.fails[seg][r],
+				ActingAsPrim: r == prim,
+			}
+		}
+		out[seg] = sh
+	}
+	return out
+}
+
+// Failovers reports the failover counter (0 without a registry).
+func (s *Service) Failovers() int64 { return s.failovers.Value() }
+
+// publishGauges recomputes the up/down segment gauges. A segment counts as
+// up when its acting primary is not down.
+func (s *Service) publishGauges() {
+	if s.segsUp == nil && s.segsDown == nil {
+		return
+	}
+	n := s.cluster.Segments()
+	up := 0
+	s.mu.Lock()
+	for seg := 0; seg < n; seg++ {
+		if s.state[seg][s.cluster.Primary(seg)] != Down {
+			up++
+		}
+	}
+	s.mu.Unlock()
+	s.segsUp.Set(int64(up))
+	s.segsDown.Set(int64(n - up))
+}

@@ -1,0 +1,294 @@
+package fts
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"partopt/internal/obs"
+)
+
+// fakeCluster is an in-memory Cluster with scriptable probe outcomes.
+type fakeCluster struct {
+	mu       sync.Mutex
+	segs     int
+	primary  []int
+	alive    [][NumReplicas]bool
+	probeErr map[[2]int]error // (seg, replica) → forced probe outcome
+	promotes int
+}
+
+func newFakeCluster(segs int) *fakeCluster {
+	c := &fakeCluster{segs: segs, primary: make([]int, segs),
+		alive: make([][NumReplicas]bool, segs), probeErr: map[[2]int]error{}}
+	for i := range c.alive {
+		c.alive[i] = [NumReplicas]bool{true, true}
+	}
+	return c
+}
+
+func (c *fakeCluster) Segments() int { return c.segs }
+
+func (c *fakeCluster) Primary(seg int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.primary[seg]
+}
+
+func (c *fakeCluster) ReplicaAlive(seg, replica int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.alive[seg][replica]
+}
+
+func (c *fakeCluster) ProbeReplica(_ context.Context, seg, replica int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err, ok := c.probeErr[[2]int{seg, replica}]; ok {
+		return err
+	}
+	if !c.alive[seg][replica] {
+		return errors.New("fake: replica dead")
+	}
+	return nil
+}
+
+func (c *fakeCluster) Promote(seg int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	next := 1 - c.primary[seg]
+	if !c.alive[seg][next] {
+		return errors.New("fake: mirror dead too")
+	}
+	c.primary[seg] = next
+	c.promotes++
+	return nil
+}
+
+func (c *fakeCluster) kill(seg, replica int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.alive[seg][replica] = false
+}
+
+func (c *fakeCluster) revive(seg, replica int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.alive[seg][replica] = true
+}
+
+func newService(c Cluster) (*Service, *obs.Registry) {
+	reg := obs.NewRegistry()
+	// ProbeInterval 0: tests step the machine with ProbeOnce.
+	return New(c, Config{ProbeInterval: 0, DownAfter: 2}, reg), reg
+}
+
+func stateOf(s *Service, seg, rep int) State {
+	return s.Snapshot()[seg].Replicas[rep].State
+}
+
+func TestProbeLadderUpSuspectDownFailover(t *testing.T) {
+	c := newFakeCluster(4)
+	s, reg := newService(c)
+	ctx := context.Background()
+
+	s.ProbeOnce(ctx)
+	if st := stateOf(s, 1, 0); st != Up {
+		t.Fatalf("healthy probe left seg 1 replica 0 in %v", st)
+	}
+
+	c.kill(1, 0)
+	s.ProbeOnce(ctx) // first miss: suspect, no failover
+	if st := stateOf(s, 1, 0); st != Suspect {
+		t.Fatalf("after 1 miss: %v, want suspect", st)
+	}
+	if c.Primary(1) != 0 {
+		t.Fatalf("failover after a single miss")
+	}
+
+	s.ProbeOnce(ctx) // second miss: down + promote
+	if st := stateOf(s, 1, 0); st != Down {
+		t.Fatalf("after 2 misses: %v, want down", st)
+	}
+	if c.Primary(1) != 1 {
+		t.Fatalf("no failover after DownAfter misses")
+	}
+	if got := reg.Counter("segment_failovers_total").Value(); got != 1 {
+		t.Fatalf("segment_failovers_total = %d, want 1", got)
+	}
+	if up := reg.Gauge("fts_segments_up").Value(); up != 4 {
+		t.Fatalf("fts_segments_up = %d after successful failover, want 4", up)
+	}
+
+	// Stability: more probes of the healthy mirror change nothing.
+	s.ProbeOnce(ctx)
+	s.ProbeOnce(ctx)
+	if got := reg.Counter("segment_failovers_total").Value(); got != 1 {
+		t.Fatalf("failovers grew to %d on a stable cluster", got)
+	}
+}
+
+func TestProbeRecoversSuspectReplica(t *testing.T) {
+	c := newFakeCluster(2)
+	s, _ := newService(c)
+	ctx := context.Background()
+	c.probeErr[[2]int{0, 0}] = errors.New("fake: probe timeout")
+	s.ProbeOnce(ctx)
+	if st := stateOf(s, 0, 0); st != Suspect {
+		t.Fatalf("state = %v, want suspect", st)
+	}
+	delete(c.probeErr, [2]int{0, 0})
+	s.ProbeOnce(ctx)
+	if st := stateOf(s, 0, 0); st != Up {
+		t.Fatalf("clean probe left replica in %v, want up", st)
+	}
+	if c.Primary(0) != 0 {
+		t.Fatalf("a transient probe blip caused a failover")
+	}
+}
+
+func TestEvidenceDrivenFailover(t *testing.T) {
+	c := newFakeCluster(4)
+	s, reg := newService(c)
+	ctx := context.Background()
+
+	// Evidence against a live replica (the failure was not segment death):
+	// suspect only, no failover, not recovered.
+	if rec := s.ReportFailure(ctx, 2, 0, errors.New("some error")); rec {
+		t.Fatalf("evidence against a live replica reported recovered")
+	}
+	if st := stateOf(s, 2, 0); st != Suspect {
+		t.Fatalf("state = %v, want suspect", st)
+	}
+
+	// Evidence against a dead primary: immediate confirmed failover.
+	c.kill(2, 0)
+	if rec := s.ReportFailure(ctx, 2, 0, errors.New("read failed")); !rec {
+		t.Fatalf("confirmed segment death did not report recovered")
+	}
+	if c.Primary(2) != 1 {
+		t.Fatalf("no promote on confirmed death")
+	}
+	if got := reg.Counter("segment_failovers_total").Value(); got != 1 {
+		t.Fatalf("failovers = %d, want 1", got)
+	}
+
+	// Stale evidence (accusing the now-retired replica): recovered, and no
+	// double failover.
+	if rec := s.ReportFailure(ctx, 2, 0, errors.New("late evidence")); !rec {
+		t.Fatalf("stale evidence did not report recovered")
+	}
+	if got := reg.Counter("segment_failovers_total").Value(); got != 1 {
+		t.Fatalf("stale evidence caused another failover: %d", got)
+	}
+
+	// Both replicas dead: evidence cannot recover.
+	c.kill(2, 1)
+	if rec := s.ReportFailure(ctx, 2, 1, errors.New("mirror died too")); rec {
+		t.Fatalf("recovered with zero live replicas")
+	}
+}
+
+func TestConcurrentEvidenceSingleFailover(t *testing.T) {
+	// Four slices of one query report the same death concurrently: exactly
+	// one failover, and every report ends with a retryable verdict.
+	c := newFakeCluster(4)
+	s, reg := newService(c)
+	c.kill(3, 0)
+	var wg sync.WaitGroup
+	verdicts := make([]bool, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			verdicts[i] = s.ReportFailure(context.Background(), 3, 0, errors.New("dead"))
+		}(i)
+	}
+	wg.Wait()
+	for i, v := range verdicts {
+		if !v {
+			t.Fatalf("report %d not marked recovered", i)
+		}
+	}
+	if got := reg.Counter("segment_failovers_total").Value(); got != 1 {
+		t.Fatalf("failovers = %d, want exactly 1", got)
+	}
+	c.mu.Lock()
+	promotes := c.promotes
+	c.mu.Unlock()
+	if promotes != 1 {
+		t.Fatalf("promotes = %d, want exactly 1", promotes)
+	}
+}
+
+func TestDrainingSuppressesProbeFailoverButNotEvidence(t *testing.T) {
+	c := newFakeCluster(2)
+	s, reg := newService(c)
+	ctx := context.Background()
+	s.SetDraining(true)
+
+	// Probe-driven: misses accumulate but never promote while draining.
+	c.kill(0, 0)
+	for i := 0; i < 5; i++ {
+		s.ProbeOnce(ctx)
+	}
+	if c.Primary(0) != 0 {
+		t.Fatalf("probe loop failed over while draining")
+	}
+	if got := reg.Counter("segment_failovers_total").Value(); got != 0 {
+		t.Fatalf("failovers = %d while draining, want 0", got)
+	}
+
+	// Evidence-driven: an in-flight query's recovery still works.
+	if rec := s.ReportFailure(ctx, 0, 0, errors.New("read failed")); !rec {
+		t.Fatalf("evidence-driven failover suppressed while draining")
+	}
+	if c.Primary(0) != 1 {
+		t.Fatalf("no promote on evidence while draining")
+	}
+}
+
+func TestNoteRecoveredWalksBackToUp(t *testing.T) {
+	c := newFakeCluster(2)
+	s, _ := newService(c)
+	ctx := context.Background()
+	c.kill(1, 0)
+	s.ProbeOnce(ctx)
+	s.ProbeOnce(ctx)
+	if st := stateOf(s, 1, 0); st != Down {
+		t.Fatalf("state = %v, want down", st)
+	}
+	c.revive(1, 0)
+	s.NoteRecovered(1, 0)
+	if st := stateOf(s, 1, 0); st != Recovered {
+		t.Fatalf("state = %v, want recovered", st)
+	}
+	s.ProbeOnce(ctx)
+	if st := stateOf(s, 1, 0); st != Up {
+		t.Fatalf("state = %v after clean cycle, want up", st)
+	}
+}
+
+func TestStartStopProbeLoop(t *testing.T) {
+	c := newFakeCluster(2)
+	reg := obs.NewRegistry()
+	s := New(c, Config{ProbeInterval: time.Millisecond, DownAfter: 2}, reg)
+	s.Start()
+	defer s.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Counter("fts_probes_total").Value() < 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("probe loop never ran")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	s.Stop() // idempotent
+	after := reg.Counter("fts_probes_total").Value()
+	time.Sleep(20 * time.Millisecond)
+	if got := reg.Counter("fts_probes_total").Value(); got > after+2 {
+		t.Fatalf("probe loop still running after Stop: %d → %d", after, got)
+	}
+}

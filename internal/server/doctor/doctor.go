@@ -17,6 +17,8 @@
 //	partition-skew    per-table leaf row distribution (the paper's
 //	                  partition-selection numbers are only meaningful when
 //	                  rows actually spread across leaves)
+//	segment-health    FTS segment state: any segment without a live primary
+//	                  fails; degraded redundancy is reported in the detail
 package doctor
 
 import (
@@ -172,6 +174,11 @@ func Checks() []Check {
 			Name: "partition-skew",
 			Help: "per-table leaf partition row distribution; heavy skew defeats partition elimination and overloads single leaves",
 			Run:  checkPartitionSkew,
+		},
+		{
+			Name: "segment-health",
+			Help: "segment fault tolerance state: fails when any segment has no live primary, warns in detail about degraded redundancy (a segment running on its mirror with the other replica down or suspect)",
+			Run:  checkSegmentHealth,
 		},
 	}
 }
@@ -339,4 +346,36 @@ func checkPartitionSkew(ctx context.Context, src Source, th Thresholds) (bool, s
 	detail := fmt.Sprintf("worst skew %.1fx mean on %q across %d judged table(s) (threshold %.1fx)",
 		worstRatio, worst, judged, th.MaxSkewRatio)
 	return worstRatio <= th.MaxSkewRatio, detail, nil
+}
+
+// checkSegmentHealth judges the FTS snapshot: a segment whose acting
+// primary replica is down (nothing serves its slices) fails the check;
+// degraded redundancy — the segment alive but its other replica down or
+// suspect — passes with a warning detail, because queries still succeed
+// while one more death would lose the segment.
+func checkSegmentHealth(ctx context.Context, src Source, th Thresholds) (bool, string, error) {
+	st, err := src.Statz(ctx)
+	if err != nil {
+		return false, "", err
+	}
+	if !st.FTS.Enabled {
+		return true, "fault tolerance disabled, not judged", nil
+	}
+	lost, degraded := 0, 0
+	for _, seg := range st.FTS.Segments {
+		prim := seg.Replicas[seg.Primary]
+		if prim.State == "down" {
+			lost++
+			continue
+		}
+		for r, rep := range seg.Replicas {
+			if r != seg.Primary && rep.State != "up" {
+				degraded++
+				break
+			}
+		}
+	}
+	detail := fmt.Sprintf("%d segment(s): %d lost, %d degraded, %d failover(s) so far",
+		len(st.FTS.Segments), lost, degraded, st.FTS.FailoversTotal)
+	return lost == 0, detail, nil
 }

@@ -1,0 +1,83 @@
+package doctor
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"partopt"
+	"partopt/internal/server"
+)
+
+// segment-health against a live server: healthy and degraded (mirror
+// serving, dead replica down) clusters pass; a segment with no live
+// primary fails the check.
+func TestDoctorSegmentHealth(t *testing.T) {
+	eng, err := partopt.New(4)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	eng.SetSpillDir(t.TempDir())
+	eng.MustCreateTable("kv",
+		partopt.Columns("k", partopt.TypeInt, "v", partopt.TypeInt),
+		partopt.DistributedBy("k"))
+	for i := int64(0); i < 40; i++ {
+		if err := eng.Insert("kv", partopt.Int(i), partopt.Int(i*i)); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	eng.EnableFaultTolerance(partopt.FTConfig{ProbeInterval: 2 * time.Millisecond, DownAfter: 2})
+	defer eng.StopFTS()
+
+	srv := server.New(eng, server.Config{Addr: "127.0.0.1:0", HTTPAddr: "127.0.0.1:0"})
+	if err := srv.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer srv.Close()
+	src := HTTPSource{Base: "http://" + srv.HTTPAddr()}
+	run := func() (Result, bool) {
+		t.Helper()
+		results, allOK, err := RunAll(context.Background(), src, DefaultThresholds(), "segment-health")
+		if err != nil {
+			t.Fatalf("RunAll: %v", err)
+		}
+		return results[0], allOK
+	}
+
+	if res, ok := run(); !ok {
+		t.Fatalf("healthy mirrored cluster failed segment-health: %+v", res)
+	}
+
+	// One replica down: degraded but still serving — the check passes and
+	// says so in the detail.
+	if err := eng.KillSegment(0); err != nil {
+		t.Fatalf("KillSegment: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for eng.SegmentFailovers() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("probe loop never failed over")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	res, ok := run()
+	if !ok {
+		t.Fatalf("degraded-but-serving cluster failed segment-health: %+v", res)
+	}
+
+	// Kill the promoted mirror too: segment 0 has no live primary left, and
+	// the doctor must flag the cluster unhealthy.
+	if err := eng.KillSegment(0); err != nil {
+		t.Fatalf("KillSegment(mirror): %v", err)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		if res, ok = run(); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lost segment never failed the doctor: %+v", res)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,110 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"partopt"
+)
+
+// Server-path fault tolerance: the wire protocol rides the same executor
+// retry loop as the embedded API, so a killed segment mid-session costs one
+// transparent retry — never an error frame — and /statz reports the event.
+
+// renderRows flattens a response's data rows into a sorted bag.
+func renderRows(r *Response) []string {
+	out := make([]string, 0, len(r.DataRows()))
+	for _, row := range r.DataRows() {
+		out = append(out, fmt.Sprintf("%v", row))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestServerRetryOnSegmentDeath(t *testing.T) {
+	eng := testEngine(t)
+	eng.EnableFaultTolerance(partopt.FTConfig{ProbeInterval: 0, DownAfter: 2})
+	defer eng.StopFTS()
+
+	srv := startServer(t, eng, Config{HTTPAddr: "127.0.0.1:0"})
+	c := dial(t, srv)
+
+	const q = "SELECT date, count(*) AS n, sum(amount) AS total FROM orders GROUP BY date"
+	goldenResp := send(t, c, q)
+	if goldenResp.IsErr() {
+		t.Fatalf("healthy query errored: %q", goldenResp.Header)
+	}
+	golden := renderRows(goldenResp)
+
+	before := runtime.NumGoroutine()
+	// No probe loop is running (ProbeInterval 0): only the session's own
+	// query can discover the death, fail over, and retry.
+	if err := eng.KillSegment(1); err != nil {
+		t.Fatalf("KillSegment: %v", err)
+	}
+	r := send(t, c, q)
+	if r.IsErr() {
+		t.Fatalf("session saw the segment death instead of a transparent retry: %q", r.Header)
+	}
+	got := renderRows(r)
+	if len(got) != len(golden) {
+		t.Fatalf("rows = %d, want %d", len(got), len(golden))
+	}
+	for i := range got {
+		if got[i] != golden[i] {
+			t.Fatalf("row %d differs after failover:\n%s\n%s", i, got[i], golden[i])
+		}
+	}
+	if got := eng.SegmentFailovers(); got != 1 {
+		t.Fatalf("failovers = %d, want exactly 1", got)
+	}
+	if got := eng.Obs().Counter("partopt_queries_retried_total").Value(); got != 1 {
+		t.Fatalf("retries = %d, want exactly 1 (the server path must honor RetryPolicy)", got)
+	}
+	waitNoGoroutineLeak(t, before)
+
+	// /statz carries the segment health the doctor consumes.
+	stz, err := srv.BuildStatz()
+	if err != nil {
+		t.Fatalf("BuildStatz: %v", err)
+	}
+	if !stz.FTS.Enabled {
+		t.Fatalf("statz says FTS disabled")
+	}
+	if stz.FTS.FailoversTotal != 1 {
+		t.Fatalf("statz failovers = %d, want 1", stz.FTS.FailoversTotal)
+	}
+	if len(stz.FTS.Segments) != 4 {
+		t.Fatalf("statz segments = %d, want 4", len(stz.FTS.Segments))
+	}
+	if stz.FTS.Segments[1].Primary == 0 {
+		t.Fatalf("statz still routes segment 1 to the killed replica")
+	}
+}
+
+func TestDrainDoesNotStartFailoverStorm(t *testing.T) {
+	// A graceful drain must not let the probe loop interpret shutdown
+	// quiescence as segment death: Shutdown flips FTS draining before the
+	// listener closes, so zero failovers happen during a clean drain.
+	eng := testEngine(t)
+	eng.EnableFaultTolerance(partopt.FTConfig{ProbeInterval: time.Millisecond, DownAfter: 2})
+	defer eng.StopFTS()
+
+	srv := startServer(t, eng, Config{})
+	c := dial(t, srv)
+	if r := send(t, c, "SELECT count(*) FROM orders"); r.IsErr() {
+		t.Fatalf("query: %q", r.Header)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if got := eng.SegmentFailovers(); got != 0 {
+		t.Fatalf("drain caused %d failovers", got)
+	}
+}

@@ -22,6 +22,11 @@ type Statz struct {
 		Draining        bool    `json:"draining"`
 		Segments        int     `json:"segments"`
 	} `json:"server"`
+	FTS struct {
+		Enabled        bool                    `json:"enabled"`
+		FailoversTotal int64                   `json:"failovers_total"`
+		Segments       []partopt.SegmentStatus `json:"segments,omitempty"`
+	} `json:"fts"`
 	Admission partopt.AdmissionState  `json:"admission"`
 	PlanCache partopt.PlanCacheStats  `json:"plan_cache"`
 	Counters  map[string]int64        `json:"counters"`
@@ -51,6 +56,11 @@ func (s *Server) BuildStatz() (*Statz, error) {
 	st.Server.InflightQueries = s.InflightQueries()
 	st.Server.Draining = s.Draining()
 	st.Server.Segments = s.eng.Segments()
+	if health, ok := s.eng.SegmentHealth(); ok {
+		st.FTS.Enabled = true
+		st.FTS.FailoversTotal = s.eng.SegmentFailovers()
+		st.FTS.Segments = health
+	}
 	return st, nil
 }
 

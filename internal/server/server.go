@@ -357,6 +357,10 @@ func (s *Server) OpenSessions() int {
 // idempotent; concurrent calls share one drain.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.drainOnce.Do(func() { close(s.drainCh) })
+	// A draining process must not look like mass segment death: suppress
+	// probe-driven failovers for the rest of this process's life (queries
+	// still in flight keep evidence-driven recovery).
+	s.eng.SetFTSDraining(true)
 	s.cfg.Logf("mppd: draining (%d sessions, %d in-flight queries)", s.OpenSessions(), s.InflightQueries())
 
 	// Nudge idle sessions out of their blocking reads now rather than at

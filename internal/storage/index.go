@@ -67,11 +67,15 @@ func (td *tableData) invalidateIndexesLocked() {
 	}
 }
 
-// rebuildLocked re-sorts every heap's entries. Callers hold td.mu.
-func (idx *tableIndex) rebuildLocked(td *tableData) {
+// rebuildLocked re-sorts every heap's entries, reading each segment's
+// acting primary replica (primaries is snapshotted before td.mu is taken
+// — lock order is Store.mu before tableData.mu). Replica heaps are kept
+// identical by the dual-apply DML path, so entries built from the primary
+// are valid for lookups against either replica.
+func (idx *tableIndex) rebuildLocked(td *tableData, primaries []int) {
 	for seg := range td.heaps {
 		m := map[part.OID][]idxEntry{}
-		for leaf, rows := range td.heaps[seg] {
+		for leaf, rows := range td.heapsOf(primaries[seg])[seg] {
 			entries := make([]idxEntry, 0, len(rows))
 			for pos, row := range rows {
 				entries = append(entries, idxEntry{key: row[idx.def.ColOrd], row: row, pos: pos})
@@ -89,8 +93,20 @@ func (idx *tableIndex) rebuildLocked(td *tableData) {
 // IndexLookup returns the rows of one (segment × leaf) heap whose indexed
 // column falls inside the interval set, using binary search per interval,
 // together with each row's identity (valid until the next mutation). The
-// result over-approximates only as much as the set does.
+// result over-approximates only as much as the set does. Reads go to the
+// segment's acting primary replica; IndexLookupAt addresses a specific one.
 func (s *Store) IndexLookup(t *catalog.Table, indexName string, seg int, leaf part.OID, set types.IntervalSet) ([]types.Row, []RowID, error) {
+	rep := 0
+	if seg >= 0 && seg < s.segments {
+		rep = s.Primary(seg)
+	}
+	return s.IndexLookupAt(t, indexName, seg, rep, leaf, set)
+}
+
+// IndexLookupAt is IndexLookup against one named replica: the executor's
+// replica-dispatched variant. Looking up a dead replica fails with
+// *DeadSegmentError.
+func (s *Store) IndexLookupAt(t *catalog.Table, indexName string, seg, replica int, leaf part.OID, set types.IntervalSet) ([]types.Row, []RowID, error) {
 	td, err := s.data(t.OID)
 	if err != nil {
 		return nil, nil, err
@@ -98,6 +114,13 @@ func (s *Store) IndexLookup(t *catalog.Table, indexName string, seg int, leaf pa
 	if seg < 0 || seg >= s.segments {
 		return nil, nil, fmt.Errorf("storage: segment %d out of range", seg)
 	}
+	if replica < 0 || replica >= NumReplicas {
+		return nil, nil, fmt.Errorf("storage: replica %d out of range", replica)
+	}
+	if !s.ReplicaAlive(seg, replica) {
+		return nil, nil, &DeadSegmentError{Seg: seg, Replica: replica}
+	}
+	primaries := s.PrimaryMap() // before td.mu: lock order Store.mu → tableData.mu
 	td.mu.Lock()
 	defer td.mu.Unlock()
 	var idx *tableIndex
@@ -111,7 +134,7 @@ func (s *Store) IndexLookup(t *catalog.Table, indexName string, seg int, leaf pa
 		return nil, nil, fmt.Errorf("storage: table %q has no index %q", t.Name, indexName)
 	}
 	if !idx.built {
-		idx.rebuildLocked(td)
+		idx.rebuildLocked(td, primaries)
 	}
 	entries := idx.segs[seg][leaf]
 

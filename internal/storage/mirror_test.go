@@ -1,0 +1,223 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"partopt/internal/catalog"
+	"partopt/internal/types"
+)
+
+// Mirrored-replica invariants: every DML keeps the two replicas of every
+// segment byte-identical (same rows, same heap order — RowIDs must stay
+// valid on both), kill/promote/revive preserve the data, and a revived
+// stale replica is resynced from the survivor.
+
+// replicaDump renders one replica's heaps deterministically (rows in heap
+// order, so it also proves RowID positions agree across replicas).
+func replicaDump(t *testing.T, st *Store, tab *catalog.Table, seg, rep int) string {
+	t.Helper()
+	out := ""
+	for _, leaf := range LeafOIDs(tab) {
+		rows, err := st.ScanLeafAt(tab.OID, seg, rep, leaf)
+		if err != nil {
+			t.Fatalf("ScanLeafAt(seg %d, rep %d, leaf %d): %v", seg, rep, leaf, err)
+		}
+		for i, row := range rows {
+			out += fmt.Sprintf("leaf %d idx %d: %v\n", leaf, i, row)
+		}
+	}
+	return out
+}
+
+// assertReplicasIdentical requires both replicas of every segment to hold
+// identical heaps.
+func assertReplicasIdentical(t *testing.T, st *Store, tab *catalog.Table) {
+	t.Helper()
+	for seg := 0; seg < st.Segments(); seg++ {
+		p, m := replicaDump(t, st, tab, seg, 0), replicaDump(t, st, tab, seg, 1)
+		if p != m {
+			t.Fatalf("seg %d replicas diverged:\nreplica 0:\n%s\nreplica 1:\n%s", seg, p, m)
+		}
+	}
+}
+
+func loadN(t *testing.T, st *Store, tab *catalog.Table, n int64) {
+	t.Helper()
+	for i := int64(0); i < n; i++ {
+		if err := st.Insert(tab, types.Row{types.NewInt(i), types.NewInt(i % 30)}); err != nil {
+			t.Fatalf("Insert(%d): %v", i, err)
+		}
+	}
+}
+
+func TestEnableMirrorsClonesExistingData(t *testing.T) {
+	_, st, tab := newFixture(t, 4)
+	loadN(t, st, tab, 30)
+	st.EnableMirrors()
+	if !st.Mirrored() {
+		t.Fatalf("Mirrored() = false after EnableMirrors")
+	}
+	assertReplicasIdentical(t, st, tab)
+}
+
+func TestDMLDualApply(t *testing.T) {
+	_, st, tab := newFixture(t, 4)
+	st.EnableMirrors()
+	loadN(t, st, tab, 30)
+	assertReplicasIdentical(t, st, tab)
+
+	// In-place update, split update (partition key change moves the row
+	// between leaves), and delete — after each, replicas must agree.
+	leaf := tab.Part.Route([]types.Datum{types.NewInt(5)})
+	if _, err := st.UpdateRow(tab, RowID{Seg: 0, Leaf: leaf, Idx: 0},
+		types.Row{types.NewInt(100), types.NewInt(5)}); err != nil {
+		t.Fatalf("in-place update: %v", err)
+	}
+	assertReplicasIdentical(t, st, tab)
+
+	rows, err := st.ScanLeafAt(tab.OID, 1, 0, leaf)
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if len(rows) > 0 {
+		if _, err := st.UpdateRow(tab, RowID{Seg: 1, Leaf: leaf, Idx: 0},
+			types.Row{rows[0][0], types.NewInt(25)}); err != nil { // moves leaf
+			t.Fatalf("split update: %v", err)
+		}
+	}
+	assertReplicasIdentical(t, st, tab)
+
+	for seg := 0; seg < st.Segments(); seg++ {
+		rows, err := st.ScanLeafAt(tab.OID, seg, 0, leaf)
+		if err != nil {
+			t.Fatalf("scan: %v", err)
+		}
+		if len(rows) > 0 {
+			if err := st.DeleteRow(tab, RowID{Seg: seg, Leaf: leaf, Idx: len(rows) - 1}); err != nil {
+				t.Fatalf("delete: %v", err)
+			}
+			break
+		}
+	}
+	assertReplicasIdentical(t, st, tab)
+
+	if err := st.Truncate(tab); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	assertReplicasIdentical(t, st, tab)
+	if n, _ := st.RowCount(tab); n != 0 {
+		t.Fatalf("rows after truncate = %d", n)
+	}
+}
+
+func TestKillPromoteServesMirror(t *testing.T) {
+	_, st, tab := newFixture(t, 4)
+	st.EnableMirrors()
+	loadN(t, st, tab, 30)
+
+	goldenSeg2 := replicaDump(t, st, tab, 2, 0)
+	if err := st.KillReplica(2, 0); err != nil {
+		t.Fatalf("KillReplica: %v", err)
+	}
+	// Reads addressed at the dead replica fail with DeadSegmentError.
+	_, err := st.ScanLeafAt(tab.OID, 2, 0, LeafOIDs(tab)[0])
+	var dead *DeadSegmentError
+	if !errors.As(err, &dead) || dead.Seg != 2 || dead.Replica != 0 {
+		t.Fatalf("read of dead replica: %v", err)
+	}
+	// DeadSegmentError is deliberately not transient by itself: without a
+	// failover decision, retrying cannot help.
+	if tr, ok := err.(interface{ Transient() bool }); ok && tr.Transient() {
+		t.Fatalf("DeadSegmentError claims to be transient")
+	}
+
+	if err := st.Promote(2); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if st.Primary(2) != 1 {
+		t.Fatalf("Primary(2) = %d after promote", st.Primary(2))
+	}
+	// The mirror serves the exact same data.
+	if got := replicaDump(t, st, tab, 2, 1); got != goldenSeg2 {
+		t.Fatalf("mirror data differs after failover:\nwant:\n%s\ngot:\n%s", goldenSeg2, got)
+	}
+	// Promoting past a dead mirror is refused.
+	if err := st.KillReplica(2, 1); err != nil {
+		t.Fatalf("KillReplica mirror: %v", err)
+	}
+	if err := st.Promote(2); err == nil {
+		t.Fatalf("Promote with both replicas dead succeeded")
+	}
+}
+
+func TestReviveResyncsStaleReplica(t *testing.T) {
+	_, st, tab := newFixture(t, 4)
+	st.EnableMirrors()
+	loadN(t, st, tab, 30)
+
+	if err := st.KillReplica(1, 0); err != nil {
+		t.Fatalf("KillReplica: %v", err)
+	}
+	if err := st.Promote(1); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	// DML while replica (1,0) is dead: applies only to the live mirror and
+	// marks the dead one stale.
+	leaf := tab.Part.Route([]types.Datum{types.NewInt(5)})
+	for seg := 0; seg < st.Segments(); seg++ {
+		rows, err := st.ScanLeafAt(tab.OID, seg, st.Primary(seg), leaf)
+		if err != nil {
+			t.Fatalf("scan: %v", err)
+		}
+		if len(rows) > 0 {
+			if _, err := st.UpdateRow(tab, RowID{Seg: seg, Leaf: leaf, Idx: 0},
+				types.Row{types.NewInt(777), rows[0][1]}); err != nil {
+				t.Fatalf("update during outage: %v", err)
+			}
+		}
+	}
+	if err := st.ReviveReplica(1, 0); err != nil {
+		t.Fatalf("ReviveReplica: %v", err)
+	}
+	if !st.ReplicaAlive(1, 0) {
+		t.Fatalf("replica (1,0) still dead after revive")
+	}
+	// The revived replica must carry the post-outage contents.
+	assertReplicasIdentical(t, st, tab)
+}
+
+func TestProbeReplicaLiveness(t *testing.T) {
+	_, st, _ := newFixture(t, 4)
+	st.EnableMirrors()
+	ctx := context.Background()
+	if err := st.ProbeReplica(ctx, 0, 0); err != nil {
+		t.Fatalf("probe of healthy replica: %v", err)
+	}
+	if err := st.KillReplica(0, 0); err != nil {
+		t.Fatalf("KillReplica: %v", err)
+	}
+	var dead *DeadSegmentError
+	if err := st.ProbeReplica(ctx, 0, 0); !errors.As(err, &dead) {
+		t.Fatalf("probe of dead replica: %v", err)
+	}
+}
+
+func TestUnmirroredStoreCompat(t *testing.T) {
+	// A store without mirrors keeps the old single-replica behavior: reads
+	// of replica 1 fail loudly, replica 0 serves everything.
+	_, st, tab := newFixture(t, 4)
+	loadN(t, st, tab, 30)
+	if st.Mirrored() {
+		t.Fatalf("store claims to be mirrored")
+	}
+	if _, err := st.ScanLeafAt(tab.OID, 0, 1, LeafOIDs(tab)[0]); err == nil {
+		t.Fatalf("reading the mirror of an unmirrored store succeeded")
+	}
+	n, err := st.RowCount(tab)
+	if err != nil || n != 30 {
+		t.Fatalf("RowCount = %d, %v", n, err)
+	}
+}

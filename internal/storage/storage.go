@@ -6,9 +6,24 @@
 // The layout mirrors what the paper relies on: "given a logical partition
 // OID the storage layer can locate and retrieve the tuples belonging to
 // that partition" (§2.1), independently on every segment.
+//
+// # Mirrored replicas
+//
+// With EnableMirrors every logical segment holds two physical replicas of
+// its data (GPDB's primary/mirror pair). DML applies to both replicas
+// inside the same per-table critical section, in the same order, so the
+// heaps — including swap-delete reordering and therefore RowID indexes —
+// stay byte-identical across replicas and a failover is invisible to
+// readers. Replicas share row pointers (rows are replaced, never mutated
+// in place), so mirroring costs heap headers, not row data. A replica can
+// be killed (KillReplica) and later revived (ReviveReplica, which resyncs
+// from the surviving replica when writes happened in between); reads from
+// a dead replica fail with *DeadSegmentError, and the fault tolerance
+// service (internal/fts) promotes the mirror via Promote.
 package storage
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -27,14 +42,41 @@ type RowID struct {
 	Idx  int
 }
 
+// NumReplicas is the physical replica count per logical segment once
+// mirroring is enabled: a primary and one synchronously-applied mirror.
+const NumReplicas = 2
+
+// DeadSegmentError reports a read or write addressed to a replica that has
+// been killed. It carries no Transient method on purpose: whether a retry
+// can succeed is a failover decision, made by the executor's FTS evidence
+// path (exec.SegmentFailureError), not by the storage layer.
+type DeadSegmentError struct {
+	Seg     int
+	Replica int
+}
+
+func (e *DeadSegmentError) Error() string {
+	return fmt.Sprintf("storage: segment %d replica %d is down", e.Seg, e.Replica)
+}
+
 // tableData holds one table's rows and secondary indexes.
 type tableData struct {
 	tab *catalog.Table
 	mu  sync.RWMutex
 	// heaps[segment][leafOID] — for unpartitioned tables the single heap
-	// is keyed by the table's root OID.
+	// is keyed by the table's root OID. heaps is replica 0; mirror, non-nil
+	// once mirroring is enabled, is replica 1 with identical layout.
 	heaps   []map[part.OID][]types.Row
+	mirror  []map[part.OID][]types.Row
 	indexes []*tableIndex
+}
+
+// heapsOf returns one replica's heap array (nil for an unallocated mirror).
+func (td *tableData) heapsOf(replica int) []map[part.OID][]types.Row {
+	if replica == 0 {
+		return td.heaps
+	}
+	return td.mirror
 }
 
 // Store is the storage layer of one simulated cluster.
@@ -43,6 +85,14 @@ type Store struct {
 	mu       sync.RWMutex
 	tables   map[part.OID]*tableData
 	faults   *fault.Injector
+
+	// Replica bookkeeping, guarded by mu. primary[seg] is the replica
+	// serving reads (flipped by Promote on failover); alive and stale track
+	// per-replica liveness and whether a dead replica missed writes.
+	mirrored bool
+	primary  []int
+	alive    [][NumReplicas]bool
+	stale    [][NumReplicas]bool
 }
 
 // SetFaults arms (or, with nil, disarms) storage-layer fault injection —
@@ -55,11 +105,207 @@ func NewStore(segments int) *Store {
 	if segments < 1 {
 		panic("storage: need at least one segment")
 	}
-	return &Store{segments: segments, tables: map[part.OID]*tableData{}}
+	s := &Store{
+		segments: segments,
+		tables:   map[part.OID]*tableData{},
+		primary:  make([]int, segments),
+		alive:    make([][NumReplicas]bool, segments),
+		stale:    make([][NumReplicas]bool, segments),
+	}
+	for seg := range s.alive {
+		s.alive[seg][0] = true
+	}
+	return s
 }
 
 // Segments returns the cluster's segment count.
 func (s *Store) Segments() int { return s.segments }
+
+// EnableMirrors gives every logical segment a second replica, cloning any
+// existing data into it. Idempotent; safe only while no queries run.
+func (s *Store) EnableMirrors() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mirrored {
+		return
+	}
+	s.mirrored = true
+	for seg := range s.alive {
+		s.alive[seg][1] = true
+	}
+	for _, td := range s.tables {
+		td.mu.Lock()
+		td.mirror = cloneHeaps(td.heaps)
+		td.mu.Unlock()
+	}
+}
+
+// cloneHeaps copies a heap array (maps and slices copied, row pointers
+// shared — rows are replaced on update, never mutated in place).
+func cloneHeaps(src []map[part.OID][]types.Row) []map[part.OID][]types.Row {
+	out := make([]map[part.OID][]types.Row, len(src))
+	for seg, m := range src {
+		cp := make(map[part.OID][]types.Row, len(m))
+		for leaf, rows := range m {
+			cp[leaf] = append([]types.Row(nil), rows...)
+		}
+		out[seg] = cp
+	}
+	return out
+}
+
+// Mirrored reports whether segments carry mirror replicas.
+func (s *Store) Mirrored() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.mirrored
+}
+
+// Primary returns the replica currently serving segment seg.
+func (s *Store) Primary(seg int) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.primary[seg]
+}
+
+// PrimaryMap snapshots the per-segment primary replica assignment. The
+// executor takes one snapshot per query attempt, so a failover mid-attempt
+// surfaces as an error plus a retry against the new map rather than a
+// torn read.
+func (s *Store) PrimaryMap() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]int(nil), s.primary...)
+}
+
+// ReplicaAlive reports one replica's liveness.
+func (s *Store) ReplicaAlive(seg, replica int) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return seg >= 0 && seg < s.segments && replica >= 0 && replica < NumReplicas && s.alive[seg][replica]
+}
+
+// KillReplica simulates the death of one physical replica: subsequent
+// reads and writes addressed to it fail with *DeadSegmentError until
+// ReviveReplica. Killing the acting primary makes the segment unserveable
+// until the FTS promotes the mirror.
+func (s *Store) KillReplica(seg, replica int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkReplicaLocked(seg, replica); err != nil {
+		return err
+	}
+	s.alive[seg][replica] = false
+	return nil
+}
+
+// ReviveReplica brings a dead replica back. If writes were applied while
+// it was down (the replica is stale), its heaps are resynchronized by
+// copying from the surviving replica before it is marked alive — GPDB's
+// full recovery, compressed into a clone.
+func (s *Store) ReviveReplica(seg, replica int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkReplicaLocked(seg, replica); err != nil {
+		return err
+	}
+	if s.alive[seg][replica] {
+		return nil
+	}
+	if s.stale[seg][replica] {
+		src := 1 - replica
+		for _, td := range s.tables {
+			td.mu.Lock()
+			from, to := td.heapsOf(src), td.heapsOf(replica)
+			if from != nil && to != nil {
+				cp := make(map[part.OID][]types.Row, len(from[seg]))
+				for leaf, rows := range from[seg] {
+					cp[leaf] = append([]types.Row(nil), rows...)
+				}
+				to[seg] = cp
+			}
+			td.mu.Unlock()
+		}
+		s.stale[seg][replica] = false
+	}
+	s.alive[seg][replica] = true
+	return nil
+}
+
+// Promote flips the segment's primary to the other replica — the failover
+// step the FTS executes once it declares the acting primary down. It fails
+// when the would-be primary is itself dead (double fault: the segment is
+// lost until a replica is revived).
+func (s *Store) Promote(seg int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkReplicaLocked(seg, 0); err != nil {
+		return err
+	}
+	next := 1 - s.primary[seg]
+	if !s.alive[seg][next] {
+		return fmt.Errorf("storage: cannot promote segment %d: replica %d is down too", seg, next)
+	}
+	s.primary[seg] = next
+	return nil
+}
+
+// ProbeReplica is the FTS health probe: it fires the fault.SegProbe point
+// when probing the segment's acting primary (so probe timeouts can be
+// injected without killing data), then reports the replica's liveness.
+func (s *Store) ProbeReplica(ctx context.Context, seg, replica int) error {
+	s.mu.RLock()
+	isPrimary := seg >= 0 && seg < s.segments && s.primary[seg] == replica
+	s.mu.RUnlock()
+	if isPrimary {
+		if err := s.faults.Hit(ctx, fault.SegProbe, seg); err != nil {
+			return err
+		}
+	}
+	if !s.ReplicaAlive(seg, replica) {
+		return &DeadSegmentError{Seg: seg, Replica: replica}
+	}
+	return nil
+}
+
+func (s *Store) checkReplicaLocked(seg, replica int) error {
+	if !s.mirrored {
+		return fmt.Errorf("storage: mirroring is not enabled")
+	}
+	if seg < 0 || seg >= s.segments {
+		return fmt.Errorf("storage: segment %d out of range", seg)
+	}
+	if replica < 0 || replica >= NumReplicas {
+		return fmt.Errorf("storage: replica %d out of range", replica)
+	}
+	return nil
+}
+
+// writeView decides which replicas one segment's write applies to: every
+// live replica. The write fails if the acting primary is dead (DML needs a
+// live primary — the same rule GPDB enforces); a dead mirror is marked
+// stale so ReviveReplica knows to resync it.
+func (s *Store) writeView(seg int) ([NumReplicas]bool, error) {
+	var apply [NumReplicas]bool
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.mirrored {
+		apply[0] = true
+		return apply, nil
+	}
+	p := s.primary[seg]
+	if !s.alive[seg][p] {
+		return apply, &DeadSegmentError{Seg: seg, Replica: p}
+	}
+	apply[p] = true
+	other := 1 - p
+	if s.alive[seg][other] {
+		apply[other] = true
+	} else {
+		s.stale[seg][other] = true
+	}
+	return apply, nil
+}
 
 // CreateTable allocates heaps for a catalog table.
 func (s *Store) CreateTable(t *catalog.Table) {
@@ -71,6 +317,12 @@ func (s *Store) CreateTable(t *catalog.Table) {
 	td := &tableData{tab: t, heaps: make([]map[part.OID][]types.Row, s.segments)}
 	for i := range td.heaps {
 		td.heaps[i] = map[part.OID][]types.Row{}
+	}
+	if s.mirrored {
+		td.mirror = make([]map[part.OID][]types.Row, s.segments)
+		for i := range td.mirror {
+			td.mirror[i] = map[part.OID][]types.Row{}
+		}
 	}
 	s.tables[t.OID] = td
 }
@@ -119,17 +371,43 @@ func (s *Store) Insert(t *catalog.Table, row types.Row) error {
 			return fmt.Errorf("storage: table %q: row %s maps to no partition", t.Name, row)
 		}
 	}
-	td.mu.Lock()
-	defer td.mu.Unlock()
-	td.invalidateIndexesLocked()
 	if t.Dist.Kind == catalog.DistReplicated {
+		views := make([][NumReplicas]bool, s.segments)
+		for seg := range views {
+			v, err := s.writeView(seg)
+			if err != nil {
+				return err
+			}
+			views[seg] = v
+		}
+		td.mu.Lock()
+		defer td.mu.Unlock()
+		td.invalidateIndexesLocked()
 		for seg := range td.heaps {
-			td.heaps[seg][leaf] = append(td.heaps[seg][leaf], row.Clone())
+			cp := row.Clone()
+			for rep, on := range views[seg] {
+				if on {
+					h := td.heapsOf(rep)
+					h[seg][leaf] = append(h[seg][leaf], cp)
+				}
+			}
 		}
 		return nil
 	}
 	seg := s.targetSegment(t, row)
-	td.heaps[seg][leaf] = append(td.heaps[seg][leaf], row)
+	view, err := s.writeView(seg)
+	if err != nil {
+		return err
+	}
+	td.mu.Lock()
+	defer td.mu.Unlock()
+	td.invalidateIndexesLocked()
+	for rep, on := range view {
+		if on {
+			h := td.heapsOf(rep)
+			h[seg][leaf] = append(h[seg][leaf], row)
+		}
+	}
 	return nil
 }
 
@@ -143,9 +421,22 @@ func (s *Store) InsertBatch(t *catalog.Table, rows []types.Row) error {
 	return nil
 }
 
-// ScanLeaf returns the heap of one (segment, leaf). The returned slice is
-// owned by the store; callers must not mutate it.
+// ScanLeaf returns the heap of one (segment, leaf) from the segment's
+// acting primary replica. The returned slice is owned by the store;
+// callers must not mutate it.
 func (s *Store) ScanLeaf(root part.OID, seg int, leaf part.OID) ([]types.Row, error) {
+	rep := 0
+	if seg >= 0 && seg < s.segments {
+		rep = s.Primary(seg)
+	}
+	return s.ScanLeafAt(root, seg, rep, leaf)
+}
+
+// ScanLeafAt is the replica-addressed read: the executor dispatches to the
+// replica its per-attempt segment map names. Reading a dead replica fails
+// with *DeadSegmentError, which the executor reports to the FTS as
+// failure evidence.
+func (s *Store) ScanLeafAt(root part.OID, seg, replica int, leaf part.OID) ([]types.Row, error) {
 	td, err := s.data(root)
 	if err != nil {
 		return nil, err
@@ -153,12 +444,22 @@ func (s *Store) ScanLeaf(root part.OID, seg int, leaf part.OID) ([]types.Row, er
 	if seg < 0 || seg >= s.segments {
 		return nil, fmt.Errorf("storage: segment %d out of range", seg)
 	}
+	if replica < 0 || replica >= NumReplicas {
+		return nil, fmt.Errorf("storage: replica %d out of range", replica)
+	}
 	if err := s.faults.Hit(nil, fault.StorageScan, seg); err != nil {
 		return nil, fmt.Errorf("storage: table %q leaf %d on seg %d: %w", td.tab.Name, leaf, seg, err)
 	}
+	if !s.ReplicaAlive(seg, replica) {
+		return nil, &DeadSegmentError{Seg: seg, Replica: replica}
+	}
 	td.mu.RLock()
 	defer td.mu.RUnlock()
-	return td.heaps[seg][leaf], nil
+	h := td.heapsOf(replica)
+	if h == nil {
+		return nil, fmt.Errorf("storage: table %q has no replica %d (mirroring disabled)", td.tab.Name, replica)
+	}
+	return h[seg][leaf], nil
 }
 
 // LeafOIDs returns the leaves to scan for a table: its partition expansion,
@@ -170,18 +471,20 @@ func LeafOIDs(t *catalog.Table) []part.OID {
 	return []part.OID{t.OID}
 }
 
-// RowCount returns the total number of logical rows in the table. For
-// replicated tables, one copy is counted.
+// RowCount returns the total number of logical rows in the table, read
+// from each segment's acting primary replica. For replicated tables, one
+// copy is counted.
 func (s *Store) RowCount(t *catalog.Table) (int64, error) {
 	td, err := s.data(t.OID)
 	if err != nil {
 		return 0, err
 	}
+	primaries := s.PrimaryMap()
 	td.mu.RLock()
 	defer td.mu.RUnlock()
 	var n int64
 	for seg := range td.heaps {
-		for _, rows := range td.heaps[seg] {
+		for _, rows := range td.heapsOf(primaries[seg])[seg] {
 			n += int64(len(rows))
 		}
 		if t.Dist.Kind == catalog.DistReplicated {
@@ -191,17 +494,19 @@ func (s *Store) RowCount(t *catalog.Table) (int64, error) {
 	return n, nil
 }
 
-// LeafRowCount returns per-leaf logical row counts.
+// LeafRowCount returns per-leaf logical row counts from the acting
+// primary replicas.
 func (s *Store) LeafRowCount(t *catalog.Table) (map[part.OID]int64, error) {
 	td, err := s.data(t.OID)
 	if err != nil {
 		return nil, err
 	}
+	primaries := s.PrimaryMap()
 	td.mu.RLock()
 	defer td.mu.RUnlock()
 	out := map[part.OID]int64{}
 	for seg := range td.heaps {
-		for leaf, rows := range td.heaps[seg] {
+		for leaf, rows := range td.heapsOf(primaries[seg])[seg] {
 			out[leaf] += int64(len(rows))
 		}
 		if t.Dist.Kind == catalog.DistReplicated {
@@ -230,24 +535,40 @@ func (s *Store) UpdateRow(t *catalog.Table, id RowID, newRow types.Row) (bool, e
 			return false, fmt.Errorf("storage: table %q: updated row %s maps to no partition", t.Name, newRow)
 		}
 	}
+	view, err := s.writeView(id.Seg)
+	if err != nil {
+		return false, err
+	}
 	td.mu.Lock()
 	defer td.mu.Unlock()
 	td.invalidateIndexesLocked()
-	heap := td.heaps[id.Seg][id.Leaf]
-	if id.Idx < 0 || id.Idx >= len(heap) {
-		return false, fmt.Errorf("storage: table %q: stale RowID %+v", t.Name, id)
+	// Apply to every live replica in the same critical section and order:
+	// the swap-delete of a cross-partition move reorders identically, so
+	// replica heaps (and RowID indexes) stay aligned.
+	moved := false
+	for rep, on := range view {
+		if !on {
+			continue
+		}
+		heaps := td.heapsOf(rep)
+		heap := heaps[id.Seg][id.Leaf]
+		if id.Idx < 0 || id.Idx >= len(heap) {
+			return false, fmt.Errorf("storage: table %q: stale RowID %+v", t.Name, id)
+		}
+		if newLeaf == id.Leaf {
+			heap[id.Idx] = newRow
+			continue
+		}
+		// Move across partitions: delete from the old heap (swap with last
+		// to keep the heap dense) and append to the new one on the same
+		// segment.
+		last := len(heap) - 1
+		heap[id.Idx] = heap[last]
+		heaps[id.Seg][id.Leaf] = heap[:last]
+		heaps[id.Seg][newLeaf] = append(heaps[id.Seg][newLeaf], newRow)
+		moved = true
 	}
-	if newLeaf == id.Leaf {
-		heap[id.Idx] = newRow
-		return false, nil
-	}
-	// Move across partitions: delete from the old heap (swap with last to
-	// keep the heap dense) and append to the new one on the same segment.
-	last := len(heap) - 1
-	heap[id.Idx] = heap[last]
-	td.heaps[id.Seg][id.Leaf] = heap[:last]
-	td.heaps[id.Seg][newLeaf] = append(td.heaps[id.Seg][newLeaf], newRow)
-	return true, nil
+	return moved, nil
 }
 
 // DeleteRow removes the row at the given RowID with a swap-delete (the
@@ -258,16 +579,26 @@ func (s *Store) DeleteRow(t *catalog.Table, id RowID) error {
 	if err != nil {
 		return err
 	}
+	view, err := s.writeView(id.Seg)
+	if err != nil {
+		return err
+	}
 	td.mu.Lock()
 	defer td.mu.Unlock()
 	td.invalidateIndexesLocked()
-	heap := td.heaps[id.Seg][id.Leaf]
-	if id.Idx < 0 || id.Idx >= len(heap) {
-		return fmt.Errorf("storage: table %q: stale RowID %+v", t.Name, id)
+	for rep, on := range view {
+		if !on {
+			continue
+		}
+		heaps := td.heapsOf(rep)
+		heap := heaps[id.Seg][id.Leaf]
+		if id.Idx < 0 || id.Idx >= len(heap) {
+			return fmt.Errorf("storage: table %q: stale RowID %+v", t.Name, id)
+		}
+		last := len(heap) - 1
+		heap[id.Idx] = heap[last]
+		heaps[id.Seg][id.Leaf] = heap[:last]
 	}
-	last := len(heap) - 1
-	heap[id.Idx] = heap[last]
-	td.heaps[id.Seg][id.Leaf] = heap[:last]
 	return nil
 }
 
@@ -277,11 +608,23 @@ func (s *Store) Truncate(t *catalog.Table) error {
 	if err != nil {
 		return err
 	}
+	views := make([][NumReplicas]bool, s.segments)
+	for seg := range views {
+		v, err := s.writeView(seg)
+		if err != nil {
+			return err
+		}
+		views[seg] = v
+	}
 	td.mu.Lock()
 	defer td.mu.Unlock()
 	td.invalidateIndexesLocked()
 	for seg := range td.heaps {
-		td.heaps[seg] = map[part.OID][]types.Row{}
+		for rep, on := range views[seg] {
+			if on {
+				td.heapsOf(rep)[seg] = map[part.OID][]types.Row{}
+			}
+		}
 	}
 	return nil
 }

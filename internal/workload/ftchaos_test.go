@@ -1,0 +1,261 @@
+package workload
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"partopt"
+)
+
+// Kill-a-segment chaos: a segment killed at a random point in the workload
+// must never change a read-only answer. Detection is either evidence-driven
+// (a query trips over the corpse and the coordinator retries once against
+// the failed-over primary map) or probe-driven (the FTS notices first and
+// queries never see it). Either way: byte-identical row multisets, at most
+// one retry per kill, exactly one failover per kill, zero goroutine leaks.
+
+func buildFTStar(t testing.TB, segs int) *partopt.Engine {
+	t.Helper()
+	eng, err := partopt.New(segs)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	cfg := DefaultStarConfig()
+	cfg.SalesPerDay = 6 // keep chaos rounds quick
+	if err := BuildStar(eng, cfg); err != nil {
+		t.Fatalf("BuildStar: %v", err)
+	}
+	return eng
+}
+
+// goldenAnswers runs every workload query on a healthy engine.
+func goldenAnswers(t testing.TB, eng *partopt.Engine) map[string]*partopt.Rows {
+	t.Helper()
+	out := make(map[string]*partopt.Rows, len(StarQueries()))
+	for _, q := range StarQueries() {
+		rows, err := eng.Query(q.SQL)
+		if err != nil {
+			t.Fatalf("golden %s: %v", q.Name, err)
+		}
+		rows.SortData()
+		out[q.Name] = rows
+	}
+	return out
+}
+
+func assertSameAnswer(t testing.TB, name string, got, want *partopt.Rows) {
+	t.Helper()
+	got.SortData()
+	if len(got.Data) != len(want.Data) {
+		t.Fatalf("%s: rows = %d, want %d", name, len(got.Data), len(want.Data))
+	}
+	for i := range got.Data {
+		for c := range got.Data[i] {
+			if !valuesMatch(got.Data[i][c], want.Data[i][c]) {
+				t.Fatalf("%s row %d col %d: %v, want %v", name, i, c, got.Data[i][c], want.Data[i][c])
+			}
+		}
+	}
+}
+
+func waitNoLeak(t testing.TB, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestKillSegmentChaosSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep is slow under -short")
+	}
+	const segs = 4
+	healthy := buildFTStar(t, segs)
+	golden := goldenAnswers(t, healthy)
+
+	// Evidence-driven mode: no probe loop, detection only through queries.
+	eng := buildFTStar(t, segs)
+	eng.EnableFaultTolerance(partopt.FTConfig{ProbeInterval: 0, DownAfter: 2})
+	defer eng.StopFTS()
+	retried := func() int64 {
+		return eng.Obs().Counter("partopt_queries_retried_total").Value()
+	}
+
+	queries := StarQueries()
+	rnd := rand.New(rand.NewSource(42))
+	before := runtime.NumGoroutine()
+	kills := int64(0)
+	for round := 0; round < 5; round++ {
+		seg := rnd.Intn(segs)
+		cut := rnd.Intn(len(queries)) // kill lands before queries[cut:]
+		for _, q := range queries[:cut] {
+			rows, err := eng.Query(q.SQL)
+			if err != nil {
+				t.Fatalf("round %d healthy %s: %v", round, q.Name, err)
+			}
+			assertSameAnswer(t, q.Name, rows, golden[q.Name])
+		}
+
+		retriedBefore := retried()
+		if err := eng.KillSegment(seg); err != nil {
+			t.Fatalf("round %d KillSegment(%d): %v", round, seg, err)
+		}
+		kills++
+		for _, q := range queries[cut:] {
+			rows, err := eng.Query(q.SQL)
+			if err != nil {
+				t.Fatalf("round %d post-kill %s: %v", round, q.Name, err)
+			}
+			assertSameAnswer(t, q.Name, rows, golden[q.Name])
+		}
+		if got := eng.SegmentFailovers(); got != kills {
+			t.Fatalf("round %d: failovers = %d, want exactly %d (one per kill)", round, got, kills)
+		}
+		if d := retried() - retriedBefore; d != 1 {
+			t.Fatalf("round %d: %d coordinator retries, want exactly 1", round, d)
+		}
+		if err := eng.ReviveSegment(seg); err != nil {
+			t.Fatalf("round %d ReviveSegment: %v", round, err)
+		}
+	}
+	waitNoLeak(t, before)
+}
+
+func TestKillSegmentProbeDetected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep is slow under -short")
+	}
+	const segs = 4
+	healthy := buildFTStar(t, segs)
+	golden := goldenAnswers(t, healthy)
+
+	eng := buildFTStar(t, segs)
+	eng.EnableFaultTolerance(partopt.FTConfig{ProbeInterval: 2 * time.Millisecond, DownAfter: 2})
+	defer eng.StopFTS()
+
+	before := runtime.NumGoroutine()
+	if err := eng.KillSegment(2); err != nil {
+		t.Fatalf("KillSegment: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for eng.SegmentFailovers() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("probe loop never detected the kill")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The failover happened before any query ran: the whole workload is
+	// answered from mirrors with zero coordinator retries.
+	for _, q := range StarQueries() {
+		rows, err := eng.Query(q.SQL)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		assertSameAnswer(t, q.Name, rows, golden[q.Name])
+	}
+	if got := eng.Obs().Counter("partopt_queries_retried_total").Value(); got != 0 {
+		t.Fatalf("probe-detected failover still cost %d retries", got)
+	}
+	waitNoLeak(t, before)
+}
+
+func TestFTSSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak is slow under -short")
+	}
+	// Kill/revive cycles with the probe loop live and concurrent query
+	// traffic: every answer stays correct, every kill costs exactly one
+	// failover, and nothing leaks.
+	const segs = 4
+	healthy := buildFTStar(t, segs)
+	golden := goldenAnswers(t, healthy)
+
+	eng := buildFTStar(t, segs)
+	eng.EnableFaultTolerance(partopt.FTConfig{ProbeInterval: 2 * time.Millisecond, DownAfter: 2})
+	defer eng.StopFTS()
+
+	queries := StarQueries()
+	before := runtime.NumGoroutine()
+	rnd := rand.New(rand.NewSource(7))
+	for round := int64(1); round <= 4; round++ {
+		seg := rnd.Intn(segs)
+		picks := rnd.Perm(len(queries))[:6]
+
+		var wg sync.WaitGroup
+		errs := make(chan error, len(picks))
+		for w := 0; w < 3; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(picks); i += 3 {
+					q := queries[picks[i]]
+					rows, err := eng.Query(q.SQL)
+					if err != nil {
+						errs <- err
+						return
+					}
+					rows.SortData()
+					want := golden[q.Name]
+					if len(rows.Data) != len(want.Data) {
+						errs <- errRowCount(q.Name, len(rows.Data), len(want.Data))
+						return
+					}
+					for r := range rows.Data {
+						for c := range rows.Data[r] {
+							if !valuesMatch(rows.Data[r][c], want.Data[r][c]) {
+								errs <- errRowCount(q.Name, r, c)
+								return
+							}
+						}
+					}
+				}
+			}(w)
+		}
+		// Kill mid-traffic; the probe loop or in-flight evidence recovers.
+		time.Sleep(time.Duration(rnd.Intn(3)) * time.Millisecond)
+		if err := eng.KillSegment(seg); err != nil {
+			t.Fatalf("round %d KillSegment: %v", round, err)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		// Traffic may have finished before the probe loop noticed the kill —
+		// wait for detection, then require exactly one failover for it.
+		deadline := time.Now().Add(5 * time.Second)
+		for eng.SegmentFailovers() < round {
+			if time.Now().After(deadline) {
+				t.Fatalf("round %d: kill never detected (failovers = %d)", round, eng.SegmentFailovers())
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if got := eng.SegmentFailovers(); got != round {
+			t.Fatalf("round %d: failovers = %d, want %d (one per kill)", round, got, round)
+		}
+		if err := eng.ReviveSegment(seg); err != nil {
+			t.Fatalf("round %d ReviveSegment: %v", round, err)
+		}
+	}
+	waitNoLeak(t, before)
+}
+
+type soakMismatch struct {
+	name string
+	a, b int
+}
+
+func errRowCount(name string, a, b int) error { return soakMismatch{name, a, b} }
+
+func (e soakMismatch) Error() string {
+	return e.name + ": result mismatch against healthy golden"
+}

@@ -25,6 +25,7 @@ import (
 
 	"partopt/internal/catalog"
 	"partopt/internal/exec"
+	"partopt/internal/fts"
 	"partopt/internal/legacy"
 	"partopt/internal/logical"
 	"partopt/internal/mem"
@@ -83,6 +84,10 @@ type Engine struct {
 	disableSelection bool
 	segments         int
 	govCfg           mem.Config
+
+	// fts is the segment fault tolerance service; nil until
+	// EnableFaultTolerance (see ft.go).
+	fts *fts.Service
 }
 
 // engineMetrics caches engine-level instrument pointers (cache counters
