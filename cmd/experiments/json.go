@@ -123,6 +123,21 @@ func plancacheRecords(r *bench.PlanCacheResult) []benchRecord {
 	}
 }
 
+// outerdpeRecords flattens the outer-join elimination experiment: the
+// partitions scanned with selection on vs off (the acceptance criterion
+// tracks scan_reduction_x >= 2) and the OID-cache proof that warm sweeps
+// perform zero descriptor traversals (warm_traversals == 0).
+func outerdpeRecords(r *bench.OuterDPEResult) []benchRecord {
+	return []benchRecord{
+		{"outerdpe", "parts_selection_on", float64(r.SelParts), "parts"},
+		{"outerdpe", "parts_selection_off", float64(r.NoSelParts), "parts"},
+		{"outerdpe", "scan_reduction_x", r.Ratio, "x"},
+		{"outerdpe", "cold_traversals", float64(r.ColdMisses), "calls"},
+		{"outerdpe", "warm_hits", float64(r.WarmHits), "hits"},
+		{"outerdpe", "warm_traversals", float64(r.WarmMisses), "calls"},
+	}
+}
+
 // fig18Records flattens one plan-size curve (a, b or c).
 func fig18Records(name string, rows []bench.SizeRow) []benchRecord {
 	var out []benchRecord

@@ -121,14 +121,24 @@ func main() {
 		emit("plancache", plancacheRecords(pc))
 	}
 
+	if want("outerdpe") {
+		fmt.Println("== Outer-join DPE =======================================================")
+		odCfg := bench.DefaultOuterDPEConfig()
+		odCfg.Segments = *segments
+		od, err := bench.RunOuterDPE(odCfg)
+		fatalIf(err)
+		fmt.Println(bench.FormatOuterDPE(od))
+		emit("outerdpe", outerdpeRecords(od))
+	}
+
 	if *only != "" && !isKnown(*only) {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want table2|table3|fig16|fig17|fig18|plancache)\n", *only)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want table2|table3|fig16|fig17|fig18|plancache|outerdpe)\n", *only)
 		os.Exit(2)
 	}
 }
 
 func isKnown(name string) bool {
-	return strings.Contains("table2 table3 fig16 fig17 fig18 plancache", name)
+	return strings.Contains("table2 table3 fig16 fig17 fig18 plancache outerdpe", name)
 }
 
 func fatalIf(err error) {

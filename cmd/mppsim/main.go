@@ -16,7 +16,7 @@
 //	\index <table> <column>   create a secondary index
 //	\tables                   list tables with partition counts
 //	\metrics                  print the engine-wide metrics registry
-//	\cache                    print plan-cache statistics
+//	\cache                    print plan- and partition-OID-cache statistics
 //	\segments                 segment health and failover count (--fts)
 //	\kill <seg>               kill a segment's acting primary (--fts)
 //	\revive <seg>             revive and resync a killed segment (--fts)
@@ -103,6 +103,7 @@ func main() {
 	explainAnalyze := flag.Bool("explain-analyze", false, "print the EXPLAIN ANALYZE tree after every query")
 	metrics := flag.Bool("metrics", false, "print the engine metrics registry when the shell exits")
 	planCache := flag.Int("plan-cache", partopt.DefaultPlanCacheCapacity, "plan cache capacity in entries (0 disables caching)")
+	oidCache := flag.Int("oid-cache", partopt.DefaultOIDCacheCapacity, "partition-OID cache capacity in entries (0 disables caching)")
 	ftsOn := flag.Bool("fts", false, "enable segment fault tolerance (mirrored segments, health probing, failover); adds \\segments and \\kill/\\revive")
 	flag.Parse()
 
@@ -110,6 +111,9 @@ func main() {
 	fatalIf(err)
 	if *planCache != partopt.DefaultPlanCacheCapacity {
 		eng.SetPlanCacheCapacity(*planCache)
+	}
+	if *oidCache != partopt.DefaultOIDCacheCapacity {
+		eng.SetOIDCacheCapacity(*oidCache)
 	}
 	if *memBudget != "" {
 		n, err := parseSize(*memBudget)
@@ -241,6 +245,10 @@ func main() {
 			fmt.Printf("  hits %d, misses %d, evictions %d, invalidations %d\n",
 				st.Hits, st.Misses, st.Evictions, st.Invalidations)
 			fmt.Printf("  optimizer invocations: %d\n", st.Optimizations)
+			ost := eng.OIDCacheStats()
+			fmt.Printf("OID cache: %d/%d entries, epoch %d\n", ost.Entries, ost.Capacity, ost.Epoch)
+			fmt.Printf("  hits %d, misses %d, evictions %d, invalidations %d\n",
+				ost.Hits, ost.Misses, ost.Evictions, ost.Invalidations)
 		case strings.HasPrefix(line, `\optimizer`):
 			arg := strings.TrimSpace(strings.TrimPrefix(line, `\optimizer`))
 			switch arg {

@@ -209,6 +209,10 @@ func (e *Engine) CreateTable(name string, cols []ColumnDef, opts ...TableOption)
 	}
 	e.store.CreateTable(t)
 	e.plans.Bump()
+	// Partition-layout surface changed: stamp cached OID selections stale.
+	// Data writes deliberately do NOT bump this epoch — desc.Select is a
+	// pure function of the partition descriptor and the derived intervals.
+	e.rt.OIDCache.Bump()
 	return nil
 }
 

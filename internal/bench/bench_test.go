@@ -188,3 +188,35 @@ func TestTimeQueryErrors(t *testing.T) {
 		t.Errorf("timeQuery swallowed error")
 	}
 }
+
+func TestRunOuterDPE(t *testing.T) {
+	cfg := DefaultOuterDPEConfig()
+	cfg.Segments = 2
+	cfg.SalesPerDay = 5
+	cfg.Sweeps = 2
+	r, err := RunOuterDPE(cfg)
+	if err != nil {
+		t.Fatalf("RunOuterDPE: %v", err)
+	}
+	if r.SelParts != 3 || r.NoSelParts != r.TotalParts {
+		t.Errorf("parts = %d on / %d off, want 3 / %d", r.SelParts, r.NoSelParts, r.TotalParts)
+	}
+	if r.Ratio < 2 {
+		t.Errorf("scan reduction %.1fx, want >= 2x", r.Ratio)
+	}
+	if r.ColdMisses == 0 {
+		t.Errorf("cold sweep performed no descriptor traversals — cache never exercised")
+	}
+	if r.WarmMisses != 0 {
+		t.Errorf("warm sweeps performed %d descriptor traversals, want 0", r.WarmMisses)
+	}
+	if r.WarmHits == 0 {
+		t.Errorf("warm sweeps never hit the OID cache")
+	}
+	out := FormatOuterDPE(r)
+	for _, want := range []string{"scan reduction", "OID cache"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"partopt"
+)
+
+// ---------------------------------------------- Outer-join DPE + OID cache
+
+// The outer-join elimination experiment measures the two claims this
+// subsystem makes on a star schema whose fact table is co-distributed on
+// the join key (the one layout where pruning the null-producing side of an
+// outer join is sound):
+//
+//   - a dimension-preserved outer join with a selective dimension filter
+//     scans a fraction of the fact partitions under partition selection,
+//     and all of them with selection disabled;
+//   - a repeated serving-style sweep of static-residue queries performs
+//     zero descriptor traversals (desc.Select) once the partition-OID
+//     cache is warm — every selector opening is a cache hit, and every
+//     miss is by definition one traversal.
+
+// OuterDPEConfig scales the experiment.
+type OuterDPEConfig struct {
+	Segments    int
+	Months      int // monthly fact partitions
+	DaysPerM    int
+	SalesPerDay int
+	Sweeps      int // warm repetitions of the serving sweep
+}
+
+// DefaultOuterDPEConfig returns the scale used by the committed results.
+func DefaultOuterDPEConfig() OuterDPEConfig {
+	return OuterDPEConfig{Segments: 4, Months: 24, DaysPerM: 10, SalesPerDay: 40, Sweeps: 5}
+}
+
+// OuterDPEResult is the experiment's headline numbers.
+type OuterDPEResult struct {
+	TotalParts  int     // fact partitions
+	SelParts    int     // scanned by the outer join, selection on
+	NoSelParts  int     // scanned by the same query, selection off
+	Ratio       float64 // NoSelParts / SelParts
+	ColdMisses  int64   // desc.Select traversals while warming the sweep
+	WarmHits    int64   // selector openings served by the OID cache, warm
+	WarmMisses  int64   // desc.Select traversals during the warm sweep
+	SweepaQuery int     // distinct static queries per sweep
+}
+
+// RunOuterDPE builds the co-located star, runs the outer join under both
+// selection settings, then warms and re-runs the static sweep against the
+// OID cache.
+func RunOuterDPE(cfg OuterDPEConfig) (*OuterDPEResult, error) {
+	eng, err := partopt.New(cfg.Segments)
+	if err != nil {
+		return nil, err
+	}
+	days := cfg.Months * cfg.DaysPerM
+	if err := eng.CreateTable("dates",
+		partopt.Columns("date_id", partopt.TypeInt, "year", partopt.TypeInt, "month", partopt.TypeInt),
+		partopt.Replicated(),
+	); err != nil {
+		return nil, err
+	}
+	for d := 0; d < days; d++ {
+		m := d / cfg.DaysPerM
+		if err := eng.Insert("dates",
+			partopt.Int(int64(d)), partopt.Int(int64(2012+m/12)), partopt.Int(int64(m+1))); err != nil {
+			return nil, err
+		}
+	}
+	if err := eng.CreateTable("sales_colo",
+		partopt.Columns("order_id", partopt.TypeInt, "amount", partopt.TypeFloat, "date_id", partopt.TypeInt),
+		partopt.DistributedBy("date_id"),
+		partopt.PartitionByRangeInt("date_id", 0, int64(days), cfg.Months),
+	); err != nil {
+		return nil, err
+	}
+	var batch [][]partopt.Value
+	id := int64(0)
+	for d := 0; d < days; d++ {
+		for i := 0; i < cfg.SalesPerDay; i++ {
+			id++
+			batch = append(batch, []partopt.Value{
+				partopt.Int(id), partopt.Float(float64(i%89) + 0.5), partopt.Int(int64(d))})
+		}
+	}
+	if err := eng.InsertRows("sales_colo", batch); err != nil {
+		return nil, err
+	}
+	if err := eng.Analyze(); err != nil {
+		return nil, err
+	}
+	eng.SetOptimizer(partopt.Orca)
+
+	// One selective quarter of the dimension drives the outer join; the
+	// dimension side is preserved, the fact side prunes.
+	outerQ := fmt.Sprintf(`SELECT count(*), sum(o.amount) FROM dates d LEFT JOIN sales_colo o
+		ON d.date_id = o.date_id WHERE d.month BETWEEN %d AND %d`, cfg.Months-2, cfg.Months)
+	res := &OuterDPEResult{TotalParts: cfg.Months}
+	rows, err := eng.Query(outerQ)
+	if err != nil {
+		return nil, err
+	}
+	res.SelParts = rows.PartsScanned["sales_colo"]
+	eng.SetPartitionSelection(false)
+	rows, err = eng.Query(outerQ)
+	if err != nil {
+		return nil, err
+	}
+	res.NoSelParts = rows.PartsScanned["sales_colo"]
+	eng.SetPartitionSelection(true)
+	if res.SelParts > 0 {
+		res.Ratio = float64(res.NoSelParts) / float64(res.SelParts)
+	}
+
+	// Serving sweep: one static range query per month, repeated. The first
+	// pass populates the OID cache (every miss is one desc.Select); warm
+	// passes must traverse nothing.
+	sweep := make([]string, 0, cfg.Months)
+	for m := 0; m < cfg.Months; m++ {
+		lo := m * cfg.DaysPerM
+		sweep = append(sweep, fmt.Sprintf(
+			"SELECT sum(amount) FROM sales_colo WHERE date_id BETWEEN %d AND %d", lo, lo+cfg.DaysPerM-1))
+	}
+	res.SweepaQuery = len(sweep)
+	run := func() error {
+		for _, q := range sweep {
+			if _, err := eng.Query(q); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	before := eng.OIDCacheStats()
+	if err := run(); err != nil {
+		return nil, err
+	}
+	warmBase := eng.OIDCacheStats()
+	res.ColdMisses = warmBase.Misses - before.Misses
+	for i := 0; i < cfg.Sweeps; i++ {
+		if err := run(); err != nil {
+			return nil, err
+		}
+	}
+	after := eng.OIDCacheStats()
+	res.WarmHits = after.Hits - warmBase.Hits
+	res.WarmMisses = after.Misses - warmBase.Misses
+	return res, nil
+}
+
+// FormatOuterDPE renders the experiment.
+func FormatOuterDPE(r *OuterDPEResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Outer-join DPE: dimension LEFT JOIN co-located fact, %d partitions\n", r.TotalParts)
+	fmt.Fprintf(&b, "%-34s  %8s\n", "mode", "parts")
+	fmt.Fprintf(&b, "%-34s  %8d\n", "partition selection on", r.SelParts)
+	fmt.Fprintf(&b, "%-34s  %8d\n", "partition selection off", r.NoSelParts)
+	fmt.Fprintf(&b, "scan reduction: %.1fx\n", r.Ratio)
+	fmt.Fprintf(&b, "OID cache over %d static queries: %d cold traversals, then %d hits / %d traversals warm\n",
+		r.SweepaQuery, r.ColdMisses, r.WarmHits, r.WarmMisses)
+	return b.String()
+}

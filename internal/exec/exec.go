@@ -20,6 +20,7 @@ import (
 	"partopt/internal/fault"
 	"partopt/internal/mem"
 	"partopt/internal/obs"
+	"partopt/internal/oidcache"
 	"partopt/internal/part"
 	"partopt/internal/plan"
 	"partopt/internal/storage"
@@ -56,6 +57,13 @@ type Runtime struct {
 	// latency, spill volume, motion traffic). Nil disables the registry;
 	// per-query OpStats are recorded regardless.
 	Obs *obs.Registry
+
+	// OIDCache, when non-nil, caches the OID sets fully static
+	// PartitionSelectors compute at Open, keyed by (table, derived
+	// intervals) under the cache's catalog epoch. Hub (join-driven)
+	// selectors and unconstrained selections bypass it. Nil recomputes
+	// every selection.
+	OIDCache *oidcache.Cache
 
 	obsOnce sync.Once
 	om      *runtimeMetrics

@@ -562,3 +562,46 @@ func TestRowIDRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// Two producers, one mailbox, four segment instances: a DynamicScan fed by
+// several PartitionSelectors must count each partition once in its actuals
+// — the size of the producers' intersection, not the sum of everything
+// every producer (on every segment) pushed into the box.
+func TestMultiProducerPartsSelectedNoDoubleCount(t *testing.T) {
+	rt, cat := fixture(t, 4)
+	tt := cat.MustTable("T")
+	p1 := expr.NewCmp(expr.LT, tcol(1, 0, "T.pk"), intc(35)) // T1..T4
+	p2 := expr.NewCmp(expr.GT, tcol(1, 0, "T.pk"), intc(20)) // T2..T10 (f*T over-approximates on (20,21))
+	sel1 := plan.NewPartitionSelector(tt, 1, []expr.Expr{p1}, nil)
+	sel2 := plan.NewPartitionSelector(tt, 1, []expr.Expr{p2}, nil)
+	ds := plan.NewDynamicScan(tt, 1, 1)
+	flt := plan.NewFilter(expr.Conj(p1, p2), ds)
+	seq := plan.NewSequence(sel1, sel2, flt)
+	root := plan.NewMotion(plan.GatherMotion, nil, seq)
+
+	res, err := Run(rt, root, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Rows) != 14 {
+		t.Errorf("rows = %d, want 14 (pk 21..34)", len(res.Rows))
+	}
+	if got := res.Stats.PartsScanned("T"); got != 3 {
+		t.Errorf("parts scanned = %d, want 3 (T2∩, T3, T4)", got)
+	}
+	a, ok := res.Stats.Actuals(ds)
+	if !ok {
+		t.Fatalf("no actuals for the DynamicScan")
+	}
+	if a.PartsSelected != 3 || a.PartsTotal != 10 {
+		t.Errorf("DynamicScan selected %d/%d, want 3/10", a.PartsSelected, a.PartsTotal)
+	}
+	// Each producer's own actuals reflect its own selection, also counted
+	// once per distinct partition across the four instances.
+	if a1, ok := res.Stats.Actuals(sel1); !ok || a1.PartsSelected != 4 {
+		t.Errorf("selector 1 actuals = %+v, want 4 partitions", a1)
+	}
+	if a2, ok := res.Stats.Actuals(sel2); !ok || a2.PartsSelected != 9 {
+		t.Errorf("selector 2 actuals = %+v, want 9 partitions", a2)
+	}
+}

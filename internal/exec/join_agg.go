@@ -24,6 +24,17 @@ const spillFanout = 8
 // Inner joins emit buildRow ++ probeRow; semi joins emit each probe row at
 // most once.
 //
+// Outer joins NULL-extend the non-preserved side. RightOuterJoin (probe
+// preserved) emits every probe row: a probe row with no surviving match —
+// including one with a NULL join key — is emitted immediately with NULLs
+// in the build columns. LeftOuterJoin (build preserved) tracks a matched
+// flag per resident build row; once the probe side (or, when spilled, one
+// probe partition) drains, build rows never matched by a residual-passing
+// probe row are emitted with NULLs in the probe columns. NULL-keyed rows
+// of a preserved side are therefore kept (they can never match but must
+// still be emitted), while NULL-keyed rows of a null-producing side are
+// dropped at ingest exactly like the inner-join path.
+//
 // The build table charges the query budget row by row. When a reservation
 // is denied the operator switches to a Grace-style spill: the rows hashed
 // so far, and everything after them, land in spillFanout disk partitions by
@@ -58,6 +69,22 @@ type hashJoinOp struct {
 	matches  []types.Row
 	mi       int
 
+	// Outer-join state. matched parallels table bucket-for-bucket for
+	// LeftOuterJoin; matchIdx parallels matches with the bucket index of
+	// each candidate so a residual-passing emit can set its flag. curHash
+	// is the current probe row's bucket. curEmitted tracks whether the
+	// current probe row produced at least one output (RightOuterJoin).
+	// outerPending holds materialized NULL-extended build rows awaiting
+	// emission; nullBuild/nullProbe are the reusable all-NULL pads.
+	matched        map[uint64][]bool
+	matchIdx       []int
+	curHash        uint64
+	curEmitted     bool
+	outerPending   []types.Row
+	outerCollected bool
+	nullBuild      types.Row
+	nullProbe      types.Row
+
 	// Batch-mode state: the probe side is always consumed in batches; the
 	// envs are instance-owned so key hashing and residual evaluation do not
 	// allocate per row.
@@ -83,6 +110,14 @@ func (j *hashJoinOp) Open(ctx *Ctx) (err error) {
 	j.part, j.partReader = 0, nil
 	j.curProbe, j.matches, j.mi = nil, nil, 0
 	j.probeB, j.probeCur = nil, batchCursor{}
+	j.matched, j.matchIdx = nil, nil
+	j.curHash, j.curEmitted = 0, false
+	j.outerPending, j.outerCollected = nil, false
+	j.nullBuild = nullRow(len(j.buildLayout))
+	j.nullProbe = nullRow(len(j.probeLayout))
+	if j.n.Type == plan.LeftOuterJoin {
+		j.matched = map[uint64][]bool{}
+	}
 	// A failed Open tears the operator down itself: the executor only
 	// closes operators whose Open succeeded, and an abort must not leak the
 	// hash table, spill files, or running children.
@@ -113,14 +148,19 @@ func (j *hashJoinOp) Open(ctx *Ctx) (err error) {
 			if err != nil {
 				return err
 			}
-			if null {
+			if null && j.n.Type != plan.LeftOuterJoin {
 				continue // NULL keys never join
 			}
+			// A NULL-keyed row of a preserved build side is kept (h is 0):
+			// it can never match, but LeftOuterJoin must still emit it.
 			if !j.spilled {
 				rb := mem.RowBytes(row)
 				if ctx.reserve(rb) == nil {
 					j.tableBytes += rb
 					j.table[h] = append(j.table[h], row)
+					if j.matched != nil {
+						j.matched[h] = append(j.matched[h], false)
+					}
 					continue
 				}
 				if err := j.spillResidentTable(ctx); err != nil {
@@ -164,9 +204,11 @@ func (j *hashJoinOp) Open(ctx *Ctx) (err error) {
 			if err != nil {
 				return err
 			}
-			if null {
+			if null && j.n.Type != plan.RightOuterJoin {
 				continue // NULL keys never join
 			}
+			// A NULL-keyed preserved probe row rides partition 0 (h is 0);
+			// it matches nothing there and is emitted NULL-extended.
 			if err := j.probeParts[int(h%spillFanout)].Write(row); err != nil {
 				return err
 			}
@@ -214,6 +256,9 @@ func (j *hashJoinOp) spillResidentTable(ctx *Ctx) error {
 	ctx.release(j.tableBytes)
 	j.tableBytes = 0
 	j.table = nil
+	if j.matched != nil {
+		j.matched = map[uint64][]bool{} // pre-probe: every flag was still false
+	}
 	j.spilled = true
 	return nil
 }
@@ -246,6 +291,9 @@ func (j *hashJoinOp) loadPartition(ctx *Ctx, p int) error {
 	}
 	defer r.Close()
 	j.table = map[uint64][]types.Row{}
+	if j.matched != nil {
+		j.matched = map[uint64][]bool{}
+	}
 	for {
 		row, err := r.Next()
 		if err == io.EOF {
@@ -264,6 +312,9 @@ func (j *hashJoinOp) loadPartition(ctx *Ctx, p int) error {
 			return err
 		}
 		j.table[h] = append(j.table[h], row)
+		if j.matched != nil {
+			j.matched[h] = append(j.matched[h], false)
+		}
 	}
 	pr, err := j.probeParts[p].Reader()
 	if err != nil {
@@ -293,7 +344,12 @@ func (j *hashJoinOp) finishPartition(ctx *Ctx, p int) {
 // advancing (and reclaiming) partitions as they drain — when spilled.
 func (j *hashJoinOp) nextProbe(ctx *Ctx) (types.Row, error) {
 	if !j.spilled {
-		return j.probeCur.next(ctx, j.probeB)
+		row, err := j.probeCur.next(ctx, j.probeB)
+		if errors.Is(err, errEOF) && !j.outerCollected {
+			j.outerCollected = true
+			j.collectUnmatched()
+		}
+		return row, err
 	}
 	for {
 		if err := ctx.pollAbort(); err != nil {
@@ -309,11 +365,34 @@ func (j *hashJoinOp) nextProbe(ctx *Ctx) (types.Row, error) {
 		}
 		row, err := j.partReader.Next()
 		if err == io.EOF {
+			// LeftOuterJoin: this partition's probe side has drained, so
+			// its unmatched build rows are final — materialize them before
+			// the partition's table is discarded.
+			j.collectUnmatched()
 			j.finishPartition(ctx, j.part)
 			j.part++
 			continue
 		}
 		return row, err
+	}
+}
+
+// collectUnmatched materializes the NULL-extended output of every resident
+// build row no probe row ever matched (LeftOuterJoin only; a no-op
+// otherwise). The pending rows are full output copies, so they stay valid
+// after the hash table is released.
+func (j *hashJoinOp) collectUnmatched() {
+	if j.n.Type != plan.LeftOuterJoin {
+		return
+	}
+	for h, rows := range j.table {
+		flags := j.matched[h]
+		for i, b := range rows {
+			if i < len(flags) && flags[i] {
+				continue
+			}
+			j.outerPending = append(j.outerPending, j.concat(b, j.nullProbe))
+		}
 	}
 }
 
@@ -405,6 +484,10 @@ func (j *hashJoinOp) nextRow(ctx *Ctx) (types.Row, error) {
 		// Emit pending matches of the current probe row.
 		for j.mi < len(j.matches) {
 			b := j.matches[j.mi]
+			idx := -1
+			if j.matchIdx != nil {
+				idx = j.matchIdx[j.mi]
+			}
 			j.mi++
 			joined := j.concat(b, j.curProbe)
 			ok, err := j.residualOK(joined)
@@ -419,11 +502,33 @@ func (j *hashJoinOp) nextRow(ctx *Ctx) (types.Row, error) {
 				j.matches, j.mi = nil, 0
 				return j.curProbe, nil
 			}
+			if j.matched != nil && idx >= 0 {
+				j.matched[j.curHash][idx] = true
+			}
+			j.curEmitted = true
 			return joined, nil
+		}
+		// A preserved probe row whose matches all failed (or that had none)
+		// is NULL-extended exactly once.
+		if j.n.Type == plan.RightOuterJoin && j.curProbe != nil && !j.curEmitted {
+			row := j.concat(j.nullBuild, j.curProbe)
+			j.curProbe = nil
+			return row, nil
+		}
+		// Serve NULL-extended unmatched build rows (LeftOuterJoin), staged
+		// by collectUnmatched at probe-EOF / partition boundaries.
+		if n := len(j.outerPending); n > 0 {
+			row := j.outerPending[n-1]
+			j.outerPending[n-1] = nil
+			j.outerPending = j.outerPending[:n-1]
+			return row, nil
 		}
 		// Fetch the next probe row.
 		probe, err := j.nextProbe(ctx)
 		if err != nil {
+			if errors.Is(err, errEOF) && len(j.outerPending) > 0 {
+				continue // EOF staged the final unmatched build rows
+			}
 			return nil, err // includes EOF
 		}
 		h, null, err := j.hashWith(&j.penv, j.n.ProbeKeys, probe)
@@ -431,19 +536,27 @@ func (j *hashJoinOp) nextRow(ctx *Ctx) (types.Row, error) {
 			return nil, err
 		}
 		if null {
+			if j.n.Type == plan.RightOuterJoin {
+				return j.concat(j.nullBuild, probe), nil
+			}
 			continue
 		}
 		var matches []types.Row
-		for _, b := range j.table[h] {
+		var idxs []int
+		for i, b := range j.table[h] {
 			eq, err := j.keysEqual(b, probe)
 			if err != nil {
 				return nil, err
 			}
 			if eq {
 				matches = append(matches, b)
+				if j.matched != nil {
+					idxs = append(idxs, i)
+				}
 			}
 		}
 		j.curProbe, j.matches, j.mi = probe, matches, 0
+		j.matchIdx, j.curHash, j.curEmitted = idxs, h, false
 	}
 }
 
@@ -466,6 +579,17 @@ func (j *hashJoinOp) cleanup(ctx *Ctx) {
 	j.tableBytes = 0
 	j.table = nil
 	j.curProbe, j.matches = nil, nil
+	j.matched, j.matchIdx, j.outerPending = nil, nil, nil
+}
+
+// nullRow returns a row of n NULL datums — the outer-join padding for the
+// non-preserved side.
+func nullRow(n int) types.Row {
+	r := make(types.Row, n)
+	for i := range r {
+		r[i] = types.Null
+	}
+	return r
 }
 
 // abort is the failed-Open teardown: children that opened are closed (their

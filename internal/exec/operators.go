@@ -7,6 +7,7 @@ import (
 
 	"partopt/internal/expr"
 	"partopt/internal/fault"
+	"partopt/internal/oidcache"
 	"partopt/internal/part"
 	"partopt/internal/plan"
 	"partopt/internal/storage"
@@ -300,8 +301,15 @@ func (s *selectorOp) Open(ctx *Ctx) error {
 		f.partsTotal = desc.NumLeaves()
 	}
 	if !s.anyDynamic {
-		// Fully static: select once, seal, then let the child run.
-		oids := desc.Select(s.staticSets)
+		// Fully static: select once, seal, then let the child run. The
+		// selection is a pure function of the partition descriptor and the
+		// derived intervals, so it is served from the runtime's OID cache
+		// when one is attached — every segment process of every execution
+		// of a cached plan would otherwise repeat the identical traversal.
+		// Hub selectors (join-driven, no static constraint) and fully
+		// unconstrained selections bypass the cache: their entries would be
+		// whole table expansions.
+		oids := s.staticSelect(ctx, desc)
 		s.recordSelection(ctx, oids)
 		ctx.pushOIDs(s.n.PartScanID, s.handle, oids)
 		ctx.sealOIDs(s.n.PartScanID, s.handle)
@@ -318,6 +326,39 @@ func (s *selectorOp) Open(ctx *Ctx) error {
 		return fmt.Errorf("exec: PartitionSelector(%d) has dynamic predicates but no child to stream from", s.n.PartScanID)
 	}
 	return nil
+}
+
+// staticSelect resolves the fully static selection, through the runtime's
+// OID cache when eligible. On a hit desc.Select is skipped entirely; on a
+// miss the computed set is stored under the epoch observed before the
+// traversal, so a concurrent DDL bump stamps it stale rather than current.
+func (s *selectorOp) staticSelect(ctx *Ctx, desc *part.Desc) []part.OID {
+	c := s.cacheFor(ctx)
+	if c == nil {
+		return desc.Select(s.staticSets)
+	}
+	key := oidcache.Key(s.n.Table.OID, s.staticSets)
+	if oids, ok := c.Get(key); ok {
+		ctx.noteOIDCache(true)
+		return oids
+	}
+	ctx.noteOIDCache(false)
+	epoch := c.Epoch()
+	oids := desc.Select(s.staticSets)
+	c.Put(key, oids, epoch)
+	return oids
+}
+
+// cacheFor returns the runtime's OID cache when this selector is eligible
+// to use it, nil otherwise.
+func (s *selectorOp) cacheFor(ctx *Ctx) *oidcache.Cache {
+	if ctx.Rt == nil || ctx.Rt.OIDCache.Capacity() <= 0 {
+		return nil
+	}
+	if s.n.Hub || !oidcache.Constrained(s.staticSets) {
+		return nil
+	}
+	return ctx.Rt.OIDCache
 }
 
 // predIsStatic reports whether every column the level's predicate uses is

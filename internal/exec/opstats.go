@@ -39,6 +39,9 @@ type opFrame struct {
 
 	parts      map[part.OID]bool // selected/scanned partitions (partition-aware ops)
 	partsTotal int               // leaf count of the partitioned table; 0 = n/a
+
+	oidHits   int64 // static selections served from the runtime's OID cache
+	oidMisses int64 // static selections computed (and cached) on a cache miss
 }
 
 // notePart records one selected/scanned partition OID.
@@ -62,6 +65,8 @@ type opAccum struct {
 	spillParts int64
 	parts      map[part.OID]bool // union over instances
 	partsTotal int
+	oidHits    int64
+	oidMisses  int64
 }
 
 // statsOp decorates an operator with instrumentation. It is inserted by
@@ -198,6 +203,8 @@ func (s *Stats) mergeFrames(frames map[plan.Node]*opFrame) {
 		}
 		a.spillBytes += f.spillBytes
 		a.spillParts += f.spillParts
+		a.oidHits += f.oidHits
+		a.oidMisses += f.oidMisses
 		if f.partsTotal > a.partsTotal {
 			a.partsTotal = f.partsTotal
 		}
@@ -257,6 +264,8 @@ func (s *Stats) absorb(o *Stats) {
 		}
 		a.spillBytes += oa.spillBytes
 		a.spillParts += oa.spillParts
+		a.oidHits += oa.oidHits
+		a.oidMisses += oa.oidMisses
 		if oa.partsTotal > a.partsTotal {
 			a.partsTotal = oa.partsTotal
 		}
@@ -292,6 +301,8 @@ func (s *Stats) Actuals(n plan.Node) (plan.Actuals, bool) {
 		SpillParts:    a.spillParts,
 		PartsSelected: len(a.parts),
 		PartsTotal:    a.partsTotal,
+		OIDCacheHits:  a.oidHits,
+		OIDCacheMiss:  a.oidMisses,
 	}, true
 }
 
@@ -345,6 +356,19 @@ func (c *Ctx) noteRowsMoved(n int64) {
 	}
 	if m := c.Rt.metrics(); m != nil {
 		m.motionRows.Add(n)
+	}
+}
+
+// noteOIDCache records one static-selection OID-cache outcome on the
+// running operator's frame (EXPLAIN ANALYZE's "OID cache" line).
+func (c *Ctx) noteOIDCache(hit bool) {
+	if c.cur == nil {
+		return
+	}
+	if hit {
+		c.cur.oidHits++
+	} else {
+		c.cur.oidMisses++
 	}
 }
 

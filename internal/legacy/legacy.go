@@ -198,6 +198,16 @@ func staticPred(pred expr.Expr, key expr.ColID) bool {
 // partitioned Get equated on its partitioning key, the planner's
 // parameter-driven dynamic elimination kicks in.
 func (p *Planner) planJoin(ctx *planCtx, j *logical.Join, pushedPred expr.Expr) (plan.Node, bool, error) {
+	// The legacy strategy always broadcasts the build side, and broadcasting
+	// an outer-preserved side would emit each unmatched row once per segment.
+	// Normalize to the probe-preserved orientation (A LEFT JOIN B ≡ B RIGHT
+	// JOIN A) so the null-producing side is the one replicated. The dynamic
+	// elimination below stays inner-only: the probe of a normalized outer
+	// join is preserved, and pruning its partitions would drop rows the join
+	// must null-extend.
+	if j.Type.BuildPreserved() {
+		j = &logical.Join{Type: j.Type.Flip(), Pred: j.Pred, Left: j.Right, Right: j.Left}
+	}
 	leftRels, rightRels := j.Left.Rels(), j.Right.Rels()
 	buildKeys, probeKeys, residual := splitJoinPred(j.Pred, leftRels, rightRels)
 

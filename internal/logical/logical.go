@@ -62,8 +62,11 @@ func (s *Select) Rels() map[int]bool { return s.Child.Rels() }
 func (s *Select) String() string     { return fmt.Sprintf("Select(%s)", s.Pred) }
 
 // Join combines two children under a predicate. Type distinguishes inner
-// joins from the semi joins that IN-subqueries become. Left is the child
-// the physical plan executes first (the paper's "outer").
+// joins from the semi joins that IN-subqueries become and from the
+// left/right outer joins of the surface syntax. Left is the child the
+// physical plan executes first (the paper's "outer"); for outer types the
+// plan.JoinType says which side is preserved (LeftOuterJoin preserves
+// Left, RightOuterJoin preserves Right).
 type Join struct {
 	Type        plan.JoinType
 	Pred        expr.Expr
@@ -153,14 +156,22 @@ func Explain(n Node) string {
 	return b.String()
 }
 
-// titleCase upper-cases the first byte of an ASCII word.
+// titleCase upper-cases the first byte of each ASCII word and joins them,
+// so "left outer" renders as "LeftOuter".
 func titleCase(s string) string {
-	if s == "" {
-		return s
-	}
-	b := []byte(s)
-	if b[0] >= 'a' && b[0] <= 'z' {
-		b[0] -= 'a' - 'A'
+	var b []byte
+	up := true
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == ' ' {
+			up = true
+			continue
+		}
+		if up && c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		up = false
+		b = append(b, c)
 	}
 	return string(b)
 }

@@ -1,0 +1,207 @@
+package oidcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"partopt/internal/part"
+	"partopt/internal/types"
+)
+
+func set(ivs ...types.Interval) types.IntervalSet { return types.IntervalSet{Ivs: ivs} }
+
+// A hit returns the stored set; a miss after Bump is counted as an
+// invalidation plus a miss, and the stale entry is gone for good.
+func TestGetPutEpochStaleness(t *testing.T) {
+	c := New(4)
+	key := Key(7, []types.IntervalSet{set(types.PointInterval(types.NewInt(5)))})
+
+	if _, ok := c.Get(key); ok {
+		t.Fatalf("empty cache hit")
+	}
+	c.Put(key, []part.OID{10, 11}, c.Epoch())
+	got, ok := c.Get(key)
+	if !ok || len(got) != 2 || got[0] != 10 || got[1] != 11 {
+		t.Fatalf("Get = %v, %v; want [10 11], true", got, ok)
+	}
+
+	c.Bump()
+	if _, ok := c.Get(key); ok {
+		t.Fatalf("stale entry survived the epoch bump")
+	}
+	// The stale entry was removed, not just skipped: a second Get is a
+	// plain miss, not another invalidation.
+	if _, ok := c.Get(key); ok {
+		t.Fatalf("stale entry resurrected")
+	}
+	s := c.Snapshot()
+	if s.Hits != 1 || s.Misses != 3 || s.Invalidations != 1 {
+		t.Errorf("counters = %+v, want 1 hit, 3 misses, 1 invalidation", s)
+	}
+	if s.Entries != 0 {
+		t.Errorf("entries = %d, want 0 after invalidation", s.Entries)
+	}
+}
+
+// Put stamps the entry with the epoch the caller OBSERVED, not the current
+// one: a selection computed concurrently with a DDL bump must land stale.
+func TestPutWithObservedEpochLandsStale(t *testing.T) {
+	c := New(4)
+	observed := c.Epoch()
+	c.Bump() // DDL races the computation
+	c.Put("k", []part.OID{1}, observed)
+	if _, ok := c.Get("k"); ok {
+		t.Fatalf("entry computed under a stale epoch hit")
+	}
+}
+
+// The cache is LRU: touching an entry protects it from eviction.
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	c.Put("a", []part.OID{1}, 0)
+	c.Put("b", []part.OID{2}, 0)
+	if _, ok := c.Get("a"); !ok { // a is now most recent
+		t.Fatalf("a missing")
+	}
+	c.Put("c", []part.OID{3}, 0) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatalf("b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatalf("a evicted despite recent use")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatalf("c missing")
+	}
+	if ev := c.Snapshot().Evictions; ev != 1 {
+		t.Errorf("evictions = %d, want 1", ev)
+	}
+}
+
+// The cache keeps its own copy of the stored slice, and callers sharing the
+// returned slice see the original values even if the producer's slice is
+// reused afterwards.
+func TestPutCopiesSlice(t *testing.T) {
+	c := New(2)
+	src := []part.OID{1, 2, 3}
+	c.Put("k", src, 0)
+	src[0] = 99
+	got, _ := c.Get("k")
+	if got[0] != 1 {
+		t.Fatalf("cache shares the caller's slice")
+	}
+}
+
+// SetCapacity purges and re-bounds; zero (and a nil cache) disable entirely.
+func TestSetCapacityAndDisable(t *testing.T) {
+	c := New(4)
+	c.Put("k", []part.OID{1}, 0)
+	c.SetCapacity(8)
+	if c.Len() != 0 {
+		t.Fatalf("SetCapacity did not purge")
+	}
+	if c.Capacity() != 8 {
+		t.Fatalf("Capacity = %d, want 8", c.Capacity())
+	}
+	c.SetCapacity(0)
+	c.Put("k", []part.OID{1}, 0)
+	if _, ok := c.Get("k"); ok {
+		t.Fatalf("disabled cache hit")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("disabled cache stored an entry")
+	}
+
+	var nc *Cache
+	nc.Put("k", []part.OID{1}, nc.Epoch())
+	if _, ok := nc.Get("k"); ok {
+		t.Fatalf("nil cache hit")
+	}
+	nc.Bump()
+	nc.SetCapacity(4)
+	nc.SetMetrics(Metrics{})
+	nc.Purge()
+	if nc.Capacity() != 0 || nc.Len() != 0 {
+		t.Fatalf("nil cache reports non-zero state")
+	}
+	if s := nc.Snapshot(); s != (Stats{}) {
+		t.Fatalf("nil cache Snapshot = %+v", s)
+	}
+}
+
+// Key is canonical over interval structure and kind-tags every bound: the
+// same logical intervals render identically, different tables / values /
+// datum kinds / inclusivity never collide.
+func TestKeyCanonicalAndCollisionFree(t *testing.T) {
+	p5 := set(types.PointInterval(types.NewInt(5)))
+	if Key(1, []types.IntervalSet{p5}) != Key(1, []types.IntervalSet{p5}) {
+		t.Fatalf("identical inputs render differently")
+	}
+	distinct := []string{
+		Key(1, []types.IntervalSet{p5}),
+		Key(2, []types.IntervalSet{p5}),
+		Key(1, []types.IntervalSet{set(types.PointInterval(types.NewInt(6)))}),
+		Key(1, []types.IntervalSet{set(types.PointInterval(types.NewString("5")))}),
+		Key(1, []types.IntervalSet{set(types.RangeInterval(types.NewInt(5), types.NewInt(6)))}),
+		Key(1, []types.IntervalSet{set(types.Unbounded())}),
+		Key(1, []types.IntervalSet{p5, p5}),
+		Key(1, nil),
+	}
+	seen := map[string]int{}
+	for i, k := range distinct {
+		if j, dup := seen[k]; dup {
+			t.Errorf("keys %d and %d collide: %q", j, i, k)
+		}
+		seen[k] = i
+	}
+}
+
+// Constrained skips exactly the selectors whose every level is the single
+// unbounded interval — those would cache whole-table expansions.
+func TestConstrained(t *testing.T) {
+	whole := types.WholeDomain()
+	cases := []struct {
+		sets []types.IntervalSet
+		want bool
+	}{
+		{nil, false},
+		{[]types.IntervalSet{whole}, false},
+		{[]types.IntervalSet{whole, whole}, false},
+		{[]types.IntervalSet{set(types.PointInterval(types.NewInt(5)))}, true},
+		{[]types.IntervalSet{whole, set(types.RangeInterval(types.NewInt(1), types.NewInt(2)))}, true},
+		{[]types.IntervalSet{set()}, true}, // empty set = empty selection, still constrained
+		{[]types.IntervalSet{set(types.Interval{LoUnb: true, Hi: types.NewInt(9), HiIncl: true})}, true},
+	}
+	for i, tc := range cases {
+		if got := Constrained(tc.sets); got != tc.want {
+			t.Errorf("case %d: Constrained = %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+// Concurrent Get/Put/Bump must be race-free (run under -race) and keep the
+// entry count within capacity.
+func TestConcurrentAccess(t *testing.T) {
+	c := New(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", (g+i)%16)
+				if _, ok := c.Get(k); !ok {
+					c.Put(k, []part.OID{part.OID(i)}, c.Epoch())
+				}
+				if i%50 == 0 {
+					c.Bump()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 8 {
+		t.Fatalf("Len = %d exceeds capacity 8", c.Len())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"partopt/internal/catalog"
 	"partopt/internal/expr"
 	"partopt/internal/logical"
+	"partopt/internal/plan"
 	"partopt/internal/types"
 )
 
@@ -205,6 +206,32 @@ func staticOnlyPreds(spec *SpecReq) []expr.Expr {
 	return out
 }
 
+// hubSpec reports whether a selector spec is "hub"-shaped: it carries
+// partition predicates, but none of them survive staticOnlyPreds — every
+// conjunct references columns beyond the level's own partitioning key,
+// i.e. the pruning is entirely join-driven. A hub selector's *static*
+// selection is the whole table, so caching it would pin full leaf-OID
+// expansions of the largest fact tables in the OID cache; the executor
+// skips the cache for selectors flagged this way.
+func hubSpec(spec *SpecReq) bool {
+	any := false
+	for _, p := range spec.Preds {
+		if p != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return false
+	}
+	for _, p := range staticOnlyPreds(spec) {
+		if p != nil {
+			return false
+		}
+	}
+	return true
+}
+
 // staticFraction estimates the fraction of leaf partitions a static
 // selector retains by running f*T over the predicate-derived intervals.
 // Parameter-bearing predicates cannot be evaluated at plan time; they get
@@ -236,19 +263,32 @@ func (o *Optimizer) staticFraction(spec *SpecReq, preds []expr.Expr) float64 {
 }
 
 // joinOutRows estimates join output cardinality: the foreign-key heuristic
-// for inner joins, a moderate pass-through rate for semi joins.
-func joinOutRows(t interface{ String() string }, buildRows, probeRows float64) float64 {
-	if t.String() == "semi" {
+// for inner joins, a moderate pass-through rate for semi joins, and the
+// inner estimate floored by the preserved side for outer joins — every
+// preserved row appears at least once (matched or null-extended), so no
+// filter or key skew can push an outer join's output below that side's
+// cardinality. The floor keeps costing honest when the inner estimate
+// shrinks; plan-shape soundness (no broadcast of a preserved side, no
+// elimination against it) is enforced structurally in implementJoin.
+func joinOutRows(t plan.JoinType, buildRows, probeRows float64) float64 {
+	if t == plan.SemiJoin {
 		rows := probeRows * 0.5
 		if rows < 1 {
 			rows = 1
 		}
 		return rows
 	}
+	inner := probeRows
 	if buildRows > probeRows {
-		return buildRows
+		inner = buildRows
 	}
-	return probeRows
+	switch {
+	case t.BuildPreserved():
+		return atLeast(inner, buildRows)
+	case t.ProbePreserved():
+		return atLeast(inner, probeRows)
+	}
+	return inner
 }
 
 // costPWDiscount is the per-row discount of a partition-wise join relative

@@ -29,6 +29,12 @@ func (m *memo) implementJoin(le *lexpr, op *logical.Join, req request) []*result
 	// the build side; a second copy MAY also travel down the probe side to
 	// collect static predicates from Selects there (the two selectors'
 	// choices intersect in the scan's mailbox) — both routings are costed.
+	//
+	// Elimination prunes PROBE partitions using build-row key values, so it
+	// is sound only when unmatched probe rows are droppable. When the probe
+	// side is outer-preserved (RightOuterJoin) every probe row must surface
+	// null-extended, including rows in partitions no build key touches —
+	// those specs resolve statically near their scan instead.
 	var buildSpecs, probeSpecs []*SpecReq
 	var dynCopies []*SpecReq
 	var dynRels []int // probe-side scans pruned from the build side
@@ -37,7 +43,7 @@ func (m *memo) implementJoin(le *lexpr, op *logical.Join, req request) []*result
 			buildSpecs = append(buildSpecs, spec)
 			continue
 		}
-		if m.o.DisableSelection {
+		if m.o.DisableSelection || op.Type.ProbePreserved() {
 			probeSpecs = append(probeSpecs, spec)
 			continue
 		}
@@ -103,8 +109,18 @@ func (m *memo) implementJoin(le *lexpr, op *logical.Join, req request) []*result
 			add(request{dist: HashedOn(bCols...), specs: buildSpecs},
 				request{dist: HashedOn(pCols...), specs: ps},
 				func(b, p *result) DistSpec {
-					// Key equality makes both hash layouts equivalent; report
-					// the one the parent asked for when possible.
+					// Key equality makes both hash layouts equivalent for
+					// rows that matched; NULL-extended rows break it on the
+					// null-producing side (their key columns are NULL but
+					// they sit wherever the preserved row hashed), so an
+					// outer join may only claim its preserved side's layout.
+					switch {
+					case op.Type.BuildPreserved():
+						return HashedOn(bCols...)
+					case op.Type.ProbePreserved():
+						return HashedOn(pCols...)
+					}
+					// Report the one the parent asked for when possible.
 					if HashedOn(bCols...).Satisfies(req.dist) {
 						return HashedOn(bCols...)
 					}
@@ -113,9 +129,13 @@ func (m *memo) implementJoin(le *lexpr, op *logical.Join, req request) []*result
 		}
 
 		// Alternative 2: replicate the build side; probe rows stay put.
-		add(request{dist: Replicated(), specs: buildSpecs},
-			request{dist: AnySpec(), specs: ps},
-			func(b, p *result) DistSpec { return p.delivered })
+		// Unsound when the build side is outer-preserved: an unmatched build
+		// row would be null-extended once per segment instead of once.
+		if !op.Type.BuildPreserved() {
+			add(request{dist: Replicated(), specs: buildSpecs},
+				request{dist: AnySpec(), specs: ps},
+				func(b, p *result) DistSpec { return p.delivered })
+		}
 
 		// Alternative 3: replicate the probe side (inner joins only — a
 		// replicated probe would emit each semi-join witness once per
@@ -146,6 +166,13 @@ func (m *memo) implementJoin(le *lexpr, op *logical.Join, req request) []*result
 // implementPartitionWise builds the partition-wise alternative when the
 // preconditions hold; nil otherwise.
 func (m *memo) implementPartitionWise(build, probe *group, op *logical.Join, buildKeys, probeKeys []expr.Expr, residual expr.Expr, req request) *result {
+	// Inner/semi only: the per-pair executor drops unmatched rows at
+	// partition-pair boundaries, and the selectors stacked above the join
+	// statically prune BOTH sides — pruning an outer-preserved side would
+	// drop rows the join must null-extend.
+	if op.Type.Outer() {
+		return nil
+	}
 	bGet, pGet := soleGet(build), soleGet(probe)
 	if bGet == nil || pGet == nil {
 		return nil
@@ -193,7 +220,9 @@ func (m *memo) implementPartitionWise(build, probe *group, op *logical.Join, bui
 	for _, spec := range req.specs {
 		preds := staticOnlyPreds(spec)
 		fraction := m.o.staticFraction(spec, preds)
-		node = plan.NewPartitionSelector(spec.Table, spec.ScanRel, preds, node)
+		sel := plan.NewPartitionSelector(spec.Table, spec.ScanRel, preds, node)
+		sel.Hub = hubSpec(spec)
+		node = sel
 		switch spec.ScanRel {
 		case bGet.Rel:
 			bRows *= fraction

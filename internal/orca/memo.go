@@ -116,6 +116,12 @@ func (m *memo) insert(n logical.Node) (*group, error) {
 			// Join commutativity: the swapped child order is a distinct
 			// physical opportunity (build side executes first).
 			g.lexprs = append(g.lexprs, &lexpr{op: x, children: []*group{right, left}})
+		} else if x.Type.Outer() {
+			// Outer joins commute too, but the preserved side travels with
+			// the swap: A LEFT JOIN B ≡ B RIGHT JOIN A. The flipped copy
+			// keeps the predicate; child order lives in the group list.
+			flipped := &logical.Join{Type: x.Type.Flip(), Pred: x.Pred, Left: x.Right, Right: x.Left}
+			g.lexprs = append(g.lexprs, &lexpr{op: flipped, children: []*group{right, left}})
 		}
 		return g, nil
 	default:

@@ -250,6 +250,7 @@ func (m *memo) optimize(g *group, req request) *result {
 			preds := staticOnlyPreds(spec)
 			fraction := m.o.staticFraction(spec, preds)
 			node := plan.NewPartitionSelector(spec.Table, spec.ScanRel, preds, sub.node)
+			node.Hub = hubSpec(spec)
 			rows := sub.rows * fraction
 			if rows < 1 {
 				rows = 1
@@ -261,6 +262,7 @@ func (m *memo) optimize(g *group, req request) *result {
 		}
 		// Producer-side selector: pass-through over this subtree's rows.
 		node := plan.NewPartitionSelector(spec.Table, spec.ScanRel, spec.Preds, sub.node)
+		node.Hub = hubSpec(spec)
 		cost := sub.cost + sub.rows*costSelectorPerRow + costSelectorBase
 		plan.SetEstimates(node, sub.rows, cost)
 		consider(&result{valid: true, cost: cost, rows: sub.rows, delivered: sub.delivered, node: node})
@@ -279,6 +281,12 @@ func (m *memo) optimize(g *group, req request) *result {
 					keys[i] = expr.NewCol(c, "")
 				}
 				node := plan.NewMotion(plan.RedistributeMotion, keys, sub.node)
+				if sub.delivered.Kind == ReplicatedDist {
+					// Every segment holds a full copy: redistributing from
+					// all of them would deliver Segments duplicates of each
+					// row. Only one copy may enter the exchange.
+					node.FromSegment = 0
+				}
 				cost := sub.cost + sub.rows*costRedistRow
 				plan.SetEstimates(node, sub.rows, cost)
 				consider(&result{valid: true, cost: cost, rows: sub.rows, delivered: req.dist, node: node})
@@ -421,7 +429,9 @@ func (m *memo) implementIndexSelect(le *lexpr, op *logical.Select, childSpecs []
 	for _, spec := range childSpecs {
 		preds := staticOnlyPreds(spec)
 		fraction := m.o.staticFraction(spec, preds)
-		node = plan.NewPartitionSelector(spec.Table, spec.ScanRel, preds, node)
+		sel := plan.NewPartitionSelector(spec.Table, spec.ScanRel, preds, node)
+		sel.Hub = hubSpec(spec)
+		node = sel
 		rows *= fraction
 	}
 	sel := m.selectivity(keyPred)

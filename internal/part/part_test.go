@@ -286,3 +286,84 @@ func TestBuildPanics(t *testing.T) {
 	mustPanic("wrong key count", func() { d.Route(nil) })
 	mustPanic("wrong set count", func() { d.Select(nil) })
 }
+
+// TestRouteLevelSortedLinearNullDifferential pits the sorted-sibling
+// binary-search fast path of routeLevel against the linear scan over the
+// same sibling group, on a probe batch heavy in NULLs and boundary values.
+// The two paths must agree on every probe — in particular a NULL key must
+// route to ⊥ on both (no range or list constraint contains NULL), not fall
+// into whichever partition the binary search lands on.
+func TestRouteLevelSortedLinearNullDifferential(t *testing.T) {
+	d := buildT(t) // 100 range siblings → the sorted fast path engages
+	if !d.sortedRoots {
+		t.Fatalf("fixture's roots are not a sorted group; fast path untested")
+	}
+	probes := []types.Datum{
+		types.Null,
+		types.NewInt(0), types.NewInt(1), types.NewInt(10), types.NewInt(11),
+		types.NewInt(500), types.NewInt(1000), types.NewInt(1001), types.NewInt(-7),
+	}
+	rnd := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		if i%5 == 0 {
+			probes = append(probes, types.Null)
+			continue
+		}
+		probes = append(probes, types.NewInt(rnd.Int63n(1200)-100))
+	}
+	for _, v := range probes {
+		fast := routeLevel(d.Roots, true, v)
+		slow := routeLevel(d.Roots, false, v)
+		if fast != slow {
+			t.Errorf("probe %v: sorted path → %v, linear path → %v", v, fast, slow)
+		}
+		if v.IsNull() && fast != nil {
+			t.Errorf("NULL probe routed to partition %d; want ⊥", fast.OID)
+		}
+	}
+	// End to end: a NULL anywhere in the key vector routes the tuple to ⊥.
+	if oid := d.Route([]types.Datum{types.Null}); oid != InvalidOID {
+		t.Errorf("Route(NULL) = %d, want InvalidOID", oid)
+	}
+}
+
+// TestSelectSortedLinearDifferential compares Select's sorted-run binary
+// search against a brute-force overlap scan of the leaf constraint table,
+// over interval sets that include NULL bounds and point-NULL probes (the
+// shapes a predicate like `k = NULL` or a broken deriver could produce).
+func TestSelectSortedLinearDifferential(t *testing.T) {
+	d := buildT(t)
+	ref := func(set types.IntervalSet) []OID {
+		var out []OID
+		for _, lc := range d.Constraints() {
+			if lc.Constraints[0].Overlaps(set) {
+				out = append(out, lc.OID)
+			}
+		}
+		return out
+	}
+	sets := []types.IntervalSet{
+		types.SetOf(types.PointInterval(types.Null)),
+		types.SetOf(types.RangeInterval(types.Null, types.NewInt(25))),
+		types.SetOf(types.PointInterval(types.NewInt(1))),
+		types.SetOf(types.RangeInterval(types.NewInt(995), types.NewInt(2000))),
+		types.SetOf(types.Unbounded()),
+	}
+	rnd := rand.New(rand.NewSource(12))
+	for i := 0; i < 200; i++ {
+		lo := rnd.Int63n(1100) - 50
+		sets = append(sets, types.SetOf(types.RangeInterval(types.NewInt(lo), types.NewInt(lo+rnd.Int63n(100)))))
+	}
+	for _, set := range sets {
+		got := d.Select([]types.IntervalSet{set})
+		want := ref(set)
+		if len(got) != len(want) {
+			t.Fatalf("set %v: Select → %v, reference → %v", set, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("set %v: Select → %v, reference → %v", set, got, want)
+			}
+		}
+	}
+}

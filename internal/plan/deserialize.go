@@ -162,6 +162,10 @@ func (r *planReader) node() (Node, error) {
 		if err != nil {
 			return nil, err
 		}
+		hub, err := r.bool()
+		if err != nil {
+			return nil, err
+		}
 		np, err := r.i32()
 		if err != nil {
 			return nil, err
@@ -185,7 +189,9 @@ func (r *planReader) node() (Node, error) {
 				return nil, err
 			}
 		}
-		return NewPartitionSelector(t, int(id), preds, child), nil
+		sel := NewPartitionSelector(t, int(id), preds, child)
+		sel.Hub = hub
+		return sel, nil
 	case tagSequence:
 		n, err := r.i32()
 		if err != nil {

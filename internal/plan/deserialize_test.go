@@ -138,9 +138,11 @@ func TestRoundTripRandomPlans(t *testing.T) {
 			return NewProject([]ProjCol{{E: genExpr(2), Name: "p", Out: expr.ColID{Rel: 9, Ord: 0}}}, genNode(depth-1))
 		case 2:
 			k := genExpr(1)
-			return NewHashJoin(JoinType(rnd.Intn(2)), []expr.Expr{k}, []expr.Expr{k}, nil, genNode(depth-1), genNode(depth-1), nil)
+			return NewHashJoin(JoinType(rnd.Intn(4)), []expr.Expr{k}, []expr.Expr{k}, nil, genNode(depth-1), genNode(depth-1), nil)
 		case 3:
-			return NewPartitionSelector(r, 1, []expr.Expr{genExpr(2)}, genNode(depth-1))
+			sel := NewPartitionSelector(r, 1, []expr.Expr{genExpr(2)}, genNode(depth-1))
+			sel.Hub = rnd.Intn(2) == 0
+			return sel
 		case 4:
 			keys := []expr.Expr{genExpr(1)}
 			return NewMotion(RedistributeMotion, keys, genNode(depth-1))

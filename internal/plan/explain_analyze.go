@@ -11,12 +11,12 @@ import (
 // EXPLAIN ANALYZE renders next to the optimizer's estimates — the
 // executor's exec.Stats produces these, keyed by plan node.
 type Actuals struct {
-	Started   bool  // at least one instance opened the operator
-	Instances int   // slice instances that opened it ("loops")
-	RowsOut   int64 // rows returned by Next, summed across instances
-	RowsRead  int64 // rows read from storage (leaf operators)
-	Nanos     int64 // wall time inside Open+Next+Close, summed across instances (inclusive of children)
-	PeakBytes int64 // max reserved working memory of any single instance
+	Started    bool  // at least one instance opened the operator
+	Instances  int   // slice instances that opened it ("loops")
+	RowsOut    int64 // rows returned by Next, summed across instances
+	RowsRead   int64 // rows read from storage (leaf operators)
+	Nanos      int64 // wall time inside Open+Next+Close, summed across instances (inclusive of children)
+	PeakBytes  int64 // max reserved working memory of any single instance
 	SpillBytes int64
 	SpillParts int64
 	// Partition accounting (PartitionSelector, DynamicScan,
@@ -24,6 +24,10 @@ type Actuals struct {
 	// applicable.
 	PartsSelected int
 	PartsTotal    int
+	// OID-cache accounting (PartitionSelector only): static selections
+	// served from / computed into the runtime's partition-OID cache.
+	OIDCacheHits int64
+	OIDCacheMiss int64
 }
 
 // ActualSource resolves a plan node to its runtime actuals. The executor's
@@ -82,6 +86,9 @@ func explainAnalyzeInto(b *strings.Builder, n Node, src ActualSource, depth int)
 	if ok && a.Started {
 		if a.PartsTotal > 0 {
 			fmt.Fprintf(b, "%sPartitions selected: %d (out of %d)\n", pad, a.PartsSelected, a.PartsTotal)
+		}
+		if a.OIDCacheHits > 0 || a.OIDCacheMiss > 0 {
+			fmt.Fprintf(b, "%sOID cache: %d hit(s), %d miss(es)\n", pad, a.OIDCacheHits, a.OIDCacheMiss)
 		}
 		if a.RowsRead > 0 {
 			fmt.Fprintf(b, "%sRows read from storage: %d\n", pad, a.RowsRead)

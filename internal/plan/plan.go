@@ -209,6 +209,12 @@ type PartitionSelector struct {
 	PartScanID int
 	Preds      []expr.Expr // per partitioning level; may contain nils
 	Child      Node        // optional
+	// Hub marks a star-schema hub table: the planner proved every
+	// partition-key constraint on this selector is join-derived (no static
+	// predicate ever reaches it), so the runtime partition-OID cache skips
+	// variant generation for it — a join-driven selection is recomputed per
+	// execution and would only churn the cache.
+	Hub bool
 }
 
 // NewPartitionSelector builds a selector; child may be nil.
@@ -375,27 +381,70 @@ func (p *Project) Label() string {
 
 // ---------------------------------------------------------------- HashJoin
 
-// JoinType distinguishes inner joins from the semi joins produced by
-// IN-subquery rewrites.
+// JoinType distinguishes inner joins, the semi joins produced by
+// IN-subquery rewrites, and the two hash outer-join orientations. The
+// outer names are positional in execution order: LeftOuterJoin preserves
+// the build (first) child, RightOuterJoin preserves the probe (second)
+// child. The non-preserved side is the null-producing side — its columns
+// are NULL-extended for preserved rows with no match.
 type JoinType uint8
 
 // Join types.
 const (
-	InnerJoin JoinType = iota
-	SemiJoin           // emit each build... see HashJoin doc
+	InnerJoin      JoinType = iota
+	SemiJoin                // emit each build... see HashJoin doc
+	LeftOuterJoin           // build side preserved; unmatched build rows NULL-extend the probe columns
+	RightOuterJoin          // probe side preserved; unmatched probe rows NULL-extend the build columns
 )
 
 func (t JoinType) String() string {
-	if t == SemiJoin {
+	switch t {
+	case SemiJoin:
 		return "semi"
+	case LeftOuterJoin:
+		return "left outer"
+	case RightOuterJoin:
+		return "right outer"
 	}
 	return "inner"
 }
 
+// Outer reports whether t is one of the outer-join types.
+func (t JoinType) Outer() bool { return t == LeftOuterJoin || t == RightOuterJoin }
+
+// BuildPreserved reports whether the build (first) child is an
+// outer-preserved side: every one of its rows appears in the output even
+// without a join match. Partition elimination driven by the other side is
+// unsound against a preserved side, and replicating a preserved side
+// duplicates its unmatched rows once per segment.
+func (t JoinType) BuildPreserved() bool { return t == LeftOuterJoin }
+
+// ProbePreserved reports whether the probe (second) child is an
+// outer-preserved side (see BuildPreserved).
+func (t JoinType) ProbePreserved() bool { return t == RightOuterJoin }
+
+// Flip returns the join type describing the same logical join with the
+// two children swapped. Inner joins are symmetric; outer joins exchange
+// their preserved side. Semi joins have no commuted form and flip to
+// themselves (callers must not swap semi-join children).
+func (t JoinType) Flip() JoinType {
+	switch t {
+	case LeftOuterJoin:
+		return RightOuterJoin
+	case RightOuterJoin:
+		return LeftOuterJoin
+	}
+	return t
+}
+
 // HashJoin joins its two children. Child 0 is the build (outer in the
 // paper's execution-order sense: it runs first); child 1 is the probe. The
-// output row is buildRow ++ probeRow for inner joins, and the probe row
-// alone for semi joins (each probe row emitted at most once).
+// output row is buildRow ++ probeRow for inner and outer joins, and the
+// probe row alone for semi joins (each probe row emitted at most once).
+// For LeftOuterJoin, build rows never matched by any probe row are emitted
+// after the probe drains with NULLs in the probe columns; for
+// RightOuterJoin, probe rows with no build match are emitted immediately
+// with NULLs in the build columns.
 //
 // BuildKeys/ProbeKeys are the equi-join key expressions evaluated against
 // the respective child rows; Residual is any non-equi remainder of the join
@@ -431,8 +480,13 @@ func (j *HashJoin) Label() string {
 	if j.Cond != nil {
 		cond = " (" + j.Cond.String() + ")"
 	}
-	if j.Type == SemiJoin {
+	switch j.Type {
+	case SemiJoin:
 		return "HashSemiJoin" + cond
+	case LeftOuterJoin:
+		return "HashLeftOuterJoin" + cond
+	case RightOuterJoin:
+		return "HashRightOuterJoin" + cond
 	}
 	return "HashJoin" + cond
 }

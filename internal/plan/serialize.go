@@ -82,6 +82,7 @@ func (w *planWriter) node(n Node) {
 		w.u8(tagPartitionSelector)
 		w.i32(int32(x.Table.OID))
 		w.i32(int32(x.PartScanID))
+		w.bool(x.Hub)
 		w.i32(int32(len(x.Preds)))
 		for _, p := range x.Preds {
 			w.expr(p)

@@ -34,10 +34,27 @@ type SelectItem struct {
 	Alias string
 }
 
+// JoinKind says how a FROM entry attaches to the entries before it.
+type JoinKind uint8
+
+// Join kinds. Comma-separated refs (and the first FROM entry) use
+// JoinNone; INNER JOIN parses to JoinInner with its ON conjuncts folded
+// into WHERE (equivalent for inner joins, and it keeps plan-cache
+// fingerprints stable); LEFT/RIGHT OUTER JOIN keep their ON predicate
+// attached because folding it into WHERE would change the join's result.
+const (
+	JoinNone JoinKind = iota
+	JoinInner
+	JoinLeft
+	JoinRight
+)
+
 // TableRef is one FROM entry.
 type TableRef struct {
 	Name  string
 	Alias string
+	Join  JoinKind
+	On    Node // outer joins only; inner-join ON folds into WHERE
 }
 
 // UpdateStmt is UPDATE t SET col = e, ... [FROM t2 ...] [WHERE ...].

@@ -160,7 +160,7 @@ func (b *binder) bindSelect(s *SelectStmt) (logical.Node, []string, error) {
 		conjuncts = append(conjuncts, e)
 	}
 
-	tree, rest, err := b.buildJoinTree(sc, conjuncts)
+	tree, rest, err := b.buildJoinTree(sc, s.From, conjuncts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -183,9 +183,45 @@ func (b *binder) bindSelect(s *SelectStmt) (logical.Node, []string, error) {
 // buildJoinTree joins the scope's tables left-deep in FROM order,
 // attaching each conjunct at the lowest point all its relations are
 // available. It returns the tree and any leftover predicate.
-func (b *binder) buildJoinTree(sc *scope, conjuncts []expr.Expr) (logical.Node, expr.Expr, error) {
+//
+// refs parallels sc.rels and carries the FROM clause's explicit join
+// structure; outer-join steps keep their ON predicate on the join node.
+// WHERE conjuncts that touch a relation exposed on the null-producing side
+// of any outer join are never pushed into the tree — SQL applies WHERE
+// after the joins, and below the join such a conjunct would see pre-NULL-
+// extension rows — so they surface in the leftover predicate instead.
+// A nil refs (DML sources) means every step is a plain inner join.
+func (b *binder) buildJoinTree(sc *scope, refs []TableRef, conjuncts []expr.Expr) (logical.Node, expr.Expr, error) {
 	if len(sc.rels) == 0 {
 		return nil, nil, fmt.Errorf("sql: empty FROM clause")
+	}
+	joinOf := func(i int) JoinKind {
+		if i < len(refs) {
+			return refs[i].Join
+		}
+		return JoinNone
+	}
+	// Relations that can be NULL-extended by some outer join in the chain:
+	// a LEFT JOIN nullifies the newly joined table, a RIGHT JOIN nullifies
+	// everything joined before it.
+	nullable := map[int]bool{}
+	for i, r := range sc.rels {
+		switch joinOf(i) {
+		case JoinLeft:
+			nullable[r.rel] = true
+		case JoinRight:
+			for _, prev := range sc.rels[:i] {
+				nullable[prev.rel] = true
+			}
+		}
+	}
+	blocked := func(c expr.Expr) bool {
+		for id := range expr.ColsUsed(c) {
+			if nullable[id.Rel] {
+				return true
+			}
+		}
+		return false
 	}
 	used := make([]bool, len(conjuncts))
 	avail := map[int]bool{}
@@ -194,7 +230,7 @@ func (b *binder) buildJoinTree(sc *scope, conjuncts []expr.Expr) (logical.Node, 
 		avail[newRel] = true
 		var preds []expr.Expr
 		for i, c := range conjuncts {
-			if used[i] {
+			if used[i] || blocked(c) {
 				continue
 			}
 			ok := true
@@ -222,13 +258,23 @@ func (b *binder) buildJoinTree(sc *scope, conjuncts []expr.Expr) (logical.Node, 
 	first := sc.rels[0]
 	var tree logical.Node = &logical.Get{Table: first.tab, Rel: first.rel, Alias: first.alias}
 	tree = attach(tree, first.rel)
-	for _, r := range sc.rels[1:] {
+	for ri := 1; ri < len(sc.rels); ri++ {
+		r := sc.rels[ri]
 		right := logical.Node(&logical.Get{Table: r.tab, Rel: r.rel, Alias: r.alias})
+		if kind := joinOf(ri); kind == JoinLeft || kind == JoinRight {
+			node, err := b.bindOuterJoin(sc, refs[ri], tree, right, r, avail)
+			if err != nil {
+				return nil, nil, err
+			}
+			avail[r.rel] = true
+			tree = node
+			continue
+		}
 		// Single-relation predicates go directly above the Get.
 		var joinPreds, rightPreds []expr.Expr
 		avail[r.rel] = true
 		for i, c := range conjuncts {
-			if used[i] {
+			if used[i] || blocked(c) {
 				continue
 			}
 			onlyRight := true
@@ -273,6 +319,55 @@ func (b *binder) buildJoinTree(sc *scope, conjuncts []expr.Expr) (logical.Node, 
 	return tree, expr.Conj(rest...), nil
 }
 
+// bindOuterJoin lowers one LEFT/RIGHT OUTER JOIN step onto the tree built
+// so far. ON conjuncts that reference only the null-producing side are
+// pushed into that side (they filter match candidates, which is exactly
+// what pushing achieves); every other conjunct stays on the join node,
+// where a failed match NULL-extends the preserved row instead of
+// discarding it.
+func (b *binder) bindOuterJoin(sc *scope, ref TableRef, tree, right logical.Node, r relRef, avail map[int]bool) (logical.Node, error) {
+	if ref.On == nil {
+		return nil, fmt.Errorf("sql: outer join with %q needs an ON clause", ref.Name)
+	}
+	var joinPreds, nullSidePreds []expr.Expr
+	for _, c := range splitAnd(ref.On) {
+		e, err := b.bindExpr(sc, c)
+		if err != nil {
+			return nil, err
+		}
+		onlyNew, onlyTree := true, true
+		for id := range expr.ColsUsed(e) {
+			if id.Rel == r.rel {
+				onlyTree = false
+			} else if avail[id.Rel] {
+				onlyNew = false
+			} else {
+				return nil, fmt.Errorf("sql: ON predicate %s references a relation joined later", e)
+			}
+		}
+		nullSideOnly := (ref.Join == JoinLeft && onlyNew) || (ref.Join == JoinRight && onlyTree)
+		if nullSideOnly {
+			nullSidePreds = append(nullSidePreds, e)
+		} else {
+			joinPreds = append(joinPreds, e)
+		}
+	}
+	if p := expr.Conj(nullSidePreds...); p != nil {
+		if ref.Join == JoinLeft {
+			right = &logical.Select{Pred: p, Child: right}
+		} else {
+			tree = &logical.Select{Pred: p, Child: tree}
+		}
+	}
+	// Positional mapping: the tree built so far is the first (build) child,
+	// so LEFT preserves the build side and RIGHT preserves the probe side.
+	jt := plan.LeftOuterJoin
+	if ref.Join == JoinRight {
+		jt = plan.RightOuterJoin
+	}
+	return &logical.Join{Type: jt, Pred: expr.Conj(joinPreds...), Left: tree, Right: right}, nil
+}
+
 // bindSubquery binds an uncorrelated IN-subquery.
 func (b *binder) bindSubquery(outer *scope, in *InExpr) (*semiJoinSpec, error) {
 	sub := in.Sub
@@ -300,7 +395,7 @@ func (b *binder) bindSubquery(outer *scope, in *InExpr) (*semiJoinSpec, error) {
 		}
 		conjuncts = append(conjuncts, e)
 	}
-	tree, rest, err := b.buildJoinTree(sc, conjuncts)
+	tree, rest, err := b.buildJoinTree(sc, sub.From, conjuncts)
 	if err != nil {
 		return nil, err
 	}
@@ -555,7 +650,7 @@ func (b *binder) buildDMLChild(sc *scope, hasSources bool, target relRef, conjun
 			fromPreds = append(fromPreds, c)
 		}
 	}
-	buildTree, rest, err := b.buildJoinTree(fromScope, fromPreds)
+	buildTree, rest, err := b.buildJoinTree(fromScope, nil, fromPreds)
 	if err != nil {
 		return nil, err
 	}

@@ -37,6 +37,7 @@ var keywords = map[string]bool{
 	"AND": true, "OR": true, "NOT": true, "IN": true, "BETWEEN": true,
 	"IS": true, "NULL": true, "AS": true, "JOIN": true, "ON": true,
 	"INNER": true, "UPDATE": true, "SET": true, "TRUE": true, "FALSE": true,
+	"LEFT": true, "RIGHT": true, "OUTER": true,
 	"DELETE": true, "USING": true, "ORDER": true, "LIMIT": true,
 	"INSERT": true, "INTO": true, "VALUES": true,
 	"ASC": true, "DESC": true,

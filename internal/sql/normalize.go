@@ -184,6 +184,9 @@ func walkSelect(s *SelectStmt, walk func(Node)) {
 	for _, it := range s.Items {
 		walk(it.E)
 	}
+	for _, ref := range s.From {
+		walk(ref.On)
+	}
 	walk(s.Where)
 	for _, g := range s.GroupBy {
 		walk(g)
@@ -217,12 +220,23 @@ func FormatSelect(s *SelectStmt) string {
 	b.WriteString(" FROM ")
 	for i, ref := range s.From {
 		if i > 0 {
-			b.WriteString(", ")
+			switch ref.Join {
+			case JoinLeft:
+				b.WriteString(" LEFT OUTER JOIN ")
+			case JoinRight:
+				b.WriteString(" RIGHT OUTER JOIN ")
+			default:
+				b.WriteString(", ")
+			}
 		}
 		b.WriteString(ref.Name)
 		if ref.Alias != "" && ref.Alias != ref.Name {
 			b.WriteString(" AS ")
 			b.WriteString(ref.Alias)
+		}
+		if ref.On != nil {
+			b.WriteString(" ON ")
+			writeNode(&b, ref.On)
 		}
 	}
 	if s.Where != nil {

@@ -162,3 +162,67 @@ func TestFormatSelectCanonicalizesSpacing(t *testing.T) {
 		t.Errorf("spacing variants differ:\n%s\n%s", a.Text, b.Text)
 	}
 }
+
+// LEFT/RIGHT [OUTER] JOIN: the OUTER keyword is optional noise, the ON
+// clause stays attached to the joined table (folding it into WHERE would
+// change the result), and the canonical text round-trips through the
+// parser.
+func TestNormalizeOuterJoinRoundTrip(t *testing.T) {
+	a := normalize(t, "SELECT * FROM d LEFT JOIN o ON d.k = o.k")
+	b := normalize(t, "select * from d left outer join o on d.k = o.k")
+	if a.Text != b.Text {
+		t.Fatalf("LEFT vs LEFT OUTER differ:\n%s\n%s", a.Text, b.Text)
+	}
+	want := "SELECT * FROM d LEFT OUTER JOIN o ON (d.k = o.k)"
+	if a.Text != want {
+		t.Errorf("Text = %q, want %q", a.Text, want)
+	}
+	r := normalize(t, "SELECT * FROM d RIGHT OUTER JOIN o ON d.k = o.k")
+	if want := "SELECT * FROM d RIGHT OUTER JOIN o ON (d.k = o.k)"; r.Text != want {
+		t.Errorf("Text = %q, want %q", r.Text, want)
+	}
+	// The rendering parses back to itself: usable as a fingerprint.
+	for _, text := range []string{a.Text, r.Text} {
+		if again := normalize(t, text).Text; again != text {
+			t.Errorf("round trip changed text:\n%s\n%s", text, again)
+		}
+	}
+}
+
+// ON-clause literals are join structure, not run-time constants: they are
+// never lifted, so two outer joins with different ON filters keep distinct
+// fingerprints while their WHERE literals still parameterize.
+func TestNormalizeOuterJoinOnLiteralsStayInline(t *testing.T) {
+	a := normalize(t, "SELECT * FROM d LEFT JOIN o ON d.k = o.k AND d.y = 2013 WHERE o.q > 5")
+	b := normalize(t, "SELECT * FROM d LEFT JOIN o ON d.k = o.k AND d.y = 2013 WHERE o.q > 99")
+	if a.Text != b.Text {
+		t.Fatalf("WHERE variants differ:\n%s\n%s", a.Text, b.Text)
+	}
+	if len(a.Extra) != 1 || a.Extra[0].Int() != 5 {
+		t.Errorf("a.Extra = %v, want [5]", a.Extra)
+	}
+	c := normalize(t, "SELECT * FROM d LEFT JOIN o ON d.k = o.k AND d.y = 1999 WHERE o.q > 5")
+	if c.Text == a.Text {
+		t.Errorf("different ON literals share a fingerprint: %s", c.Text)
+	}
+	want := "SELECT * FROM d LEFT OUTER JOIN o ON ((d.k = o.k) AND (d.y = 2013)) WHERE (o.q > $1)"
+	if a.Text != want {
+		t.Errorf("Text = %q, want %q", a.Text, want)
+	}
+}
+
+// Explicit $n parameters inside an ON clause count toward NumExplicit, and
+// lifted WHERE literals number after them.
+func TestNormalizeOuterJoinOnParamsCounted(t *testing.T) {
+	n := normalize(t, "SELECT * FROM d LEFT JOIN o ON d.k = o.k AND d.y = $1 WHERE o.q > 5")
+	if n.NumExplicit != 1 {
+		t.Fatalf("NumExplicit = %d, want 1", n.NumExplicit)
+	}
+	want := "SELECT * FROM d LEFT OUTER JOIN o ON ((d.k = o.k) AND (d.y = $1)) WHERE (o.q > $2)"
+	if n.Text != want {
+		t.Errorf("Text = %q, want %q", n.Text, want)
+	}
+	if len(n.Extra) != 1 || n.Extra[0].Int() != 5 {
+		t.Errorf("Extra = %v, want [5]", n.Extra)
+	}
+}

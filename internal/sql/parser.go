@@ -143,8 +143,18 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 			stmt.From = append(stmt.From, ref)
 			continue
 		}
-		if p.peekKeyword("INNER") || p.peekKeyword("JOIN") {
-			p.acceptKeyword("INNER")
+		if p.peekKeyword("INNER") || p.peekKeyword("JOIN") || p.peekKeyword("LEFT") || p.peekKeyword("RIGHT") {
+			kind := JoinInner
+			switch {
+			case p.acceptKeyword("LEFT"):
+				kind = JoinLeft
+				p.acceptKeyword("OUTER")
+			case p.acceptKeyword("RIGHT"):
+				kind = JoinRight
+				p.acceptKeyword("OUTER")
+			default:
+				p.acceptKeyword("INNER")
+			}
 			if err := p.expectKeyword("JOIN"); err != nil {
 				return nil, err
 			}
@@ -152,7 +162,6 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 			if err != nil {
 				return nil, err
 			}
-			stmt.From = append(stmt.From, ref)
 			if err := p.expectKeyword("ON"); err != nil {
 				return nil, err
 			}
@@ -160,7 +169,18 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 			if err != nil {
 				return nil, err
 			}
-			onPreds = append(onPreds, pred)
+			if kind == JoinInner {
+				// Inner ON conjuncts are WHERE conjuncts; folding them keeps
+				// plan-cache fingerprints identical across the two spellings.
+				onPreds = append(onPreds, pred)
+			} else {
+				// Outer ON predicates must stay on the join: applied as a
+				// WHERE filter they would discard the NULL-extended rows the
+				// join exists to produce.
+				ref.Join = kind
+				ref.On = pred
+			}
+			stmt.From = append(stmt.From, ref)
 			continue
 		}
 		break

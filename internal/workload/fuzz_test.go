@@ -61,6 +61,36 @@ func TestFuzzOptimizersAgree(t *testing.T) {
 
 	genQuery := func() string {
 		fact := facts[rnd.Intn(len(facts))]
+		switch rnd.Intn(6) {
+		case 4: // outer join, dimension preserved: dim predicates in WHERE
+			kw := []string{"LEFT", "RIGHT"}[rnd.Intn(2)]
+			from := fmt.Sprintf("date_dim d %s JOIN %s f", kw, fact)
+			if kw == "RIGHT" {
+				from = fmt.Sprintf("%s f %s JOIN date_dim d", fact, kw)
+			}
+			q := fmt.Sprintf("SELECT %s FROM %s ON d.date_id = f.date_id WHERE %s",
+				randAgg2(rnd), from, randDimPred())
+			if rnd.Intn(3) == 0 {
+				q += " AND " + randDimPred()
+			}
+			return q
+		case 5: // outer join, fact preserved: dim predicates stay in ON
+			kw := []string{"LEFT", "RIGHT"}[rnd.Intn(2)]
+			from := fmt.Sprintf("%s f %s JOIN date_dim d", fact, kw)
+			if kw == "RIGHT" {
+				from = fmt.Sprintf("date_dim d %s JOIN %s f", kw, fact)
+			}
+			on := "d.date_id = f.date_id"
+			if rnd.Intn(2) == 0 {
+				on += " AND " + randDimPred()
+			}
+			q := fmt.Sprintf("SELECT %s FROM %s ON %s", randAgg2(rnd), from, on)
+			if rnd.Intn(2) == 0 {
+				// Fact-side WHERE predicates never drop NULL-extended rows.
+				q += fmt.Sprintf(" WHERE f.quantity > %d", rnd.Intn(10))
+			}
+			return q
+		}
 		switch rnd.Intn(4) {
 		case 0: // static
 			q := fmt.Sprintf("SELECT %s FROM %s WHERE %s", randAgg(), fact, randDatePred("date_id"))

@@ -115,5 +115,14 @@ func StarQueries() []Query {
 			WHERE s.date_id = d.date_id AND s.date_id >= 120 AND d.moy = 11`, "catalog_sales"},
 		{"q36_more_feb", `SELECT sum(s.amount) FROM store_sales s, date_dim d
 			WHERE s.date_id = d.date_id AND s.date_id < 150 AND d.moy = 2 AND d.year = 2012`, "store_sales"},
+
+		// -------- outer joins: the dimension-preserved orientation keeps
+		// its filter in WHERE; the fact-preserved orientation must keep the
+		// dimension filter in ON (a WHERE filter would drop NULL-extended
+		// rows) and forbids pruning the fact side entirely.
+		{"q37_outer_dimkept", `SELECT count(*) FROM date_dim d LEFT JOIN store_sales s
+			ON d.date_id = s.date_id WHERE d.month = 24`, "store_sales"},
+		{"q38_outer_factkept", `SELECT count(*) FROM web_sales s LEFT JOIN date_dim d
+			ON s.date_id = d.date_id AND d.moy = 12`, "web_sales"},
 	}
 }

@@ -41,7 +41,14 @@ func walkOpStats(o *OpStats, f func(*OpStats)) {
 func TestExplainAnalyzeGoldenStatic(t *testing.T) {
 	eng := paperEngine(t, 4)
 	eng.SetOptimizer(Orca)
-	out, err := eng.ExplainAnalyze("SELECT avg(amount) FROM orders WHERE date BETWEEN '2013-10-01' AND '2013-12-31'")
+	const q = "SELECT avg(amount) FROM orders WHERE date BETWEEN '2013-10-01' AND '2013-12-31'"
+	// Warm the partition-OID cache first: on a cold cache the hit/miss
+	// split across the four concurrently-opening segment instances is
+	// scheduling-dependent, on a warm one it is exactly 4/0.
+	if _, err := eng.Query(q); err != nil {
+		t.Fatalf("warm-up Query: %v", err)
+	}
+	out, err := eng.ExplainAnalyze(q)
 	if err != nil {
 		t.Fatalf("ExplainAnalyze: %v", err)
 	}
@@ -52,6 +59,7 @@ func TestExplainAnalyzeGoldenStatic(t *testing.T) {
       -> Filter (orders.date >= 2013-10-01 AND orders.date <= 2013-12-31)  (rows=3 cost=34)  (actual rows=30 loops=4 time=T)
         -> PartitionSelector(1, orders, orders.date >= 2013-10-01 AND orders.date <= 2013-12-31)  (rows=30 cost=31)  (actual rows=30 loops=4 time=T)
              Partitions selected: 3 (out of 24)
+             OID cache: 4 hit(s), 0 miss(es)
           -> DynamicScan(1, orders)  (rows=240 cost=240)  (actual rows=30 loops=4 time=T)
                Partitions selected: 3 (out of 24)
                Rows read from storage: 30
@@ -210,5 +218,28 @@ func TestEngineMetricsExposition(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("Metrics() lacks %q:\n%s", want, text)
 		}
+	}
+}
+
+// On a single segment the cold-cache split is deterministic: exactly one
+// instance opens the selector, misses, and populates the cache; the same
+// query re-run hits.
+func TestExplainAnalyzeGoldenOIDCacheMiss(t *testing.T) {
+	eng := paperEngine(t, 1)
+	eng.SetOptimizer(Orca)
+	const q = "SELECT avg(amount) FROM orders WHERE date BETWEEN '2013-10-01' AND '2013-12-31'"
+	out, err := eng.ExplainAnalyze(q)
+	if err != nil {
+		t.Fatalf("ExplainAnalyze: %v", err)
+	}
+	if !strings.Contains(out, "OID cache: 0 hit(s), 1 miss(es)") {
+		t.Errorf("cold tree lacks the miss line:\n%s", out)
+	}
+	out, err = eng.ExplainAnalyze(q)
+	if err != nil {
+		t.Fatalf("second ExplainAnalyze: %v", err)
+	}
+	if !strings.Contains(out, "OID cache: 1 hit(s), 0 miss(es)") {
+		t.Errorf("warm tree lacks the hit line:\n%s", out)
 	}
 }

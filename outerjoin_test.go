@@ -1,0 +1,221 @@
+package partopt
+
+import (
+	"strings"
+	"testing"
+)
+
+// outerFixture is paperEngine plus two dimension rows no fact row matches
+// (date_id 50 and 51 route to no orders_fk partition key) and one fact
+// month whose dimension row is deleted — so both orientations of an outer
+// join have rows to NULL-extend.
+func outerFixture(t *testing.T, segs int) *Engine {
+	t.Helper()
+	eng := paperEngine(t, segs)
+	// orders_colo is orders_fk co-distributed on the join key: the one
+	// layout where join-driven elimination of the fact side is sound for
+	// an outer join (no Motion between selector and scan, and no
+	// replication of a preserved side).
+	eng.MustCreateTable("orders_colo",
+		Columns("order_id", TypeInt, "amount", TypeFloat, "date_id", TypeInt),
+		DistributedBy("date_id"),
+		PartitionByRangeInt("date_id", 0, 24, 24),
+	)
+	id := int64(10000)
+	for monthID := int64(0); monthID < 24; monthID++ {
+		for day := 1; day <= 10; day++ {
+			id++
+			if err := eng.Insert("orders_colo", Int(id), Float(float64(day)), Int(monthID)); err != nil {
+				t.Fatalf("insert orders_colo: %v", err)
+			}
+		}
+	}
+	if err := eng.Insert("date_dim", Int(50), Int(2099), Int(1), Int(1)); err != nil {
+		t.Fatalf("insert dim: %v", err)
+	}
+	if err := eng.Insert("date_dim", Int(51), Int(2099), Int(2), Int(2)); err != nil {
+		t.Fatalf("insert dim: %v", err)
+	}
+	if _, err := eng.Exec("DELETE FROM date_dim WHERE date_id = 5"); err != nil {
+		t.Fatalf("delete dim: %v", err)
+	}
+	if err := eng.Analyze(); err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return eng
+}
+
+// A LEFT JOIN preserves its left side: every dimension row appears even
+// without a matching fact row, and both optimizers agree on the counts.
+func TestLeftJoinPreservesDimension(t *testing.T) {
+	eng := outerFixture(t, 3)
+	// 23 matched dim rows × 10 orders + 2 unmatched dim rows = 232.
+	const q = `SELECT count(*) FROM date_dim d LEFT JOIN orders_fk o ON d.date_id = o.date_id`
+	for _, opt := range []OptimizerKind{Orca, LegacyPlanner} {
+		eng.SetOptimizer(opt)
+		rows, err := eng.Query(q)
+		if err != nil {
+			t.Fatalf("%v: %v", opt, err)
+		}
+		if got := rows.Data[0][0].Int(); got != 232 {
+			t.Errorf("%v: count = %d, want 232", opt, got)
+		}
+	}
+	// The inner form drops the two unmatched dimension rows.
+	for _, opt := range []OptimizerKind{Orca, LegacyPlanner} {
+		eng.SetOptimizer(opt)
+		rows, err := eng.Query(`SELECT count(*) FROM date_dim d, orders_fk o WHERE d.date_id = o.date_id`)
+		if err != nil {
+			t.Fatalf("%v inner: %v", opt, err)
+		}
+		if got := rows.Data[0][0].Int(); got != 230 {
+			t.Errorf("%v: inner count = %d, want 230", opt, got)
+		}
+	}
+}
+
+// RIGHT JOIN is LEFT JOIN flipped: the fact side is preserved, so the ten
+// orders of the deleted dimension month survive NULL-extended.
+func TestRightJoinPreservesFact(t *testing.T) {
+	eng := outerFixture(t, 3)
+	const q = `SELECT count(*) FROM date_dim d RIGHT JOIN orders_fk o ON d.date_id = o.date_id`
+	for _, opt := range []OptimizerKind{Orca, LegacyPlanner} {
+		eng.SetOptimizer(opt)
+		rows, err := eng.Query(q)
+		if err != nil {
+			t.Fatalf("%v: %v", opt, err)
+		}
+		// All 240 fact rows appear; the month-5 ones with NULL dim columns.
+		if got := rows.Data[0][0].Int(); got != 240 {
+			t.Errorf("%v: count = %d, want 240", opt, got)
+		}
+	}
+}
+
+// Partition elimination against the NULL-producing side of an outer join
+// is sound: in dim LEFT JOIN fact, fact rows only appear when matched, so
+// Orca prunes fact partitions from the streamed dimension rows. The fact
+// table must be co-distributed on the join key — the broadcast-build route
+// inner joins use is forbidden here (the dim side is preserved).
+func TestOuterJoinDPEOnNullProducingSide(t *testing.T) {
+	eng := outerFixture(t, 3)
+	eng.SetOptimizer(Orca)
+	const q = `SELECT count(*) FROM date_dim d LEFT JOIN orders_colo o ON d.date_id = o.date_id
+		WHERE d.year = 2013 AND d.month BETWEEN 10 AND 12`
+	rows, err := eng.Query(q)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if got := rows.Data[0][0].Int(); got != 30 {
+		t.Errorf("count = %d, want 30", got)
+	}
+	if got := rows.PartsScanned["orders_colo"]; got != 3 {
+		t.Errorf("parts scanned = %d, want 3 of 24 (DPE on the eliminable side)", got)
+	}
+	// The same query against the order_id-distributed copy of the fact
+	// table has no sound elimination route (redistribution would separate
+	// selector and scan; replicating the preserved dim side duplicates its
+	// unmatched rows) — the planner must fall back to the full scan, not
+	// prune unsoundly.
+	rows, err = eng.Query(`SELECT count(*) FROM date_dim d LEFT JOIN orders_fk o ON d.date_id = o.date_id
+		WHERE d.year = 2013 AND d.month BETWEEN 10 AND 12`)
+	if err != nil {
+		t.Fatalf("orders_fk Query: %v", err)
+	}
+	if got := rows.Data[0][0].Int(); got != 30 {
+		t.Errorf("orders_fk count = %d, want 30", got)
+	}
+	if got := rows.PartsScanned["orders_fk"]; got != 24 {
+		t.Errorf("orders_fk parts scanned = %d, want 24 (no sound DPE route)", got)
+	}
+}
+
+// The preserved side of an outer join must never be pruned by the other
+// side: in dim RIGHT JOIN fact every fact partition owes its rows to the
+// output whether or not the dimension matches them.
+func TestOuterJoinNoDPEOnPreservedSide(t *testing.T) {
+	eng := outerFixture(t, 3)
+	eng.SetOptimizer(Orca)
+	// Narrow the dimension hard; the fact side still scans fully.
+	const q = `SELECT count(*) FROM date_dim d RIGHT JOIN orders_fk o ON d.date_id = o.date_id
+		AND d.year = 2013 AND d.month = 11`
+	rows, err := eng.Query(q)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if got := rows.Data[0][0].Int(); got != 240 {
+		t.Errorf("count = %d, want all 240 fact rows", got)
+	}
+	if got := rows.PartsScanned["orders_fk"]; got != 24 {
+		t.Errorf("parts scanned = %d, want all 24 (preserved side must not be pruned)", got)
+	}
+	// Same orientation spelled as fact LEFT JOIN dim.
+	rows, err = eng.Query(`SELECT count(*) FROM orders_fk o LEFT JOIN date_dim d ON o.date_id = d.date_id`)
+	if err != nil {
+		t.Fatalf("flipped Query: %v", err)
+	}
+	if got := rows.Data[0][0].Int(); got != 240 {
+		t.Errorf("flipped count = %d, want 240", got)
+	}
+	if got := rows.PartsScanned["orders_fk"]; got != 24 {
+		t.Errorf("flipped parts scanned = %d, want 24", got)
+	}
+}
+
+// The plan for an eliminable outer join carries the outer hash join and a
+// join-driven PartitionSelector; the preserved-side plan carries neither a
+// selector over the fact table nor (under elimination) fewer than all
+// partitions at run time.
+func TestOuterJoinExplainShape(t *testing.T) {
+	eng := outerFixture(t, 2)
+	eng.SetOptimizer(Orca)
+	out, err := eng.Explain(`SELECT count(*) FROM date_dim d LEFT JOIN orders_colo o ON d.date_id = o.date_id
+		WHERE d.year = 2013 AND d.month BETWEEN 10 AND 12`)
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if !strings.Contains(out, "HashLeftOuterJoin") && !strings.Contains(out, "HashRightOuterJoin") {
+		t.Errorf("explain lacks an outer hash join:\n%s", out)
+	}
+	if !strings.Contains(out, "PartitionSelector(") || !strings.Contains(out, "orders_colo, o.date_id = d.date_id") && !strings.Contains(out, "orders_colo, d.date_id = o.date_id") {
+		t.Errorf("explain lacks the join-driven PartitionSelector over orders_colo:\n%s", out)
+	}
+}
+
+// Golden tree for the eliminable outer join: the join-driven selector
+// streams the filtered dimension build rows into the fact DynamicScan,
+// selecting 3 of 24 partitions — and, being join-driven ("hub"), it shows
+// no OID-cache line: streamed selections are never cached.
+func TestExplainAnalyzeGoldenOuterJoinDPE(t *testing.T) {
+	eng := outerFixture(t, 2)
+	eng.SetOptimizer(Orca)
+	const q = `SELECT count(*) FROM date_dim d LEFT JOIN orders_colo o ON d.date_id = o.date_id
+		WHERE d.year = 2013 AND d.month BETWEEN 10 AND 12`
+	// Warm the plan cache so parameter binding, not planning, is exercised.
+	if _, err := eng.Query(q); err != nil {
+		t.Fatalf("warm-up Query: %v", err)
+	}
+	out, err := eng.ExplainAnalyze(q)
+	if err != nil {
+		t.Fatalf("ExplainAnalyze: %v", err)
+	}
+	const want = `Project (count_1)  (actual rows=1 loops=1 time=T)
+  -> HashAggregate (count(*))  (actual rows=1 loops=1 time=T)
+       Peak memory: N per instance
+    -> Gather Motion  (actual rows=30 loops=1 time=T)
+      -> HashLeftOuterJoin (d.date_id = o.date_id)  (rows=240 cost=284)  (actual rows=30 loops=2 time=T)
+           Peak memory: N per instance
+        -> PartitionSelector(2, orders_colo, d.date_id = o.date_id)  (rows=1 cost=31)  (actual rows=3 loops=2 time=T)
+             Partitions selected: 3 (out of 24)
+          -> Redistribute Motion (t1.c0)  (rows=1 cost=30)  (actual rows=3 loops=2 time=T)
+            -> Filter (d.year = $1 AND d.month >= $2 AND d.month <= $3)  (rows=1 cost=28)  (actual rows=3 loops=1 time=T)
+              -> Scan date_dim  (rows=25 cost=25)  (actual rows=25 loops=1 time=T)
+                   Rows read from storage: 25
+        -> DynamicScan(2, orders_colo)  (rows=240 cost=240)  (actual rows=30 loops=2 time=T)
+             Partitions selected: 3 (out of 24)
+             Rows read from storage: 30
+`
+	if got := normalizeAnalyze(out); got != want {
+		t.Errorf("golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

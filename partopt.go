@@ -30,6 +30,7 @@ import (
 	"partopt/internal/logical"
 	"partopt/internal/mem"
 	"partopt/internal/obs"
+	"partopt/internal/oidcache"
 	"partopt/internal/orca"
 	"partopt/internal/plan"
 	"partopt/internal/plancache"
@@ -111,7 +112,7 @@ func New(segments int) (*Engine, error) {
 	e := &Engine{
 		cat:      catalog.New(),
 		store:    st,
-		rt:       &exec.Runtime{Store: st, Obs: reg},
+		rt:       &exec.Runtime{Store: st, Obs: reg, OIDCache: oidcache.New(DefaultOIDCacheCapacity)},
 		plans:    plancache.New(DefaultPlanCacheCapacity),
 		segments: segments,
 	}

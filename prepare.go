@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"partopt/internal/oidcache"
 	"partopt/internal/plan"
 	"partopt/internal/plancache"
 	"partopt/internal/sql"
@@ -13,6 +14,11 @@ import (
 // DefaultPlanCacheCapacity is the engine's initial plan-cache size, in
 // entries. Use SetPlanCacheCapacity to change it (0 disables caching).
 const DefaultPlanCacheCapacity = 256
+
+// DefaultOIDCacheCapacity is the engine's initial partition-OID-cache
+// size, in entries (one entry per distinct (table, interval-set) static
+// selection). Use SetOIDCacheCapacity to change it (0 disables caching).
+const DefaultOIDCacheCapacity = 1024
 
 type stmtKind uint8
 
@@ -343,4 +349,50 @@ func (e *Engine) wireCacheMetrics() {
 		Evictions:     r.Counter("partopt_plan_cache_evictions_total"),
 		Invalidations: r.Counter("partopt_plan_cache_invalidations_total"),
 	})
+	e.rt.OIDCache.SetMetrics(oidcache.Metrics{
+		Hits:          r.Counter("partopt_oid_cache_hits_total"),
+		Misses:        r.Counter("partopt_oid_cache_misses_total"),
+		Evictions:     r.Counter("partopt_oid_cache_evictions_total"),
+		Invalidations: r.Counter("partopt_oid_cache_invalidations_total"),
+	})
+}
+
+// SetOIDCacheCapacity resizes the partition-OID cache (0 disables it:
+// every static PartitionSelector recomputes its leaf set from the
+// partition descriptor at Open). Resizing purges cached entries so the
+// capacity bound holds exactly from here on.
+func (e *Engine) SetOIDCacheCapacity(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rt.OIDCache.SetCapacity(n)
+}
+
+// OIDCacheStats is a point-in-time view of the partition-OID cache.
+type OIDCacheStats struct {
+	Hits          int64
+	Misses        int64
+	Evictions     int64
+	Invalidations int64
+	Entries       int
+	Capacity      int
+	Epoch         uint64
+}
+
+// OIDCacheStats reports the partition-OID cache's counters. Every miss is
+// one desc.Select traversal; a sweep whose misses stop growing is serving
+// selections entirely from the cache.
+func (e *Engine) OIDCacheStats() OIDCacheStats {
+	e.mu.RLock()
+	c := e.rt.OIDCache
+	e.mu.RUnlock()
+	s := c.Snapshot()
+	return OIDCacheStats{
+		Hits:          s.Hits,
+		Misses:        s.Misses,
+		Evictions:     s.Evictions,
+		Invalidations: s.Invalidations,
+		Entries:       s.Entries,
+		Capacity:      c.Capacity(),
+		Epoch:         s.Epoch,
+	}
 }
