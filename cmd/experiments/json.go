@@ -138,6 +138,21 @@ func outerdpeRecords(r *bench.OuterDPEResult) []benchRecord {
 	}
 }
 
+// colscanRecords flattens the vectorized-kernel grid: throughput and
+// elapsed time per (kernel × partition count), keyed like table2's records
+// so "scan_rows_per_sec@1parts" reads as the columnar full-scan headline.
+func colscanRecords(rows []bench.ColScanRow) []benchRecord {
+	var out []benchRecord
+	for _, r := range rows {
+		key := fmt.Sprintf("@%dparts", r.Parts)
+		out = append(out,
+			benchRecord{"colscan", r.Kernel + "_rows_per_sec" + key, r.RowsPerSec, "rows/s"},
+			benchRecord{"colscan", r.Kernel + "_elapsed_ns" + key, float64(r.Elapsed.Nanoseconds()), "ns"},
+		)
+	}
+	return out
+}
+
 // fig18Records flattens one plan-size curve (a, b or c).
 func fig18Records(name string, rows []bench.SizeRow) []benchRecord {
 	var out []benchRecord

@@ -7,6 +7,7 @@
 //	Figure 17    — runtime improvement with partition selection enabled
 //	Figure 18a-c — plan-size scaling: static, dynamic, and DML plans
 //	plancache    — point-query latency with the plan cache off vs on
+//	colscan      — vectorized scan/filter/agg kernel throughput
 //
 // With -json, each experiment additionally writes its headline metrics to
 // BENCH_<name>.json in -json-dir (default: current directory) using the
@@ -33,7 +34,7 @@ func main() {
 	rows := flag.Int("rows", 60000, "lineitem rows for Table 2")
 	sales := flag.Int("sales", 40, "star-schema sales rows per day")
 	iters := flag.Int("iters", 5, "timing iterations (fastest run wins)")
-	only := flag.String("only", "", "run a single experiment (table2|table3|fig16|fig17|fig18|plancache)")
+	only := flag.String("only", "", "run a single experiment (table2|table3|fig16|fig17|fig18|plancache|outerdpe|colscan)")
 	jsonOut := flag.Bool("json", false, "write BENCH_<name>.json files with the headline metrics")
 	jsonDir := flag.String("json-dir", ".", "directory for -json output files")
 	flag.Parse()
@@ -121,6 +122,15 @@ func main() {
 		emit("plancache", plancacheRecords(pc))
 	}
 
+	if want("colscan") {
+		fmt.Println("== Columnar kernels =====================================================")
+		csCfg := bench.ColScanConfig{Rows: *rows, Segments: *segments, Iters: *iters}
+		cs, err := bench.RunColScan(csCfg)
+		fatalIf(err)
+		fmt.Println(bench.FormatColScan(cs))
+		emit("colscan", colscanRecords(cs))
+	}
+
 	if want("outerdpe") {
 		fmt.Println("== Outer-join DPE =======================================================")
 		odCfg := bench.DefaultOuterDPEConfig()
@@ -132,13 +142,13 @@ func main() {
 	}
 
 	if *only != "" && !isKnown(*only) {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want table2|table3|fig16|fig17|fig18|plancache|outerdpe)\n", *only)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want table2|table3|fig16|fig17|fig18|plancache|outerdpe|colscan)\n", *only)
 		os.Exit(2)
 	}
 }
 
 func isKnown(name string) bool {
-	return strings.Contains("table2 table3 fig16 fig17 fig18 plancache outerdpe", name)
+	return strings.Contains("table2 table3 fig16 fig17 fig18 plancache outerdpe colscan", name)
 }
 
 func fatalIf(err error) {

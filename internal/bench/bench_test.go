@@ -32,6 +32,35 @@ func TestRunTable2Shape(t *testing.T) {
 	}
 }
 
+func TestRunColScanShape(t *testing.T) {
+	rows, err := RunColScan(ColScanConfig{Rows: 3000, Segments: 2, Iters: 1})
+	if err != nil {
+		t.Fatalf("RunColScan: %v", err)
+	}
+	if len(rows) != 9 { // 3 kernels × 3 schemes
+		t.Fatalf("rows = %d, want 9", len(rows))
+	}
+	seen := map[string]int{}
+	for _, r := range rows {
+		seen[r.Kernel]++
+		if r.Parts != 1 && r.Parts != 42 && r.Parts != 84 {
+			t.Errorf("%s: unexpected partition count %d", r.Kernel, r.Parts)
+		}
+		if r.RowsPerSec <= 0 {
+			t.Errorf("%s@%dparts: non-positive throughput", r.Kernel, r.Parts)
+		}
+	}
+	for _, k := range []string{"scan", "filter", "agg"} {
+		if seen[k] != 3 {
+			t.Errorf("kernel %s measured %d times, want 3", k, seen[k])
+		}
+	}
+	out := FormatColScan(rows)
+	if !strings.Contains(out, "rows/s") || !strings.Contains(out, "agg") {
+		t.Errorf("format missing fields:\n%s", out)
+	}
+}
+
 func TestRunWorkloadAndClassification(t *testing.T) {
 	stats, err := RunWorkload(smallStar(), 2)
 	if err != nil {

@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"partopt"
+	"partopt/internal/workload"
+)
+
+// ------------------------------------------------------------- colscan
+
+// The colscan experiment times the three vectorized hot kernels — full
+// scan, a ~10% selective filter, and a grouped hash aggregation — over the
+// unpartitioned, bi-monthly (42-part) and monthly (84-part) lineitem
+// layouts. It tracks the throughput the columnar storage layout and typed
+// kernels deliver, and how much of it survives partitioning fan-out.
+
+// ColScanRow is one (kernel × partitioning scheme) measurement.
+type ColScanRow struct {
+	Kernel     string // "scan", "filter", "agg"
+	Parts      int
+	Elapsed    time.Duration
+	RowsPerSec float64 // input rows processed per second
+}
+
+// ColScanConfig scales the colscan experiment.
+type ColScanConfig struct {
+	Rows     int
+	Segments int
+	Iters    int
+}
+
+// DefaultColScanConfig returns the scale used by the committed results —
+// the same lineitem scale as Table 2, so the numbers are comparable.
+func DefaultColScanConfig() ColScanConfig {
+	return ColScanConfig{Rows: 60000, Segments: 4, Iters: 3}
+}
+
+// colScanKernels are the measured queries. l_quantity is uniform on
+// [1, 50], so `l_quantity <= 5` keeps ~10% of the input; the aggregation
+// groups on it (50 groups) summing the float lane.
+var colScanKernels = []struct {
+	Name string
+	SQL  string
+}{
+	{"scan", "SELECT * FROM lineitem"},
+	{"filter", "SELECT l_orderkey, l_quantity FROM lineitem WHERE l_quantity <= 5"},
+	{"agg", "SELECT l_quantity, count(*), sum(l_extendedprice) FROM lineitem GROUP BY l_quantity"},
+}
+
+// RunColScan measures every kernel over every scheme. Engines are built
+// first and the (kernel × scheme) grid is timed round-robin so GC pressure
+// hits every cell equally.
+func RunColScan(cfg ColScanConfig) ([]ColScanRow, error) {
+	schemes := []workload.LineitemScheme{
+		workload.LineitemUnpartitioned,
+		workload.LineitemBiMonthly,
+		workload.LineitemMonthly,
+	}
+	engines := make([]*partopt.Engine, len(schemes))
+	for i, scheme := range schemes {
+		eng, err := partopt.New(cfg.Segments)
+		if err != nil {
+			return nil, err
+		}
+		if err := workload.BuildLineitem(eng, scheme, cfg.Rows); err != nil {
+			return nil, err
+		}
+		for _, k := range colScanKernels {
+			if _, err := eng.Query(k.SQL); err != nil { // warm-up
+				return nil, err
+			}
+		}
+		engines[i] = eng
+	}
+	runtime.GC()
+
+	best := make([][]time.Duration, len(colScanKernels))
+	for ki := range best {
+		best[ki] = make([]time.Duration, len(schemes))
+		for si := range best[ki] {
+			best[ki][si] = time.Duration(1<<62 - 1)
+		}
+	}
+	for iter := 0; iter < cfg.Iters; iter++ {
+		for ki, k := range colScanKernels {
+			for si, eng := range engines {
+				runtime.GC()
+				start := time.Now()
+				if _, err := eng.Query(k.SQL); err != nil {
+					return nil, err
+				}
+				if d := time.Since(start); d < best[ki][si] {
+					best[ki][si] = d
+				}
+			}
+		}
+	}
+
+	var out []ColScanRow
+	for ki, k := range colScanKernels {
+		for si, scheme := range schemes {
+			d := best[ki][si]
+			rps := 0.0
+			if d > 0 {
+				rps = float64(cfg.Rows) / d.Seconds()
+			}
+			out = append(out, ColScanRow{Kernel: k.Name, Parts: scheme.Parts(), Elapsed: d, RowsPerSec: rps})
+		}
+	}
+	return out, nil
+}
+
+// FormatColScan renders the kernel × scheme grid.
+func FormatColScan(rows []ColScanRow) string {
+	var b strings.Builder
+	b.WriteString("colscan: vectorized kernel throughput (input rows/s) vs partition count\n")
+	fmt.Fprintf(&b, "%8s  %8s  %12s  %14s\n", "kernel", "#parts", "elapsed", "rows/s")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8s  %8d  %12v  %14.0f\n", r.Kernel, r.Parts, r.Elapsed.Round(time.Microsecond), r.RowsPerSec)
+	}
+	return b.String()
+}

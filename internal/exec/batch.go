@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"partopt/internal/types"
+	"partopt/internal/vec"
 )
 
 // Batch-at-a-time execution protocol.
@@ -59,8 +60,26 @@ func BatchSize() int { return execBatchSize }
 
 // Batch is one unit of batched data flow: a slice of rows plus the reusable
 // header storage behind it. See the ownership contract above.
+//
+// A batch may additionally carry a columnar payload: Cols is a set of
+// zero-copy column views (one per output column, straight off the storage
+// layer's vectors) and Sel an optional selection vector. The invariant tying
+// the two representations together is
+//
+//	Rows[k] == column values at window row (Sel == nil ? k : Sel[k])
+//
+// for every k < len(Rows). Rows is ALWAYS populated — row-only operators
+// and the stats layer never look at Cols — so the columnar payload is a
+// strictly optional acceleration: any operator may ignore it, and any
+// operator that builds fresh rows simply emits batches with Cols == nil.
+// Operators that forward a child's *Batch unchanged (selector, sequence,
+// append, stats, limit's in-place prefix truncation) preserve the invariant
+// for free. Cols and Sel are transient exactly like the Rows header; the
+// views' underlying vectors are owned by storage and are read-only here.
 type Batch struct {
 	Rows []types.Row
+	Cols []vec.View
+	Sel  []int32
 }
 
 // Len returns the number of rows, tolerating a nil batch.
@@ -71,8 +90,9 @@ func (b *Batch) Len() int {
 	return len(b.Rows)
 }
 
-// reset empties the batch for refilling, keeping the header capacity.
-func (b *Batch) reset() { b.Rows = b.Rows[:0] }
+// reset empties the batch for refilling, keeping the header capacity and
+// dropping any columnar payload.
+func (b *Batch) reset() { b.Rows, b.Cols, b.Sel = b.Rows[:0], nil, nil }
 
 // BatchOperator is the vectorized side of the executor. Open and Close are
 // shared with Operator; NextBatch replaces Next.

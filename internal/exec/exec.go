@@ -106,12 +106,24 @@ type Stats struct {
 	// the final attempt, so EXPLAIN ANALYZE never mixes a failed attempt's
 	// partial counts with the attempt that produced the answer.
 	ops map[plan.Node]*opAccum
+
+	// timed enables per-operator wall-clock sampling (the EXPLAIN ANALYZE
+	// "time=" figure). Row, partition and spill counters are always
+	// collected; clock reads are opt-in because two of them per batch pull
+	// per decorator measurably distort short queries — the same reason
+	// Postgres offers EXPLAIN (ANALYZE, TIMING OFF). Set before the query
+	// starts, read-only while it runs.
+	timed bool
 }
 
 // NewStats returns an empty counter set.
 func NewStats() *Stats {
 	return &Stats{partsScanned: map[string]map[part.OID]bool{}}
 }
+
+// EnableTiming turns on per-operator wall-clock sampling for queries run
+// with this Stats. Must be called before execution begins.
+func (s *Stats) EnableTiming() { s.timed = true }
 
 func (s *Stats) notePartScanned(table string, leaf part.OID) {
 	s.mu.Lock()
@@ -228,9 +240,11 @@ type Ctx struct {
 
 	// Per-operator instrumentation (see opstats.go). frames and cur are
 	// goroutine-local; finishOpStats flushes them into Stats exactly once.
+	// timed caches Stats.timed so the per-pull check is a field read.
 	frames  map[plan.Node]*opFrame
 	cur     *opFrame
 	flushed bool
+	timed   bool
 }
 
 // CoordinatorSeg is the pseudo-segment id of the coordinator process.
@@ -245,7 +259,7 @@ func newCtx(rt *Runtime, seg int, params *Params, stats *Stats, goCtx context.Co
 	}
 	return &Ctx{Rt: rt, Seg: seg, Params: params, Stats: stats, boxes: map[int]*oidBox{},
 		goCtx: goCtx, done: goCtx.Done(), budget: budget, primaries: primaries,
-		frames: map[plan.Node]*opFrame{}}
+		frames: map[plan.Node]*opFrame{}, timed: stats != nil && stats.timed}
 }
 
 // replica reports which physical replica this slice instance reads for its
@@ -291,9 +305,9 @@ func (c *Ctx) release(n int64) {
 	c.attributeRelease(n)
 }
 
-// chunkBytes sums the memory footprint of a motion chunk. Both sides of an
-// exchange recompute it deterministically from the rows, so account and
-// release always agree without shipping the figure alongside the chunk.
+// chunkBytes sums the memory footprint of a motion chunk (mem.RowBytes per
+// row). The sender computes it once at flush time and ships the figure with
+// the chunk, so account and release always agree.
 func chunkBytes(rows []types.Row) int64 {
 	var n int64
 	for _, row := range rows {
@@ -302,18 +316,19 @@ func chunkBytes(rows []types.Row) int64 {
 	return n
 }
 
-// accountChunk attributes one motion-buffered chunk to the query (no denial;
-// raises pressure so spillable operators yield memory sooner).
-func (c *Ctx) accountChunk(rows []types.Row) {
+// accountChunkBytes attributes one motion-buffered chunk to the query (no
+// denial; raises pressure so spillable operators yield memory sooner).
+func (c *Ctx) accountChunkBytes(n int64) {
 	if c.budget != nil {
-		c.budget.Account(chunkBytes(rows))
+		c.budget.Account(n)
 	}
 }
 
-// releaseChunk undoes accountChunk once the chunk leaves the motion buffer.
-func (c *Ctx) releaseChunk(rows []types.Row) {
+// releaseChunkBytes undoes accountChunkBytes once the chunk leaves the
+// motion buffer.
+func (c *Ctx) releaseChunkBytes(n int64) {
 	if c.budget != nil {
-		c.budget.Release(chunkBytes(rows))
+		c.budget.Release(n)
 	}
 }
 

@@ -94,6 +94,11 @@ type hashJoinOp struct {
 	penv     expr.Env // probe-layout env
 	resEnv   expr.Env // concat-layout env (residual predicate)
 	out      Batch    // reused output header for NextBatch
+
+	// Columnar key hashing (nil: keys are not plain columns). Join
+	// semantics: a NULL key yields (0, true), so mixNulls is false.
+	vhBuild *vecHasher
+	vhProbe *vecHasher
 }
 
 func (j *hashJoinOp) Open(ctx *Ctx) (err error) {
@@ -103,6 +108,8 @@ func (j *hashJoinOp) Open(ctx *Ctx) (err error) {
 	j.benv = expr.Env{Layout: j.buildLayout, Params: ctx.Params.Vals}
 	j.penv = expr.Env{Layout: j.probeLayout, Params: ctx.Params.Vals}
 	j.resEnv = expr.Env{Layout: j.outer(), Params: ctx.Params.Vals}
+	j.vhBuild = newVecHasher(j.n.BuildKeys, j.buildLayout, false)
+	j.vhProbe = newVecHasher(j.n.ProbeKeys, j.probeLayout, false)
 	j.table = map[uint64][]types.Row{}
 	j.tableBytes = 0
 	j.spilled = false
@@ -143,10 +150,18 @@ func (j *hashJoinOp) Open(ctx *Ctx) (err error) {
 		if err := ctx.pollAbortBatch(); err != nil {
 			return err
 		}
-		for _, row := range b.Rows {
-			h, null, err := j.hashWith(&j.benv, j.n.BuildKeys, row)
-			if err != nil {
-				return err
+		bh, bnull, bok := j.vhBuild.hashBatch(b)
+		for k, row := range b.Rows {
+			var h uint64
+			var null bool
+			if bok {
+				h, null = bh[k], bnull[k]
+			} else {
+				var err error
+				h, null, err = j.hashWith(&j.benv, j.n.BuildKeys, row)
+				if err != nil {
+					return err
+				}
 			}
 			if null && j.n.Type != plan.LeftOuterJoin {
 				continue // NULL keys never join
@@ -199,10 +214,18 @@ func (j *hashJoinOp) Open(ctx *Ctx) (err error) {
 		if err := ctx.pollAbortBatch(); err != nil {
 			return err
 		}
-		for _, row := range b.Rows {
-			h, null, err := j.hashWith(&j.penv, j.n.ProbeKeys, row)
-			if err != nil {
-				return err
+		ph, pnull, pok := j.vhProbe.hashBatch(b)
+		for k, row := range b.Rows {
+			var h uint64
+			var null bool
+			if pok {
+				h, null = ph[k], pnull[k]
+			} else {
+				var err error
+				h, null, err = j.hashWith(&j.penv, j.n.ProbeKeys, row)
+				if err != nil {
+					return err
+				}
 			}
 			if null && j.n.Type != plan.RightOuterJoin {
 				continue // NULL keys never join
@@ -663,6 +686,7 @@ type hashAggOp struct {
 	env    expr.Env  // reused per row
 	keyBuf types.Row // reused group-key probe buffer (cloned only on insert)
 	out    Batch     // reused output header for NextBatch
+	vh     *vecHasher // columnar group-key hashing (nil: row path)
 }
 
 // aggStateBytes estimates one group's aggregation-state footprint.
@@ -674,6 +698,12 @@ func (a *hashAggOp) Open(ctx *Ctx) (err error) {
 	a.layout = a.n.Child.Layout()
 	a.env = expr.Env{Layout: a.layout, Params: ctx.Params.Vals}
 	a.keyBuf = make(types.Row, len(a.n.Groups))
+	groupKeys := make([]expr.Expr, len(a.n.Groups))
+	for i, g := range a.n.Groups {
+		groupKeys[i] = g.E
+	}
+	// The row path mixes NULL group values into the hash, so mixNulls here.
+	a.vh = newVecHasher(groupKeys, a.layout, true)
 	a.groups = map[uint64][]*aggState{}
 	a.order = nil
 	a.pos = 0
@@ -702,6 +732,14 @@ func (a *hashAggOp) Open(ctx *Ctx) (err error) {
 		}
 		if err := ctx.pollAbortBatch(); err != nil {
 			return err
+		}
+		if gh, _, ok := a.vh.hashBatch(b); ok {
+			for k, row := range b.Rows {
+				if err := a.accumulateHashed(row, gh[k], ctx, false); err != nil {
+					return err
+				}
+			}
+			continue
 		}
 		for _, row := range b.Rows {
 			if err := a.accumulate(row, ctx, false); err != nil {
@@ -749,16 +787,37 @@ func (a *hashAggOp) newState(groupVals types.Row) *aggState {
 // working set (hard reservation, no further spilling).
 func (a *hashAggOp) accumulate(row types.Row, ctx *Ctx, hard bool) error {
 	a.env.Row = row
-	groupVals := a.keyBuf // probe with the reused buffer; clone only on insert
 	h := types.HashSeed
 	for i, g := range a.n.Groups {
 		v, err := expr.Eval(g.E, &a.env)
 		if err != nil {
 			return err
 		}
-		groupVals[i] = v
+		a.keyBuf[i] = v
 		h = types.HashDatum(h, v)
 	}
+	return a.fold(row, h, ctx, hard)
+}
+
+// accumulateHashed is accumulate with the group hash already computed
+// column-wise for the whole batch; only the group values themselves still
+// need evaluating for the equality probe.
+func (a *hashAggOp) accumulateHashed(row types.Row, h uint64, ctx *Ctx, hard bool) error {
+	a.env.Row = row
+	for i, g := range a.n.Groups {
+		v, err := expr.Eval(g.E, &a.env)
+		if err != nil {
+			return err
+		}
+		a.keyBuf[i] = v
+	}
+	return a.fold(row, h, ctx, hard)
+}
+
+// fold folds one input row, with its group hash and a.keyBuf holding its
+// group values, into the resident table (or a spill partition).
+func (a *hashAggOp) fold(row types.Row, h uint64, ctx *Ctx, hard bool) error {
+	groupVals := a.keyBuf // probe with the reused buffer; clone only on insert
 	var st *aggState
 	for _, cand := range a.groups[h] {
 		same := true

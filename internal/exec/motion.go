@@ -27,6 +27,14 @@ const (
 	motionBufferChunks = 8  // per-receiver channel buffer, in chunks
 )
 
+// motionChunk is one shipped chunk plus its memory footprint, computed
+// once at flush time so the receiving side releases exactly what the
+// sender accounted without re-walking the rows.
+type motionChunk struct {
+	rows  []types.Row
+	bytes int64
+}
+
 // exchange wires the sender instances of one Motion to its receivers.
 type exchange struct {
 	kind     plan.MotionKind
@@ -35,7 +43,7 @@ type exchange struct {
 	fromSeg  int         // -1: all segments send; ≥0: only that segment
 
 	recvSegs []int                    // receiver pseudo-segments
-	chans    map[int]chan []types.Row // receiver seg → fan-in channel of chunks
+	chans    map[int]chan motionChunk // receiver seg → fan-in channel of chunks
 	senders  sync.WaitGroup
 	closed   sync.Once
 }
@@ -47,10 +55,10 @@ func newExchange(m *plan.Motion, recvSegs []int, senderCount int) *exchange {
 		layout:   m.Child.Layout(),
 		fromSeg:  m.FromSegment,
 		recvSegs: recvSegs,
-		chans:    map[int]chan []types.Row{},
+		chans:    map[int]chan motionChunk{},
 	}
 	for _, seg := range recvSegs {
-		ex.chans[seg] = make(chan []types.Row, motionBufferChunks)
+		ex.chans[seg] = make(chan motionChunk, motionBufferChunks)
 	}
 	ex.senders.Add(senderCount)
 	go func() {
@@ -81,6 +89,7 @@ type motionSender struct {
 	ex      *exchange
 	env     expr.Env      // reused across rows for redistribute hashing
 	staging [][]types.Row // parallel to ex.recvSegs; nil after a flush
+	vh      *vecHasher    // columnar redistribute hashing (nil: row path)
 }
 
 func (ex *exchange) newSender(ctx *Ctx) *motionSender {
@@ -88,31 +97,38 @@ func (ex *exchange) newSender(ctx *Ctx) *motionSender {
 		ex:      ex,
 		env:     expr.Env{Layout: ex.layout, Params: ctx.Params.Vals},
 		staging: make([][]types.Row, len(ex.recvSegs)),
+		// The row path mixes NULL key values into the hash (HashDatum of a
+		// NULL), so the columnar hasher does too.
+		vh: newVecHasher(ex.hashKeys, ex.layout, true),
 	}
 }
 
 // sendBatch routes every row of one batch into the staging buffers, flushing
 // any buffer that fills. Rows are staged by reference: batch rows are stable
-// per the batch ownership contract, so no copy is needed.
-func (s *motionSender) sendBatch(ctx *Ctx, rows []types.Row) error {
+// per the batch ownership contract, so no copy is needed. Redistribute
+// hashing runs column-wise when the batch carries vectors.
+func (s *motionSender) sendBatch(ctx *Ctx, b *Batch) error {
+	rows := b.Rows
 	switch s.ex.kind {
 	case plan.GatherMotion:
-		for _, row := range rows {
-			if err := s.stage(ctx, 0, row); err != nil {
+		return s.stageRows(ctx, 0, rows)
+	case plan.BroadcastMotion:
+		for i := range s.ex.recvSegs {
+			if err := s.stageRows(ctx, i, rows); err != nil {
 				return err
 			}
 		}
 		return nil
-	case plan.BroadcastMotion:
-		for _, row := range rows {
-			for i := range s.ex.recvSegs {
+	case plan.RedistributeMotion:
+		if h, _, ok := s.vh.hashBatch(b); ok {
+			for k, row := range rows {
+				i := int(h[k] % uint64(len(s.ex.recvSegs)))
 				if err := s.stage(ctx, i, row); err != nil {
 					return err
 				}
 			}
+			return nil
 		}
-		return nil
-	case plan.RedistributeMotion:
 		for _, row := range rows {
 			s.env.Row = row
 			h := types.HashSeed
@@ -145,6 +161,31 @@ func (s *motionSender) stage(ctx *Ctx, i int, row types.Row) error {
 	return nil
 }
 
+// stageRows stages a run of rows for receiver i in bulk, producing exactly
+// the chunk boundaries the row-at-a-time path would: fill to
+// motionChunkRows, flush, repeat. Gather and broadcast route every row of a
+// batch to the same receiver, so the per-row staging call is pure overhead
+// for them.
+func (s *motionSender) stageRows(ctx *Ctx, i int, rows []types.Row) error {
+	for len(rows) > 0 {
+		if s.staging[i] == nil {
+			s.staging[i] = make([]types.Row, 0, motionChunkRows)
+		}
+		take := motionChunkRows - len(s.staging[i])
+		if take > len(rows) {
+			take = len(rows)
+		}
+		s.staging[i] = append(s.staging[i], rows[:take]...)
+		rows = rows[take:]
+		if len(s.staging[i]) >= motionChunkRows {
+			if err := s.flush(ctx, i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // flush ships receiver i's staged chunk. Ownership passes to the receiver:
 // the staging slot is cleared so the next stage call allocates fresh.
 //
@@ -153,21 +194,22 @@ func (s *motionSender) stage(ctx *Ctx, i int, row types.Row) error {
 // receiver) so a wide redistribute can't hide queued rows from the
 // governor. Accounting never denies — the channel buffer bounds it.
 func (s *motionSender) flush(ctx *Ctx, i int) error {
-	chunk := s.staging[i]
-	if len(chunk) == 0 {
+	rows := s.staging[i]
+	if len(rows) == 0 {
 		return nil
 	}
 	s.staging[i] = nil
 	if err := ctx.hitFault(fault.MotionSend); err != nil {
 		return err
 	}
-	ctx.accountChunk(chunk)
+	chunk := motionChunk{rows: rows, bytes: chunkBytes(rows)}
+	ctx.accountChunkBytes(chunk.bytes)
 	select {
 	case s.ex.chans[s.ex.recvSegs[i]] <- chunk:
-		ctx.noteRowsMoved(int64(len(chunk)))
+		ctx.noteRowsMoved(int64(len(rows)))
 		return nil
 	case <-ctx.done:
-		ctx.releaseChunk(chunk)
+		ctx.releaseChunkBytes(chunk.bytes)
 		return errQueryAborted
 	}
 }
@@ -202,15 +244,16 @@ func (r *motionRecvOp) Open(ctx *Ctx) error {
 }
 
 // recvChunk blocks for the next chunk, releasing its budget charge on
-// arrival (the rows now belong to this slice's operators).
+// arrival (the rows now belong to this slice's operators). The charge is
+// the figure the sender computed at flush time, carried with the chunk.
 func (r *motionRecvOp) recvChunk(ctx *Ctx) ([]types.Row, error) {
 	select {
 	case chunk, ok := <-r.ex.chans[ctx.Seg]:
 		if !ok {
 			return nil, errEOF
 		}
-		ctx.releaseChunk(chunk)
-		return chunk, nil
+		ctx.releaseChunkBytes(chunk.bytes)
+		return chunk.rows, nil
 	case <-ctx.done:
 		return nil, errQueryAborted
 	}

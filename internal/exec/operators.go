@@ -12,6 +12,7 @@ import (
 	"partopt/internal/plan"
 	"partopt/internal/storage"
 	"partopt/internal/types"
+	"partopt/internal/vec"
 )
 
 // Operator is the Volcano iterator interface. Next returns io.EOF after the
@@ -53,6 +54,22 @@ func withRowIDs(rows []types.Row, ids []storage.RowID, seg int, leaf part.OID, b
 	return hdr
 }
 
+// colWindow fills viewBuf with zero-copy views of cols' lanes windowed at
+// base, for attaching to a batch. Returns nil when cols is nil.
+func colWindow(cols *vec.ColumnSet, base int, viewBuf []vec.View) []vec.View {
+	if cols == nil {
+		return nil
+	}
+	w := cols.Width()
+	viewBuf = viewBuf[:0]
+	for j := 0; j < w; j++ {
+		v := cols.ColView(j)
+		v.Base = base
+		viewBuf = append(viewBuf, v)
+	}
+	return viewBuf
+}
+
 // scanOp reads one heap (one leaf partition, or an unpartitioned table) on
 // the executing segment.
 type scanOp struct {
@@ -62,13 +79,23 @@ type scanOp struct {
 
 	batch Batch
 	idBuf []types.Row // reused row headers for the WithRowID arena
+
+	cols    *vec.ColumnSet // columnar twin of rows (nil when disabled)
+	viewBuf []vec.View     // reused per-batch column views
 }
 
 func (s *scanOp) Open(ctx *Ctx) error {
 	if ctx.Seg == CoordinatorSeg {
 		return fmt.Errorf("exec: Scan of %s cannot run on the coordinator", s.n.Table.Name)
 	}
-	rows, err := ctx.scanLeaf(s.n.Table.OID, s.n.Leaf)
+	var rows []types.Row
+	var err error
+	s.cols = nil
+	if columnarEnabled && !s.n.WithRowID {
+		s.cols, rows, err = ctx.scanLeafCols(s.n.Table.OID, s.n.Leaf)
+	} else {
+		rows, err = ctx.scanLeaf(s.n.Table.OID, s.n.Leaf)
+	}
 	if err != nil {
 		return err
 	}
@@ -117,16 +144,20 @@ func (s *scanOp) NextBatch(ctx *Ctx) (*Batch, error) {
 		end = len(s.rows)
 	}
 	out := s.rows[s.pos:end]
+	s.batch.Cols, s.batch.Sel = nil, nil
 	if s.n.WithRowID {
 		s.idBuf = withRowIDs(out, nil, ctx.Seg, s.n.Leaf, s.pos, s.idBuf)
 		out = s.idBuf
+	} else if s.cols != nil {
+		s.viewBuf = colWindow(s.cols, s.pos, s.viewBuf)
+		s.batch.Cols = s.viewBuf
 	}
 	s.pos = end
 	s.batch.Rows = out
 	return &s.batch, nil
 }
 
-func (s *scanOp) Close(*Ctx) error { s.rows = nil; return nil }
+func (s *scanOp) Close(*Ctx) error { s.rows, s.cols = nil, nil; return nil }
 
 // ---------------------------------------------------------------- dynamic scan
 
@@ -141,6 +172,9 @@ type dynScanOp struct {
 
 	batch Batch
 	idBuf []types.Row
+
+	cols    *vec.ColumnSet // columnar twin of the current leaf
+	viewBuf []vec.View
 }
 
 func (s *dynScanOp) Open(ctx *Ctx) error {
@@ -212,7 +246,14 @@ func (s *dynScanOp) NextBatch(ctx *Ctx) (*Batch, error) {
 		}
 		s.curLeaf = s.leaves[s.li]
 		s.li++
-		rows, err := ctx.scanLeaf(s.n.Table.OID, s.curLeaf)
+		var rows []types.Row
+		var err error
+		s.cols = nil
+		if columnarEnabled && !s.n.WithRowID {
+			s.cols, rows, err = ctx.scanLeafCols(s.n.Table.OID, s.curLeaf)
+		} else {
+			rows, err = ctx.scanLeaf(s.n.Table.OID, s.curLeaf)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -224,16 +265,20 @@ func (s *dynScanOp) NextBatch(ctx *Ctx) (*Batch, error) {
 		end = len(s.rows)
 	}
 	out := s.rows[s.pos:end]
+	s.batch.Cols, s.batch.Sel = nil, nil
 	if s.n.WithRowID {
 		s.idBuf = withRowIDs(out, nil, ctx.Seg, s.curLeaf, s.pos, s.idBuf)
 		out = s.idBuf
+	} else if s.cols != nil {
+		s.viewBuf = colWindow(s.cols, s.pos, s.viewBuf)
+		s.batch.Cols = s.viewBuf
 	}
 	s.pos = end
 	s.batch.Rows = out
 	return &s.batch, nil
 }
 
-func (s *dynScanOp) Close(*Ctx) error { s.rows, s.leaves = nil, nil; return nil }
+func (s *dynScanOp) Close(*Ctx) error { s.rows, s.leaves, s.cols = nil, nil, nil; return nil }
 
 // ---------------------------------------------------------------- partition selector
 
@@ -614,12 +659,19 @@ type filterOp struct {
 	layout expr.Layout
 	env    expr.Env // reused per row
 	out    Batch    // reused output header (qualifying rows by reference)
+
+	vp     *vecPred // compiled vectorized predicate (nil: row path only)
+	selBuf []int32  // reused selection vector for columnar output
 }
 
 func (f *filterOp) Open(ctx *Ctx) error {
 	f.layout = f.n.Child.Layout()
 	f.env = expr.Env{Layout: f.layout, Params: ctx.Params.Vals}
 	f.bchild = batchOf(f.child)
+	f.vp = nil
+	if columnarEnabled {
+		f.vp = compileVecPred(f.n.Pred, f.layout, ctx.Params.Vals)
+	}
 	return f.child.Open(ctx)
 }
 
@@ -642,7 +694,10 @@ func (f *filterOp) Next(ctx *Ctx) (types.Row, error) {
 
 // NextBatch evaluates the predicate over whole child batches, collecting
 // qualifying rows (by reference) into a reused output batch. Child batches
-// are pulled until the output is non-empty or the input ends.
+// are pulled until the output is non-empty or the input ends. Columnar
+// batches run the compiled vector predicate, producing a selection vector
+// over the child's column window instead of touching any datum; the kernel
+// refuses batches it cannot type (errVecFallback) and the row loop runs.
 func (f *filterOp) NextBatch(ctx *Ctx) (*Batch, error) {
 	f.out.reset()
 	for len(f.out.Rows) == 0 {
@@ -652,6 +707,25 @@ func (f *filterOp) NextBatch(ctx *Ctx) (*Batch, error) {
 		}
 		if err := ctx.pollAbortBatch(); err != nil {
 			return nil, err
+		}
+		if f.vp != nil && cb.Cols != nil {
+			res, verr := f.vp.eval(cb)
+			if verr == nil {
+				f.selBuf = f.selBuf[:0]
+				for k := range cb.Rows {
+					if bitGet(res, k) {
+						f.out.Rows = append(f.out.Rows, cb.Rows[k])
+						f.selBuf = append(f.selBuf, int32(selRow(cb.Sel, k)))
+					}
+				}
+				if len(f.out.Rows) > 0 {
+					f.out.Cols, f.out.Sel = cb.Cols, f.selBuf
+				}
+				continue
+			}
+			if verr != errVecFallback {
+				return nil, verr
+			}
 		}
 		for _, row := range cb.Rows {
 			f.env.Row = row
@@ -678,13 +752,54 @@ type projectOp struct {
 	layout expr.Layout
 	env    expr.Env // reused per row
 	out    Batch    // reused output header
+
+	colPos   []int // all-column projection: source position per output col
+	maxPos   int   // largest source position (bounds guard per batch)
+	identity bool  // projection is the identity permutation of the child row
 }
 
 func (p *projectOp) Open(ctx *Ctx) error {
 	p.layout = p.n.Child.Layout()
 	p.env = expr.Env{Layout: p.layout, Params: ctx.Params.Vals}
 	p.bchild = batchOf(p.child)
+	p.colPos, p.identity = nil, false
+	if columnarEnabled {
+		p.compileFastPath()
+	}
 	return p.child.Open(ctx)
+}
+
+// compileFastPath detects projections made purely of column references.
+// Those need no expression evaluation: the batch path gathers datums by
+// position, and a projection that is exactly the identity over the child
+// row passes child batches through untouched (the dominant SELECT * shape).
+func (p *projectOp) compileFastPath() {
+	pos := make([]int, len(p.n.Cols))
+	maxPos := 0
+	for i, c := range p.n.Cols {
+		col, ok := c.E.(*expr.Col)
+		if !ok {
+			return
+		}
+		src, ok := p.layout[col.ID]
+		if !ok || src < 0 {
+			return
+		}
+		pos[i] = src
+		if src > maxPos {
+			maxPos = src
+		}
+	}
+	p.colPos, p.maxPos = pos, maxPos
+	if len(pos) != p.layout.Width() {
+		return
+	}
+	for i, src := range pos {
+		if src != i {
+			return
+		}
+	}
+	p.identity = true
 }
 
 func (p *projectOp) Next(ctx *Ctx) (types.Row, error) {
@@ -706,7 +821,11 @@ func (p *projectOp) Next(ctx *Ctx) (types.Row, error) {
 
 // NextBatch projects a whole child batch into one freshly-allocated datum
 // arena (output rows must stay stable after the next call, so only the row
-// headers are reused across batches).
+// headers are reused across batches). Identity projections forward the
+// child batch untouched — rows are immutable, so sharing them satisfies the
+// ownership contract — and all-column projections gather by position
+// without expression dispatch, forwarding permuted column views when the
+// child batch is columnar.
 func (p *projectOp) NextBatch(ctx *Ctx) (*Batch, error) {
 	cb, err := p.bchild.NextBatch(ctx)
 	if err != nil {
@@ -715,9 +834,29 @@ func (p *projectOp) NextBatch(ctx *Ctx) (*Batch, error) {
 	if err := ctx.pollAbortBatch(); err != nil {
 		return nil, err
 	}
+	if p.identity {
+		return cb, nil
+	}
 	w := len(p.n.Cols)
 	arena := make([]types.Datum, len(cb.Rows)*w)
 	p.out.reset()
+	if p.colPos != nil && (len(cb.Rows) == 0 || p.maxPos < len(cb.Rows[0])) {
+		for i, row := range cb.Rows {
+			dst := arena[i*w : (i+1)*w : (i+1)*w]
+			for j, src := range p.colPos {
+				dst[j] = row[src]
+			}
+			p.out.Rows = append(p.out.Rows, dst)
+		}
+		if cb.Cols != nil {
+			p.out.Cols = p.out.Cols[:0]
+			for _, src := range p.colPos {
+				p.out.Cols = append(p.out.Cols, cb.Cols[src])
+			}
+			p.out.Sel = cb.Sel
+		}
+		return &p.out, nil
+	}
 	for i, row := range cb.Rows {
 		p.env.Row = row
 		dst := arena[i*w : (i+1)*w : (i+1)*w]

@@ -85,13 +85,24 @@ func (s *statsOp) frame(ctx *Ctx) *opFrame {
 	return s.f
 }
 
+// Wall-clock sampling is opt-in (Stats.EnableTiming, set by the EXPLAIN
+// ANALYZE entry points): two clock reads per pull per decorator measurably
+// distort sub-millisecond queries, and plain queries never render the
+// figure. When timing is off the nanos stay zero and everything else —
+// rows, loops, partitions, spill, memory — is collected as usual.
+
 func (s *statsOp) Open(ctx *Ctx) error {
 	f := s.frame(ctx)
 	f.started = true
 	prev := ctx.pushOp(f)
-	t0 := time.Now()
+	var t0 time.Time
+	if ctx.timed {
+		t0 = time.Now()
+	}
 	err := s.inner.Open(ctx)
-	f.nanos += time.Since(t0).Nanoseconds()
+	if ctx.timed {
+		f.nanos += time.Since(t0).Nanoseconds()
+	}
 	ctx.popOp(prev)
 	return err
 }
@@ -99,9 +110,14 @@ func (s *statsOp) Open(ctx *Ctx) error {
 func (s *statsOp) Next(ctx *Ctx) (types.Row, error) {
 	f := s.frame(ctx)
 	prev := ctx.pushOp(f)
-	t0 := time.Now()
+	var t0 time.Time
+	if ctx.timed {
+		t0 = time.Now()
+	}
 	row, err := s.inner.Next(ctx)
-	f.nanos += time.Since(t0).Nanoseconds()
+	if ctx.timed {
+		f.nanos += time.Since(t0).Nanoseconds()
+	}
 	ctx.popOp(prev)
 	if err == nil {
 		f.rowsOut++
@@ -119,9 +135,14 @@ func (s *statsOp) NextBatch(ctx *Ctx) (*Batch, error) {
 	}
 	f := s.frame(ctx)
 	prev := ctx.pushOp(f)
-	t0 := time.Now()
+	var t0 time.Time
+	if ctx.timed {
+		t0 = time.Now()
+	}
 	b, err := s.binner.NextBatch(ctx)
-	f.nanos += time.Since(t0).Nanoseconds()
+	if ctx.timed {
+		f.nanos += time.Since(t0).Nanoseconds()
+	}
 	ctx.popOp(prev)
 	if err == nil {
 		f.rowsOut += int64(len(b.Rows))
@@ -132,9 +153,14 @@ func (s *statsOp) NextBatch(ctx *Ctx) (*Batch, error) {
 func (s *statsOp) Close(ctx *Ctx) error {
 	f := s.frame(ctx)
 	prev := ctx.pushOp(f)
-	t0 := time.Now()
+	var t0 time.Time
+	if ctx.timed {
+		t0 = time.Now()
+	}
 	err := s.inner.Close(ctx)
-	f.nanos += time.Since(t0).Nanoseconds()
+	if ctx.timed {
+		f.nanos += time.Since(t0).Nanoseconds()
+	}
 	ctx.popOp(prev)
 	return err
 }

@@ -258,6 +258,7 @@ func runWithRetry(ctx context.Context, rt *Runtime, root plan.Node, params *Para
 		attemptStats := stats
 		if attempts > 1 {
 			attemptStats = NewStats()
+			attemptStats.timed = stats.timed
 		}
 		res, err = runAttempt(ctx, rt, root, params, attemptStats)
 		if err == nil || !IsTransient(err) || ctx.Err() != nil || attempt == attempts {
@@ -429,7 +430,7 @@ func runAttempt(ctx context.Context, rt *Runtime, root plan.Node, params *Params
 						}
 						break
 					}
-					if err := snd.sendBatch(ectx, b.Rows); err != nil {
+					if err := snd.sendBatch(ectx, b); err != nil {
 						if !errors.Is(err, errQueryAborted) {
 							fail(seg, slice, opName(sl.root), err)
 						}

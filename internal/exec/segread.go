@@ -8,6 +8,7 @@ import (
 	"partopt/internal/part"
 	"partopt/internal/storage"
 	"partopt/internal/types"
+	"partopt/internal/vec"
 )
 
 // The executor's segment-dispatched read path. Every storage read a slice
@@ -32,6 +33,20 @@ func (c *Ctx) scanLeaf(root part.OID, leaf part.OID) ([]types.Row, error) {
 		return nil, c.noteSegFailure(err)
 	}
 	return rows, nil
+}
+
+// scanLeafCols is scanLeaf's columnar twin: it additionally returns the
+// leaf's column set so the scan can emit zero-copy column windows. The
+// returned rows are the set's cached row view.
+func (c *Ctx) scanLeafCols(root part.OID, leaf part.OID) (*vec.ColumnSet, []types.Row, error) {
+	if err := c.hitFault(fault.SegExec); err != nil {
+		return nil, nil, c.noteSegFailure(err)
+	}
+	cols, rows, err := c.Rt.Store.ScanLeafColsAt(root, c.Seg, c.replica(), leaf)
+	if err != nil {
+		return nil, nil, c.noteSegFailure(err)
+	}
+	return cols, rows, nil
 }
 
 // indexLookup is scanLeaf for secondary-index reads.

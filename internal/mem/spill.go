@@ -16,9 +16,9 @@ import (
 // little — budgets should trip before the process actually swells.
 func RowBytes(r types.Row) int64 {
 	n := int64(48) + int64(len(r))*40
-	for _, d := range r {
-		if d.Kind() == types.KindString {
-			n += int64(len(d.Str()))
+	for i := range r { // index, not range-copy: Datum is 5 words wide
+		if r[i].Kind() == types.KindString {
+			n += int64(len(r[i].Str()))
 		}
 	}
 	return n

@@ -75,7 +75,8 @@ func (td *tableData) invalidateIndexesLocked() {
 func (idx *tableIndex) rebuildLocked(td *tableData, primaries []int) {
 	for seg := range td.heaps {
 		m := map[part.OID][]idxEntry{}
-		for leaf, rows := range td.heapsOf(primaries[seg])[seg] {
+		for leaf, cs := range td.heapsOf(primaries[seg])[seg] {
+			rows := cs.RowView()
 			entries := make([]idxEntry, 0, len(rows))
 			for pos, row := range rows {
 				entries = append(entries, idxEntry{key: row[idx.def.ColOrd], row: row, pos: pos})

@@ -7,19 +7,29 @@
 // OID the storage layer can locate and retrieve the tuples belonging to
 // that partition" (§2.1), independently on every segment.
 //
+// # Columnar heaps
+//
+// Each (segment × leaf × replica) heap is a vec.ColumnSet: one typed
+// vector per table column plus a null bitmap, instead of a []types.Row of
+// boxed datums. The row-oriented API survives unchanged on top — ScanLeaf
+// returns the set's cached row view (an arena materialized once per heap
+// version and replaced, never mutated, on write, so handed-out rows stay
+// stable forever), and DML addresses rows by the same RowID positions,
+// applied lane-wise (SetRow, swap-delete). The executor's vectorized
+// kernels read the column vectors directly via ScanLeafColsAt.
+//
 // # Mirrored replicas
 //
 // With EnableMirrors every logical segment holds two physical replicas of
 // its data (GPDB's primary/mirror pair). DML applies to both replicas
 // inside the same per-table critical section, in the same order, so the
-// heaps — including swap-delete reordering and therefore RowID indexes —
-// stay byte-identical across replicas and a failover is invisible to
-// readers. Replicas share row pointers (rows are replaced, never mutated
-// in place), so mirroring costs heap headers, not row data. A replica can
-// be killed (KillReplica) and later revived (ReviveReplica, which resyncs
-// from the surviving replica when writes happened in between); reads from
-// a dead replica fail with *DeadSegmentError, and the fault tolerance
-// service (internal/fts) promotes the mirror via Promote.
+// column sets — including swap-delete reordering and therefore RowID
+// indexes — stay byte-identical across replicas and a failover is
+// invisible to readers. A replica can be killed (KillReplica) and later
+// revived (ReviveReplica, which resyncs by cloning the surviving replica's
+// column sets when writes happened in between); reads from a dead replica
+// fail with *DeadSegmentError, and the fault tolerance service
+// (internal/fts) promotes the mirror via Promote.
 package storage
 
 import (
@@ -31,6 +41,7 @@ import (
 	"partopt/internal/fault"
 	"partopt/internal/part"
 	"partopt/internal/types"
+	"partopt/internal/vec"
 )
 
 // RowID identifies a stored row physically: segment, leaf partition, index
@@ -59,24 +70,39 @@ func (e *DeadSegmentError) Error() string {
 	return fmt.Sprintf("storage: segment %d replica %d is down", e.Seg, e.Replica)
 }
 
+// heapMap is one replica's heap array: per segment, the leaf column sets.
+type heapMap []map[part.OID]*vec.ColumnSet
+
 // tableData holds one table's rows and secondary indexes.
 type tableData struct {
-	tab *catalog.Table
-	mu  sync.RWMutex
+	tab   *catalog.Table
+	kinds []types.Kind // declared lane kinds, one per column
+	mu    sync.RWMutex
 	// heaps[segment][leafOID] — for unpartitioned tables the single heap
 	// is keyed by the table's root OID. heaps is replica 0; mirror, non-nil
 	// once mirroring is enabled, is replica 1 with identical layout.
-	heaps   []map[part.OID][]types.Row
-	mirror  []map[part.OID][]types.Row
+	heaps   heapMap
+	mirror  heapMap
 	indexes []*tableIndex
 }
 
 // heapsOf returns one replica's heap array (nil for an unallocated mirror).
-func (td *tableData) heapsOf(replica int) []map[part.OID][]types.Row {
+func (td *tableData) heapsOf(replica int) heapMap {
 	if replica == 0 {
 		return td.heaps
 	}
 	return td.mirror
+}
+
+// leafSet returns the column set of one (segment, leaf), creating it on
+// first write. Callers hold td.mu exclusively.
+func (td *tableData) leafSet(h heapMap, seg int, leaf part.OID) *vec.ColumnSet {
+	cs := h[seg][leaf]
+	if cs == nil {
+		cs = vec.NewColumnSet(td.kinds)
+		h[seg][leaf] = cs
+	}
+	return cs
 }
 
 // Store is the storage layer of one simulated cluster.
@@ -140,14 +166,14 @@ func (s *Store) EnableMirrors() {
 	}
 }
 
-// cloneHeaps copies a heap array (maps and slices copied, row pointers
-// shared — rows are replaced on update, never mutated in place).
-func cloneHeaps(src []map[part.OID][]types.Row) []map[part.OID][]types.Row {
-	out := make([]map[part.OID][]types.Row, len(src))
+// cloneHeaps deep-copies a heap array: maps and column sets copied (string
+// payload bytes stay shared — strings are immutable).
+func cloneHeaps(src heapMap) heapMap {
+	out := make(heapMap, len(src))
 	for seg, m := range src {
-		cp := make(map[part.OID][]types.Row, len(m))
-		for leaf, rows := range m {
-			cp[leaf] = append([]types.Row(nil), rows...)
+		cp := make(map[part.OID]*vec.ColumnSet, len(m))
+		for leaf, cs := range m {
+			cp[leaf] = cs.Clone()
 		}
 		out[seg] = cp
 	}
@@ -200,8 +226,8 @@ func (s *Store) KillReplica(seg, replica int) error {
 }
 
 // ReviveReplica brings a dead replica back. If writes were applied while
-// it was down (the replica is stale), its heaps are resynchronized by
-// copying from the surviving replica before it is marked alive — GPDB's
+// it was down (the replica is stale), its column sets are resynchronized
+// by cloning from the surviving replica before it is marked alive — GPDB's
 // full recovery, compressed into a clone.
 func (s *Store) ReviveReplica(seg, replica int) error {
 	s.mu.Lock()
@@ -218,9 +244,9 @@ func (s *Store) ReviveReplica(seg, replica int) error {
 			td.mu.Lock()
 			from, to := td.heapsOf(src), td.heapsOf(replica)
 			if from != nil && to != nil {
-				cp := make(map[part.OID][]types.Row, len(from[seg]))
-				for leaf, rows := range from[seg] {
-					cp[leaf] = append([]types.Row(nil), rows...)
+				cp := make(map[part.OID]*vec.ColumnSet, len(from[seg]))
+				for leaf, cs := range from[seg] {
+					cp[leaf] = cs.Clone()
 				}
 				to[seg] = cp
 			}
@@ -314,14 +340,18 @@ func (s *Store) CreateTable(t *catalog.Table) {
 	if _, exists := s.tables[t.OID]; exists {
 		panic(fmt.Sprintf("storage: table %q already created", t.Name))
 	}
-	td := &tableData{tab: t, heaps: make([]map[part.OID][]types.Row, s.segments)}
+	kinds := make([]types.Kind, len(t.Cols))
+	for i, c := range t.Cols {
+		kinds[i] = c.Kind
+	}
+	td := &tableData{tab: t, kinds: kinds, heaps: make(heapMap, s.segments)}
 	for i := range td.heaps {
-		td.heaps[i] = map[part.OID][]types.Row{}
+		td.heaps[i] = map[part.OID]*vec.ColumnSet{}
 	}
 	if s.mirrored {
-		td.mirror = make([]map[part.OID][]types.Row, s.segments)
+		td.mirror = make(heapMap, s.segments)
 		for i := range td.mirror {
-			td.mirror[i] = map[part.OID][]types.Row{}
+			td.mirror[i] = map[part.OID]*vec.ColumnSet{}
 		}
 	}
 	s.tables[t.OID] = td
@@ -353,6 +383,21 @@ func (s *Store) targetSegment(t *catalog.Table, row types.Row) int {
 	return int(h % uint64(s.segments))
 }
 
+// routeLeaf computes the leaf a row belongs to (fT), validating arity.
+func routeLeaf(t *catalog.Table, row types.Row) (part.OID, error) {
+	if len(row) != len(t.Cols) {
+		return part.InvalidOID, fmt.Errorf("storage: table %q: row has %d columns, want %d", t.Name, len(row), len(t.Cols))
+	}
+	if !t.IsPartitioned() {
+		return t.OID, nil
+	}
+	leaf := t.Part.Route(partKeys(t, row))
+	if leaf == part.InvalidOID {
+		return part.InvalidOID, fmt.Errorf("storage: table %q: row %s maps to no partition", t.Name, row)
+	}
+	return leaf, nil
+}
+
 // Insert routes one row to its leaf partition and segment(s). It returns
 // an error for rows that map to no partition (fT = ⊥) or have the wrong
 // arity.
@@ -361,15 +406,9 @@ func (s *Store) Insert(t *catalog.Table, row types.Row) error {
 	if err != nil {
 		return err
 	}
-	if len(row) != len(t.Cols) {
-		return fmt.Errorf("storage: table %q: row has %d columns, want %d", t.Name, len(row), len(t.Cols))
-	}
-	leaf := t.OID
-	if t.IsPartitioned() {
-		leaf = t.Part.Route(partKeys(t, row))
-		if leaf == part.InvalidOID {
-			return fmt.Errorf("storage: table %q: row %s maps to no partition", t.Name, row)
-		}
+	leaf, err := routeLeaf(t, row)
+	if err != nil {
+		return err
 	}
 	if t.Dist.Kind == catalog.DistReplicated {
 		views := make([][NumReplicas]bool, s.segments)
@@ -384,11 +423,9 @@ func (s *Store) Insert(t *catalog.Table, row types.Row) error {
 		defer td.mu.Unlock()
 		td.invalidateIndexesLocked()
 		for seg := range td.heaps {
-			cp := row.Clone()
 			for rep, on := range views[seg] {
 				if on {
-					h := td.heapsOf(rep)
-					h[seg][leaf] = append(h[seg][leaf], cp)
+					td.leafSet(td.heapsOf(rep), seg, leaf).AppendRow(row)
 				}
 			}
 		}
@@ -404,26 +441,87 @@ func (s *Store) Insert(t *catalog.Table, row types.Row) error {
 	td.invalidateIndexesLocked()
 	for rep, on := range view {
 		if on {
-			h := td.heapsOf(rep)
-			h[seg][leaf] = append(h[seg][leaf], row)
+			td.leafSet(td.heapsOf(rep), seg, leaf).AppendRow(row)
 		}
 	}
 	return nil
 }
 
-// InsertBatch inserts many rows, stopping at the first error.
+// InsertBatch inserts many rows in one critical section: every row is
+// validated and routed up front, then the batch is grouped per
+// (segment, leaf) destination and appended column-wise with one bulk
+// append per leaf set and replica. Routing or arity errors reject the
+// whole batch before anything is applied. Dual-apply semantics match
+// Insert: write views are resolved per touched segment, so a dead mirror
+// is marked stale and both live replicas receive identical appends in
+// identical order.
 func (s *Store) InsertBatch(t *catalog.Table, rows []types.Row) error {
-	for _, r := range rows {
-		if err := s.Insert(t, r); err != nil {
+	if len(rows) == 0 {
+		return nil
+	}
+	td, err := s.data(t.OID)
+	if err != nil {
+		return err
+	}
+	type dest struct {
+		seg  int
+		leaf part.OID
+	}
+	groups := map[dest][]types.Row{}
+	var order []dest // deterministic application order
+	add := func(seg int, leaf part.OID, row types.Row) {
+		d := dest{seg: seg, leaf: leaf}
+		g, ok := groups[d]
+		if !ok {
+			order = append(order, d)
+		}
+		groups[d] = append(g, row)
+	}
+	replicated := t.Dist.Kind == catalog.DistReplicated
+	for _, row := range rows {
+		leaf, err := routeLeaf(t, row)
+		if err != nil {
 			return err
 		}
+		if replicated {
+			for seg := 0; seg < s.segments; seg++ {
+				add(seg, leaf, row)
+			}
+		} else {
+			add(s.targetSegment(t, row), leaf, row)
+		}
+	}
+	// Resolve write views for every touched segment before taking td.mu
+	// (lock order: Store.mu inside writeView precedes tableData.mu).
+	views := make(map[int][NumReplicas]bool)
+	for _, d := range order {
+		if _, ok := views[d.seg]; ok {
+			continue
+		}
+		v, err := s.writeView(d.seg)
+		if err != nil {
+			return err
+		}
+		views[d.seg] = v
+	}
+	td.mu.Lock()
+	defer td.mu.Unlock()
+	td.invalidateIndexesLocked()
+	for _, d := range order {
+		batch := groups[d]
+		for rep, on := range views[d.seg] {
+			if on {
+				td.leafSet(td.heapsOf(rep), d.seg, d.leaf).AppendRows(batch)
+			}
+		}
 	}
 	return nil
 }
 
-// ScanLeaf returns the heap of one (segment, leaf) from the segment's
-// acting primary replica. The returned slice is owned by the store;
-// callers must not mutate it.
+// ScanLeaf returns the rows of one (segment, leaf) from the segment's
+// acting primary replica. The returned rows come from the column set's
+// cached row view: they stay valid indefinitely (writes replace the view,
+// they never mutate it), but callers must not modify them.
 func (s *Store) ScanLeaf(root part.OID, seg int, leaf part.OID) ([]types.Row, error) {
 	rep := 0
 	if seg >= 0 && seg < s.segments {
@@ -437,6 +535,31 @@ func (s *Store) ScanLeaf(root part.OID, seg int, leaf part.OID) ([]types.Row, er
 // with *DeadSegmentError, which the executor reports to the FTS as
 // failure evidence.
 func (s *Store) ScanLeafAt(root part.OID, seg, replica int, leaf part.OID) ([]types.Row, error) {
+	cs, err := s.scanLeafSet(root, seg, replica, leaf)
+	if err != nil {
+		return nil, err
+	}
+	return cs.RowView(), nil
+}
+
+// ScanLeafColsAt is ScanLeafAt's columnar twin: it returns the leaf's
+// column set (nil for an empty leaf) alongside its cached row view, so the
+// executor can emit zero-copy column windows while keeping the batch's row
+// view populated for row-oriented operators. The same ownership rule
+// applies: read-only for callers.
+func (s *Store) ScanLeafColsAt(root part.OID, seg, replica int, leaf part.OID) (*vec.ColumnSet, []types.Row, error) {
+	cs, err := s.scanLeafSet(root, seg, replica, leaf)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cs, cs.RowView(), nil
+}
+
+// scanLeafSet validates the read address and returns the leaf's column set
+// (nil when the leaf holds no rows). The row view is materialized by the
+// caller while still under no writer: RowView's internal cache tolerates
+// concurrent readers, and writers only swap in fresh generations.
+func (s *Store) scanLeafSet(root part.OID, seg, replica int, leaf part.OID) (*vec.ColumnSet, error) {
 	td, err := s.data(root)
 	if err != nil {
 		return nil, err
@@ -458,6 +581,26 @@ func (s *Store) ScanLeafAt(root part.OID, seg, replica int, leaf part.OID) ([]ty
 	h := td.heapsOf(replica)
 	if h == nil {
 		return nil, fmt.Errorf("storage: table %q has no replica %d (mirroring disabled)", td.tab.Name, replica)
+	}
+	cs := h[seg][leaf]
+	if cs != nil {
+		cs.RowView() // materialize under the read lock, excluding writers
+	}
+	return cs, nil
+}
+
+// LeafColumns returns one (segment, leaf, replica) column set for
+// invariant checks (mirror byte-identity tests). Read-only.
+func (s *Store) LeafColumns(root part.OID, seg, replica int, leaf part.OID) (*vec.ColumnSet, error) {
+	td, err := s.data(root)
+	if err != nil {
+		return nil, err
+	}
+	td.mu.RLock()
+	defer td.mu.RUnlock()
+	h := td.heapsOf(replica)
+	if h == nil {
+		return nil, fmt.Errorf("storage: table %q has no replica %d", td.tab.Name, replica)
 	}
 	return h[seg][leaf], nil
 }
@@ -484,8 +627,8 @@ func (s *Store) RowCount(t *catalog.Table) (int64, error) {
 	defer td.mu.RUnlock()
 	var n int64
 	for seg := range td.heaps {
-		for _, rows := range td.heapsOf(primaries[seg])[seg] {
-			n += int64(len(rows))
+		for _, cs := range td.heapsOf(primaries[seg])[seg] {
+			n += int64(cs.Len())
 		}
 		if t.Dist.Kind == catalog.DistReplicated {
 			break // every segment holds the same copy
@@ -506,8 +649,8 @@ func (s *Store) LeafRowCount(t *catalog.Table) (map[part.OID]int64, error) {
 	defer td.mu.RUnlock()
 	out := map[part.OID]int64{}
 	for seg := range td.heaps {
-		for leaf, rows := range td.heapsOf(primaries[seg])[seg] {
-			out[leaf] += int64(len(rows))
+		for leaf, cs := range td.heapsOf(primaries[seg])[seg] {
+			out[leaf] += int64(cs.Len())
 		}
 		if t.Dist.Kind == catalog.DistReplicated {
 			break
@@ -551,21 +694,19 @@ func (s *Store) UpdateRow(t *catalog.Table, id RowID, newRow types.Row) (bool, e
 			continue
 		}
 		heaps := td.heapsOf(rep)
-		heap := heaps[id.Seg][id.Leaf]
-		if id.Idx < 0 || id.Idx >= len(heap) {
+		cs := heaps[id.Seg][id.Leaf]
+		if cs == nil || id.Idx < 0 || id.Idx >= cs.Len() {
 			return false, fmt.Errorf("storage: table %q: stale RowID %+v", t.Name, id)
 		}
 		if newLeaf == id.Leaf {
-			heap[id.Idx] = newRow
+			cs.SetRow(id.Idx, newRow)
 			continue
 		}
 		// Move across partitions: delete from the old heap (swap with last
 		// to keep the heap dense) and append to the new one on the same
 		// segment.
-		last := len(heap) - 1
-		heap[id.Idx] = heap[last]
-		heaps[id.Seg][id.Leaf] = heap[:last]
-		heaps[id.Seg][newLeaf] = append(heaps[id.Seg][newLeaf], newRow)
+		cs.SwapDelete(id.Idx)
+		td.leafSet(heaps, id.Seg, newLeaf).AppendRow(newRow)
 		moved = true
 	}
 	return moved, nil
@@ -590,14 +731,11 @@ func (s *Store) DeleteRow(t *catalog.Table, id RowID) error {
 		if !on {
 			continue
 		}
-		heaps := td.heapsOf(rep)
-		heap := heaps[id.Seg][id.Leaf]
-		if id.Idx < 0 || id.Idx >= len(heap) {
+		cs := td.heapsOf(rep)[id.Seg][id.Leaf]
+		if cs == nil || id.Idx < 0 || id.Idx >= cs.Len() {
 			return fmt.Errorf("storage: table %q: stale RowID %+v", t.Name, id)
 		}
-		last := len(heap) - 1
-		heap[id.Idx] = heap[last]
-		heaps[id.Seg][id.Leaf] = heap[:last]
+		cs.SwapDelete(id.Idx)
 	}
 	return nil
 }
@@ -622,7 +760,7 @@ func (s *Store) Truncate(t *catalog.Table) error {
 	for seg := range td.heaps {
 		for rep, on := range views[seg] {
 			if on {
-				td.heapsOf(rep)[seg] = map[part.OID][]types.Row{}
+				td.heapsOf(rep)[seg] = map[part.OID]*vec.ColumnSet{}
 			}
 		}
 	}

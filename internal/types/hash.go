@@ -10,6 +10,12 @@ import (
 // buckets build rows by join key; both use the FNV-1a based functions here.
 // The hash must agree with Compare: datums that compare equal hash equal,
 // including int/float/date cross-kind numeric equality.
+//
+// The typed Hash* entry points below are the same mixing functions exposed
+// per lane, so columnar kernels hashing raw []int64 / []float64 / []string
+// vectors produce bit-identical values to HashDatum over the boxed datums
+// — which is what keeps row routing (and therefore every downstream spill
+// and distribution decision) independent of the execution mode.
 
 const (
 	fnvOffset64 = 14695981039346656037
@@ -30,26 +36,55 @@ func fnv1aUint64(h, v uint64) uint64 {
 	return fnv1a(h, buf[:])
 }
 
+// HashNull folds a SQL NULL into a running hash value.
+func HashNull(h uint64) uint64 {
+	return fnv1aUint64(h, 0x9e3779b97f4a7c15)
+}
+
+// HashInt64 folds an int or date payload into a running hash value. The
+// payload is hashed through its float representation so that NewInt(3) and
+// NewFloat(3) — equal under Compare — collide.
+func HashInt64(h uint64, v int64) uint64 {
+	return fnv1aUint64(h, math.Float64bits(float64(v)))
+}
+
+// HashFloat64 folds a float payload into a running hash value, normalizing
+// -0.0 to +0.0 so the two equal values collide.
+func HashFloat64(h uint64, f float64) uint64 {
+	if f == 0 {
+		f = 0
+	}
+	return fnv1aUint64(h, math.Float64bits(f))
+}
+
+// HashBool folds a boolean payload (0/1) into a running hash value.
+func HashBool(h uint64, i int64) uint64 {
+	return fnv1aUint64(h, uint64(i)+1)
+}
+
+// HashString folds a string payload into a running hash value.
+func HashString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
 // HashDatum folds a datum into a running hash value. Pass fnv seed
 // HashSeed for the first datum.
 func HashDatum(h uint64, d Datum) uint64 {
 	switch d.kind {
 	case KindNull:
-		return fnv1aUint64(h, 0x9e3779b97f4a7c15)
+		return HashNull(h)
 	case KindInt, KindDate:
-		// Hash numerics through the float representation so that
-		// NewInt(3) and NewFloat(3) — equal under Compare — collide.
-		return fnv1aUint64(h, math.Float64bits(float64(d.i)))
+		return HashInt64(h, d.i)
 	case KindFloat:
-		f := d.f
-		if f == 0 {
-			f = 0 // normalize -0.0 to +0.0
-		}
-		return fnv1aUint64(h, math.Float64bits(f))
+		return HashFloat64(h, d.f)
 	case KindBool:
-		return fnv1aUint64(h, uint64(d.i)+1)
+		return HashBool(h, d.i)
 	case KindString:
-		return fnv1a(h, []byte(d.s))
+		return HashString(h, d.s)
 	default:
 		return h
 	}
@@ -73,3 +108,12 @@ func HashRow(r Row, cols []int) uint64 {
 	}
 	return h
 }
+
+// CompareInt64 orders two int64 payloads; exported so columnar kernels
+// order int/date/bool lanes exactly as Compare does.
+func CompareInt64(a, b int64) int { return compareInt(a, b) }
+
+// CompareFloat64 orders two float64 payloads with Compare's NaN handling
+// (NaN sorts after everything; two NaNs compare equal); exported so
+// columnar kernels order float lanes exactly as Compare does.
+func CompareFloat64(a, b float64) int { return compareFloat(a, b) }

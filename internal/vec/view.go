@@ -1,0 +1,210 @@
+package vec
+
+import "partopt/internal/types"
+
+// View is a zero-copy read-only window onto one column's lanes. Base is
+// the window's starting row within the full lanes (the null bitmap cannot
+// be re-sliced mid-word, so views carry the whole lane plus an offset).
+// Row indices passed to the accessors are window-relative.
+type View struct {
+	Kind  types.Kind
+	Mixed bool
+	Ints  []int64
+	Flts  []float64
+	Strs  []string
+	Any   []types.Datum
+	Nulls []uint64
+	Base  int
+}
+
+// ColView returns a read-only view of column j covering the whole set
+// (Base 0). Callers windowing a scan adjust Base themselves.
+func (cs *ColumnSet) ColView(j int) View {
+	c := &cs.cols[j]
+	return View{
+		Kind:  c.kind,
+		Mixed: c.mixed,
+		Ints:  c.ints,
+		Flts:  c.flts,
+		Strs:  c.strs,
+		Any:   c.any,
+		Nulls: c.nulls,
+	}
+}
+
+// Null reports whether window row i is NULL.
+func (v *View) Null(i int) bool {
+	ri := v.Base + i
+	if v.Mixed {
+		return v.Any[ri].IsNull()
+	}
+	w := ri >> 6
+	if w >= len(v.Nulls) {
+		return false
+	}
+	return v.Nulls[w]&(1<<uint(ri&63)) != 0
+}
+
+// Datum reconstructs window row i as a boxed datum.
+func (v *View) Datum(i int) types.Datum {
+	ri := v.Base + i
+	if v.Mixed {
+		return v.Any[ri]
+	}
+	if v.Null(i) {
+		return types.Null
+	}
+	switch v.Kind {
+	case types.KindInt:
+		return types.NewInt(v.Ints[ri])
+	case types.KindDate:
+		return types.NewDate(v.Ints[ri])
+	case types.KindBool:
+		return types.NewBool(v.Ints[ri] != 0)
+	case types.KindFloat:
+		return types.NewFloat(v.Flts[ri])
+	case types.KindString:
+		return types.NewString(v.Strs[ri])
+	default:
+		return types.Null
+	}
+}
+
+// HashInto folds this column's values into the running hashes h[k] for
+// k in [0, len(h)). sel maps output slot k to window row sel[k]; nil means
+// the identity mapping. The mixing functions are the typed types.Hash*
+// entry points, so the result is bit-identical to HashDatum over the boxed
+// datums.
+//
+// NULL handling follows the two row-path conventions: with mixNulls true a
+// NULL mixes types.HashNull (hash-agg grouping and motion redistribution);
+// with mixNulls false a NULL sets nullOut[k] and leaves h[k] alone (join
+// keys — the row path discards the hash of a null-keyed row, so callers
+// zero h[k] wherever nullOut[k] is set).
+func (v *View) HashInto(h []uint64, nullOut []bool, sel []int32, mixNulls bool) {
+	n := len(h)
+	if v.Mixed {
+		for k := 0; k < n; k++ {
+			i := k
+			if sel != nil {
+				i = int(sel[k])
+			}
+			d := v.Any[v.Base+i]
+			if d.IsNull() {
+				if mixNulls {
+					h[k] = types.HashNull(h[k])
+				} else {
+					nullOut[k] = true
+				}
+				continue
+			}
+			h[k] = types.HashDatum(h[k], d)
+		}
+		return
+	}
+	switch v.Kind {
+	case types.KindInt, types.KindDate:
+		for k := 0; k < n; k++ {
+			i := k
+			if sel != nil {
+				i = int(sel[k])
+			}
+			if v.Null(i) {
+				if mixNulls {
+					h[k] = types.HashNull(h[k])
+				} else {
+					nullOut[k] = true
+				}
+				continue
+			}
+			h[k] = types.HashInt64(h[k], v.Ints[v.Base+i])
+		}
+	case types.KindBool:
+		for k := 0; k < n; k++ {
+			i := k
+			if sel != nil {
+				i = int(sel[k])
+			}
+			if v.Null(i) {
+				if mixNulls {
+					h[k] = types.HashNull(h[k])
+				} else {
+					nullOut[k] = true
+				}
+				continue
+			}
+			h[k] = types.HashBool(h[k], v.Ints[v.Base+i])
+		}
+	case types.KindFloat:
+		for k := 0; k < n; k++ {
+			i := k
+			if sel != nil {
+				i = int(sel[k])
+			}
+			if v.Null(i) {
+				if mixNulls {
+					h[k] = types.HashNull(h[k])
+				} else {
+					nullOut[k] = true
+				}
+				continue
+			}
+			h[k] = types.HashFloat64(h[k], v.Flts[v.Base+i])
+		}
+	case types.KindString:
+		for k := 0; k < n; k++ {
+			i := k
+			if sel != nil {
+				i = int(sel[k])
+			}
+			if v.Null(i) {
+				if mixNulls {
+					h[k] = types.HashNull(h[k])
+				} else {
+					nullOut[k] = true
+				}
+				continue
+			}
+			h[k] = types.HashString(h[k], v.Strs[v.Base+i])
+		}
+	default:
+		// Declared-NULL lane: every row is NULL.
+		for k := 0; k < n; k++ {
+			if mixNulls {
+				h[k] = types.HashNull(h[k])
+			} else {
+				nullOut[k] = true
+			}
+		}
+	}
+}
+
+// StringBytes sums the string payload bytes of the n window rows starting
+// at the view's base — the variable-length component of mem.RowBytes. NULL
+// slots contribute nothing, exactly like a KindNull datum in the row path.
+func (v *View) StringBytes(n int) int64 {
+	var total int64
+	if v.Mixed {
+		for i := 0; i < n; i++ {
+			if d := v.Any[v.Base+i]; d.Kind() == types.KindString {
+				total += int64(len(d.Str()))
+			}
+		}
+		return total
+	}
+	if v.Kind != types.KindString {
+		return 0
+	}
+	if len(v.Nulls) == 0 {
+		for _, s := range v.Strs[v.Base : v.Base+n] {
+			total += int64(len(s))
+		}
+		return total
+	}
+	for i := 0; i < n; i++ {
+		if !v.Null(i) {
+			total += int64(len(v.Strs[v.Base+i]))
+		}
+	}
+	return total
+}

@@ -27,7 +27,7 @@ type OpStats struct {
 	Instances    int
 	RowsOut      int64
 	RowsRead     int64 // rows read from storage (leaf operators)
-	TimeNanos    int64 // wall time inside the operator, inclusive of children
+	TimeNanos    int64 // wall time inside the operator, inclusive of children; sampled only on the ExplainAnalyze entry points
 	PeakBytes    int64
 	SpilledBytes int64
 	SpillParts   int64
@@ -97,7 +97,11 @@ func (e *Engine) ExplainAnalyze(query string, args ...Value) (string, error) {
 // query the returned text (when non-empty) annotates the partial work done
 // before the abort, alongside the error.
 func (e *Engine) ExplainAnalyzeCtx(ctx context.Context, query string, args ...Value) (string, error) {
-	rows, err := e.QueryCtx(ctx, query, args...)
+	p, err := e.prepare(query)
+	if err != nil {
+		return "", err
+	}
+	rows, err := e.queryPrepared(ctx, p, args, true)
 	if rows == nil {
 		return "", err
 	}

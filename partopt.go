@@ -214,7 +214,10 @@ func (e *Engine) Insert(table string, vals ...Value) error {
 	return err
 }
 
-// InsertRows bulk-loads rows (one epoch bump for the whole batch).
+// InsertRows bulk-loads rows in one storage critical section (one lock
+// acquisition and one columnar append per touched leaf, one epoch bump for
+// the whole batch). The batch is all-or-nothing: if any row fails
+// validation or routing, nothing is inserted.
 func (e *Engine) InsertRows(table string, rows [][]Value) error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -223,12 +226,11 @@ func (e *Engine) InsertRows(table string, rows [][]Value) error {
 		return fmt.Errorf("partopt: unknown table %q", table)
 	}
 	defer e.plans.Bump()
-	for _, r := range rows {
-		if err := e.store.Insert(t, toRow(r)); err != nil {
-			return err
-		}
+	batch := make([]types.Row, len(rows))
+	for i, r := range rows {
+		batch[i] = toRow(r)
 	}
-	return nil
+	return e.store.InsertBatch(t, batch)
 }
 
 // CreateIndex adds a secondary index over one column. Partitioned tables
@@ -312,7 +314,10 @@ type Rows struct {
 	// aborted query it carries the partial work done before the abort.
 	OpStats *OpStats
 	// ExplainAnalyze is the plan annotated with runtime actuals, rendered
-	// as EXPLAIN ANALYZE text.
+	// as EXPLAIN ANALYZE text. Per-operator wall time is sampled only when
+	// the query ran through an ExplainAnalyze entry point; plain queries
+	// carry the full tree with time=0 (clock reads on every batch pull
+	// would tax queries that never render the figure).
 	ExplainAnalyze string
 }
 
@@ -335,7 +340,7 @@ func (e *Engine) QueryCtx(ctx context.Context, query string, args ...Value) (*Ro
 	if err != nil {
 		return nil, err
 	}
-	return e.queryPrepared(ctx, p, args)
+	return e.queryPrepared(ctx, p, args, false)
 }
 
 // Exec plans and executes a DML statement (INSERT, UPDATE, DELETE),
@@ -471,11 +476,16 @@ func (e *Engine) PlanLogical(query string) (logical.Node, error) {
 // (explicit arguments followed by any literals the normalizer lifted).
 // It takes no engine locks: entries are immutable at run time, and all
 // per-execution state lives in the exec.Params / exec.Stats it creates.
-func (e *Engine) executeEntry(ctx context.Context, ent *plancache.Entry, vals []types.Datum) (*Rows, error) {
+// timed turns on per-operator wall-clock sampling (the EXPLAIN ANALYZE
+// entry points pass true; plain queries skip the clock reads).
+func (e *Engine) executeEntry(ctx context.Context, ent *plancache.Entry, vals []types.Datum, timed bool) (*Rows, error) {
 	node, pl := ent.Plan, ent.Legacy
 	params := &exec.Params{Vals: vals}
 
 	stats := exec.NewStats()
+	if timed {
+		stats.EnableTiming()
+	}
 	out := &Rows{
 		Columns:      ent.Columns,
 		PartsScanned: map[string]int{},
@@ -507,9 +517,7 @@ func (e *Engine) executeEntry(ctx context.Context, ent *plancache.Entry, vals []
 	}
 
 	fill()
-	for _, r := range res.Rows {
-		out.Data = append(out.Data, fromRow(r))
-	}
+	out.Data = fromRows(res.Rows)
 	return out, nil
 }
 

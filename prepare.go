@@ -138,8 +138,9 @@ func (e *Engine) compileBound(bound *sql.Bound) (*plancache.Entry, error) {
 // queryPrepared runs a prepared SELECT through the plan cache. Execution
 // happens outside the engine lock; cached plan trees are immutable at run
 // time (all per-execution state lives in exec.Ctx / Stats / Params), so
-// concurrent executions may share one entry.
-func (e *Engine) queryPrepared(ctx context.Context, p *prepared, args []Value) (*Rows, error) {
+// concurrent executions may share one entry. timed enables per-operator
+// wall-clock sampling for the EXPLAIN ANALYZE entry points.
+func (e *Engine) queryPrepared(ctx context.Context, p *prepared, args []Value, timed bool) (*Rows, error) {
 	if p.kind != kindSelect {
 		return nil, fmt.Errorf("partopt: use Exec for UPDATE statements")
 	}
@@ -160,7 +161,7 @@ func (e *Engine) queryPrepared(ctx context.Context, p *prepared, args []Value) (
 		// Lifted literals bind after the caller's explicit parameters.
 		vals = append(vals[:need:need], p.norm.Extra...)
 	}
-	out, err := e.executeEntry(ctx, ent, vals)
+	out, err := e.executeEntry(ctx, ent, vals, timed)
 	if err == nil && hit {
 		e.met.hitLatency.Observe(time.Since(start).Seconds())
 	}
@@ -203,7 +204,7 @@ func (e *Engine) execPrepared(ctx context.Context, p *prepared, args []Value) (i
 	if ent.NumParams > len(args) {
 		return 0, fmt.Errorf("partopt: query needs %d parameters, got %d", ent.NumParams, len(args))
 	}
-	res, err := e.executeEntry(ctx, ent, toRow(args))
+	res, err := e.executeEntry(ctx, ent, toRow(args), false)
 	if err != nil {
 		return 0, err
 	}
@@ -273,7 +274,7 @@ func (s *Stmt) Query(args ...Value) (*Rows, error) {
 
 // QueryCtx is Query governed by a context.
 func (s *Stmt) QueryCtx(ctx context.Context, args ...Value) (*Rows, error) {
-	return s.eng.queryPrepared(ctx, s.p, args)
+	return s.eng.queryPrepared(ctx, s.p, args, false)
 }
 
 // Exec executes a prepared INSERT, UPDATE or DELETE.
@@ -287,9 +288,9 @@ func (s *Stmt) ExecCtx(ctx context.Context, args ...Value) (int64, error) {
 }
 
 // ExplainAnalyze executes the prepared SELECT and returns its plan
-// annotated with runtime actuals.
+// annotated with runtime actuals, wall-clock sampling included.
 func (s *Stmt) ExplainAnalyze(args ...Value) (string, error) {
-	rows, err := s.Query(args...)
+	rows, err := s.eng.queryPrepared(context.Background(), s.p, args, true)
 	if err != nil {
 		return "", err
 	}

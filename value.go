@@ -3,6 +3,7 @@ package partopt
 import (
 	"fmt"
 	"time"
+	"unsafe"
 
 	"partopt/internal/types"
 )
@@ -143,11 +144,18 @@ func toRow(vals []Value) types.Row {
 	return row
 }
 
-// fromRow converts an engine row to public values.
-func fromRow(r types.Row) []Value {
-	out := make([]Value, len(r))
-	for i, d := range r {
-		out[i] = Value{d: d}
-	}
-	return out
+// Value must stay a transparent wrapper around types.Datum for fromRows's
+// reinterpreting cast to be sound.
+var _ = [1]struct{}{}[unsafe.Sizeof(Value{})-unsafe.Sizeof(types.Datum{})]
+
+// fromRows reinterprets an engine result set as public values without
+// copying. Value wraps exactly one types.Datum, so []types.Row and
+// [][]Value have identical memory layout (a slice of slice headers over
+// Datum-sized elements) and the conversion is free. The engine hands over
+// ownership of a finished result's rows, engine rows are immutable once
+// handed out (the batch ownership contract), and the public contract is
+// that callers treat Data as read-only — together that makes sharing the
+// backing arrays safe.
+func fromRows(rows []types.Row) [][]Value {
+	return *(*[][]Value)(unsafe.Pointer(&rows))
 }
