@@ -8,6 +8,7 @@
 //	Figure 18a-c — plan-size scaling: static, dynamic, and DML plans
 //	plancache    — point-query latency with the plan cache off vs on
 //	colscan      — vectorized scan/filter/agg kernel throughput
+//	paropt       — memo-search latency per star width and optimizer pool size
 //
 // With -json, each experiment additionally writes its headline metrics to
 // BENCH_<name>.json in -json-dir (default: current directory) using the
@@ -34,7 +35,7 @@ func main() {
 	rows := flag.Int("rows", 60000, "lineitem rows for Table 2")
 	sales := flag.Int("sales", 40, "star-schema sales rows per day")
 	iters := flag.Int("iters", 5, "timing iterations (fastest run wins)")
-	only := flag.String("only", "", "run a single experiment (table2|table3|fig16|fig17|fig18|plancache|outerdpe|colscan)")
+	only := flag.String("only", "", "run a single experiment (table2|table3|fig16|fig17|fig18|plancache|outerdpe|colscan|paropt)")
 	jsonOut := flag.Bool("json", false, "write BENCH_<name>.json files with the headline metrics")
 	jsonDir := flag.String("json-dir", ".", "directory for -json output files")
 	flag.Parse()
@@ -141,14 +142,25 @@ func main() {
 		emit("outerdpe", outerdpeRecords(od))
 	}
 
+	if want("paropt") {
+		fmt.Println("== Parallel optimization ================================================")
+		poCfg := bench.DefaultParoptConfig()
+		poCfg.Segments = *segments
+		poCfg.Iters = *iters
+		po, err := bench.RunParopt(poCfg)
+		fatalIf(err)
+		fmt.Println(bench.FormatParopt(po))
+		emit("paropt", paroptRecords(po))
+	}
+
 	if *only != "" && !isKnown(*only) {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want table2|table3|fig16|fig17|fig18|plancache|outerdpe|colscan)\n", *only)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want table2|table3|fig16|fig17|fig18|plancache|outerdpe|colscan|paropt)\n", *only)
 		os.Exit(2)
 	}
 }
 
 func isKnown(name string) bool {
-	return strings.Contains("table2 table3 fig16 fig17 fig18 plancache outerdpe colscan", name)
+	return strings.Contains("table2 table3 fig16 fig17 fig18 plancache outerdpe colscan paropt", name)
 }
 
 func fatalIf(err error) {

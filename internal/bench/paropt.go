@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"partopt/internal/catalog"
+	"partopt/internal/expr"
+	"partopt/internal/logical"
+	"partopt/internal/orca"
+	"partopt/internal/part"
+	"partopt/internal/plan"
+	"partopt/internal/types"
+)
+
+// ---------------------------------------------------------- Parallel search
+
+// The paropt experiment times the Orca memo search itself — no parsing, no
+// execution — over star joins of growing width, at each optimizer pool
+// size. The table sizes straddle the DP cutoff (DefaultMaxDPLeaves), so
+// both the exhaustive and the greedy enumerator are measured. Every cell
+// also cross-checks that its plan is byte-identical to the serial plan:
+// the experiment would rather fail than time a search that drifted.
+//
+// Wall-clock speedup from the pool is hardware-bound: on a single-core
+// host (runtime.NumCPU() = 1, the CI container) the parallel search can
+// only tie the serial one minus scheduling overhead, so the committed
+// numbers report NumCPU alongside the grid and the speedup is read
+// against it.
+
+// ParoptConfig scales the parallel-optimization experiment.
+type ParoptConfig struct {
+	Segments int
+	Tables   []int // total relations per star query (fact + dims)
+	Workers  []int // optimizer pool sizes; must include 1 (the baseline)
+	Iters    int   // timing rounds per cell (fastest round wins)
+}
+
+// DefaultParoptConfig returns the scale used by the committed results.
+func DefaultParoptConfig() ParoptConfig {
+	return ParoptConfig{Segments: 4, Tables: []int{5, 10, 15, 20}, Workers: []int{1, 2, 4, 8}, Iters: 3}
+}
+
+// ParoptCell is one (tables × workers) measurement.
+type ParoptCell struct {
+	Tables  int
+	Workers int
+	Best    time.Duration // fastest optimization latency over Iters rounds
+	Groups  int           // memo groups of the search (worker-independent)
+}
+
+// ParoptResult is the experiment's grid plus its headline ratio.
+type ParoptResult struct {
+	NumCPU     int
+	Cells      []ParoptCell
+	SpeedupRef int     // table count the headline speedup is read at
+	SpeedupAt8 float64 // workers=1 latency / workers=8 latency at SpeedupRef
+}
+
+// paroptCatalog builds the star schema for one query width: a partitioned,
+// hashed fact joined to tables-1 replicated dimensions (the same shape the
+// orca determinism tests and the workload generator use).
+func paroptCatalog(tables int) (*catalog.Catalog, error) {
+	dims := tables - 1
+	cat := catalog.New()
+	cols := []catalog.Column{{Name: "date_id", Kind: types.KindInt}}
+	for i := 1; i <= dims; i++ {
+		cols = append(cols, catalog.Column{Name: fmt.Sprintf("k%d", i), Kind: types.KindInt})
+	}
+	if _, err := cat.CreateTable("fact", cols,
+		catalog.Hashed(1),
+		part.RangeLevel(0, part.IntBounds(0, 240, 24)...),
+	); err != nil {
+		return nil, err
+	}
+	for i := 1; i <= dims; i++ {
+		if _, err := cat.CreateTable(fmt.Sprintf("d%d", i),
+			[]catalog.Column{{Name: "k", Kind: types.KindInt}, {Name: "v", Kind: types.KindInt}},
+			catalog.Replicated(),
+		); err != nil {
+			return nil, err
+		}
+	}
+	return cat, nil
+}
+
+// paroptQuery joins the fact (rel 1) to each dimension in a left-deep
+// chain, as the binder would emit it; the enumerator reorders from there.
+func paroptQuery(cat *catalog.Catalog, tables int) logical.Node {
+	var n logical.Node = &logical.Get{Table: cat.MustTable("fact"), Rel: 1, Alias: "f"}
+	for i := 1; i < tables; i++ {
+		d := &logical.Get{Table: cat.MustTable(fmt.Sprintf("d%d", i)), Rel: i + 1, Alias: fmt.Sprintf("d%d", i)}
+		pred := expr.NewCmp(expr.EQ,
+			expr.NewCol(expr.ColID{Rel: 1, Ord: i}, fmt.Sprintf("f.k%d", i)),
+			expr.NewCol(expr.ColID{Rel: i + 1, Ord: 0}, fmt.Sprintf("d%d.k", i)))
+		n = &logical.Join{Type: plan.InnerJoin, Pred: pred, Left: n, Right: d}
+	}
+	return n
+}
+
+// RunParopt times the memo search per (tables × workers) cell.
+func RunParopt(cfg ParoptConfig) (*ParoptResult, error) {
+	res := &ParoptResult{NumCPU: runtime.NumCPU()}
+	best := map[[2]int]time.Duration{}
+	for _, tables := range cfg.Tables {
+		cat, err := paroptCatalog(tables)
+		if err != nil {
+			return nil, err
+		}
+		q := paroptQuery(cat, tables)
+		var serial []byte
+		for _, workers := range cfg.Workers {
+			cell := ParoptCell{Tables: tables, Workers: workers, Best: time.Duration(1<<62 - 1)}
+			for iter := 0; iter < cfg.Iters; iter++ {
+				o := &orca.Optimizer{Segments: cfg.Segments, Workers: workers}
+				runtime.GC()
+				start := time.Now()
+				p, err := o.Optimize(q)
+				if err != nil {
+					return nil, fmt.Errorf("paropt %d tables, %d workers: %w", tables, workers, err)
+				}
+				if d := time.Since(start); d < cell.Best {
+					cell.Best = d
+				}
+				cell.Groups = o.Stats.Groups
+				got := plan.Serialize(p)
+				if serial == nil {
+					serial = got
+				} else if !bytes.Equal(got, serial) {
+					return nil, fmt.Errorf("paropt %d tables: workers=%d plan differs from serial", tables, workers)
+				}
+			}
+			best[[2]int{tables, workers}] = cell.Best
+			res.Cells = append(res.Cells, cell)
+		}
+	}
+	// Headline: serial over 8-worker latency on the 15-table star (or the
+	// widest star measured when 15 isn't in the grid).
+	for _, tables := range cfg.Tables {
+		if tables == 15 || (res.SpeedupRef != 15 && tables > res.SpeedupRef) {
+			res.SpeedupRef = tables
+		}
+	}
+	if w1, ok := best[[2]int{res.SpeedupRef, 1}]; ok {
+		if w8, ok := best[[2]int{res.SpeedupRef, 8}]; ok && w8 > 0 {
+			res.SpeedupAt8 = float64(w1) / float64(w8)
+		}
+	}
+	return res, nil
+}
+
+// FormatParopt renders the grid.
+func FormatParopt(r *ParoptResult) string {
+	var workers []int
+	seen := map[int]bool{}
+	for _, c := range r.Cells {
+		if !seen[c.Workers] {
+			seen[c.Workers] = true
+			workers = append(workers, c.Workers)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Parallel optimization: memo-search latency per star width (NumCPU=%d)\n", r.NumCPU)
+	fmt.Fprintf(&b, "%-8s %8s", "tables", "groups")
+	for _, w := range workers {
+		fmt.Fprintf(&b, " %9s", fmt.Sprintf("w=%d", w))
+	}
+	b.WriteByte('\n')
+	byTable := map[int][]ParoptCell{}
+	var order []int
+	for _, c := range r.Cells {
+		if _, ok := byTable[c.Tables]; !ok {
+			order = append(order, c.Tables)
+		}
+		byTable[c.Tables] = append(byTable[c.Tables], c)
+	}
+	for _, tables := range order {
+		cells := byTable[tables]
+		fmt.Fprintf(&b, "%-8d %8d", tables, cells[0].Groups)
+		for _, c := range cells {
+			fmt.Fprintf(&b, " %9v", c.Best.Round(time.Microsecond))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "speedup at 8 workers (%d-table star): %.2fx on %d CPU(s)\n",
+		r.SpeedupRef, r.SpeedupAt8, r.NumCPU)
+	return b.String()
+}

@@ -54,16 +54,14 @@ func withRowIDs(rows []types.Row, ids []storage.RowID, seg int, leaf part.OID, b
 	return hdr
 }
 
-// colWindow fills viewBuf with zero-copy views of cols' lanes windowed at
-// base, for attaching to a batch. Returns nil when cols is nil.
-func colWindow(cols *vec.ColumnSet, base int, viewBuf []vec.View) []vec.View {
+// colWindow fills viewBuf with copies of the captured column snapshots
+// windowed at base, for attaching to a batch. Returns nil when cols is nil.
+func colWindow(cols []vec.View, base int, viewBuf []vec.View) []vec.View {
 	if cols == nil {
 		return nil
 	}
-	w := cols.Width()
 	viewBuf = viewBuf[:0]
-	for j := 0; j < w; j++ {
-		v := cols.ColView(j)
+	for _, v := range cols {
 		v.Base = base
 		viewBuf = append(viewBuf, v)
 	}
@@ -80,8 +78,8 @@ type scanOp struct {
 	batch Batch
 	idBuf []types.Row // reused row headers for the WithRowID arena
 
-	cols    *vec.ColumnSet // columnar twin of rows (nil when disabled)
-	viewBuf []vec.View     // reused per-batch column views
+	cols    []vec.View // columnar snapshot of rows (nil when disabled)
+	viewBuf []vec.View // reused per-batch column views
 }
 
 func (s *scanOp) Open(ctx *Ctx) error {
@@ -173,7 +171,7 @@ type dynScanOp struct {
 	batch Batch
 	idBuf []types.Row
 
-	cols    *vec.ColumnSet // columnar twin of the current leaf
+	cols    []vec.View // columnar snapshot of the current leaf
 	viewBuf []vec.View
 }
 

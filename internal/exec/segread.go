@@ -35,10 +35,12 @@ func (c *Ctx) scanLeaf(root part.OID, leaf part.OID) ([]types.Row, error) {
 	return rows, nil
 }
 
-// scanLeafCols is scanLeaf's columnar twin: it additionally returns the
-// leaf's column set so the scan can emit zero-copy column windows. The
-// returned rows are the set's cached row view.
-func (c *Ctx) scanLeafCols(root part.OID, leaf part.OID) (*vec.ColumnSet, []types.Row, error) {
+// scanLeafCols is scanLeaf's columnar twin: it additionally returns lane
+// view snapshots of the leaf's columns so the scan can emit zero-copy
+// column windows. The returned rows are the set's cached row view; both
+// snapshots are stable against concurrent writers (storage copies lanes on
+// the next write rather than mutating what it handed out).
+func (c *Ctx) scanLeafCols(root part.OID, leaf part.OID) ([]vec.View, []types.Row, error) {
 	if err := c.hitFault(fault.SegExec); err != nil {
 		return nil, nil, c.noteSegFailure(err)
 	}

@@ -15,9 +15,9 @@
 package orca
 
 import (
-	"fmt"
-	"sort"
+	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"partopt/internal/catalog"
 	"partopt/internal/expr"
@@ -86,11 +86,19 @@ func (d DistSpec) key() string {
 	if d.Kind != HashedDist {
 		return d.Kind.String()
 	}
-	parts := make([]string, len(d.Cols))
+	var b strings.Builder
+	b.WriteString("hashed(")
 	for i, c := range d.Cols {
-		parts[i] = c.String()
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('t')
+		b.WriteString(strconv.Itoa(c.Rel))
+		b.WriteString(".c")
+		b.WriteString(strconv.Itoa(c.Ord))
 	}
-	return "hashed(" + strings.Join(parts, ",") + ")"
+	b.WriteByte(')')
+	return b.String()
 }
 
 func (d DistSpec) String() string { return d.key() }
@@ -103,6 +111,12 @@ type SpecReq struct {
 	Table   *catalog.Table
 	Keys    []expr.ColID // per partitioning level
 	Preds   []expr.Expr  // per level; nil entries mean unconstrained
+
+	// ckey memoizes key(). Preds are only mutated between clone() and the
+	// spec's first appearance in a request, so the rendered key is stable by
+	// the time anyone asks for it; the atomic makes the lazy fill race-free
+	// when concurrent workers share a spec (both store the same string).
+	ckey atomic.Pointer[string]
 }
 
 func (s *SpecReq) clone() *SpecReq {
@@ -112,8 +126,12 @@ func (s *SpecReq) clone() *SpecReq {
 }
 
 func (s *SpecReq) key() string {
+	if k := s.ckey.Load(); k != nil {
+		return *k
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "<%d", s.ScanRel)
+	b.WriteByte('<')
+	b.WriteString(strconv.Itoa(s.ScanRel))
 	for _, p := range s.Preds {
 		b.WriteByte(';')
 		if p != nil {
@@ -121,7 +139,9 @@ func (s *SpecReq) key() string {
 		}
 	}
 	b.WriteByte('>')
-	return b.String()
+	k := b.String()
+	s.ckey.Store(&k)
+	return k
 }
 
 // request is one optimization request: required distribution plus the
@@ -132,14 +152,29 @@ type request struct {
 }
 
 func (r request) key() string {
-	parts := make([]string, 0, len(r.specs)+1)
-	parts = append(parts, r.dist.key())
-	specs := append([]*SpecReq(nil), r.specs...)
-	sort.Slice(specs, func(i, j int) bool { return specs[i].ScanRel < specs[j].ScanRel })
-	for _, s := range specs {
-		parts = append(parts, s.key())
+	var b strings.Builder
+	b.WriteString(r.dist.key())
+	switch len(r.specs) {
+	case 0:
+	case 1:
+		b.WriteByte('|')
+		b.WriteString(r.specs[0].key())
+	default:
+		// Order-insensitive key: requests carry at most a handful of specs,
+		// so an insertion sort of a stack copy beats sort.Slice's closure.
+		specs := make([]*SpecReq, len(r.specs))
+		copy(specs, r.specs)
+		for i := 1; i < len(specs); i++ {
+			for j := i; j > 0 && specs[j-1].ScanRel > specs[j].ScanRel; j-- {
+				specs[j-1], specs[j] = specs[j], specs[j-1]
+			}
+		}
+		for _, s := range specs {
+			b.WriteByte('|')
+			b.WriteString(s.key())
+		}
 	}
-	return strings.Join(parts, "|")
+	return b.String()
 }
 
 // without returns the request minus the i-th spec.

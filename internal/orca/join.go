@@ -21,9 +21,11 @@ import (
 // Distribution alternatives follow the paper's §3.1 example: redistribute
 // both children on the join keys, replicate the build side, or replicate
 // the probe side.
-func (m *memo) implementJoin(le *lexpr, op *logical.Join, req request) []*result {
+func (w *worker) implementJoin(le *lexpr, op *logical.Join, req request) []*result {
 	build, probe := le.children[0], le.children[1]
-	buildKeys, probeKeys, residual := splitJoinPred(op.Pred, build.rels, probe.rels)
+	// The predicate split depends only on the expression, not the request;
+	// it was precomputed at insert time (newJoinLexpr).
+	buildKeys, probeKeys, residual := le.join.buildKeys, le.join.probeKeys, le.join.residual
 
 	// Route partition-propagation specs. Dynamic (join-driven) specs go to
 	// the build side; a second copy MAY also travel down the probe side to
@@ -43,7 +45,7 @@ func (m *memo) implementJoin(le *lexpr, op *logical.Join, req request) []*result
 			buildSpecs = append(buildSpecs, spec)
 			continue
 		}
-		if m.o.DisableSelection || op.Type.ProbePreserved() {
+		if w.o.DisableSelection || op.Type.ProbePreserved() {
 			probeSpecs = append(probeSpecs, spec)
 			continue
 		}
@@ -70,11 +72,11 @@ func (m *memo) implementJoin(le *lexpr, op *logical.Join, req request) []*result
 
 	var out []*result
 	add := func(buildReq, probeReq request, delivered func(b, p *result) DistSpec) {
-		b := m.optimize(build, buildReq)
+		b := w.optimize(build, buildReq)
 		if !b.valid {
 			return
 		}
-		p := m.optimize(probe, probeReq)
+		p := w.optimize(probe, probeReq)
 		if !p.valid {
 			return
 		}
@@ -92,7 +94,7 @@ func (m *memo) implementJoin(le *lexpr, op *logical.Join, req request) []*result
 		probeCost := p.cost
 		if len(dynRels) > 0 {
 			// Credit the run-time pruning the dynamic selectors achieve.
-			probeCost *= m.o.dynFraction()
+			probeCost *= w.o.dynFraction()
 		}
 		outRows := joinOutRows(op.Type, b.rows, p.rows)
 		cost := b.cost + probeCost + b.rows*costBuildRow + p.rows*costProbeRow + outRows*costJoinOutRow
@@ -101,8 +103,8 @@ func (m *memo) implementJoin(le *lexpr, op *logical.Join, req request) []*result
 		out = append(out, &result{valid: true, cost: cost, rows: outRows, delivered: d, node: node})
 	}
 
-	bCols, bOK := keyCols(buildKeys)
-	pCols, pOK := keyCols(probeKeys)
+	bCols, bOK := le.join.bCols, le.join.bOK
+	pCols, pOK := le.join.pCols, le.join.pOK
 	for _, ps := range probeRoutings {
 		// Alternative 1: co-locate by redistributing both sides on the keys.
 		if len(buildKeys) > 0 && bOK && pOK {
@@ -157,7 +159,7 @@ func (m *memo) implementJoin(le *lexpr, op *logical.Join, req request) []*result
 	// both sides are base tables co-partitioned AND co-distributed on the
 	// join key, so the join decomposes into per-partition-pair joins with
 	// no data movement at all.
-	if pw := m.implementPartitionWise(build, probe, op, buildKeys, probeKeys, residual, req); pw != nil {
+	if pw := w.implementPartitionWise(build, probe, op, buildKeys, probeKeys, residual, req); pw != nil {
 		out = append(out, pw)
 	}
 	return out

@@ -2,6 +2,7 @@ package orca
 
 import (
 	"fmt"
+	"sync"
 
 	"partopt/internal/catalog"
 	"partopt/internal/expr"
@@ -16,14 +17,39 @@ import (
 type lexpr struct {
 	op       logical.Node // operator payload; children ignored (groups below)
 	children []*group
+	join     *joinInfo // precomputed predicate split for Join operators
 }
 
-// group is one equivalence class.
+// joinInfo is the request-independent part of a join expression, computed
+// once at insert time instead of on every memoized optimization request:
+// the equi-key/residual split of the predicate (oriented build→probe) and
+// the plain-column projection of the keys.
+type joinInfo struct {
+	buildKeys, probeKeys []expr.Expr
+	residual             expr.Expr
+	bCols, pCols         []expr.ColID
+	bOK, pOK             bool
+}
+
+// newJoinLexpr builds a join group expression with children[0] as the build
+// side, precomputing the predicate split for that orientation.
+func newJoinLexpr(op *logical.Join, build, probe *group) *lexpr {
+	bk, pk, res := splitJoinPred(op.Pred, build.rels, probe.rels)
+	ji := &joinInfo{buildKeys: bk, probeKeys: pk, residual: res}
+	ji.bCols, ji.bOK = keyCols(bk)
+	ji.pCols, ji.pOK = keyCols(pk)
+	return &lexpr{op: op, children: []*group{build, probe}, join: ji}
+}
+
+// group is one equivalence class. Groups are created during insert (before
+// the search starts) and immutable afterwards except for tab, the
+// single-flight result table guarded by mu (see parallel.go).
 type group struct {
 	id     int
 	lexprs []*lexpr
 	rels   map[int]bool
-	best   map[string]*result // request key → memoized optimization result
+	mu     sync.Mutex
+	tab    map[string]*entry // request key → single-flight result cell
 }
 
 // result is the best plan found for one (group, request) pair.
@@ -37,11 +63,14 @@ type result struct {
 
 var invalidResult = &result{}
 
-// memo holds the search state of one optimization run.
+// memo holds the search state of one optimization run. The zero value (with
+// o set) is a valid serial memo; parallel runs get sem from newMemo.
 type memo struct {
 	o      *Optimizer
 	groups []*group
 	tables map[int]*catalog.Table // relation instance → base table (for stats)
+	sem    chan struct{}          // nil = serial; else one token per running goroutine
+	searchCounters
 }
 
 func (m *memo) noteTable(rel int, t *catalog.Table) {
@@ -61,7 +90,7 @@ func (m *memo) colStats(id expr.ColID) *catalog.ColumnStats {
 }
 
 func (m *memo) newGroup(rels map[int]bool) *group {
-	g := &group{id: len(m.groups), rels: rels, best: map[string]*result{}}
+	g := &group{id: len(m.groups), rels: rels, tab: map[string]*entry{}}
 	m.groups = append(m.groups, g)
 	return g
 }
@@ -102,31 +131,45 @@ func (m *memo) insert(n logical.Node) (*group, error) {
 		g.lexprs = append(g.lexprs, &lexpr{op: x, children: []*group{child}})
 		return g, nil
 	case *logical.Join:
-		left, err := m.insert(x.Left)
-		if err != nil {
-			return nil, err
-		}
-		right, err := m.insert(x.Right)
-		if err != nil {
-			return nil, err
-		}
-		g := m.newGroup(x.Rels())
-		g.lexprs = append(g.lexprs, &lexpr{op: x, children: []*group{left, right}})
 		if x.Type == plan.InnerJoin {
-			// Join commutativity: the swapped child order is a distinct
-			// physical opportunity (build side executes first).
-			g.lexprs = append(g.lexprs, &lexpr{op: x, children: []*group{right, left}})
-		} else if x.Type.Outer() {
-			// Outer joins commute too, but the preserved side travels with
-			// the swap: A LEFT JOIN B ≡ B RIGHT JOIN A. The flipped copy
-			// keeps the predicate; child order lives in the group list.
-			flipped := &logical.Join{Type: x.Type.Flip(), Pred: x.Pred, Left: x.Right, Right: x.Left}
-			g.lexprs = append(g.lexprs, &lexpr{op: flipped, children: []*group{right, left}})
+			// Maximal inner-join cores go through the join-order enumerator
+			// (enum.go): DP over connected subgraphs, or greedy above the
+			// DP cutoff. Shapes it cannot represent fall back to the
+			// as-written pairwise insertion.
+			return m.insertInnerCore(x)
 		}
-		return g, nil
+		return m.insertJoinPairwise(x)
 	default:
 		return nil, fmt.Errorf("orca: unsupported logical operator %T in memo", n)
 	}
+}
+
+// insertJoinPairwise copies one join node as written: a single group whose
+// expressions are the two child orders (join commutativity; the paper's
+// HashJoin[2,1] alongside HashJoin[1,2] in Fig. 13).
+func (m *memo) insertJoinPairwise(x *logical.Join) (*group, error) {
+	left, err := m.insert(x.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := m.insert(x.Right)
+	if err != nil {
+		return nil, err
+	}
+	g := m.newGroup(x.Rels())
+	g.lexprs = append(g.lexprs, newJoinLexpr(x, left, right))
+	if x.Type == plan.InnerJoin {
+		// Join commutativity: the swapped child order is a distinct
+		// physical opportunity (build side executes first).
+		g.lexprs = append(g.lexprs, newJoinLexpr(x, right, left))
+	} else if x.Type.Outer() {
+		// Outer joins commute too, but the preserved side travels with
+		// the swap: A LEFT JOIN B ≡ B RIGHT JOIN A. The flipped copy
+		// keeps the predicate; child order lives in the group list.
+		flipped := &logical.Join{Type: x.Type.Flip(), Pred: x.Pred, Left: x.Right, Right: x.Left}
+		g.lexprs = append(g.lexprs, newJoinLexpr(flipped, right, left))
+	}
+	return g, nil
 }
 
 // collectSpecs builds the initial partition-propagation specs of the root

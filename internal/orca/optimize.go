@@ -2,6 +2,7 @@ package orca
 
 import (
 	"fmt"
+	"time"
 
 	"partopt/internal/catalog"
 	"partopt/internal/expr"
@@ -9,7 +10,13 @@ import (
 	"partopt/internal/plan"
 )
 
-// Optimizer is the public entry point.
+// DefaultMaxDPLeaves bounds exhaustive join-order enumeration: inner-join
+// cores with more leaves fall back to the greedy enumerator (enum.go).
+const DefaultMaxDPLeaves = 10
+
+// Optimizer is the public entry point. One Optimizer value drives one
+// Optimize call at a time (Stats is written per call); the engine creates a
+// fresh value per compilation.
 type Optimizer struct {
 	Segments int // cluster width, for motion costing
 
@@ -24,6 +31,17 @@ type Optimizer struct {
 	// run time; this constant is the cost model's estimate (see DESIGN.md
 	// ablations).
 	DynFraction float64
+
+	// Workers is the memo-search goroutine pool size; values <= 1 run the
+	// search serially on the calling goroutine. The chosen plan is
+	// independent of Workers (see parallel.go).
+	Workers int
+
+	// MaxDPLeaves overrides DefaultMaxDPLeaves when positive.
+	MaxDPLeaves int
+
+	// Stats describes the last Optimize call's search effort.
+	Stats OptStats
 }
 
 func (o *Optimizer) dynFraction() float64 {
@@ -31,6 +49,38 @@ func (o *Optimizer) dynFraction() float64 {
 		return o.DynFraction
 	}
 	return 0.15
+}
+
+func (o *Optimizer) workers() int {
+	if o.Workers > 1 {
+		return o.Workers
+	}
+	return 1
+}
+
+func (o *Optimizer) maxDPLeaves() int {
+	if o.MaxDPLeaves > 0 {
+		return o.MaxDPLeaves
+	}
+	return DefaultMaxDPLeaves
+}
+
+// newMemo builds the search state for one logical core; parallel runs get
+// the worker-pool semaphore.
+func (o *Optimizer) newMemo() *memo {
+	m := &memo{o: o}
+	if w := o.workers(); w > 1 {
+		m.sem = make(chan struct{}, w)
+	}
+	return m
+}
+
+// noteSearch folds one memo's effort into the per-call stats (Optimize may
+// run more than one memo: distributed-agg preference, DML fallback).
+func (o *Optimizer) noteSearch(m *memo) {
+	o.Stats.Groups += len(m.groups)
+	o.Stats.Entries += int(m.entries.Load())
+	o.Stats.Tasks += m.tasks.Load()
 }
 
 // Optimize turns a logical tree into an executable physical plan rooted at
@@ -41,6 +91,9 @@ func (o *Optimizer) Optimize(root logical.Node) (plan.Node, error) {
 	if o.Segments < 1 {
 		return nil, fmt.Errorf("orca: optimizer needs a positive segment count")
 	}
+	start := time.Now()
+	o.Stats = OptStats{Workers: o.workers()}
+	defer func() { o.Stats.Nanos = time.Since(start).Nanoseconds() }()
 	if upd, ok := root.(*logical.Update); ok {
 		return o.optimizeDML(upd.Child, upd.Table, upd.Rel, func(child plan.Node) plan.Node {
 			return plan.NewUpdate(upd.Table, upd.Rel, upd.Sets, child)
@@ -107,7 +160,8 @@ func (o *Optimizer) gather(core *result) *plan.Motion {
 // optimized for the target's native distribution first, falling back to
 // Any. wrap builds the DML node over the optimized row source.
 func (o *Optimizer) optimizeDML(child logical.Node, table *catalog.Table, rel int, wrap func(plan.Node) plan.Node) (plan.Node, error) {
-	m := &memo{o: o}
+	m := o.newMemo()
+	defer o.noteSearch(m)
 	g, err := m.insert(child)
 	if err != nil {
 		return nil, err
@@ -169,7 +223,8 @@ func markRowID(n plan.Node, rel int) {
 
 // optimizeCore runs the Memo over a Select/Join/Get core.
 func (o *Optimizer) optimizeCore(n logical.Node) (*result, error) {
-	m := &memo{o: o}
+	m := o.newMemo()
+	defer o.noteSearch(m)
 	g, err := m.insert(n)
 	if err != nil {
 		return nil, err
@@ -188,25 +243,12 @@ func (o *Optimizer) stripPredsIfDisabled(specs []*SpecReq) {
 	_ = specs
 }
 
-// optimize computes the best plan of a group for a request, memoized.
-// This is the heart of the paper's §3.1: direct implementations compete
-// with enforcer-rooted alternatives.
-func (m *memo) optimize(g *group, req request) *result {
-	key := req.key()
-	if r, ok := g.best[key]; ok {
-		if r == nil {
-			return invalidResult // in-progress: cyclic alternative, prune
-		}
-		return r
-	}
-	g.best[key] = nil
-	best := invalidResult
-	consider := func(r *result) {
-		if r != nil && r.valid && (!best.valid || r.cost < best.cost) {
-			best = r
-		}
-	}
-
+// compute enumerates a group's candidates for a request and picks the
+// winner. This is the heart of the paper's §3.1: direct implementations
+// compete with enforcer-rooted alternatives. Candidates come from
+// independent sources in a fixed order; parallel mode runs sources as pool
+// tasks (parallel.go) and the slot order keeps the winner deterministic.
+func (w *worker) compute(g *group, req request) *result {
 	externalCount := 0
 	for _, s := range req.specs {
 		if !g.rels[s.ScanRel] {
@@ -214,15 +256,18 @@ func (m *memo) optimize(g *group, req request) *result {
 		}
 	}
 
+	var sources []candidateSource
+
 	// 1. Direct operator implementations. External specs must be consumed
 	// by a PartitionSelector enforcer before an operator can root the plan
 	// — the selector is the producer and must sit on top of the subtree
 	// whose rows drive it.
 	if externalCount == 0 {
 		for _, le := range g.lexprs {
-			for _, r := range m.implement(g, le, req) {
-				consider(r)
-			}
+			le := le
+			sources = append(sources, func(w *worker) []*result {
+				return w.implement(g, le, req)
+			})
 		}
 	}
 
@@ -235,90 +280,109 @@ func (m *memo) optimize(g *group, req request) *result {
 		if !isExternal && !isOwnScan {
 			continue
 		}
-		sub := m.optimize(g, req.without(i))
-		if !sub.valid {
-			continue
-		}
-		if isOwnScan {
-			if !pathMotionFree(sub.node, spec.ScanRel) {
-				// A selector above a Motion above its own scan would put
-				// producer and consumer in different processes — and the
-				// Motion may sit anywhere on the path, not just at the
-				// child's root (e.g. below another spec's selector).
-				continue
-			}
-			preds := staticOnlyPreds(spec)
-			fraction := m.o.staticFraction(spec, preds)
-			node := plan.NewPartitionSelector(spec.Table, spec.ScanRel, preds, sub.node)
-			node.Hub = hubSpec(spec)
-			rows := sub.rows * fraction
-			if rows < 1 {
-				rows = 1
-			}
-			cost := sub.cost*fraction + costSelectorBase
-			plan.SetEstimates(node, rows, cost)
-			consider(&result{valid: true, cost: cost, rows: rows, delivered: sub.delivered, node: node})
-			continue
-		}
-		// Producer-side selector: pass-through over this subtree's rows.
-		node := plan.NewPartitionSelector(spec.Table, spec.ScanRel, spec.Preds, sub.node)
-		node.Hub = hubSpec(spec)
-		cost := sub.cost + sub.rows*costSelectorPerRow + costSelectorBase
-		plan.SetEstimates(node, sub.rows, cost)
-		consider(&result{valid: true, cost: cost, rows: sub.rows, delivered: sub.delivered, node: node})
+		i, spec, isOwnScan := i, spec, isOwnScan
+		sources = append(sources, func(w *worker) []*result {
+			return w.enforceSelector(g, req, i, spec, isOwnScan)
+		})
 	}
 
 	// 3. Motion enforcer (the distribution property enforcer). Prohibited
 	// while the request carries external specs: the Motion would separate
 	// the pending PartitionSelector from its DynamicScan.
 	if externalCount == 0 && req.dist.Kind != AnyDist {
-		sub := m.optimize(g, req.withDist(AnySpec()))
-		if sub.valid {
-			switch req.dist.Kind {
-			case HashedDist:
-				keys := make([]expr.Expr, len(req.dist.Cols))
-				for i, c := range req.dist.Cols {
-					keys[i] = expr.NewCol(c, "")
-				}
-				node := plan.NewMotion(plan.RedistributeMotion, keys, sub.node)
-				if sub.delivered.Kind == ReplicatedDist {
-					// Every segment holds a full copy: redistributing from
-					// all of them would deliver Segments duplicates of each
-					// row. Only one copy may enter the exchange.
-					node.FromSegment = 0
-				}
-				cost := sub.cost + sub.rows*costRedistRow
-				plan.SetEstimates(node, sub.rows, cost)
-				consider(&result{valid: true, cost: cost, rows: sub.rows, delivered: req.dist, node: node})
-			case ReplicatedDist:
-				if sub.delivered.Kind != ReplicatedDist {
-					node := plan.NewMotion(plan.BroadcastMotion, nil, sub.node)
-					cost := sub.cost + sub.rows*costBcastRow*float64(m.o.Segments)
-					plan.SetEstimates(node, sub.rows*float64(m.o.Segments), cost)
-					consider(&result{valid: true, cost: cost, rows: sub.rows, delivered: req.dist, node: node})
-				}
-			}
-		}
+		sources = append(sources, func(w *worker) []*result {
+			return w.enforceMotion(g, req)
+		})
 	}
 
-	g.best[key] = best
-	return best
+	return pickBest(w.runSources(sources))
+}
+
+// enforceSelector is candidate source 2: resolve spec i here with a
+// PartitionSelector over the remaining request.
+func (w *worker) enforceSelector(g *group, req request, i int, spec *SpecReq, isOwnScan bool) []*result {
+	sub := w.optimize(g, req.without(i))
+	if !sub.valid {
+		return nil
+	}
+	if isOwnScan {
+		if !pathMotionFree(sub.node, spec.ScanRel) {
+			// A selector above a Motion above its own scan would put
+			// producer and consumer in different processes — and the
+			// Motion may sit anywhere on the path, not just at the
+			// child's root (e.g. below another spec's selector).
+			return nil
+		}
+		preds := staticOnlyPreds(spec)
+		fraction := w.o.staticFraction(spec, preds)
+		node := plan.NewPartitionSelector(spec.Table, spec.ScanRel, preds, sub.node)
+		node.Hub = hubSpec(spec)
+		rows := sub.rows * fraction
+		if rows < 1 {
+			rows = 1
+		}
+		cost := sub.cost*fraction + costSelectorBase
+		plan.SetEstimates(node, rows, cost)
+		return []*result{{valid: true, cost: cost, rows: rows, delivered: sub.delivered, node: node}}
+	}
+	// Producer-side selector: pass-through over this subtree's rows.
+	node := plan.NewPartitionSelector(spec.Table, spec.ScanRel, spec.Preds, sub.node)
+	node.Hub = hubSpec(spec)
+	cost := sub.cost + sub.rows*costSelectorPerRow + costSelectorBase
+	plan.SetEstimates(node, sub.rows, cost)
+	return []*result{{valid: true, cost: cost, rows: sub.rows, delivered: sub.delivered, node: node}}
+}
+
+// enforceMotion is candidate source 3: satisfy the distribution requirement
+// with a Motion over the Any-distribution result.
+func (w *worker) enforceMotion(g *group, req request) []*result {
+	sub := w.optimize(g, req.withDist(AnySpec()))
+	if !sub.valid {
+		return nil
+	}
+	switch req.dist.Kind {
+	case HashedDist:
+		keys := make([]expr.Expr, len(req.dist.Cols))
+		for i, c := range req.dist.Cols {
+			keys[i] = expr.NewCol(c, "")
+		}
+		node := plan.NewMotion(plan.RedistributeMotion, keys, sub.node)
+		if sub.delivered.Kind == ReplicatedDist {
+			// Every segment holds a full copy: redistributing from
+			// all of them would deliver Segments duplicates of each
+			// row. Only one copy may enter the exchange.
+			node.FromSegment = 0
+		}
+		cost := sub.cost + sub.rows*costRedistRow
+		plan.SetEstimates(node, sub.rows, cost)
+		return []*result{{valid: true, cost: cost, rows: sub.rows, delivered: req.dist, node: node}}
+	case ReplicatedDist:
+		if sub.delivered.Kind != ReplicatedDist {
+			node := plan.NewMotion(plan.BroadcastMotion, nil, sub.node)
+			cost := sub.cost + sub.rows*costBcastRow*float64(w.o.Segments)
+			plan.SetEstimates(node, sub.rows*float64(w.o.Segments), cost)
+			return []*result{{valid: true, cost: cost, rows: sub.rows, delivered: req.dist, node: node}}
+		}
+	}
+	return nil
 }
 
 // implement produces the candidate plans of one logical expression for a
-// request. All specs in req are internal to g here.
-func (m *memo) implement(g *group, le *lexpr, req request) []*result {
+// request. All specs in req are internal to g here. Receivers that recurse
+// into optimize live on *worker (they extend the recursion path); leaf
+// implementations stay on *memo.
+func (w *worker) implement(g *group, le *lexpr, req request) []*result {
 	switch op := le.op.(type) {
 	case *logical.Get:
-		return m.implementGet(op, req)
+		return w.implementGet(op, req)
 	case *logical.Select:
-		return m.implementSelect(le, op, req)
+		return w.implementSelect(le, op, req)
 	case *logical.Project:
-		return m.implementProject(le, op, req)
+		return w.implementProject(le, op, req)
 	case *logical.GroupBy:
-		return m.implementGroupBy(le, op, req)
+		return w.implementGroupBy(le, op, req)
 	case *logical.Join:
-		return m.implementJoin(le, op, req)
+		return w.implementJoin(le, op, req)
 	}
 	return nil
 }
@@ -344,12 +408,12 @@ func (m *memo) implementGet(op *logical.Get, req request) []*result {
 	return []*result{{valid: true, cost: cost, rows: rows, delivered: delivered, node: node}}
 }
 
-func (m *memo) implementSelect(le *lexpr, op *logical.Select, req request) []*result {
+func (w *worker) implementSelect(le *lexpr, op *logical.Select, req request) []*result {
 	// Algorithm 3 in Memo form: augment travelling specs with the
 	// partition-filtering conjuncts of this predicate.
 	childSpecs := make([]*SpecReq, 0, len(req.specs))
 	for _, spec := range req.specs {
-		if m.o.DisableSelection {
+		if w.o.DisableSelection {
 			childSpecs = append(childSpecs, spec)
 			continue
 		}
@@ -367,10 +431,10 @@ func (m *memo) implementSelect(le *lexpr, op *logical.Select, req request) []*re
 		childSpecs = append(childSpecs, ns)
 	}
 	var out []*result
-	sub := m.optimize(le.children[0], request{dist: req.dist, specs: childSpecs})
+	sub := w.optimize(le.children[0], request{dist: req.dist, specs: childSpecs})
 	if sub.valid {
 		node := plan.NewFilter(op.Pred, sub.node)
-		rows := sub.rows * m.selectivity(op.Pred)
+		rows := sub.rows * w.selectivity(op.Pred)
 		if rows < 1 {
 			rows = 1
 		}
@@ -378,7 +442,7 @@ func (m *memo) implementSelect(le *lexpr, op *logical.Select, req request) []*re
 		plan.SetEstimates(node, rows, cost)
 		out = append(out, &result{valid: true, cost: cost, rows: rows, delivered: sub.delivered, node: node})
 	}
-	if idx := m.implementIndexSelect(le, op, childSpecs, req); idx != nil {
+	if idx := w.implementIndexSelect(le, op, childSpecs, req); idx != nil {
 		out = append(out, idx)
 	}
 	return out
@@ -478,8 +542,8 @@ func staticConjunctsOnly(pred expr.Expr, key expr.ColID) expr.Expr {
 	return expr.Conj(keep...)
 }
 
-func (m *memo) implementProject(le *lexpr, op *logical.Project, req request) []*result {
-	sub := m.optimize(le.children[0], request{dist: req.dist, specs: req.specs})
+func (w *worker) implementProject(le *lexpr, op *logical.Project, req request) []*result {
+	sub := w.optimize(le.children[0], request{dist: req.dist, specs: req.specs})
 	if !sub.valid {
 		return nil
 	}
@@ -489,7 +553,7 @@ func (m *memo) implementProject(le *lexpr, op *logical.Project, req request) []*
 	return []*result{{valid: true, cost: cost, rows: sub.rows, delivered: sub.delivered, node: node}}
 }
 
-func (m *memo) implementGroupBy(le *lexpr, op *logical.GroupBy, req request) []*result {
+func (w *worker) implementGroupBy(le *lexpr, op *logical.GroupBy, req request) []*result {
 	if len(op.Groups) == 0 {
 		return nil // scalar aggregation is planned on the coordinator
 	}
@@ -501,7 +565,7 @@ func (m *memo) implementGroupBy(le *lexpr, op *logical.GroupBy, req request) []*
 		}
 		cols = append(cols, c.ID)
 	}
-	sub := m.optimize(le.children[0], request{dist: HashedOn(cols...), specs: req.specs})
+	sub := w.optimize(le.children[0], request{dist: HashedOn(cols...), specs: req.specs})
 	if !sub.valid {
 		return nil
 	}

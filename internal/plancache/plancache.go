@@ -46,6 +46,13 @@ type Entry struct {
 	PlanSize int
 	// TotalSize adds the legacy prep plans (Engine.PlanSize).
 	TotalSize int
+	// OptWorkers, OptGroups and OptNanos describe the optimizer search
+	// that produced Plan (EXPLAIN ANALYZE's "optimization:" header).
+	// OptWorkers is 0 for legacy-planned entries; cache hits replay the
+	// figures of the compilation that created the entry.
+	OptWorkers int
+	OptGroups  int
+	OptNanos   int64
 
 	epoch uint64
 }
@@ -169,10 +176,14 @@ func (c *Cache) Get(key string) (*Entry, bool) {
 		return nil, false
 	}
 	s.ll.MoveToFront(el)
+	// Read the entry pointer before unlocking: a concurrent Put over the
+	// same key overwrites it.ent under the shard lock, and an unlocked read
+	// after release would race with that write.
+	ent := it.ent
 	s.mu.Unlock()
 	c.hits.Add(1)
 	c.met.Hits.Inc()
-	return it.ent, true
+	return ent, true
 }
 
 // Put stores ent under key, stamped with the epoch the caller observed

@@ -141,3 +141,31 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// Regression for a latent race the parallel-optimizer soak surfaced: Get
+// used to read the item's entry pointer after releasing the shard lock,
+// racing with Put's locked overwrite of the same key (the recompile-on-
+// epoch-churn path). Hammer exactly that pair under -race.
+func TestGetRacingPutOverwrite(t *testing.T) {
+	c := New(8)
+	const key = "hot"
+	c.Put(key, &Entry{NumParams: 0}, c.Epoch())
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if g%2 == 0 {
+					c.Put(key, &Entry{NumParams: i}, c.Epoch())
+					continue
+				}
+				if ent, ok := c.Get(key); ok && ent == nil {
+					t.Error("hit returned nil entry")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

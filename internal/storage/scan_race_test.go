@@ -1,0 +1,96 @@
+package storage
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"partopt/internal/types"
+)
+
+// Regression for the scan-vs-write race the parallel-optimizer soak
+// surfaced (run under -race): ScanLeafColsAt used to return the live
+// column set, and the executor rebuilt zero-copy lane views per batch
+// outside the table lock — racing concurrent lane writes from Insert
+// (appendDatum), UPDATE (setDatum) and DELETE (swapDelete). The fix
+// captures view snapshots under the read lock and makes writers copy the
+// lanes before touching a snapshotted array, so readers and writers never
+// share an address.
+func TestScanColsRacingWrites(t *testing.T) {
+	_, st, tab := newFixture(t, 2)
+	for i := int64(0); i < 60; i++ {
+		if err := st.Insert(tab, types.Row{types.NewInt(i), types.NewInt(i % 30)}); err != nil {
+			t.Fatalf("seed Insert(%d): %v", i, err)
+		}
+	}
+	leaves := LeafOIDs(tab)
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+
+	// staleOK tolerates the races inherent to the traffic itself: a writer
+	// may empty the heap another writer's RowID points into.
+	staleOK := func(err error) bool {
+		return err == nil || strings.Contains(err.Error(), "stale RowID")
+	}
+
+	// Writer: every lane-mutation shape — append, in-place overwrite,
+	// swap-delete — racing the scans below.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := int64(0); i < 400; i++ {
+			li := int(i) % len(leaves)
+			id := RowID{Seg: int(i) % 2, Leaf: leaves[li], Idx: 0}
+			switch i % 4 {
+			case 0, 1:
+				if err := st.Insert(tab, types.Row{types.NewInt(i), types.NewInt(i % 30)}); err != nil {
+					t.Errorf("Insert: %v", err)
+					return
+				}
+			case 2:
+				// The new key stays inside the leaf's range, so the update is
+				// an in-place SetRow rather than a cross-partition move.
+				nr := types.Row{types.NewInt(-1), types.NewInt(int64(li * 10))}
+				if _, err := st.UpdateRow(tab, id, nr); !staleOK(err) {
+					t.Errorf("UpdateRow: %v", err)
+					return
+				}
+			default:
+				if err := st.DeleteRow(tab, id); !staleOK(err) {
+					t.Errorf("DeleteRow: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	// Readers: columnar scans touching every datum through the snapshots,
+	// exactly like the executor's batch path.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for iter := 0; iter < 200; iter++ {
+				for seg := 0; seg < 2; seg++ {
+					for _, leaf := range leaves {
+						views, rows, err := st.ScanLeafColsAt(tab.OID, seg, 0, leaf)
+						if err != nil {
+							t.Errorf("ScanLeafColsAt: %v", err)
+							return
+						}
+						for _, v := range views {
+							for i := range rows {
+								_ = v.Datum(i)
+							}
+						}
+					}
+				}
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+}

@@ -535,58 +535,58 @@ func (s *Store) ScanLeaf(root part.OID, seg int, leaf part.OID) ([]types.Row, er
 // with *DeadSegmentError, which the executor reports to the FTS as
 // failure evidence.
 func (s *Store) ScanLeafAt(root part.OID, seg, replica int, leaf part.OID) ([]types.Row, error) {
-	cs, err := s.scanLeafSet(root, seg, replica, leaf)
-	if err != nil {
-		return nil, err
-	}
-	return cs.RowView(), nil
+	_, rows, err := s.scanLeafSet(root, seg, replica, leaf, false)
+	return rows, err
 }
 
-// ScanLeafColsAt is ScanLeafAt's columnar twin: it returns the leaf's
-// column set (nil for an empty leaf) alongside its cached row view, so the
-// executor can emit zero-copy column windows while keeping the batch's row
-// view populated for row-oriented operators. The same ownership rule
-// applies: read-only for callers.
-func (s *Store) ScanLeafColsAt(root part.OID, seg, replica int, leaf part.OID) (*vec.ColumnSet, []types.Row, error) {
-	cs, err := s.scanLeafSet(root, seg, replica, leaf)
+// ScanLeafColsAt is ScanLeafAt's columnar twin: it returns lane view
+// snapshots of the leaf's columns (nil for an empty leaf) alongside the
+// cached row view, so the executor can emit zero-copy column windows while
+// keeping the batch's row view populated for row-oriented operators. Both
+// are captured under the table's read lock and stay valid afterward: a
+// later writer copies the lanes rather than touching a handed-out
+// snapshot. Read-only for callers.
+func (s *Store) ScanLeafColsAt(root part.OID, seg, replica int, leaf part.OID) ([]vec.View, []types.Row, error) {
+	return s.scanLeafSet(root, seg, replica, leaf, true)
+}
+
+// scanLeafSet validates the read address and captures the leaf's row view
+// (nil when the leaf holds no rows) — plus, when withCols is set, its
+// column snapshot — under the table's read lock, so neither can race a
+// concurrent writer and both outlive the lock by the cache-generation
+// contract.
+func (s *Store) scanLeafSet(root part.OID, seg, replica int, leaf part.OID, withCols bool) ([]vec.View, []types.Row, error) {
+	td, err := s.data(root)
 	if err != nil {
 		return nil, nil, err
 	}
-	return cs, cs.RowView(), nil
-}
-
-// scanLeafSet validates the read address and returns the leaf's column set
-// (nil when the leaf holds no rows). The row view is materialized by the
-// caller while still under no writer: RowView's internal cache tolerates
-// concurrent readers, and writers only swap in fresh generations.
-func (s *Store) scanLeafSet(root part.OID, seg, replica int, leaf part.OID) (*vec.ColumnSet, error) {
-	td, err := s.data(root)
-	if err != nil {
-		return nil, err
-	}
 	if seg < 0 || seg >= s.segments {
-		return nil, fmt.Errorf("storage: segment %d out of range", seg)
+		return nil, nil, fmt.Errorf("storage: segment %d out of range", seg)
 	}
 	if replica < 0 || replica >= NumReplicas {
-		return nil, fmt.Errorf("storage: replica %d out of range", replica)
+		return nil, nil, fmt.Errorf("storage: replica %d out of range", replica)
 	}
 	if err := s.faults.Hit(nil, fault.StorageScan, seg); err != nil {
-		return nil, fmt.Errorf("storage: table %q leaf %d on seg %d: %w", td.tab.Name, leaf, seg, err)
+		return nil, nil, fmt.Errorf("storage: table %q leaf %d on seg %d: %w", td.tab.Name, leaf, seg, err)
 	}
 	if !s.ReplicaAlive(seg, replica) {
-		return nil, &DeadSegmentError{Seg: seg, Replica: replica}
+		return nil, nil, &DeadSegmentError{Seg: seg, Replica: replica}
 	}
 	td.mu.RLock()
 	defer td.mu.RUnlock()
 	h := td.heapsOf(replica)
 	if h == nil {
-		return nil, fmt.Errorf("storage: table %q has no replica %d (mirroring disabled)", td.tab.Name, replica)
+		return nil, nil, fmt.Errorf("storage: table %q has no replica %d (mirroring disabled)", td.tab.Name, replica)
 	}
 	cs := h[seg][leaf]
-	if cs != nil {
-		cs.RowView() // materialize under the read lock, excluding writers
+	if cs == nil {
+		return nil, nil, nil
 	}
-	return cs, nil
+	var views []vec.View
+	if withCols {
+		views = cs.ViewSnapshot()
+	}
+	return views, cs.RowView(), nil
 }
 
 // LeafColumns returns one (segment, leaf, replica) column set for

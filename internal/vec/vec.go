@@ -18,6 +18,14 @@
 // earlier stay stable forever; this is what lets the row-oriented storage
 // API (ScanLeaf and friends) and the executor's row ownership contract
 // survive unchanged on top of column-major storage.
+//
+// Column snapshot. The columnar scan path gets the same guarantee from the
+// other direction: ViewSnapshot hands out lane views, and the first write
+// after a snapshot moves the live set onto fresh lane arrays
+// (copy-on-write), so a reader still holding the snapshot never shares an
+// address with a writer. A set that is only written, or only read, pays
+// nothing; the copy happens once per write-after-read alternation — the
+// same schedule on which the row view re-materializes.
 package vec
 
 import (
@@ -50,9 +58,10 @@ type rowView struct {
 // serializes writers (and excludes readers) with its per-table lock, the
 // same discipline the row-oriented heaps used.
 type ColumnSet struct {
-	cols []Column
-	n    int
-	view atomic.Pointer[rowView]
+	cols    []Column
+	n       int
+	view    atomic.Pointer[rowView]
+	colSnap atomic.Pointer[[]View] // handed-out lane views; see prepareWrite
 }
 
 // NewColumnSet allocates an empty set with one column per declared kind.
@@ -87,6 +96,28 @@ func (cs *ColumnSet) Kinds() []types.Kind {
 // invalidate drops the cached row view. Every mutation calls it; handed-out
 // views keep their (now stale) arena untouched.
 func (cs *ColumnSet) invalidate() { cs.view.Store(nil) }
+
+// prepareWrite readies the set for mutation. If a column snapshot has been
+// handed out since the last write, the live lanes move onto fresh arrays
+// first, so the snapshot's arrays are never written again — a scan that
+// captured views under the storage read lock can keep reading them after
+// releasing it, concurrently with later writers. Every mutation calls this
+// before touching a lane; it runs under the storage layer's exclusive table
+// lock, so the load cannot race a snapshot being built.
+func (cs *ColumnSet) prepareWrite() {
+	if cs.colSnap.Load() == nil {
+		return
+	}
+	cs.colSnap.Store(nil)
+	for j := range cs.cols {
+		c := &cs.cols[j]
+		c.ints = append([]int64(nil), c.ints...)
+		c.flts = append([]float64(nil), c.flts...)
+		c.strs = append([]string(nil), c.strs...)
+		c.any = append([]types.Datum(nil), c.any...)
+		c.nulls = append([]uint64(nil), c.nulls...)
+	}
+}
 
 // nullBit reports row i's null bit. The bitmap grows lazily (only when a
 // NULL is stored), so rows past its end are implicitly non-NULL.
@@ -304,6 +335,7 @@ func (c *Column) swapDelete(i, last int) {
 
 // AppendRow appends one row (width must match; unchecked beyond panics).
 func (cs *ColumnSet) AppendRow(row types.Row) {
+	cs.prepareWrite()
 	for j := range cs.cols {
 		cs.cols[j].appendDatum(row[j], cs.n)
 	}
@@ -314,6 +346,7 @@ func (cs *ColumnSet) AppendRow(row types.Row) {
 // AppendRows bulk-appends rows column-by-column (one cache-friendly pass
 // per lane) — the batch-insert fast path.
 func (cs *ColumnSet) AppendRows(rows []types.Row) {
+	cs.prepareWrite()
 	for j := range cs.cols {
 		c := &cs.cols[j]
 		n := cs.n
@@ -337,6 +370,7 @@ func (cs *ColumnSet) RowAt(i int) types.Row {
 
 // SetRow overwrites row i in place.
 func (cs *ColumnSet) SetRow(i int, row types.Row) {
+	cs.prepareWrite()
 	for j := range cs.cols {
 		cs.cols[j].setDatum(i, row[j], cs.n)
 	}
@@ -346,6 +380,7 @@ func (cs *ColumnSet) SetRow(i int, row types.Row) {
 // SwapDelete removes row i by moving the last row into its slot (the
 // storage layer's swap-delete, applied lane-wise).
 func (cs *ColumnSet) SwapDelete(i int) {
+	cs.prepareWrite()
 	last := cs.n - 1
 	if i != last {
 		for j := range cs.cols {

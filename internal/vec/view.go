@@ -17,8 +17,32 @@ type View struct {
 	Base  int
 }
 
+// ViewSnapshot returns read-only views of every column (Base 0), cached
+// until the next write. Like the row view, a handed-out snapshot is never
+// written again: the next mutation moves the live lanes onto fresh arrays
+// (prepareWrite), so callers that captured the snapshot under the storage
+// read lock may keep reading it after the lock is released, concurrently
+// with writers. Concurrent readers may race to build the first snapshot;
+// both candidates view the same (unwritten) arrays, so either wins safely.
+func (cs *ColumnSet) ViewSnapshot() []View {
+	if cs == nil {
+		return nil
+	}
+	if v := cs.colSnap.Load(); v != nil {
+		return *v
+	}
+	views := make([]View, len(cs.cols))
+	for j := range views {
+		views[j] = cs.ColView(j)
+	}
+	cs.colSnap.Store(&views)
+	return views
+}
+
 // ColView returns a read-only view of column j covering the whole set
-// (Base 0). Callers windowing a scan adjust Base themselves.
+// (Base 0). Callers windowing a scan adjust Base themselves. The view
+// aliases the live lanes — safe only while the caller excludes writers;
+// scans that outlive the storage lock go through ViewSnapshot instead.
 func (cs *ColumnSet) ColView(j int) View {
 	c := &cs.cols[j]
 	return View{

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"partopt"
+)
+
+// The parallel-vs-serial differential harness. The parallel memo search
+// must be invisible except in latency: for every workload query and for
+// generated large-join schemas, each worker count must compile to the
+// byte-identical EXPLAIN tree (same shape, same costs) and execute to the
+// same row multiset as the serial search.
+
+// explainAt compiles the query at the given pool size. SetOptimizerWorkers
+// bumps the plan-cache epoch, so every call re-optimizes from scratch.
+func explainAt(t *testing.T, eng *partopt.Engine, workers int, q string) string {
+	t.Helper()
+	eng.SetOptimizerWorkers(workers)
+	out, err := eng.Explain(q)
+	if err != nil {
+		t.Fatalf("workers=%d Explain: %v\n%s", workers, err, q)
+	}
+	return out
+}
+
+func rowsAt(t *testing.T, eng *partopt.Engine, workers int, q string) [][]partopt.Value {
+	t.Helper()
+	eng.SetOptimizerWorkers(workers)
+	rows, err := eng.Query(q)
+	if err != nil {
+		t.Fatalf("workers=%d Query: %v\n%s", workers, err, q)
+	}
+	rows.SortData()
+	return rows.Data
+}
+
+// TestParallelDifferentialWorkload runs every star-schema workload query
+// at workers ∈ {2,4,8} and compares plans and results against workers=1.
+func TestParallelDifferentialWorkload(t *testing.T) {
+	eng, err := partopt.New(3)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	cfg := DefaultStarConfig()
+	cfg.SalesPerDay = 5
+	cfg.Months = 12
+	if err := BuildStar(eng, cfg); err != nil {
+		t.Fatalf("BuildStar: %v", err)
+	}
+	eng.SetOptimizer(partopt.Orca)
+
+	for _, q := range StarQueries() {
+		wantPlan := explainAt(t, eng, 1, q.SQL)
+		wantRows := rowsAt(t, eng, 1, q.SQL)
+		for _, workers := range []int{2, 4, 8} {
+			if got := explainAt(t, eng, workers, q.SQL); got != wantPlan {
+				t.Errorf("%s: workers=%d plan differs from serial\n--- serial ---\n%s--- parallel ---\n%s",
+					q.Name, workers, wantPlan, got)
+			}
+		}
+		if got := rowsAt(t, eng, 8, q.SQL); !resultsEqual(wantRows, got) {
+			t.Errorf("%s: workers=8 rows differ from serial\nserial: %v\nparallel: %v",
+				q.Name, sample(wantRows), sample(got))
+		}
+	}
+}
+
+// TestParallelDifferentialGeneratedJoins runs the generated 5/10/15/20-table
+// star and snowflake schemas across worker counts and seeds. The sizes
+// straddle the DP cutoff (DefaultMaxDPLeaves = 10), so both the exhaustive
+// and the greedy enumerator are exercised under parallel search.
+func TestParallelDifferentialGeneratedJoins(t *testing.T) {
+	for _, tables := range []int{5, 10, 15, 20} {
+		for _, shape := range []JoinShape{JoinStar, JoinSnowflake} {
+			for _, seed := range []int64{11, 23} {
+				cfg := JoinSchemaConfig{Tables: tables, Shape: shape, Seed: seed}
+				t.Run(fmt.Sprintf("%s%d_s%d", shape, tables, seed), func(t *testing.T) {
+					eng, err := partopt.New(2)
+					if err != nil {
+						t.Fatalf("New: %v", err)
+					}
+					eng.SetOptimizer(partopt.Orca)
+					js, err := BuildJoinSchema(eng, cfg)
+					if err != nil {
+						t.Fatalf("BuildJoinSchema: %v", err)
+					}
+					wantPlan := explainAt(t, eng, 1, js.SQL)
+					wantRows := rowsAt(t, eng, 1, js.SQL)
+					for _, workers := range []int{2, 4, 8} {
+						if got := explainAt(t, eng, workers, js.SQL); got != wantPlan {
+							t.Fatalf("workers=%d plan differs from serial\nquery: %s\n--- serial ---\n%s--- parallel ---\n%s",
+								workers, js.SQL, wantPlan, got)
+						}
+					}
+					if got := rowsAt(t, eng, 8, js.SQL); !resultsEqual(wantRows, got) {
+						t.Fatalf("workers=8 rows differ from serial\nquery: %s\nserial: %v\nparallel: %v",
+							js.SQL, sample(wantRows), sample(got))
+					}
+				})
+			}
+		}
+	}
+}

@@ -2,10 +2,11 @@ package partopt
 
 import (
 	"context"
+	"fmt"
 	"strings"
 
-	"partopt/internal/legacy"
 	"partopt/internal/plan"
+	"partopt/internal/plancache"
 )
 
 // OpStats is one operator's runtime record in a query's per-operator
@@ -66,21 +67,25 @@ func buildOpStats(n plan.Node, src plan.ActualSource) *OpStats {
 	return o
 }
 
-// renderAnalyze produces the EXPLAIN ANALYZE text for an executed plan. The
-// legacy planner's prep plans (which fill the main plan's OID parameters)
-// are rendered before the main tree, mirroring how they execute.
-func renderAnalyze(node plan.Node, pl *legacy.Planned, src plan.ActualSource) string {
-	if pl == nil || len(pl.Preps) == 0 {
-		return plan.ExplainAnalyze(node, src)
-	}
+// renderAnalyze produces the EXPLAIN ANALYZE text for an executed plan. An
+// Orca-compiled entry leads with the memo-search header; the legacy
+// planner's prep plans (which fill the main plan's OID parameters) are
+// rendered before the main tree, mirroring how they execute. Cache hits
+// replay the header of the compilation that produced the entry, so hit and
+// miss render byte-identically.
+func renderAnalyze(ent *plancache.Entry, src plan.ActualSource) string {
+	node, pl := ent.Plan, ent.Legacy
 	var b strings.Builder
-	for i, prep := range pl.Preps {
-		if i > 0 {
+	if ent.OptWorkers > 0 {
+		fmt.Fprintf(&b, "optimization: %d workers, %d groups, %.3f ms\n",
+			ent.OptWorkers, ent.OptGroups, float64(ent.OptNanos)/1e6)
+	}
+	if pl != nil {
+		for _, prep := range pl.Preps {
+			b.WriteString(plan.ExplainAnalyze(prep.Plan, src))
 			b.WriteByte('\n')
 		}
-		b.WriteString(plan.ExplainAnalyze(prep.Plan, src))
 	}
-	b.WriteByte('\n')
 	b.WriteString(plan.ExplainAnalyze(node, src))
 	return b.String()
 }

@@ -15,12 +15,14 @@ var (
 	timeRe  = regexp.MustCompile(`time=[0-9.]+(µs|ms|s)`)
 	peakRe  = regexp.MustCompile(`Peak memory: \S+ per instance`)
 	spillRe = regexp.MustCompile(`Spilled: \S+ in \d+ part\(s\)`)
+	optRe   = regexp.MustCompile(`(optimization: \d+ workers, \d+ groups,) [0-9.]+ ms`)
 )
 
 func normalizeAnalyze(s string) string {
 	s = timeRe.ReplaceAllString(s, "time=T")
 	s = peakRe.ReplaceAllString(s, "Peak memory: N per instance")
 	s = spillRe.ReplaceAllString(s, "Spilled: S in P part(s)")
+	s = optRe.ReplaceAllString(s, "$1 T ms")
 	return s
 }
 
@@ -52,7 +54,8 @@ func TestExplainAnalyzeGoldenStatic(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ExplainAnalyze: %v", err)
 	}
-	const want = `Project (avg_1)  (actual rows=1 loops=1 time=T)
+	const want = `optimization: 1 workers, 2 groups, T ms
+Project (avg_1)  (actual rows=1 loops=1 time=T)
   -> HashAggregate (avg(orders.amount))  (actual rows=1 loops=1 time=T)
        Peak memory: N per instance
     -> Gather Motion  (actual rows=30 loops=1 time=T)
@@ -141,7 +144,8 @@ func TestExplainAnalyzeGoldenSpill(t *testing.T) {
 	if rows.SpilledBytes == 0 {
 		t.Fatalf("work_mem=512 did not spill")
 	}
-	const want = `Project (date_id, n, total)  (actual rows=24 loops=1 time=T)
+	const want = `optimization: 1 workers, 2 groups, T ms
+Project (date_id, n, total)  (actual rows=24 loops=1 time=T)
   -> Gather Motion  (actual rows=24 loops=1 time=T)
     -> HashAggregate (orders.date_id; count(*), sum(orders.amount))  (rows=80 cost=961)  (actual rows=24 loops=4 time=T)
          Spilled: S in P part(s)

@@ -199,7 +199,8 @@ func TestExplainAnalyzeGoldenOuterJoinDPE(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ExplainAnalyze: %v", err)
 	}
-	const want = `Project (count_1)  (actual rows=1 loops=1 time=T)
+	const want = `optimization: 1 workers, 4 groups, T ms
+Project (count_1)  (actual rows=1 loops=1 time=T)
   -> HashAggregate (count(*))  (actual rows=1 loops=1 time=T)
        Peak memory: N per instance
     -> Gather Motion  (actual rows=30 loops=1 time=T)

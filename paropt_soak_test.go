@@ -1,0 +1,158 @@
+package partopt
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// paroptFixture builds a small join schema for the parallel-optimizer
+// soak: a monthly-partitioned fact plus a replicated dimension, so every
+// compiled plan exercises the enumerator and dynamic elimination.
+func paroptFixture(t *testing.T) *Engine {
+	t.Helper()
+	eng, err := New(3)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	eng.MustCreateTable("psales",
+		Columns("date_id", TypeInt, "cust", TypeInt, "amount", TypeFloat),
+		DistributedBy("cust"),
+		PartitionByRangeInt("date_id", 0, 120, 12))
+	eng.MustCreateTable("pdim",
+		Columns("date_id", TypeInt, "month", TypeInt),
+		Replicated())
+	for d := int64(0); d < 120; d++ {
+		if err := eng.Insert("psales", Int(d), Int(d%17), Float(float64(d))); err != nil {
+			t.Fatalf("insert psales: %v", err)
+		}
+		if err := eng.Insert("pdim", Int(d), Int(d/10+1)); err != nil {
+			t.Fatalf("insert pdim: %v", err)
+		}
+	}
+	if err := eng.Analyze(); err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	eng.SetOptimizer(Orca)
+	return eng
+}
+
+// Soak for the parallel memo search: concurrent join-query traffic racing
+// catalog-epoch bumps (DDL, ANALYZE, DML) and pool-size churn against one
+// engine. Run under -race. Afterward no goroutine may linger and no stale
+// plan may survive a bump — the PR 5 plan-cache soak's guarantees must hold
+// with the parallel optimizer in the loop.
+func TestParallelOptimizerSoak(t *testing.T) {
+	eng := paroptFixture(t)
+	before := runtime.NumGoroutine()
+
+	const (
+		workers = 6
+		iters   = 40
+	)
+	var wg sync.WaitGroup
+
+	shared, err := eng.Prepare("SELECT sum(s.amount) FROM pdim d, psales s WHERE d.date_id = s.date_id AND d.month = $1")
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(int64(w) * 31))
+			for i := 0; i < iters; i++ {
+				switch rnd.Intn(3) {
+				case 0:
+					q := fmt.Sprintf(`SELECT count(*) FROM pdim d, psales s
+						WHERE d.date_id = s.date_id AND d.month = %d`, 1+rnd.Intn(12))
+					if _, err := eng.Query(q); err != nil {
+						t.Errorf("worker %d: %v", w, err)
+						return
+					}
+				case 1:
+					if _, err := shared.Query(Int(int64(1 + rnd.Intn(12)))); err != nil {
+						t.Errorf("worker %d prepared: %v", w, err)
+						return
+					}
+				default:
+					if _, err := eng.Explain(`SELECT count(*) FROM psales s, pdim d
+						WHERE s.date_id = d.date_id AND d.month < 3`); err != nil {
+						t.Errorf("worker %d explain: %v", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Mutator: epoch-bumping churn, including the optimizer pool size — a
+	// query compiled under one worker count may execute under another, and
+	// the cached entry must replay its own compilation's figures.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		pools := []int{1, 2, 4, 8}
+		for i := 0; i < iters; i++ {
+			switch i % 5 {
+			case 0:
+				eng.SetOptimizerWorkers(pools[i/5%len(pools)])
+			case 1:
+				if err := eng.Analyze(); err != nil {
+					t.Errorf("Analyze: %v", err)
+					return
+				}
+			case 2:
+				if err := eng.CreateTable(fmt.Sprintf("psoak_%d", i), Columns("x", TypeInt)); err != nil {
+					t.Errorf("CreateTable: %v", err)
+					return
+				}
+			case 3:
+				if err := eng.Insert("psales", Int(int64(i%120)), Int(int64(i)), Float(1)); err != nil {
+					t.Errorf("Insert: %v", err)
+					return
+				}
+			default:
+				if _, err := eng.Exec(fmt.Sprintf("UPDATE psales SET amount = amount + 0 WHERE date_id = %d", i%120)); err != nil {
+					t.Errorf("Exec: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+
+	st := eng.PlanCacheStats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("soak produced no cache traffic: %+v", st)
+	}
+	if st.Epoch == 0 {
+		t.Errorf("mutator never bumped the epoch: %+v", st)
+	}
+
+	// No stale plan survives a bump with the parallel pool active: the
+	// table-scan plan cached above must recompile into an index plan.
+	eng.SetOptimizerWorkers(8)
+	const q = "SELECT amount FROM psales WHERE cust = 7"
+	if _, err := eng.Query(q); err != nil {
+		t.Fatalf("pre-index query: %v", err)
+	}
+	if err := eng.CreateIndex("psoak_cust_idx", "psales", "cust"); err != nil {
+		t.Fatalf("CreateIndex: %v", err)
+	}
+	out, err := eng.Explain(q)
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if !strings.Contains(out, "psoak_cust_idx") {
+		t.Errorf("stale pre-index plan survived the epoch bump:\n%s", out)
+	}
+
+	// The parallel search must not leak its pool: every search goroutine
+	// exits with its Optimize call.
+	waitGoroutinesSettle(t, before)
+}

@@ -114,7 +114,7 @@ func (e *Engine) lookupOrCompile(p *prepared) (ent *plancache.Entry, useNorm, hi
 // compileBound optimizes a bound statement into a cacheable entry. Callers
 // hold at least the engine read lock.
 func (e *Engine) compileBound(bound *sql.Bound) (*plancache.Entry, error) {
-	node, pl, err := e.plan(bound)
+	node, pl, opt, err := e.plan(bound)
 	if err != nil {
 		return nil, err
 	}
@@ -126,12 +126,15 @@ func (e *Engine) compileBound(bound *sql.Bound) (*plancache.Entry, error) {
 		}
 	}
 	return &plancache.Entry{
-		Plan:      node,
-		Legacy:    pl,
-		Columns:   bound.Columns,
-		NumParams: bound.NumParams,
-		PlanSize:  size,
-		TotalSize: total,
+		Plan:       node,
+		Legacy:     pl,
+		Columns:    bound.Columns,
+		NumParams:  bound.NumParams,
+		PlanSize:   size,
+		TotalSize:  total,
+		OptWorkers: opt.Workers,
+		OptGroups:  opt.Groups,
+		OptNanos:   opt.Nanos,
 	}, nil
 }
 
